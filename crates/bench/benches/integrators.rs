@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the integrator substrate: single RK
+//! steps, adaptive solves under each controller, and the NODE forward
+//! pass (the kernel behind Figs 11/13/17).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enode_node::inference::{forward_layer, ControllerKind, NodeSolveOptions};
+use enode_ode::controller::{ClassicController, ConventionalSearchController};
+use enode_ode::solver::{solve_adaptive, AdaptiveOptions};
+use enode_ode::step::rk_step;
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::dense::Dense;
+use enode_tensor::init;
+use enode_tensor::network::{Network, Op};
+use std::hint::black_box;
+
+fn lv(_t: f64, y: &Vec<f64>) -> Vec<f64> {
+    vec![1.5 * y[0] - y[0] * y[1], y[0] * y[1] - 3.0 * y[1]]
+}
+
+fn rk_steps(c: &mut Criterion) {
+    for tab in [
+        ButcherTableau::euler(),
+        ButcherTableau::rk23_bogacki_shampine(),
+        ButcherTableau::dopri5(),
+    ] {
+        c.bench_function(&format!("rk_step_{}_lotka_volterra", tab.name()), |b| {
+            b.iter(|| {
+                black_box(rk_step(
+                    &tab,
+                    &mut lv,
+                    0.0,
+                    0.05,
+                    black_box(&vec![1.0, 1.0]),
+                    None,
+                ))
+            })
+        });
+    }
+}
+
+fn adaptive_solves(c: &mut Criterion) {
+    let tab = ButcherTableau::rk23_bogacki_shampine();
+    c.bench_function("solve_classic_lv_tol1e-7", |b| {
+        b.iter(|| {
+            let mut ctl = ClassicController::new(tab.error_order());
+            black_box(
+                solve_adaptive(
+                    lv,
+                    0.0,
+                    5.0,
+                    vec![1.0, 1.0],
+                    &tab,
+                    &mut ctl,
+                    &AdaptiveOptions::new(1e-7),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    c.bench_function("solve_conventional_lv_tol1e-7", |b| {
+        b.iter(|| {
+            let mut ctl = ConventionalSearchController::new(0.1, 0.5);
+            black_box(
+                solve_adaptive(
+                    lv,
+                    0.0,
+                    5.0,
+                    vec![1.0, 1.0],
+                    &tab,
+                    &mut ctl,
+                    &AdaptiveOptions::new(1e-7),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn node_forward(c: &mut Criterion) {
+    let f = Network::new(vec![
+        Op::ConcatTime,
+        Op::dense(Dense::new_seeded(3, 16, 1)),
+        Op::tanh(),
+        Op::dense(Dense::new_seeded(16, 2, 2)),
+    ]);
+    let y0 = init::uniform(&[4, 2], -0.5, 0.5, 3);
+    for (name, kind) in [
+        (
+            "conventional",
+            ControllerKind::ConventionalConstantInit { shrink: 0.5 },
+        ),
+        (
+            "slope_adaptive",
+            ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 },
+        ),
+    ] {
+        let opts = NodeSolveOptions::new(1e-5).with_controller(kind);
+        c.bench_function(&format!("node_forward_layer_{name}"), |b| {
+            b.iter(|| {
+                black_box(forward_layer(&f, black_box(&y0), (0.0, 1.0), &opts).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = rk_steps, adaptive_solves, node_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (packetized scheduling, function
+//! reuse, unified core, expedited-algorithm factorial).
+
+fn main() {
+    enode_bench::figures::ablations::run();
+}

@@ -1,0 +1,24 @@
+//! Runs the complete experiment suite: every table and figure of the
+//! paper, in order, plus the ablations.
+
+use enode_bench::figures as f;
+
+fn main() {
+    f::fig03_runtime_model::run();
+    f::fig04a_latency_breakdown::run();
+    f::fig04b_memory_profile::run();
+    f::fig11_slope_adaptive::run();
+    f::fig12_error_map::run();
+    f::fig13_priority_early_stop::run();
+    f::fig14_integral_storage::run();
+    f::fig15a_training_storage::run();
+    f::fig15b_dram_vs_buffer::run();
+    f::fig15c_area_scaling::run();
+    f::table1_memory_area::run();
+    f::fig16_power::run();
+    f::fig17_speedup::run();
+    f::fig18a_energy::run();
+    f::fig18b_resnet200::run();
+    f::fig18c_gpu_compare::run();
+    f::ablations::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig03 experiment. See the module docs in
+//! `enode_bench::figures::fig03_runtime_model`.
+
+fn main() {
+    enode_bench::figures::fig03_runtime_model::run();
+}

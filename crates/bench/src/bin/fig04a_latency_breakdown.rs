@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig04a experiment. See the module docs in
+//! `enode_bench::figures::fig04a_latency_breakdown`.
+
+fn main() {
+    enode_bench::figures::fig04a_latency_breakdown::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig04b experiment. See the module docs in
+//! `enode_bench::figures::fig04b_memory_profile`.
+
+fn main() {
+    enode_bench::figures::fig04b_memory_profile::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 experiment. See the module docs in
+//! `enode_bench::figures::fig11_slope_adaptive`.
+
+fn main() {
+    enode_bench::figures::fig11_slope_adaptive::run();
+}

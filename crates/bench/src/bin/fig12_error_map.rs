@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig 12 illustration. See the module docs in
+//! `enode_bench::figures::fig12_error_map`.
+
+fn main() {
+    enode_bench::figures::fig12_error_map::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 experiment. See the module docs in
+//! `enode_bench::figures::fig13_priority_early_stop`.
+
+fn main() {
+    enode_bench::figures::fig13_priority_early_stop::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig14 experiment. See the module docs in
+//! `enode_bench::figures::fig14_integral_storage`.
+
+fn main() {
+    enode_bench::figures::fig14_integral_storage::run();
+}

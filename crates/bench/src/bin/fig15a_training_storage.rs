@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15a experiment. See the module docs in
+//! `enode_bench::figures::fig15a_training_storage`.
+
+fn main() {
+    enode_bench::figures::fig15a_training_storage::run();
+}

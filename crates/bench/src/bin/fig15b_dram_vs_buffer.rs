@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15b experiment. See the module docs in
+//! `enode_bench::figures::fig15b_dram_vs_buffer`.
+
+fn main() {
+    enode_bench::figures::fig15b_dram_vs_buffer::run();
+}

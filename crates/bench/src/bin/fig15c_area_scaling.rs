@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15c experiment. See the module docs in
+//! `enode_bench::figures::fig15c_area_scaling`.
+
+fn main() {
+    enode_bench::figures::fig15c_area_scaling::run();
+}

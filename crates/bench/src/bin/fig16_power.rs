@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig16 experiment. See the module docs in
+//! `enode_bench::figures::fig16_power`.
+
+fn main() {
+    enode_bench::figures::fig16_power::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig17 experiment. See the module docs in
+//! `enode_bench::figures::fig17_speedup`.
+
+fn main() {
+    enode_bench::figures::fig17_speedup::run();
+}

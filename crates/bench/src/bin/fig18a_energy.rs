@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18a experiment. See the module docs in
+//! `enode_bench::figures::fig18a_energy`.
+
+fn main() {
+    enode_bench::figures::fig18a_energy::run();
+}

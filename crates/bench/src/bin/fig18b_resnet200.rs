@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18b experiment. See the module docs in
+//! `enode_bench::figures::fig18b_resnet200`.
+
+fn main() {
+    enode_bench::figures::fig18b_resnet200::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18c experiment. See the module docs in
+//! `enode_bench::figures::fig18c_gpu_compare`.
+
+fn main() {
+    enode_bench::figures::fig18c_gpu_compare::run();
+}

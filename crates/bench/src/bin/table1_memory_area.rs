@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 experiment. See the module docs in
+//! `enode_bench::figures::table1_memory_area`.
+
+fn main() {
+    enode_bench::figures::table1_memory_area::run();
+}

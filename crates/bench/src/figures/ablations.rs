@@ -1,0 +1,213 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * packetized vs blocking ring scheduling (§V-B),
+//! * function reuse (folded ring) vs unrolled integrator hardware (§V-A),
+//! * unified vs split forward/backward NN core (§VI),
+//! * the expedited-algorithm factorial: slope-adaptive × priority (§VII).
+
+use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::report;
+use enode_hw::area::{breakdown, Design};
+use enode_hw::config::HwConfig;
+use enode_hw::packet::{simulate_pipeline, Schedule};
+use enode_node::inference::ControllerKind;
+
+/// Packetized vs blocking scheduling: identical throughput, an order less
+/// buffering (the reason the integral-state buffer fits on chip).
+pub fn packetized_vs_blocking() {
+    report::banner("Ablation", "packetized vs blocking ring scheduling");
+    report::header(&["rows (H)", "schedule", "makespan", "peak buffer rows"]);
+    for rows in [64u64, 128, 256] {
+        for (name, sched) in [
+            ("packetized", Schedule::Packetized),
+            ("blocking", Schedule::Blocking),
+        ] {
+            let r = simulate_pipeline(4, rows, 5, sched);
+            report::row(&[
+                &rows.to_string(),
+                name,
+                &r.makespan.to_string(),
+                &r.peak_buffer_rows.to_string(),
+            ]);
+        }
+    }
+    println!("\npacketization keeps throughput and shrinks buffering from O(H) to O(lag).");
+}
+
+/// Function reuse: the folded ring holds one copy of `f`'s cores and
+/// weights; an unrolled depth-first integrator would replicate them per
+/// stage.
+pub fn function_reuse() {
+    report::banner("Ablation", "function reuse (folded ring) vs unrolled integrator");
+    let cfg = HwConfig::config_a();
+    let folded = breakdown(&cfg, Design::Enode);
+    let core = folded.rows.iter().find(|r| r.name == "Core & Control").unwrap().mm2;
+    let weights = folded.rows.iter().find(|r| r.name == "Weight Buffer").unwrap().mm2;
+    // Unrolled: one core+weight copy per RK23 stage.
+    let unrolled_extra = (cfg.stages as f64 - 1.0) * (core + weights);
+    report::header(&["design", "total mm^2"]);
+    report::row(&["folded ring (eNODE)", &format!("{:.2}", folded.total_mm2())]);
+    report::row(&[
+        "unrolled (4x cores+weights)",
+        &format!("{:.2}", folded.total_mm2() + unrolled_extra),
+    ]);
+    println!(
+        "\nfunction reuse saves {:.1} mm^2 ({:.0}% of the eNODE floorplan).",
+        unrolled_extra,
+        100.0 * unrolled_extra / (folded.total_mm2() + unrolled_extra)
+    );
+}
+
+/// Unified vs split forward/backward core: the unified core reuses PEs,
+/// weights and the adder tree for both directions (§VI); a split design
+/// duplicates the datapath.
+pub fn unified_core() {
+    report::banner("Ablation", "unified vs split forward/backward NN core");
+    let cfg = HwConfig::config_a();
+    let b = breakdown(&cfg, Design::Enode);
+    let core = b.rows.iter().find(|r| r.name == "Core & Control").unwrap().mm2;
+    let weights = b.rows.iter().find(|r| r.name == "Weight Buffer").unwrap().mm2;
+    report::header(&["design", "total mm^2"]);
+    report::row(&["unified core (eNODE)", &format!("{:.2}", b.total_mm2())]);
+    report::row(&[
+        "split fwd/bwd datapath",
+        &format!("{:.2}", b.total_mm2() + core + weights),
+    ]);
+    println!(
+        "\nthe unified core avoids duplicating {:.2} mm^2 of PEs and cached weights.",
+        core + weights
+    );
+}
+
+/// The 2×2 expedited-algorithm factorial on Lotka–Volterra: slope-adaptive
+/// search × priority early stop (the "EA" split of Fig 18).
+pub fn ea_factorial() {
+    report::banner("Ablation", "expedited algorithms factorial (Lotka-Volterra)");
+    let bench = Bench::LotkaVolterra;
+    report::header(&["slope-adaptive", "priority", "trials/layer", "rows frac", "accuracy %"]);
+    for (slope, prio) in [(false, false), (true, false), (false, true), (true, true)] {
+        let opts = match (slope, prio) {
+            (true, w) => expedited_opts(bench, 3, 3, w.then_some(4)),
+            (false, w) => {
+                let mut o = conventional_opts(bench);
+                o.controller = ControllerKind::ConventionalConstantInit { shrink: 0.5 };
+                if w {
+                    o = o.with_priority(4);
+                }
+                o
+            }
+        };
+        let r = run_bench(bench, &opts, bench.default_train_iters(), 91);
+        let s = &r.profile.forward;
+        let rows_frac = if s.rows_total > 0 {
+            s.rows_processed as f64 / s.rows_total as f64
+        } else {
+            1.0
+        };
+        report::row(&[
+            if slope { "on" } else { "off" },
+            if prio { "on" } else { "off" },
+            &report::f(r.trials_per_layer),
+            &format!("{rows_frac:.3}"),
+            &format!("{:.1}", r.accuracy),
+        ]);
+    }
+}
+
+/// Integrator-order ablation: nfe, evaluation points and achieved error on
+/// Lotka–Volterra across the embedded-pair methods, plus each order's
+/// on-chip buffer cost (the accuracy/efficiency/area trade the paper's
+/// Fig 2/Fig 14 discussion sets up).
+pub fn integrator_order() {
+    use enode_hw::depthfirst::integral_state_rows;
+    use enode_ode::controller::ClassicController;
+    use enode_ode::solver::{solve_adaptive, AdaptiveOptions};
+    use enode_ode::tableau::ButcherTableau;
+    use enode_workloads::lotka_volterra::LotkaVolterra;
+
+    report::banner("Ablation", "integrator order on Lotka-Volterra (tol 1e-6)");
+    let lv = LotkaVolterra::default();
+    let reference = lv.ground_truth(vec![1.0, 1.0], 5.0);
+    let exact = reference.final_state().clone();
+    report::header(&["integrator", "nfe", "points", "final err", "buffer rows"]);
+    for tab in [
+        ButcherTableau::heun_euler(),
+        ButcherTableau::rk23_bogacki_shampine(),
+        ButcherTableau::rkf45(),
+        ButcherTableau::cash_karp(),
+        ButcherTableau::dopri5(),
+    ] {
+        let mut ctl = ClassicController::new(tab.error_order());
+        let sol = solve_adaptive(
+            |t, y: &Vec<f64>| lv.f(t, y),
+            0.0,
+            5.0,
+            vec![1.0, 1.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(1e-6),
+        )
+        .unwrap();
+        let err = ((sol.final_state()[0] - exact[0]).powi(2)
+            + (sol.final_state()[1] - exact[1]).powi(2))
+        .sqrt();
+        report::row(&[
+            tab.name(),
+            &sol.stats.nfe.to_string(),
+            &sol.n_eval().to_string(),
+            &format!("{err:.2e}"),
+            &integral_state_rows(&tab, 4, 3).to_string(),
+        ]);
+    }
+    println!("\nhigher order: fewer evaluation points but more buffer rows per step.");
+}
+
+/// Checkpoint-stride ablation: bounded-memory ACA trades checkpoint bytes
+/// for backward-pass recomputation at bit-identical gradients.
+pub fn checkpoint_stride() {
+    use enode_node::inference::{forward_layer, NodeSolveOptions};
+    use enode_node::train::adjoint::aca_backward_layer;
+    use enode_tensor::{dense::Dense, network::{Network, Op}, Tensor};
+
+    report::banner("Ablation", "ACA checkpoint stride: memory vs recompute");
+    let f = Network::new(vec![
+        Op::ConcatTime,
+        Op::dense(Dense::new_seeded(13, 32, 1)),
+        Op::tanh(),
+        Op::dense(Dense::new_seeded(32, 12, 2)),
+    ]);
+    let y0 = enode_tensor::init::uniform(&[4, 12], -0.5, 0.5, 3);
+    report::header(&["stride", "ckpt bytes", "bwd nfe", "grad delta"]);
+    let base_opts = NodeSolveOptions::new(1e-6).with_default_dt(0.02);
+    let (yb, trace1) = forward_layer(&f, &y0, (0.0, 1.0), &base_opts).unwrap();
+    let v = Tensor::ones(yb.shape());
+    let (_, g1, p1) = aca_backward_layer(&f, &trace1, &v);
+    for stride in [1usize, 2, 4, 8] {
+        let opts = base_opts.with_checkpoint_stride(stride);
+        let (_, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap();
+        let (_, g, p) = aca_backward_layer(&f, &trace, &v);
+        let delta = g
+            .iter()
+            .zip(&g1)
+            .map(|(a, b)| (a - b).norm_inf() as f64)
+            .fold(0.0f64, f64::max);
+        report::row(&[
+            &stride.to_string(),
+            &format!("{} B", trace.checkpoint_bytes(2)),
+            &p.nfe_local_forward.to_string(),
+            &format!("{delta:.1e}"),
+        ]);
+        let _ = &p1;
+    }
+    println!("\nsparser checkpoints: less storage, more local-forward replay, same gradients.");
+}
+
+/// Runs every ablation.
+pub fn run() {
+    packetized_vs_blocking();
+    function_reuse();
+    unified_core();
+    ea_factorial();
+    integrator_order();
+    checkpoint_stride();
+}

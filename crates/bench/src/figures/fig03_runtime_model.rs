@@ -1,0 +1,53 @@
+//! Fig 3: the theoretical runtime composition of a NODE integration layer
+//! — forward O(N·n_eval·n_try·s), backward O(N·n_eval·s) — checked against
+//! measured evaluation counts.
+
+use crate::driver::{conventional_opts, run_bench, Bench};
+use crate::report;
+
+/// Runs the runtime-model check on Lotka–Volterra.
+pub fn run() {
+    report::banner("Fig 3", "theoretical runtime model vs measured counts");
+    let bench = Bench::LotkaVolterra;
+    let opts = conventional_opts(bench);
+    let r = run_bench(bench, &opts, 2, 7);
+    let p = &r.profile;
+    let s = 4.0; // RK23 stages
+    let s_bwd = 3.0;
+
+    // Forward: every trial evaluates f s times (minus FSAL reuse).
+    let predicted_fwd_max = p.forward.trials as f64 * s;
+    let predicted_fwd_min = p.forward.trials as f64 * (s - 1.0);
+    // Backward: per evaluation point, a local forward of s stages plus one
+    // VJP per contributing stage.
+    let predicted_bwd = p.forward.points as f64 * s;
+
+    report::header(&["quantity", "measured", "model"]);
+    report::row(&[
+        "fwd nfe",
+        &format!("{}", p.forward.nfe),
+        &format!(
+            "{}..{} (= n_try*s w/ FSAL)",
+            predicted_fwd_min as u64, predicted_fwd_max as u64
+        ),
+    ]);
+    report::row(&[
+        "bwd local-fwd nfe",
+        &format!("{}", p.backward.nfe_local_forward),
+        &format!("{} (= n_eval*s)", predicted_bwd as u64),
+    ]);
+    report::row(&[
+        "bwd VJPs",
+        &format!("{}", p.backward.vjp_evals),
+        &format!("<= {} (= n_eval*s_bwd..s)", p.forward.points as f64 * s),
+    ]);
+    let ok_fwd = (p.forward.nfe as f64) <= predicted_fwd_max + 0.5
+        && (p.forward.nfe as f64) >= predicted_fwd_min - 0.5;
+    let ok_bwd = p.backward.nfe_local_forward as f64 == predicted_bwd;
+    println!();
+    println!(
+        "model holds: forward {} | backward {} (N={} layers, n_eval={}, n_try/point={:.2}, s={s}, s_bwd={s_bwd})",
+        ok_fwd, ok_bwd, p.layers, p.forward.points,
+        p.forward.trials as f64 / p.forward.points.max(1) as f64
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig 4(a): runtime breakdown of a training iteration — the iterative
+//! stepsize search dominates (87% on the paper's A100 profile).
+
+use crate::driver::{conventional_opts, run_bench, Bench};
+use crate::report;
+
+/// Profiles a CIFAR-like training iteration under the conventional search.
+pub fn run() {
+    report::banner("Fig 4a", "training-iteration latency breakdown (CIFAR-like)");
+    let bench = Bench::CifarLike;
+    // The profiled setup restarts the search from C each point (§II-B's
+    // constant-init option) — the regime where search dominates.
+    let mut opts = conventional_opts(bench);
+    opts.default_dt = 0.5; // deliberately coarse C: every point searches
+    let r = run_bench(bench, &opts, 2, 11);
+    let p = &r.profile;
+
+    let total = p.total_latency_units();
+    let search = p.search_latency_units();
+    let fwd_other = p.forward_latency_units() - search;
+    let bwd = p.backward_latency_units();
+
+    report::header(&["component", "units", "share"]);
+    report::row(&[
+        "fwd: stepsize search",
+        &report::f(search),
+        &format!("{:.0}%", 100.0 * search / total),
+    ]);
+    report::row(&[
+        "fwd: integration",
+        &report::f(fwd_other),
+        &format!("{:.0}%", 100.0 * fwd_other / total),
+    ]);
+    report::row(&[
+        "backward pass",
+        &report::f(bwd),
+        &format!("{:.0}%", 100.0 * bwd / total),
+    ]);
+    println!();
+    println!("paper: stepsize search = 87% of training latency (A100, eps=1e-6)");
+    println!(
+        "ours : stepsize search = {:.0}% (trials/point = {:.2})",
+        100.0 * search / total,
+        p.forward.trials as f64 / p.forward.points.max(1) as f64
+    );
+}

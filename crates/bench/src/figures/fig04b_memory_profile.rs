@@ -1,0 +1,69 @@
+//! Fig 4(b): memory profile of a 4-integration-layer NODE vs ResNet-100
+//! (paper: NODE inference needs 2.5× the memory size; NODE training does
+//! 41.5× the memory access).
+
+use crate::driver::{conventional_opts, run_bench, Bench};
+use crate::report;
+use enode_node::profile::{node_inference_memory, node_training_memory};
+use enode_workloads::resnet::ResNetProfile;
+
+/// Profiles NODE vs ResNet-100 memory at matched feature scale.
+pub fn run() {
+    report::banner("Fig 4b", "memory profile: NODE vs ResNet-100");
+    let bench = Bench::CifarLike;
+    let opts = conventional_opts(bench);
+    let r = run_bench(bench, &opts, 2, 13);
+    let p = &r.profile;
+
+    // NODE state: the test batch is [20, 4, 16, 16] FP16.
+    let state_bytes = (20 * 4 * 16 * 16 * 2) as u64;
+    let node_inf = node_inference_memory(state_bytes, 4, &p.forward);
+    let node_tr = node_training_memory(state_bytes, 4, p);
+
+    // ResNet-100 at the same feature scale (16x16, 4 base channels),
+    // batch-scaled to match. Sizes compare live *activation* state (the
+    // quantity the integral states blow up); weights are identical-order
+    // and excluded from both sides, as in the paper's Fig 4(b).
+    let resnet = ResNetProfile {
+        layers: 100,
+        input_size: 16,
+        base_channels: 4,
+    };
+    let batch = 20u64;
+    let rn_inf_size = resnet.inference_activation_bytes() * batch;
+    let rn_inf_access = resnet.inference_access_bytes() * batch;
+    let rn_tr_size = resnet.training_activation_bytes() * batch;
+    let rn_tr_access = resnet.training_access_bytes() * batch;
+
+    report::header(&["metric", "NODE", "ResNet-100", "ratio", "paper"]);
+    report::row(&[
+        "inference size",
+        &report::mb(node_inf.size_bytes as f64),
+        &report::mb(rn_inf_size as f64),
+        &report::ratio(node_inf.size_bytes as f64 / rn_inf_size as f64),
+        "2.5x",
+    ]);
+    report::row(&[
+        "inference access",
+        &report::mb(node_inf.access_bytes as f64),
+        &report::mb(rn_inf_access as f64),
+        &report::ratio(node_inf.access_bytes as f64 / rn_inf_access as f64),
+        "-",
+    ]);
+    report::row(&[
+        "training size",
+        &report::mb(node_tr.size_bytes as f64),
+        &report::mb(rn_tr_size as f64),
+        &report::ratio(node_tr.size_bytes as f64 / rn_tr_size as f64),
+        "-",
+    ]);
+    report::row(&[
+        "training access",
+        &report::mb(node_tr.access_bytes as f64),
+        &report::mb(rn_tr_access as f64),
+        &report::ratio(node_tr.access_bytes as f64 / rn_tr_access as f64),
+        "41.5x",
+    ]);
+    println!();
+    println!("paper: NODE inference 2.5x ResNet size; NODE training 41.5x ResNet access");
+}

@@ -1,0 +1,48 @@
+//! Fig 11: trials per integration layer and accuracy under the
+//! slope-adaptive stepsize search, across the four benchmarks and
+//! thresholds `s_acc = s_rej ∈ {1, 3, 5}` vs the conventional search.
+
+use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::report;
+
+/// Runs the Fig 11 sweep.
+pub fn run() {
+    report::banner(
+        "Fig 11",
+        "slope-adaptive stepsize search: trials/layer and accuracy",
+    );
+    report::header(&[
+        "benchmark",
+        "config",
+        "trials/layer",
+        "reduction",
+        "accuracy %",
+        "acc drop",
+    ]);
+    for bench in Bench::all() {
+        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 21);
+        report::row(&[
+            bench.name(),
+            "conventional",
+            &report::f(base.trials_per_layer),
+            "1.00x",
+            &format!("{:.1}", base.accuracy),
+            "-",
+        ]);
+        for s in [1u32, 3, 5] {
+            let r = run_bench(bench, &expedited_opts(bench, s, s, None), bench.default_train_iters(), 21);
+            report::row(&[
+                bench.name(),
+                &format!("s={s}"),
+                &report::f(r.trials_per_layer),
+                &report::ratio(base.trials_per_layer / r.trials_per_layer),
+                &format!("{:.1}", r.accuracy),
+                &format!("{:+.1}", r.accuracy - base.accuracy),
+            ]);
+        }
+    }
+    println!();
+    println!(
+        "paper: up to 6.7x trial reduction (CIFAR-10); accuracy within 1% at s_acc = s_rej = 3"
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig 12 (illustrative): the truncation-error map of one search trial and
+//! the high-error window the priority processor selects.
+
+use crate::report;
+use enode_node::priority::{find_window, row_sq_norms};
+use enode_ode::state::StateOps;
+use enode_ode::step::rk_step;
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::Tensor;
+
+/// Renders the per-row error profile of one RK23 trial on a feature map
+/// with a localized sharp feature, and the Ĥ-row window that dominates it.
+pub fn run() {
+    report::banner("Fig 12", "error map of one trial and its priority window");
+
+    // A feature map that is smooth except for a sharp band of rows —
+    // the "high error region" situation of Fig 12(b).
+    let (h, w) = (16usize, 16usize);
+    let mut state = Tensor::zeros(&[1, 1, h, w]);
+    for hi in 0..h {
+        for wi in 0..w {
+            let smooth = (hi as f32 * 0.2).sin() * 0.3;
+            let sharp = if (6..9).contains(&hi) {
+                ((wi as f32) * 2.1).sin() * 2.0
+            } else {
+                0.0
+            };
+            *state.at4_mut(0, 0, hi, wi) = smooth + sharp;
+        }
+    }
+
+    // Dynamics with a steep nonlinearity: error concentrates where the
+    // state is large.
+    let mut f = |_t: f64, y: &Tensor| y.map(|v| -v * v * v - 0.1 * v);
+    let tab = ButcherTableau::rk23_bogacki_shampine();
+    let out = rk_step(&tab, &mut f, 0.0, 0.4, &state, None);
+    let error = out.error.as_ref().expect("rk23 is adaptive");
+
+    let rows = row_sq_norms(error);
+    let window = find_window(error, 4);
+    let max = rows.iter().cloned().fold(0.0f64, f64::max);
+    println!("per-row ||e||^2 (window H=4 marked with *):");
+    for (i, &r) in rows.iter().enumerate() {
+        let bars = ((r / max) * 40.0).round() as usize;
+        let marker = if (window.start..window.start + window.len).contains(&i) {
+            '*'
+        } else {
+            ' '
+        };
+        println!("  row {i:2} {marker} |{}", "#".repeat(bars));
+    }
+    let total: f64 = rows.iter().sum();
+    let in_window: f64 = rows[window.start..window.start + window.len].iter().sum();
+    println!(
+        "\nwindow rows {}..{} hold {:.0}% of the squared error — checking them first\nlets a rejected trial stop after {}/{} rows (paper Fig 12b).",
+        window.start,
+        window.start + window.len,
+        100.0 * in_window / total,
+        window.len,
+        h
+    );
+    let full_norm = StateOps::norm_l2(error);
+    println!("full ||e||_2 = {full_norm:.3e}; window ||e||_2 = {:.3e}", in_window.sqrt());
+}

@@ -1,0 +1,54 @@
+//! Fig 14: normalized integral-state storage for different integrators,
+//! layer sizes, and conv depths of `f`.
+
+use crate::report;
+use enode_hw::config::{HwConfig, LayerDims};
+use enode_hw::depthfirst::{integral_state_bytes_baseline_for, integral_state_bytes_enode_for};
+use enode_ode::tableau::ButcherTableau;
+
+/// Runs the Fig 14 sweep.
+pub fn run() {
+    report::banner(
+        "Fig 14",
+        "normalized integral-state storage (eNODE / baseline)",
+    );
+    let tableaux = [
+        ButcherTableau::euler(),
+        ButcherTableau::midpoint(),
+        ButcherTableau::rk23_bogacki_shampine(),
+        ButcherTableau::rkf45(),
+    ];
+    let sizes = [64usize, 128, 256];
+    println!("rows: integrator x f-depth; cols: layer size HxWx64; value = eNODE/baseline");
+    report::header(&["integrator", "n_conv", "64x64", "128x128", "256x256"]);
+    for tab in &tableaux {
+        for n_conv in [1usize, 2, 4, 8] {
+            let mut cols = vec![tab.name().to_string(), n_conv.to_string()];
+            for &s in &sizes {
+                let mut cfg = HwConfig::for_layer(LayerDims::new(s, s, 64));
+                cfg.n_conv = n_conv;
+                let enode = integral_state_bytes_enode_for(&cfg, tab) as f64;
+                let base = integral_state_bytes_baseline_for(&cfg, tab) as f64;
+                cols.push(format!("{:.3}", enode / base));
+            }
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            report::row(&refs);
+        }
+    }
+    let cfg_a = HwConfig::config_a();
+    let rk23 = ButcherTableau::rk23_bogacki_shampine();
+    let a_ratio = integral_state_bytes_enode_for(&cfg_a, &rk23) as f64
+        / integral_state_bytes_baseline_for(&cfg_a, &rk23) as f64;
+    let cfg_b = HwConfig::config_b();
+    let b_ratio = integral_state_bytes_enode_for(&cfg_b, &rk23) as f64
+        / integral_state_bytes_baseline_for(&cfg_b, &rk23) as f64;
+    println!();
+    println!(
+        "paper: eNODE integral-state memory 60% smaller @64x64x64, 90% smaller @256x256x64"
+    );
+    println!(
+        "ours : {:.0}% smaller @64x64x64, {:.0}% smaller @256x256x64 (RK23, 4-conv f)",
+        (1.0 - a_ratio) * 100.0,
+        (1.0 - b_ratio) * 100.0
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig 15(a): normalized training-state storage for depth-first training.
+
+use crate::report;
+use enode_hw::config::{HwConfig, LayerDims};
+use enode_hw::depthfirst::{
+    simulate_training_lifetime_rows, training_state_live_bytes_baseline,
+    training_state_live_bytes_enode,
+};
+
+/// Runs the Fig 15(a) sweep.
+pub fn run() {
+    report::banner(
+        "Fig 15a",
+        "normalized training-state storage (eNODE / baseline)",
+    );
+    report::header(&["n_conv", "64x64", "128x128", "256x256", "sim-check"]);
+    for n_conv in [1usize, 2, 4, 8] {
+        let mut cols = vec![n_conv.to_string()];
+        let mut sim_note = String::new();
+        for &s in &[64usize, 128, 256] {
+            let mut cfg = HwConfig::for_layer(LayerDims::new(s, s, 64));
+            cfg.n_conv = n_conv;
+            let enode = training_state_live_bytes_enode(&cfg) as f64;
+            let base = training_state_live_bytes_baseline(&cfg) as f64;
+            cols.push(format!("{:.3}", enode / base));
+            if s == 64 {
+                let sim = simulate_training_lifetime_rows(&cfg) as f64;
+                let formula = enode / cfg.layer.row_bytes() as f64;
+                sim_note = format!("{:.0}/{:.0} rows", sim, formula);
+            }
+        }
+        cols.push(sim_note);
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        report::row(&refs);
+    }
+    let a = HwConfig::config_a();
+    let red = 1.0
+        - training_state_live_bytes_enode(&a) as f64
+            / training_state_live_bytes_baseline(&a) as f64;
+    println!();
+    println!("paper: storage reduced by more than 45% for a 4-layer f");
+    println!("ours : {:.0}% reduction @ Config A (4-layer f, 64x64x64)", red * 100.0);
+}

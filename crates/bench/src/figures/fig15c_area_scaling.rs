@@ -1,0 +1,37 @@
+//! Fig 15(c): area scalability of eNODE vs the ASIC baseline.
+
+use crate::report;
+use enode_hw::area::{breakdown, Design};
+use enode_hw::config::{HwConfig, LayerDims};
+
+/// Runs the Fig 15(c) layer-size sweep.
+pub fn run() {
+    report::banner("Fig 15c", "total area vs layer size (mm^2, 28 nm)");
+    report::header(&["layer size", "baseline", "eNODE", "saving"]);
+    let mut prev: Option<(f64, f64)> = None;
+    let mut growth_note = String::new();
+    for &s in &[32usize, 64, 128, 256, 512] {
+        let cfg = HwConfig::for_layer(LayerDims::new(s, s, 64));
+        let base = breakdown(&cfg, Design::Baseline).total_mm2();
+        let enode = breakdown(&cfg, Design::Enode).total_mm2();
+        report::row(&[
+            &format!("{s}x{s}x64"),
+            &format!("{base:.2}"),
+            &format!("{enode:.2}"),
+            &format!("{:.1}%", (1.0 - enode / base) * 100.0),
+        ]);
+        if let Some((pb, pe)) = prev {
+            if s == 512 {
+                growth_note = format!(
+                    "256->512: baseline grows {:.2}x, eNODE grows {:.2}x",
+                    base / pb,
+                    enode / pe
+                );
+            }
+        }
+        prev = Some((base, enode));
+    }
+    println!();
+    println!("paper: eNODE scales nearly linearly, baseline quadratically");
+    println!("ours : {growth_note} (2x edge => 4x pixels)");
+}

@@ -1,0 +1,59 @@
+//! Fig 16: inference and training power of the baseline and eNODE
+//! (Configuration A), per benchmark.
+
+use crate::driver::{conventional_opts, run_bench, Bench};
+use crate::report;
+use enode_hw::config::HwConfig;
+use enode_hw::energy::EnergyModel;
+use enode_hw::perf::{simulate_baseline, simulate_enode};
+
+/// Runs the Fig 16 power comparison.
+pub fn run() {
+    report::banner("Fig 16", "power consumption (Configuration A)");
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+
+    let mut avg = [[0.0f64; 4]; 2]; // [inf/train][base_dram, base_tot, en_dram, en_tot]
+    println!("(workload counts measured from the algorithm runs, mapped to Config A)");
+    report::header(&[
+        "benchmark",
+        "mode",
+        "base DRAM W",
+        "base total",
+        "eNODE DRAM",
+        "eNODE total",
+    ]);
+    for bench in Bench::all() {
+        let r = run_bench(bench, &conventional_opts(bench), bench.default_train_iters().min(3), 41);
+        for (mi, (mode, run)) in [("inference", r.infer_run), ("training", r.train_run)]
+            .into_iter()
+            .enumerate()
+        {
+            let ba = simulate_baseline(&cfg, &run, &energy);
+            let en = simulate_enode(&cfg, &run, &energy);
+            avg[mi][0] += ba.dram_power_w() / 4.0;
+            avg[mi][1] += ba.power_w() / 4.0;
+            avg[mi][2] += en.dram_power_w() / 4.0;
+            avg[mi][3] += en.power_w() / 4.0;
+            report::row(&[
+                bench.name(),
+                mode,
+                &format!("{:.2}", ba.dram_power_w()),
+                &format!("{:.2}", ba.power_w()),
+                &format!("{:.2}", en.dram_power_w()),
+                &format!("{:.2}", en.power_w()),
+            ]);
+        }
+    }
+    println!();
+    println!(
+        "ours (avg): inference base {:.2}/{:.2} W, eNODE {:.2}/{:.2} W ({:.2}x total reduction)",
+        avg[0][0], avg[0][1], avg[0][2], avg[0][3], avg[0][1] / avg[0][3]
+    );
+    println!(
+        "ours (avg): training  base {:.2}/{:.2} W, eNODE {:.2}/{:.2} W ({:.2}x total reduction)",
+        avg[1][0], avg[1][1], avg[1][2], avg[1][3], avg[1][1] / avg[1][3]
+    );
+    println!("paper     : inference base 5.65/9.32 W, eNODE 0.48/4.43 W (2.1x)");
+    println!("paper     : training  base 11.03/14.72 W, eNODE 0.85/4.82 W (3.05x)");
+}

@@ -1,0 +1,41 @@
+//! Fig 17: eNODE speedup over the baseline in inference and training on
+//! the dynamic-system benchmarks (paper: inference 1.87×/2.38×, training
+//! 1.6×/2.09× on Three-Body / Lotka–Volterra; ε=1e-6, s=3, Ĥ=10).
+
+use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::report;
+use enode_hw::config::HwConfig;
+use enode_hw::energy::EnergyModel;
+use enode_hw::perf::{simulate_baseline, simulate_enode};
+
+/// Runs the Fig 17 speedup comparison.
+pub fn run() {
+    report::banner("Fig 17", "speedup of eNODE over the baseline");
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+    report::header(&["benchmark", "mode", "speedup", "paper"]);
+    let paper = [("Three-Body", 1.87, 1.6), ("Lotka-Volterra", 2.38, 2.09)];
+    for (bench, (_, p_inf, p_tr)) in Bench::dynamic().into_iter().zip(paper) {
+        // Baseline hardware runs the conventional search.
+        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 51);
+        // eNODE runs the expedited algorithms (s=3, H=10 as in the paper).
+        let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 51);
+
+        let inf_base = simulate_baseline(&cfg, &base.infer_run, &energy);
+        let inf_en = simulate_enode(&cfg, &ea.infer_run, &energy);
+        report::row(&[
+            bench.name(),
+            "inference",
+            &report::ratio(inf_base.seconds / inf_en.seconds),
+            &format!("{p_inf}x"),
+        ]);
+        let tr_base = simulate_baseline(&cfg, &base.train_run, &energy);
+        let tr_en = simulate_enode(&cfg, &ea.train_run, &energy);
+        report::row(&[
+            bench.name(),
+            "training",
+            &report::ratio(tr_base.seconds / tr_en.seconds),
+            &format!("{p_tr}x"),
+        ]);
+    }
+}

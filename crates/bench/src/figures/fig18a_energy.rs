@@ -1,0 +1,60 @@
+//! Fig 18(a): energy per inference / per training iteration of the
+//! baseline, eNODE without the expedited algorithms, and full eNODE.
+
+use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::report;
+use enode_hw::config::HwConfig;
+use enode_hw::energy::EnergyModel;
+use enode_hw::perf::{simulate_baseline, simulate_enode};
+
+/// Runs the Fig 18(a) energy comparison.
+pub fn run() {
+    report::banner("Fig 18a", "energy per inference / training iteration");
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+    // Paper reference ratios vs baseline: (inference w/o EA, inference
+    // w/ EA, training w/o EA, training w/ EA).
+    let paper = [
+        ("Three-Body", (2.1, 3.94, 3.12, 5.0)),
+        ("Lotka-Volterra", (2.1, 5.0, 3.16, 6.59)),
+    ];
+    report::header(&[
+        "benchmark",
+        "mode",
+        "baseline J",
+        "eNODE J",
+        "eNODE+EA J",
+        "gains (ours)",
+        "gains(paper)",
+    ]);
+    for (bench, (_, (pi0, pi1, pt0, pt1))) in Bench::dynamic().into_iter().zip(paper) {
+        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 61);
+        let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 61);
+        for (mode, run_base, run_ea, p0, p1) in [
+            ("inference", base.infer_run, ea.infer_run, pi0, pi1),
+            ("training", base.train_run, ea.train_run, pt0, pt1),
+        ] {
+            let e_base = simulate_baseline(&cfg, &run_base, &energy).energy_j();
+            // eNODE w/o EA: the same conventional-search workload on eNODE.
+            let e_en = simulate_enode(&cfg, &run_base, &energy).energy_j();
+            // full eNODE: expedited workload on eNODE.
+            let e_ea = simulate_enode(&cfg, &run_ea, &energy).energy_j();
+            report::row(&[
+                bench.name(),
+                mode,
+                &report::f(e_base),
+                &report::f(e_en),
+                &report::f(e_ea),
+                &format!(
+                    "{} / {}",
+                    report::ratio(e_base / e_en),
+                    report::ratio(e_base / e_ea)
+                ),
+                &format!("{p0}x / {p1}x"),
+            ]);
+        }
+    }
+    println!();
+    println!("gains column: baseline / eNODE-without-EA, baseline / full-eNODE");
+    println!("paper headline: up to 6.59x lower training energy (Lotka-Volterra)");
+}

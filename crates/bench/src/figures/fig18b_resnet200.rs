@@ -1,0 +1,95 @@
+//! Fig 18(b): eNODE running a NODE vs ResNet-200 mapped on the ASIC
+//! baseline, on the MNIST benchmark (paper: eNODE wins on energy even
+//! without the expedited algorithms).
+
+use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::report;
+use enode_hw::config::HwConfig;
+use enode_hw::energy::EnergyModel;
+use enode_hw::perf::simulate_enode;
+use enode_workloads::resnet::ResNetProfile;
+
+/// Energy of a ResNet run on the baseline accelerator: compute at the
+/// shared MAC rate plus layer-by-layer activation traffic.
+fn resnet_energy(
+    cfg: &HwConfig,
+    energy: &EnergyModel,
+    macs: f64,
+    access_bytes: f64,
+) -> (f64, f64) {
+    let compute_seconds = macs / (cfg.macs_per_cycle() as f64 * cfg.clock_hz * 0.95);
+    let seconds = compute_seconds + access_bytes / cfg.dram_bandwidth;
+    let e = energy.compute_energy(macs, false) + energy.dram_energy(access_bytes, seconds);
+    (e, seconds)
+}
+
+/// Runs the Fig 18(b) comparison.
+pub fn run() {
+    report::banner(
+        "Fig 18b",
+        "eNODE (NODE) vs ResNet-200-on-baseline, MNIST workload",
+    );
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+    let bench = Bench::MnistLike;
+
+    // ResNet-200 at the same feature scale as the synthetic MNIST task,
+    // batch 20 to match the NODE runs.
+    let rn = ResNetProfile {
+        layers: 200,
+        input_size: 16,
+        base_channels: 4,
+    };
+    let batch = 20.0;
+    let (rn_inf_e, _) = resnet_energy(
+        &cfg,
+        &energy,
+        rn.forward_macs() as f64 * batch,
+        rn.inference_access_bytes() as f64 * batch,
+    );
+    let (rn_tr_e, _) = resnet_energy(
+        &cfg,
+        &energy,
+        rn.training_macs() as f64 * batch,
+        rn.training_access_bytes() as f64 * batch,
+    );
+
+    let conv = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 71);
+    let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 71);
+    // Map the measured NODE workloads to a Config-A-scaled layer? No — the
+    // MNIST NODE's own geometry: scale MACs by using the small-layer
+    // config so NODE and ResNet see the same feature sizes.
+    let mut small = HwConfig::for_layer(enode_hw::config::LayerDims::new(16, 16, 64));
+    small.n_conv = 2;
+    let en_noea_inf = simulate_enode(&small, &conv.infer_run, &energy).energy_j();
+    let en_ea_inf = simulate_enode(&small, &ea.infer_run, &energy).energy_j();
+    let en_noea_tr = simulate_enode(&small, &conv.train_run, &energy).energy_j();
+    let en_ea_tr = simulate_enode(&small, &ea.train_run, &energy).energy_j();
+
+    report::header(&["design", "inference J", "training J"]);
+    report::row(&[
+        "ResNet-200 on baseline",
+        &report::f(rn_inf_e),
+        &report::f(rn_tr_e),
+    ]);
+    report::row(&["eNODE w/o EA", &report::f(en_noea_inf), &report::f(en_noea_tr)]);
+    report::row(&["eNODE + EA", &report::f(en_ea_inf), &report::f(en_ea_tr)]);
+    println!();
+    println!(
+        "paper: eNODE outperforms ResNet-200 in energy, even without the expedited algorithms (training)"
+    );
+    println!(
+        "ours : training ResNet-200-energy / eNODE-energy = {} (w/o EA), {} (with EA)",
+        report::ratio(rn_tr_e / en_noea_tr),
+        report::ratio(rn_tr_e / en_ea_tr)
+    );
+    println!(
+        "note : under our calibration the NODE's integration work (points x trials x s f-evals)"
+    );
+    println!(
+        "       exceeds the ResNet's single pass, so the ratio depends on how few evaluation"
+    );
+    println!(
+        "       points the trained NODE needs; see EXPERIMENTS.md for the sensitivity discussion"
+    );
+}

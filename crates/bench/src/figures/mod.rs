@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure. Each exposes `run()`.
+
+pub mod ablations;
+pub mod fig03_runtime_model;
+pub mod fig04a_latency_breakdown;
+pub mod fig04b_memory_profile;
+pub mod fig11_slope_adaptive;
+pub mod fig12_error_map;
+pub mod fig13_priority_early_stop;
+pub mod fig14_integral_storage;
+pub mod fig15a_training_storage;
+pub mod fig15b_dram_vs_buffer;
+pub mod fig15c_area_scaling;
+pub mod fig16_power;
+pub mod fig17_speedup;
+pub mod fig18a_energy;
+pub mod fig18b_resnet200;
+pub mod fig18c_gpu_compare;
+pub mod table1_memory_area;

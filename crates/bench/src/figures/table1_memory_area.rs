@@ -1,0 +1,71 @@
+//! Table I: memory and area breakdown of the baseline and eNODE.
+
+use crate::report;
+use enode_hw::area::{breakdown, AreaBreakdown, Design};
+use enode_hw::config::HwConfig;
+
+fn print_design(label: &str, b: &AreaBreakdown, paper: &[(f64, f64)], paper_total: (f64, f64)) {
+    println!("\n{label}");
+    report::header(&["component", "MB", "mm^2", "paper MB", "paper mm^2"]);
+    for (row, (pmb, pmm)) in b.rows.iter().zip(paper) {
+        report::row(&[
+            row.name,
+            &format!("{:.2}", row.mb),
+            &format!("{:.2}", row.mm2),
+            &format!("{pmb:.2}"),
+            &format!("{pmm:.2}"),
+        ]);
+    }
+    report::row(&[
+        "Total",
+        &format!("{:.2}", b.total_mb()),
+        &format!("{:.2}", b.total_mm2()),
+        &format!("{:.2}", paper_total.0),
+        &format!("{:.2}", paper_total.1),
+    ]);
+}
+
+/// Prints the full Table I, measured vs paper.
+pub fn run() {
+    report::banner("Table I", "memory and area breakdown (28 nm)");
+
+    let a = HwConfig::config_a();
+    print_design(
+        "Configuration A (64x64x64) - Baseline",
+        &breakdown(&a, Design::Baseline),
+        &[(0.0, 3.53), (2.25, 5.34), (2.0, 9.24), (1.25, 5.78)],
+        (5.5, 23.89),
+    );
+    print_design(
+        "Configuration A (64x64x64) - eNODE",
+        &breakdown(&a, Design::Enode),
+        &[
+            (0.0, 3.66),
+            (2.25, 5.34),
+            (0.44, 2.03),
+            (0.5, 2.31),
+            (1.25, 5.78),
+        ],
+        (4.44, 19.12),
+    );
+
+    let b = HwConfig::config_b();
+    print_design(
+        "Configuration B (256x256x64) - Baseline",
+        &breakdown(&b, Design::Baseline),
+        &[(0.0, 3.53), (2.25, 5.34), (32.0, 147.84), (4.9, 22.64)],
+        (39.15, 179.35),
+    );
+    print_design(
+        "Configuration B (256x256x64) - eNODE",
+        &breakdown(&b, Design::Enode),
+        &[
+            (0.0, 3.66),
+            (2.25, 5.34),
+            (1.76, 8.13),
+            (2.0, 9.24),
+            (4.9, 22.64),
+        ],
+        (10.91, 49.01),
+    );
+}

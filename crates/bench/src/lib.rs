@@ -1,0 +1,11 @@
+//! Benchmark harnesses regenerating every table and figure of the eNODE
+//! paper's evaluation (§II-D profiling and §VIII).
+//!
+//! Each figure/table has a module under [`figures`] with a `run()` entry
+//! point and a matching thin binary in `src/bin/`; `all_experiments` runs
+//! the complete suite. Every harness prints the paper's reported numbers
+//! next to the measured ones.
+
+pub mod driver;
+pub mod figures;
+pub mod report;

@@ -1,0 +1,42 @@
+//! Console table formatting shared by the experiment harnesses.
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// Prints a table header row followed by a separator.
+pub fn header(cols: &[&str]) {
+    row(cols);
+    let widths: Vec<usize> = cols.iter().map(|c| c.len().max(12)).collect();
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", sep.join("-+-"));
+}
+
+/// Prints one table row with 12-char-min columns.
+pub fn row(cols: &[&str]) {
+    let padded: Vec<String> = cols.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", padded.join(" | "));
+}
+
+/// Formats a float compactly.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats bytes as MB.
+pub fn mb(bytes: f64) -> String {
+    format!("{:.2} MB", bytes / (1024.0 * 1024.0))
+}

@@ -1,0 +1,187 @@
+//! 28 nm area model, calibrated to Table I.
+//!
+//! Two SRAM densities reproduce every Table I row: the weight buffer uses
+//! dense single-port SRAM (5.34 mm² / 2.25 MB = 2.373 mm²/MB) while the
+//! streaming state/line/training buffers use multi-ported banks
+//! (4.62 mm²/MB, e.g. 9.24 mm² / 2 MB). Core + control logic is a fixed
+//! 3.53 mm² (baseline) / 3.66 mm² (eNODE, which adds the ring router and
+//! priority selector).
+
+use crate::config::HwConfig;
+use crate::depthfirst;
+
+/// Which design's floorplan to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Design {
+    /// The weight-stationary SIMD ASIC baseline.
+    Baseline,
+    /// The eNODE prototype.
+    Enode,
+}
+
+/// mm² of logic (cores + control) per design.
+pub fn core_control_mm2(design: Design) -> f64 {
+    match design {
+        Design::Baseline => 3.53,
+        Design::Enode => 3.66,
+    }
+}
+
+/// Weight-buffer SRAM density in mm²/MB (dense single-port).
+pub const WEIGHT_SRAM_MM2_PER_MB: f64 = 5.34 / 2.25;
+
+/// State-buffer SRAM density in mm²/MB (streaming multi-bank).
+pub const STATE_SRAM_MM2_PER_MB: f64 = 9.24 / 2.0;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// One row of the Table I breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaRow {
+    /// Component name as in Table I.
+    pub name: &'static str,
+    /// Capacity in MB (0 for logic).
+    pub mb: f64,
+    /// Area in mm².
+    pub mm2: f64,
+}
+
+/// A full memory-and-area breakdown (one Table I column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaBreakdown {
+    /// Which design this is.
+    pub design: Design,
+    /// Component rows.
+    pub rows: Vec<AreaRow>,
+}
+
+impl AreaBreakdown {
+    /// Total on-chip SRAM in MB.
+    pub fn total_mb(&self) -> f64 {
+        self.rows.iter().map(|r| r.mb).sum()
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.rows.iter().map(|r| r.mm2).sum()
+    }
+}
+
+/// Computes the Table I breakdown for a design at a configuration.
+pub fn breakdown(cfg: &HwConfig, design: Design) -> AreaBreakdown {
+    let weight_mb = cfg.weight_buffer_bytes as f64 / MB;
+    let training_mb = cfg.training_buffer_bytes as f64 / MB;
+    let mut rows = vec![
+        AreaRow {
+            name: "Core & Control",
+            mb: 0.0,
+            mm2: core_control_mm2(design),
+        },
+        AreaRow {
+            name: "Weight Buffer",
+            mb: weight_mb,
+            mm2: weight_mb * WEIGHT_SRAM_MM2_PER_MB,
+        },
+    ];
+    match design {
+        Design::Baseline => {
+            let integral_mb = depthfirst::integral_state_bytes_baseline(cfg) as f64 / MB;
+            rows.push(AreaRow {
+                name: "Integral State Buffer",
+                mb: integral_mb,
+                mm2: integral_mb * STATE_SRAM_MM2_PER_MB,
+            });
+        }
+        Design::Enode => {
+            let integral_mb = depthfirst::integral_state_bytes_enode(cfg) as f64 / MB;
+            rows.push(AreaRow {
+                name: "Integral State Buffer",
+                mb: integral_mb,
+                mm2: integral_mb * STATE_SRAM_MM2_PER_MB,
+            });
+            let line_mb = depthfirst::line_buffer_bytes(cfg) as f64 / MB;
+            rows.push(AreaRow {
+                name: "Line Buffer",
+                mb: line_mb,
+                mm2: line_mb * STATE_SRAM_MM2_PER_MB,
+            });
+        }
+    }
+    rows.push(AreaRow {
+        name: "Training State Buffer",
+        mb: training_mb,
+        mm2: training_mb * STATE_SRAM_MM2_PER_MB,
+    });
+    AreaBreakdown { design, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(b: &AreaBreakdown, name: &str) -> AreaRow {
+        b.rows.iter().find(|r| r.name == name).unwrap().clone()
+    }
+
+    #[test]
+    fn table1_config_a_baseline() {
+        let b = breakdown(&HwConfig::config_a(), Design::Baseline);
+        assert!((row(&b, "Weight Buffer").mm2 - 5.34).abs() < 0.01);
+        assert!((row(&b, "Integral State Buffer").mm2 - 9.24).abs() < 0.01);
+        assert!((row(&b, "Training State Buffer").mm2 - 5.78).abs() < 0.02);
+        assert!((b.total_mm2() - 23.89).abs() < 0.05, "total {:.2}", b.total_mm2());
+        assert!((b.total_mb() - 5.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn table1_config_a_enode() {
+        let b = breakdown(&HwConfig::config_a(), Design::Enode);
+        assert!((row(&b, "Integral State Buffer").mm2 - 2.03).abs() < 0.03);
+        assert!((row(&b, "Line Buffer").mm2 - 2.31).abs() < 0.01);
+        assert!((b.total_mm2() - 19.12).abs() < 0.1, "total {:.2}", b.total_mm2());
+        assert!((b.total_mb() - 4.44).abs() < 0.02);
+    }
+
+    #[test]
+    fn table1_config_b() {
+        let base = breakdown(&HwConfig::config_b(), Design::Baseline);
+        assert!(
+            (row(&base, "Integral State Buffer").mm2 - 147.84).abs() < 0.1,
+            "got {:.2}",
+            row(&base, "Integral State Buffer").mm2
+        );
+        assert!((base.total_mm2() - 179.35).abs() < 0.3, "total {:.2}", base.total_mm2());
+        let en = breakdown(&HwConfig::config_b(), Design::Enode);
+        assert!((row(&en, "Integral State Buffer").mm2 - 8.13).abs() < 0.05);
+        assert!((row(&en, "Line Buffer").mm2 - 9.24).abs() < 0.01);
+        assert!((en.total_mm2() - 49.01).abs() < 0.3, "total {:.2}", en.total_mm2());
+    }
+
+    #[test]
+    fn enode_saves_area_and_sram() {
+        // §VIII-A: 20% total-area saving at Config A, 72.7% at Config B.
+        let a_base = breakdown(&HwConfig::config_a(), Design::Baseline).total_mm2();
+        let a_enode = breakdown(&HwConfig::config_a(), Design::Enode).total_mm2();
+        let saving_a = 1.0 - a_enode / a_base;
+        assert!((saving_a - 0.20).abs() < 0.02, "Config A saving {saving_a:.3}");
+        let b_base = breakdown(&HwConfig::config_b(), Design::Baseline).total_mm2();
+        let b_enode = breakdown(&HwConfig::config_b(), Design::Enode).total_mm2();
+        let saving_b = 1.0 - b_enode / b_base;
+        assert!((saving_b - 0.727).abs() < 0.02, "Config B saving {saving_b:.3}");
+    }
+
+    #[test]
+    fn area_scaling_enode_subquadratic() {
+        // Fig 15(c): eNODE scales ~linearly with layer edge, the baseline
+        // quadratically. Quadrupling pixels (2x edge) should ~4x the
+        // baseline's state area but much less for eNODE.
+        use crate::config::LayerDims;
+        let small = HwConfig::for_layer(LayerDims::new(64, 64, 64));
+        let big = HwConfig::for_layer(LayerDims::new(128, 128, 64));
+        let growth = |design| {
+            breakdown(&big, design).total_mm2() / breakdown(&small, design).total_mm2()
+        };
+        assert!(growth(Design::Baseline) > 1.8);
+        assert!(growth(Design::Enode) < growth(Design::Baseline) * 0.8);
+    }
+}

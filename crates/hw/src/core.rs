@@ -1,0 +1,170 @@
+//! Cycle-level queueing model of one unified NN core (§VI, Fig 9a): the
+//! channel collector receives stream-tagged input packets from the ring,
+//! queues them per stream, and feeds the PE array, which occupies
+//! `K² · (C/Cpar)` cycles per packet per output block. The model exposes
+//! the utilization/backlog behaviour that sizes the per-stream state
+//! buffers (BUF 1–4 of Fig 8) and validates the analytic cycle counts of
+//! [`crate::pe`].
+
+use crate::config::HwConfig;
+
+/// One simulated NN core's service parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreModel {
+    /// Channels of the mapped conv layer.
+    pub channels: usize,
+    /// Physical parallel channels (8 in the prototype).
+    pub parallel_channels: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Adder-tree pipeline latency in cycles.
+    pub adder_latency: u64,
+}
+
+impl CoreModel {
+    /// Builds the core model from a hardware configuration.
+    pub fn from_config(cfg: &HwConfig) -> Self {
+        CoreModel {
+            channels: cfg.layer.c,
+            parallel_channels: cfg.parallel_channels,
+            kernel: cfg.kernel,
+            adder_latency: 3,
+        }
+    }
+
+    /// Service time of one input packet (`1×1×Cpar` elements): the packet
+    /// is broadcast once per output block and each pass takes `K²` cycles.
+    pub fn service_cycles(&self) -> u64 {
+        let blocks_out = (self.channels / self.parallel_channels).max(1) as u64;
+        blocks_out * (self.kernel * self.kernel) as u64
+    }
+
+    /// Packets per feature-map row (`W · C/Cpar`).
+    pub fn packets_per_row(&self, w: usize) -> u64 {
+        (w * (self.channels / self.parallel_channels).max(1)) as u64
+    }
+}
+
+/// The outcome of a core simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreReport {
+    /// Cycle the last output left the core.
+    pub makespan: u64,
+    /// Cycles the PE array was busy.
+    pub busy_cycles: u64,
+    /// Peak packets waiting in the channel collector.
+    pub peak_queue: u64,
+    /// Packets processed.
+    pub processed: u64,
+}
+
+impl CoreReport {
+    /// PE-array utilization over the makespan.
+    pub fn utilization(&self) -> f64 {
+        self.busy_cycles as f64 / self.makespan as f64
+    }
+}
+
+/// Simulates `n_packets` arriving every `arrival_interval` cycles into the
+/// core and being served FCFS by the PE array.
+///
+/// # Panics
+///
+/// Panics if `n_packets` is zero.
+pub fn simulate_core(model: &CoreModel, n_packets: u64, arrival_interval: u64) -> CoreReport {
+    assert!(n_packets > 0, "need at least one packet");
+    let service = model.service_cycles();
+    let mut peak_queue = 0u64;
+    let mut busy_until = 0u64;
+    let mut busy_cycles = 0u64;
+    let mut makespan = 0u64;
+    for i in 0..n_packets {
+        let arrive = i * arrival_interval;
+        // Packets that finished service before this arrival leave the queue.
+        let start = arrive.max(busy_until);
+        // Queue occupancy at this arrival: packets arrived but not started.
+        let in_flight = if busy_until > arrive {
+            ((busy_until - arrive) + service - 1) / service
+        } else {
+            0
+        };
+        peak_queue = peak_queue.max(in_flight + 1); // + the arriving packet
+        busy_until = start + service;
+        busy_cycles += service;
+        makespan = busy_until + model.adder_latency;
+    }
+    CoreReport {
+        makespan,
+        busy_cycles,
+        peak_queue,
+        processed: n_packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::f_eval_cycles;
+
+    fn model() -> CoreModel {
+        CoreModel {
+            channels: 64,
+            parallel_channels: 8,
+            kernel: 3,
+            adder_latency: 3,
+        }
+    }
+
+    #[test]
+    fn service_time_matches_pe_blocks() {
+        // 64 channels on an 8-wide array: 8 output blocks × 9 cycles.
+        assert_eq!(model().service_cycles(), 72);
+    }
+
+    #[test]
+    fn matched_arrival_gives_full_utilization() {
+        let m = model();
+        let r = simulate_core(&m, 1000, m.service_cycles());
+        assert!(r.utilization() > 0.99, "utilization {}", r.utilization());
+        assert!(r.peak_queue <= 1, "queue {}", r.peak_queue);
+    }
+
+    #[test]
+    fn slow_arrival_underutilizes_proportionally() {
+        let m = model();
+        let r = simulate_core(&m, 1000, m.service_cycles() * 2);
+        assert!(
+            (r.utilization() - 0.5).abs() < 0.02,
+            "utilization {}",
+            r.utilization()
+        );
+    }
+
+    #[test]
+    fn fast_arrival_builds_backlog() {
+        let m = model();
+        let r = simulate_core(&m, 1000, m.service_cycles() / 2);
+        // Arrivals at 2x the service rate: backlog grows to ~half the
+        // packets.
+        assert!(r.peak_queue > 400, "queue {}", r.peak_queue);
+        assert!(r.utilization() > 0.99);
+    }
+
+    #[test]
+    fn full_map_simulation_matches_analytic_cycles() {
+        // Streaming a whole 64×64×64 map through one core at line rate
+        // must land within the adder latency of the analytic per-layer
+        // count used by the perf model.
+        let cfg = HwConfig::config_a();
+        let m = CoreModel::from_config(&cfg);
+        let packets = m.packets_per_row(cfg.layer.w) * cfg.layer.h as u64;
+        let r = simulate_core(&m, packets, m.service_cycles());
+        let analytic = f_eval_cycles(&cfg); // one layer-time (4 layers / 4 cores)
+        let diff = r.makespan.abs_diff(analytic);
+        assert!(
+            diff <= m.adder_latency + m.service_cycles(),
+            "sim {} vs analytic {analytic}",
+            r.makespan
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Buffer sizing and lifetime analysis for depth-first integration (§IV,
+//! Fig 14) and depth-first training (§IV-B, Fig 15).
+//!
+//! # Integral states (inference)
+//!
+//! A layer-by-layer baseline buffers the initial state and every integral
+//! state as *full feature maps*: `s · H·W·C` elements (Table I provisions
+//! `s` maps of buffer). The depth-first integrator instead keeps *rows*:
+//!
+//! * one psum row per integral state, partial state and error partial
+//!   (the DDG accounting of [`enode_ode::ddg`]),
+//! * per-stream packet buffers in the folded ring (§V-B): each of the `s`
+//!   concurrent streams buffers enough rows to cover the embedded
+//!   network's pipeline depth (`n_conv · (K−1) + 2` rows),
+//! * a few rows of staging at the central hub.
+//!
+//! Each buffered row holds `(W+1)·C` FP16 elements — the paper's
+//! `O((W+1)×C)` vs `O(H×W×C)` scaling claim (§VIII-A).
+//!
+//! # Training states (backward pass)
+//!
+//! A backward interval's local forward produces `D = s_bwd · n_conv`
+//! intermediate feature maps ("training states"). The baseline keeps all of
+//! them live (`D` full maps — 6 MB for Configuration A, matching Fig 15b).
+//! With depth-first training the adjoint starts consuming as soon as the
+//! last state has enough rows, so state `d`'s rows only live for
+//! `2·pad·(D−d)` row-times: peak live rows are `Σ_d min(H, 2·pad·(D−d))`
+//! — 156 rows (1.22 MB) for Configuration A, which is why Table I
+//! provisions a 1.25 MB training-state buffer and Fig 15(b) shows that
+//! buffer eliminating DRAM spill.
+
+use crate::config::HwConfig;
+use enode_ode::ddg::DepthFirstDdg;
+use enode_ode::tableau::ButcherTableau;
+
+/// Rows of on-chip buffer the packetized depth-first integrator needs for
+/// integral/partial/error states (excluding conv line buffers, which
+/// Table I lists separately).
+pub fn integral_state_rows(tableau: &ButcherTableau, n_conv: usize, kernel: usize) -> usize {
+    let ddg = DepthFirstDdg::from_tableau(tableau);
+    let s = tableau.stages();
+    let per_stream = n_conv * (kernel - 1) + 2;
+    // 3 staging rows at the central hub (input/output/error staging).
+    ddg.state_buffer_rows() + s * per_stream + 3
+}
+
+/// eNODE's integral-state buffer in bytes for a configuration (RK23).
+pub fn integral_state_bytes_enode(cfg: &HwConfig) -> u64 {
+    let tableau = ButcherTableau::rk23_bogacki_shampine();
+    integral_state_rows(&tableau, cfg.n_conv, cfg.kernel) as u64
+        * cfg.layer.buffered_row_bytes()
+}
+
+/// eNODE's integral-state buffer for an arbitrary integrator.
+pub fn integral_state_bytes_enode_for(
+    cfg: &HwConfig,
+    tableau: &ButcherTableau,
+) -> u64 {
+    integral_state_rows(tableau, cfg.n_conv, cfg.kernel) as u64
+        * cfg.layer.buffered_row_bytes()
+}
+
+/// The baseline's integral-state buffer: `s` full feature maps.
+pub fn integral_state_bytes_baseline(cfg: &HwConfig) -> u64 {
+    cfg.stages as u64 * cfg.layer.map_bytes()
+}
+
+/// The baseline's integral-state buffer for an arbitrary integrator.
+pub fn integral_state_bytes_baseline_for(cfg: &HwConfig, tableau: &ButcherTableau) -> u64 {
+    tableau.stages() as u64 * cfg.layer.map_bytes()
+}
+
+/// eNODE's conv psum line buffers (Table I's "Line Buffer" row): per core,
+/// `(K−1)` psum rows per concurrent stream, double-buffered.
+pub fn line_buffer_bytes(cfg: &HwConfig) -> u64 {
+    (cfg.cores * (cfg.kernel - 1) * cfg.stages * 2) as u64 * cfg.layer.row_bytes()
+}
+
+/// Pipeline depth of the backward local forward: one training state per
+/// (backward stage, conv layer).
+pub fn training_pipeline_depth(cfg: &HwConfig) -> usize {
+    cfg.stages_backward * cfg.n_conv
+}
+
+/// Peak live training-state bytes with depth-first training (closed form):
+/// `Σ_d min(H, 2·pad·(D−d)) · row_bytes`.
+pub fn training_state_live_bytes_enode(cfg: &HwConfig) -> u64 {
+    let d_total = training_pipeline_depth(cfg);
+    let pad = (cfg.kernel - 1) / 2;
+    let rows: usize = (0..d_total)
+        .map(|d| (2 * pad * (d_total - d)).min(cfg.layer.h))
+        .sum();
+    rows as u64 * cfg.layer.row_bytes()
+}
+
+/// Peak live training-state bytes for the layer-by-layer baseline: all `D`
+/// maps of one interval at once.
+pub fn training_state_live_bytes_baseline(cfg: &HwConfig) -> u64 {
+    training_pipeline_depth(cfg) as u64 * cfg.layer.map_bytes()
+}
+
+/// Row-level event simulation of depth-first training: walks production
+/// and consumption of every training-state row and returns the peak number
+/// of simultaneously-live rows. Cross-checks the closed form above.
+pub fn simulate_training_lifetime_rows(cfg: &HwConfig) -> usize {
+    let d_total = training_pipeline_depth(cfg);
+    let pad = (cfg.kernel - 1) / 2;
+    let h = cfg.layer.h;
+    // Production: row r of state d emerges at wave time d·pad + r.
+    // The adjoint wave starts once the deepest state has 2·pad rows and
+    // consumes state d's row r at start + (D−1−d)·pad + r.
+    let start = (d_total - 1) * pad + 2 * pad;
+    let horizon = start + (d_total - 1) * pad + h + 1;
+    let mut peak = 0usize;
+    for t in 0..horizon {
+        let mut live = 0usize;
+        for d in 0..d_total {
+            let produced = t.saturating_sub(d * pad).min(h);
+            let consumed = t
+                .saturating_sub(start + (d_total - 1 - d) * pad)
+                .min(h);
+            live += produced - consumed;
+        }
+        peak = peak.max(live);
+    }
+    peak
+}
+
+/// DRAM traffic (bytes, write + read) for training states of ONE backward
+/// interval, given an on-chip buffer of `buffer_bytes`: the overflow spills
+/// (Fig 15b).
+pub fn training_spill_bytes_per_interval(live_bytes: u64, buffer_bytes: u64) -> u64 {
+    2 * live_bytes.saturating_sub(buffer_bytes)
+}
+
+/// Smallest buffer that fully eliminates training-state DRAM access (the
+/// provisioning rule behind Table I's training buffer row).
+pub fn buffer_to_eliminate_spill(live_bytes: u64) -> u64 {
+    live_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerDims;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    #[test]
+    fn config_a_integral_buffer_matches_table1() {
+        let cfg = HwConfig::config_a();
+        let tableau = ButcherTableau::rk23_bogacki_shampine();
+        // 13 state rows + 4 streams × 10 + 3 staging = 56 rows.
+        assert_eq!(integral_state_rows(&tableau, 4, 3), 56);
+        let bytes = integral_state_bytes_enode(&cfg) as f64 / MB;
+        assert!((bytes - 0.44).abs() < 0.01, "got {bytes:.3} MB, Table I: 0.44");
+        let base = integral_state_bytes_baseline(&cfg) as f64 / MB;
+        assert!((base - 2.0).abs() < 1e-9, "got {base} MB, Table I: 2");
+    }
+
+    #[test]
+    fn config_b_integral_buffer_matches_table1() {
+        let cfg = HwConfig::config_b();
+        let bytes = integral_state_bytes_enode(&cfg) as f64 / MB;
+        assert!((bytes - 1.76).abs() < 0.01, "got {bytes:.3} MB, Table I: 1.76");
+        let base = integral_state_bytes_baseline(&cfg) as f64 / MB;
+        assert!((base - 32.0).abs() < 1e-9, "got {base} MB, Table I: 32");
+    }
+
+    #[test]
+    fn line_buffers_match_table1() {
+        let a = line_buffer_bytes(&HwConfig::config_a()) as f64 / MB;
+        assert!((a - 0.5).abs() < 1e-9, "got {a} MB, Table I: 0.5");
+        let b = line_buffer_bytes(&HwConfig::config_b()) as f64 / MB;
+        assert!((b - 2.0).abs() < 1e-9, "got {b} MB, Table I: 2");
+    }
+
+    #[test]
+    fn training_live_bytes_match_fig15() {
+        let a = HwConfig::config_a();
+        let baseline = training_state_live_bytes_baseline(&a) as f64 / MB;
+        assert!((baseline - 6.0).abs() < 1e-9, "baseline needs 6 MB (Fig 15b)");
+        let enode = training_state_live_bytes_enode(&a) as f64 / MB;
+        // Paper provisions 1.25 MB; the model computes 1.22 MB (156 rows).
+        assert!((enode - 1.22).abs() < 0.02, "got {enode:.3} MB");
+        let b = HwConfig::config_b();
+        let enode_b = training_state_live_bytes_enode(&b) as f64 / MB;
+        assert!((enode_b - 4.875).abs() < 0.03, "got {enode_b:.3} MB, Table I: 4.9");
+    }
+
+    #[test]
+    fn spill_matches_fig15b() {
+        let a = HwConfig::config_a();
+        let live = training_state_live_bytes_enode(&a);
+        // 1 MB buffer → ~0.48 MB of spill (paper: 0.48 MB, a 21× reduction).
+        let spill_1mb = training_spill_bytes_per_interval(live, 1024 * 1024) as f64 / MB;
+        assert!((spill_1mb - 0.44).abs() < 0.06, "got {spill_1mb:.3} MB");
+        // 1.25 MB buffer → zero spill.
+        assert_eq!(
+            training_spill_bytes_per_interval(live, a.training_buffer_bytes),
+            0
+        );
+        // Baseline at 1 MB spills ~10 MB — the 21× gap of Fig 15(b).
+        let base_live = training_state_live_bytes_baseline(&a);
+        let base_spill = training_spill_bytes_per_interval(base_live, 1024 * 1024) as f64 / MB;
+        assert!((base_spill - 10.0).abs() < 0.1, "got {base_spill:.2} MB");
+        assert!(base_spill / spill_1mb > 20.0, "ratio {}", base_spill / spill_1mb);
+    }
+
+    #[test]
+    fn event_simulation_confirms_closed_form() {
+        for cfg in [HwConfig::config_a(), HwConfig::config_b()] {
+            let sim_rows = simulate_training_lifetime_rows(&cfg);
+            let formula_rows =
+                (training_state_live_bytes_enode(&cfg) / cfg.layer.row_bytes()) as usize;
+            let diff = sim_rows.abs_diff(formula_rows);
+            assert!(
+                diff * 20 <= formula_rows,
+                "sim {sim_rows} vs formula {formula_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_grows_with_layer_height() {
+        // Fig 14: "more reduction is possible for large layer sizes".
+        let small = HwConfig::for_layer(LayerDims::new(32, 32, 64));
+        let large = HwConfig::for_layer(LayerDims::new(256, 256, 64));
+        let ratio = |cfg: &HwConfig| {
+            integral_state_bytes_enode(cfg) as f64 / integral_state_bytes_baseline(cfg) as f64
+        };
+        assert!(ratio(&large) < ratio(&small));
+    }
+
+    #[test]
+    fn higher_order_integrator_needs_more_rows() {
+        let rk23 = integral_state_rows(&ButcherTableau::rk23_bogacki_shampine(), 4, 3);
+        let rk45 = integral_state_rows(&ButcherTableau::rkf45(), 4, 3);
+        let euler = integral_state_rows(&ButcherTableau::euler(), 4, 3);
+        assert!(euler < rk23 && rk23 < rk45);
+    }
+
+    #[test]
+    fn deeper_f_needs_more_training_buffer() {
+        let mut a = HwConfig::config_a();
+        let four = training_state_live_bytes_enode(&a);
+        a.n_conv = 8;
+        let eight = training_state_live_bytes_enode(&a);
+        assert!(eight > four);
+    }
+}

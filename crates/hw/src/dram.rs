@@ -1,0 +1,248 @@
+//! "Ramulator-lite": a banked DRAM timing and energy model.
+//!
+//! The paper estimates DRAM power with the Ramulator simulator \[17\]. This
+//! module models the first-order effects that matter at this granularity:
+//! bank-level row buffers (open-page policy), activate/precharge timing on
+//! row misses, burst transfers, and per-access energy split into activate
+//! and read/write components.
+
+/// DRAM device parameters (DDR4-2400-class defaults, 28 nm-era edge SoC).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Burst transfer granularity in bytes.
+    pub burst_bytes: u64,
+    /// Row-to-column delay in memory-controller cycles.
+    pub t_rcd: u64,
+    /// Column access latency.
+    pub t_cas: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// Cycles per burst transfer.
+    pub t_burst: u64,
+    /// Energy per activate (precharge+activate pair), picojoules.
+    pub e_activate_pj: f64,
+    /// Read/write energy per byte, picojoules.
+    pub e_rw_pj_per_byte: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            row_bytes: 2048,
+            burst_bytes: 64,
+            t_rcd: 15,
+            t_cas: 15,
+            t_rp: 15,
+            t_burst: 4,
+            e_activate_pj: 2500.0,
+            e_rw_pj_per_byte: 15.0,
+        }
+    }
+}
+
+/// Access statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read requests.
+    pub reads: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (activates).
+    pub row_misses: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Total memory-controller cycles consumed.
+    pub cycles: u64,
+}
+
+/// A banked DRAM with open-page row-buffer policy.
+///
+/// # Example
+///
+/// ```
+/// use enode_hw::dram::{Dram, DramConfig};
+/// let mut dram = Dram::new(DramConfig::default());
+/// // Sequential streaming hits the row buffer almost always.
+/// for i in 0..32u64 {
+///     dram.read(i * 64, 64);
+/// }
+/// let s = dram.stats();
+/// assert!(s.row_hits > s.row_misses);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dram {
+    config: DramConfig,
+    open_rows: Vec<Option<u64>>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM with all rows closed.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.banks > 0, "need at least one bank");
+        Dram {
+            open_rows: vec![None; config.banks],
+            config,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The device parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Resets the statistics (row buffers stay open).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Reads `bytes` starting at `addr`; returns the cycles consumed.
+    pub fn read(&mut self, addr: u64, bytes: u64) -> u64 {
+        self.stats.reads += 1;
+        self.access(addr, bytes)
+    }
+
+    /// Writes `bytes` starting at `addr`; returns the cycles consumed.
+    pub fn write(&mut self, addr: u64, bytes: u64) -> u64 {
+        self.stats.writes += 1;
+        self.access(addr, bytes)
+    }
+
+    fn access(&mut self, addr: u64, bytes: u64) -> u64 {
+        assert!(bytes > 0, "zero-length access");
+        let mut cycles = 0;
+        let mut cur = addr;
+        let end = addr + bytes;
+        while cur < end {
+            let row_global = cur / self.config.row_bytes;
+            let bank = (row_global % self.config.banks as u64) as usize;
+            let row = row_global / self.config.banks as u64;
+            if self.open_rows[bank] == Some(row) {
+                self.stats.row_hits += 1;
+                cycles += self.config.t_cas;
+            } else {
+                self.stats.row_misses += 1;
+                // Precharge the old row if one was open, then activate.
+                if self.open_rows[bank].is_some() {
+                    cycles += self.config.t_rp;
+                }
+                cycles += self.config.t_rcd + self.config.t_cas;
+                self.open_rows[bank] = Some(row);
+            }
+            // Transfer the part of this request inside the current row.
+            let row_end = (row_global + 1) * self.config.row_bytes;
+            let chunk = (end.min(row_end)) - cur;
+            let bursts = chunk.div_ceil(self.config.burst_bytes);
+            cycles += bursts * self.config.t_burst;
+            self.stats.bytes += chunk;
+            cur += chunk;
+        }
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// Total access energy so far in joules (activate + read/write).
+    pub fn energy_j(&self) -> f64 {
+        (self.stats.row_misses as f64 * self.config.e_activate_pj
+            + self.stats.bytes as f64 * self.config.e_rw_pj_per_byte)
+            * 1e-12
+    }
+
+    /// Effective energy per byte (J/B) at the observed row-hit rate — the
+    /// constant the analytic performance model uses.
+    pub fn effective_energy_per_byte(&self) -> f64 {
+        if self.stats.bytes == 0 {
+            return self.config.e_rw_pj_per_byte * 1e-12;
+        }
+        self.energy_j() / self.stats.bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_mostly_hits() {
+        let mut d = Dram::new(DramConfig::default());
+        for i in 0..1024u64 {
+            d.read(i * 64, 64);
+        }
+        let s = d.stats();
+        assert_eq!(s.bytes, 1024 * 64);
+        // 64 KiB over 2 KiB rows: 32 misses, rest hits.
+        assert_eq!(s.row_misses, 32);
+        assert_eq!(s.row_hits, 1024 - 32);
+    }
+
+    #[test]
+    fn random_rows_all_miss() {
+        let mut d = Dram::new(DramConfig::default());
+        // Stride of banks×row_bytes lands in the same bank, new row each time.
+        let stride = 8 * 2048u64;
+        for i in 0..64u64 {
+            d.read(i * stride, 64);
+        }
+        assert_eq!(d.stats().row_misses, 64);
+        assert_eq!(d.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn misses_cost_more_cycles() {
+        let mut hit = Dram::new(DramConfig::default());
+        hit.read(0, 64);
+        let c_first = hit.read(64, 64); // same row: hit
+        let mut miss = Dram::new(DramConfig::default());
+        miss.read(0, 64);
+        let c_far = miss.read(8 * 2048, 64); // same bank, new row
+        assert!(c_far > c_first);
+    }
+
+    #[test]
+    fn large_access_spans_rows() {
+        let mut d = Dram::new(DramConfig::default());
+        let cycles = d.read(0, 3 * 2048);
+        assert!(cycles > 0);
+        // Rows 0,1,2 map to banks 0,1,2 — three activates.
+        assert_eq!(d.stats().row_misses, 3);
+        assert_eq!(d.stats().bytes, 3 * 2048);
+    }
+
+    #[test]
+    fn energy_grows_with_misses() {
+        let mut seq = Dram::new(DramConfig::default());
+        for i in 0..256u64 {
+            seq.read(i * 64, 64);
+        }
+        let mut rand = Dram::new(DramConfig::default());
+        for i in 0..256u64 {
+            rand.read(i * 8 * 2048, 64);
+        }
+        assert_eq!(seq.stats().bytes, rand.stats().bytes);
+        assert!(rand.energy_j() > seq.energy_j() * 2.0);
+        assert!(rand.effective_energy_per_byte() > seq.effective_energy_per_byte());
+    }
+
+    #[test]
+    fn write_and_read_both_counted() {
+        let mut d = Dram::new(DramConfig::default());
+        d.write(0, 128);
+        d.read(0, 128);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().bytes, 256);
+    }
+}

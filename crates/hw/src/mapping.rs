@@ -1,0 +1,141 @@
+//! Mapping embedded-network layers onto the ring of NN cores (§V-A,
+//! Fig 7e): "The eNODE architecture can be extended to support a deeper f
+//! and each NN core can map multiple layers … Layers can also be split and
+//! mapped on multiple NN cores."
+
+use crate::config::HwConfig;
+
+/// How the embedded network's conv layers are placed on the cores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerMapping {
+    /// `core_of_layer[l]` = which core executes conv layer `l`.
+    pub core_of_layer: Vec<usize>,
+    /// Time-multiplexing rounds per ring loop (`ceil(n_conv / cores)`).
+    pub rounds: usize,
+    /// Cores idle in the last round.
+    pub idle_cores_last_round: usize,
+}
+
+impl LayerMapping {
+    /// Fraction of core-rounds doing useful work.
+    pub fn utilization(&self, cores: usize) -> f64 {
+        let layers = self.core_of_layer.len() as f64;
+        layers / (self.rounds * cores) as f64
+    }
+}
+
+/// Maps `n_conv` layers onto `cores` cores contiguously: one layer per
+/// core per round, wrapping for deeper networks (Fig 7e's "deeper f"
+/// case).
+///
+/// # Panics
+///
+/// Panics if `n_conv` or `cores` is zero.
+pub fn map_layers(n_conv: usize, cores: usize) -> LayerMapping {
+    assert!(n_conv > 0 && cores > 0, "need layers and cores");
+    let core_of_layer = (0..n_conv).map(|l| l % cores).collect();
+    let rounds = n_conv.div_ceil(cores);
+    let used_last = n_conv - (rounds - 1) * cores;
+    LayerMapping {
+        core_of_layer,
+        rounds,
+        idle_cores_last_round: cores - used_last,
+    }
+}
+
+/// Splits one conv layer's channel extent across `cores` cores (Fig 7e's
+/// "split" case, for a shallow-but-wide `f`): returns per-core channel
+/// ranges covering `0..channels`.
+pub fn split_channels(channels: usize, cores: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(channels > 0 && cores > 0);
+    let base = channels / cores;
+    let extra = channels % cores;
+    let mut out = Vec::with_capacity(cores);
+    let mut start = 0;
+    for i in 0..cores {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Whether every layer's weights stay resident in the weight buffer across
+/// ring loops (function reuse requires it; otherwise each loop reloads
+/// from DRAM).
+pub fn weights_resident(cfg: &HwConfig) -> bool {
+    cfg.weight_bytes() <= cfg.weight_buffer_bytes
+}
+
+/// DRAM traffic per integrator step for weight reloads: zero when
+/// resident, otherwise the overflow is re-fetched once per ring loop
+/// (`stages` loops per step).
+pub fn weight_reload_bytes_per_step(cfg: &HwConfig) -> u64 {
+    let overflow = cfg.weight_bytes().saturating_sub(cfg.weight_buffer_bytes);
+    overflow * cfg.stages as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerDims;
+
+    #[test]
+    fn four_layers_four_cores_perfect() {
+        let m = map_layers(4, 4);
+        assert_eq!(m.core_of_layer, vec![0, 1, 2, 3]);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.idle_cores_last_round, 0);
+        assert_eq!(m.utilization(4), 1.0);
+    }
+
+    #[test]
+    fn deeper_f_time_multiplexes() {
+        let m = map_layers(6, 4);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.idle_cores_last_round, 2);
+        assert!((m.utilization(4) - 0.75).abs() < 1e-12);
+        assert_eq!(m.core_of_layer[4], 0);
+    }
+
+    #[test]
+    fn shallow_f_leaves_cores_idle() {
+        let m = map_layers(2, 4);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.idle_cores_last_round, 2);
+        assert!((m.utilization(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_covers_all_channels_evenly() {
+        let parts = split_channels(64, 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|r| r.len() == 16));
+        assert_eq!(parts.last().unwrap().end, 64);
+        // Uneven split stays within one channel of balance.
+        let parts = split_channels(10, 3);
+        let lens: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn config_a_weights_resident() {
+        let cfg = HwConfig::config_a();
+        assert!(weights_resident(&cfg));
+        assert_eq!(weight_reload_bytes_per_step(&cfg), 0);
+    }
+
+    #[test]
+    fn oversized_weights_reload_per_loop() {
+        let mut cfg = HwConfig::for_layer(LayerDims::new(64, 64, 256));
+        cfg.n_conv = 8;
+        // 8 convs of 256x256x9 FP16 = 9.4 MB > 2.25 MB buffer.
+        assert!(!weights_resident(&cfg));
+        let reload = weight_reload_bytes_per_step(&cfg);
+        assert_eq!(
+            reload,
+            (cfg.weight_bytes() - cfg.weight_buffer_bytes) * 4
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The unified NN core's PE array (§VI, Fig 9).
+//!
+//! The core holds 64 PEs supporting 8 input channels × 8 output channels.
+//! `PE_{CM}` caches the 3×3 kernel for input channel `C`, output channel
+//! `M`. PEs are organized in 8 *groups*: group `g` contains
+//! `PE_{i,(i+g)%8}` — a diagonal slice — so that in a forward pass each
+//! group's 8 PEs take the 8 channels of a broadcast input packet, and the
+//! 8-lane adder tree sums one output channel per lane. In a backward pass
+//! the channel roles swap and the kernels flip, but the PEs, cached
+//! weights, and adder tree are *reused unchanged*.
+//!
+//! This module simulates the array functionally (verified against the
+//! reference convolution) and counts cycles for the performance model.
+
+use crate::config::HwConfig;
+use enode_tensor::conv::Conv2d;
+use enode_tensor::Tensor;
+
+/// A functional model of one unified NN core's PE array for a single
+/// convolution layer with `C = M = channels` (multiples of 8 are
+/// time-multiplexed onto the 8×8 physical array).
+#[derive(Clone, Debug)]
+pub struct PeArray {
+    channels: usize,
+    kernel: usize,
+    /// Cached weights `[M, C, K, K]`, as distributed across the PEs.
+    weights: Tensor,
+}
+
+/// Which direction the unified core runs (§VI-B/C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward convolution (inference / local forward step).
+    Forward,
+    /// Backward convolution with flipped kernels and swapped channel roles
+    /// (adjoint computation).
+    Backward,
+}
+
+impl PeArray {
+    /// Loads a convolution's weights into the PE array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input and output channel counts differ (the unified core
+    /// maps square convolutions; rectangular ones are split at compile
+    /// time).
+    pub fn load(conv: &Conv2d) -> Self {
+        assert_eq!(
+            conv.in_channels(),
+            conv.out_channels(),
+            "unified core maps square convolutions"
+        );
+        PeArray {
+            channels: conv.in_channels(),
+            kernel: conv.kernel(),
+            weights: conv.weight().clone(),
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The PE group index that owns `PE_{c,m}`: group `g = (m − c) mod 8`
+    /// over the physical 8×8 array.
+    pub fn group_of(c: usize, m: usize) -> usize {
+        (m + 8 - (c % 8)) % 8
+    }
+
+    /// Runs the array over a feature map in the given direction,
+    /// reproducing exactly what the grouped PEs + adder tree compute.
+    ///
+    /// Forward: `y[m] = Σ_c x[c] * w[m,c]` (psums from the 8 groups summed
+    /// by the adder-tree lane of output channel `m`).
+    /// Backward: `dx[c] = Σ_m dy[m] * flip(w[m,c])` — same pipeline, roles
+    /// swapped (Fig 9c).
+    pub fn run(&self, x: &Tensor, direction: Direction) -> Tensor {
+        let (n, c_in, h, w) = x.shape_obj().nchw();
+        assert_eq!(c_in, self.channels, "channel mismatch");
+        let k = self.kernel;
+        let pad = (k / 2) as isize;
+        let mut y = Tensor::zeros(&[n, self.channels, h, w]);
+        // Iterate input packets (1×1×8 pixels, §V-B) and distribute to the
+        // 8 groups; each PE contributes 9 psums per input element.
+        for ni in 0..n {
+            for ih in 0..h {
+                for iw in 0..w {
+                    for cb in (0..self.channels).step_by(8) {
+                        for mb in (0..self.channels).step_by(8) {
+                            // One pass of the physical 64-PE array.
+                            for dc in 0..8.min(self.channels - cb) {
+                                let c = cb + dc;
+                                let xv = x.at4(ni, c, ih, iw);
+                                if xv == 0.0 {
+                                    continue;
+                                }
+                                for dm in 0..8.min(self.channels - mb) {
+                                    let m = mb + dm;
+                                    for kh in 0..k {
+                                        for kw in 0..k {
+                                            // Forward: input pixel (ih,iw)
+                                            // contributes to output
+                                            // (ih−kh+pad, iw−kw+pad) via
+                                            // w[m][c][kh][kw].
+                                            // Backward: flipped kernel and
+                                            // swapped roles — w[c][m] with
+                                            // kernel index mirrored.
+                                            let (wv, oh, ow) = match direction {
+                                                Direction::Forward => (
+                                                    self.weights.at4(m, c, kh, kw),
+                                                    ih as isize - kh as isize + pad,
+                                                    iw as isize - kw as isize + pad,
+                                                ),
+                                                Direction::Backward => (
+                                                    self.weights.at4(
+                                                        c,
+                                                        m,
+                                                        k - 1 - kh,
+                                                        k - 1 - kw,
+                                                    ),
+                                                    ih as isize - kh as isize + pad,
+                                                    iw as isize - kw as isize + pad,
+                                                ),
+                                            };
+                                            if oh >= 0
+                                                && ow >= 0
+                                                && (oh as usize) < h
+                                                && (ow as usize) < w
+                                            {
+                                                *y.at4_mut(ni, m, oh as usize, ow as usize) +=
+                                                    xv * wv;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Cycles to convolve one `H × W` map: each physical array pass covers
+    /// 8 input × 8 output channels and takes `K²` cycles per input packet.
+    pub fn cycles(&self, h: usize, w: usize) -> u64 {
+        let blocks = (self.channels as u64 / 8).max(1);
+        (h * w) as u64 * blocks * blocks * (self.kernel * self.kernel) as u64
+    }
+}
+
+/// Cycles for one embedded-network evaluation on the ring: the `n_conv`
+/// layers run concurrently on the `cores` (one layer per core in the
+/// prototype), so the steady-state throughput is one layer-time, not the
+/// sum (§V-A).
+pub fn f_eval_cycles(cfg: &HwConfig) -> u64 {
+    let per_layer = {
+        let blocks = (cfg.layer.c as u64 / cfg.parallel_channels as u64).max(1);
+        (cfg.layer.h * cfg.layer.w) as u64
+            * blocks
+            * blocks
+            * (cfg.kernel * cfg.kernel) as u64
+    };
+    // Layers beyond the core count time-multiplex.
+    let rounds = cfg.n_conv.div_ceil(cfg.cores) as u64;
+    per_layer * rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::init;
+
+    fn test_conv(channels: usize, seed: u64) -> Conv2d {
+        let c = Conv2d::new_seeded(channels, channels, 3, seed);
+        // Bias-free: the PE array computes the MAC part; bias is added by
+        // the post-processing unit.
+        Conv2d::from_parts(c.weight().clone(), Tensor::zeros(&[channels]))
+    }
+
+    #[test]
+    fn forward_matches_reference_conv() {
+        let conv = test_conv(8, 1);
+        let array = PeArray::load(&conv);
+        let x = init::uniform(&[1, 8, 6, 6], -1.0, 1.0, 2);
+        let ours = array.run(&x, Direction::Forward);
+        let reference = conv.forward(&x);
+        let diff = (&ours - &reference).norm_inf();
+        assert!(diff < 1e-4, "PE array deviates from reference conv: {diff}");
+    }
+
+    #[test]
+    fn forward_matches_with_time_multiplexing() {
+        // 16 channels on the 8×8 array: 4 block passes.
+        let conv = test_conv(16, 3);
+        let array = PeArray::load(&conv);
+        let x = init::uniform(&[1, 16, 4, 4], -1.0, 1.0, 4);
+        let diff = (&array.run(&x, Direction::Forward) - &conv.forward(&x)).norm_inf();
+        assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn backward_matches_reference_adjoint() {
+        // §VI-C: the backward direction with flipped kernels must equal the
+        // reference convolution's input-gradient.
+        let conv = test_conv(8, 5);
+        let array = PeArray::load(&conv);
+        let dy = init::uniform(&[1, 8, 5, 5], -1.0, 1.0, 6);
+        let ours = array.run(&dy, Direction::Backward);
+        let reference = conv.backward_input(&dy);
+        let diff = (&ours - &reference).norm_inf();
+        assert!(diff < 1e-4, "backward deviates: {diff}");
+    }
+
+    #[test]
+    fn same_weights_serve_both_directions() {
+        // The point of the unified core: one weight load, two dataflows.
+        let conv = test_conv(8, 7);
+        let array = PeArray::load(&conv);
+        let x = init::uniform(&[1, 8, 4, 4], -1.0, 1.0, 8);
+        let fwd = array.run(&x, Direction::Forward);
+        let bwd = array.run(&x, Direction::Backward);
+        // Adjointness through the array: <A x, x'> == <x, A^T x'>.
+        let x2 = init::uniform(&[1, 8, 4, 4], -1.0, 1.0, 9);
+        let fwd2 = array.run(&x2, Direction::Forward);
+        let lhs = fwd.dot(&x2);
+        let rhs = x.dot(&array.run(&x2, Direction::Backward));
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+        let _ = (bwd, fwd2);
+    }
+
+    #[test]
+    fn groups_partition_the_array() {
+        // Every (c, m) pair belongs to exactly one of 8 groups; each group
+        // has one PE per input channel (Fig 9a).
+        for g in 0..8 {
+            let members: Vec<(usize, usize)> = (0..8)
+                .flat_map(|c| (0..8).map(move |m| (c, m)))
+                .filter(|&(c, m)| PeArray::group_of(c, m) == g)
+                .collect();
+            assert_eq!(members.len(), 8);
+            for (c, m) in members {
+                assert_eq!(m, (c + g) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_model_scales() {
+        let conv8 = PeArray::load(&test_conv(8, 1));
+        let conv16 = PeArray::load(&test_conv(16, 1));
+        // 2× channels → 4× block passes.
+        assert_eq!(conv16.cycles(8, 8), 4 * conv8.cycles(8, 8));
+        assert_eq!(conv8.cycles(8, 8), 64 * 9);
+    }
+
+    #[test]
+    fn f_eval_cycles_config_a() {
+        let cfg = HwConfig::config_a();
+        // 4 layers on 4 cores: one layer-time of 64×64 × 8×8 blocks × 9.
+        assert_eq!(f_eval_cycles(&cfg), 64 * 64 * 64 * 9);
+    }
+}

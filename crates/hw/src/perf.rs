@@ -1,0 +1,244 @@
+//! End-to-end performance and energy simulation of eNODE and the SIMD
+//! ASIC baseline on NODE workloads (paper §VIII-B/C/D, Figs 16–18).
+//!
+//! Both designs have identical MAC counts (§VIII: "The baseline contains
+//! the same number of MAC units as the eNODE prototype"). They differ in:
+//!
+//! * **DRAM traffic** — the baseline processes layer by layer and shuttles
+//!   every conv layer's activations through DRAM; depth-first eNODE keeps
+//!   them in the pipeline and writes only checkpoints. In training the
+//!   baseline spills most training states; eNODE's depth-first training
+//!   keeps them on chip (Fig 15b).
+//! * **Stalls** — the baseline's layer-by-layer activation transfers
+//!   serialize with compute; eNODE streams.
+//! * **Expedited algorithms** — slope-adaptive search and priority early
+//!   stop reduce the trial count and row fraction eNODE executes.
+
+use crate::config::{HwConfig, WorkloadRun};
+use crate::depthfirst;
+use crate::energy::EnergyModel;
+use crate::packet::link_limited_utilization;
+
+/// The simulated outcome of one run (inference pass or training iteration).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimReport {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Total MAC operations.
+    pub macs: f64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Compute + SRAM energy in joules.
+    pub compute_energy_j: f64,
+    /// DRAM energy in joules.
+    pub dram_energy_j: f64,
+}
+
+impl SimReport {
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.compute_energy_j + self.dram_energy_j
+    }
+
+    /// Average total power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.energy_j() / self.seconds
+    }
+
+    /// Average DRAM power in watts.
+    pub fn dram_power_w(&self) -> f64 {
+        self.dram_energy_j / self.seconds
+    }
+
+    /// Average compute + SRAM power in watts.
+    pub fn compute_power_w(&self) -> f64 {
+        self.compute_energy_j / self.seconds
+    }
+}
+
+/// MACs of the forward pass: every trial evaluates `f` `s` times.
+fn forward_macs(cfg: &HwConfig, run: &WorkloadRun) -> f64 {
+    run.trials as f64 * cfg.stages as f64 * cfg.macs_per_f_eval() as f64 * run.rows_fraction
+}
+
+/// MACs of the backward pass: per checkpoint interval, a local forward of
+/// `s_bwd` stages plus the adjoint and weight-gradient convolutions (2×
+/// the forward MACs of each recomputed layer).
+fn backward_macs(cfg: &HwConfig, run: &WorkloadRun) -> f64 {
+    if !run.training {
+        return 0.0;
+    }
+    run.points as f64
+        * cfg.stages_backward as f64
+        * cfg.macs_per_f_eval() as f64
+        * (1.0 + 2.0)
+}
+
+/// Simulates the eNODE accelerator.
+///
+/// DRAM traffic: the input map in, one checkpoint per evaluation point out
+/// (forward), checkpoint reads plus any training-state spill (backward),
+/// and one weight load.
+pub fn simulate_enode(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -> SimReport {
+    let macs = forward_macs(cfg, run) + backward_macs(cfg, run);
+    let util = link_limited_utilization(cfg) * 0.95; // pipeline fill margin
+    let compute_seconds = macs / (cfg.macs_per_cycle() as f64 * cfg.clock_hz * util);
+
+    let map = cfg.layer.map_bytes() as f64;
+    let mut dram_bytes = map + cfg.weight_bytes() as f64; // input + weights
+    dram_bytes += run.points as f64 * map; // checkpoint writes
+    // Function reuse requires resident weights; oversized networks reload
+    // per integrator step (mapping::weight_reload_bytes_per_step).
+    dram_bytes +=
+        run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
+    if run.training {
+        dram_bytes += run.points as f64 * map; // checkpoint reads
+        let live = depthfirst::training_state_live_bytes_enode(cfg);
+        let spill =
+            depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
+        dram_bytes += run.points as f64 * spill as f64;
+    }
+    // eNODE's transfers overlap with the streaming pipeline; DRAM adds
+    // latency only if it out-paces the link.
+    let dram_seconds = dram_bytes / cfg.dram_bandwidth;
+    let seconds = compute_seconds.max(dram_seconds);
+
+    SimReport {
+        seconds,
+        macs,
+        dram_bytes,
+        compute_energy_j: energy.compute_energy(macs, true),
+        dram_energy_j: energy.dram_energy(dram_bytes, seconds),
+    }
+}
+
+/// Simulates the weight-stationary SIMD ASIC baseline (Envision-style
+/// \[22\]): layer-by-layer processing, full-feature-map activation traffic
+/// through DRAM, and training-state spill per Fig 15(b).
+pub fn simulate_baseline(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -> SimReport {
+    // The baseline runs every trial at full maps (no priority early stop).
+    let fwd_macs =
+        run.trials as f64 * cfg.stages as f64 * cfg.macs_per_f_eval() as f64;
+    let bwd_macs = backward_macs(cfg, run);
+    let macs = fwd_macs + bwd_macs;
+    let util = 0.95;
+    let compute_seconds = macs / (cfg.macs_per_cycle() as f64 * cfg.clock_hz * util);
+
+    let map = cfg.layer.map_bytes() as f64;
+    // Every conv layer's activations round-trip DRAM, every f evaluation.
+    let f_evals_fwd = run.trials as f64 * cfg.stages as f64;
+    let mut dram_bytes = map + cfg.weight_bytes() as f64;
+    dram_bytes += f_evals_fwd * cfg.n_conv as f64 * 2.0 * map;
+    dram_bytes += run.points as f64 * map; // accepted states out
+    dram_bytes +=
+        run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
+    if run.training {
+        dram_bytes += run.points as f64 * map; // checkpoint reads
+        // Layer-by-layer backward: the local forward, the adjoint
+        // convolutions and the weight-gradient pass each round-trip every
+        // layer's maps through DRAM. Adjoints and partial gradients are
+        // FP32 accumulations (mixed-precision training), doubling the
+        // element width of the backward traffic.
+        let layer_passes = run.points as f64 * cfg.stages_backward as f64 * 3.0;
+        dram_bytes += layer_passes * cfg.n_conv as f64 * 2.0 * map * 2.0;
+        // Training states: written once by the local forward, read back by
+        // the adjoint and weight-gradient passes; only the on-chip buffer's
+        // worth is spared each way.
+        let live = depthfirst::training_state_live_bytes_baseline(cfg);
+        let spill =
+            depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
+        dram_bytes += run.points as f64 * 1.5 * spill as f64;
+    }
+    // Layer-by-layer: activation transfers serialize with compute.
+    let seconds = compute_seconds + dram_bytes / cfg.dram_bandwidth;
+
+    SimReport {
+        seconds,
+        macs,
+        dram_bytes,
+        compute_energy_j: energy.compute_energy(macs, false),
+        dram_energy_j: energy.dram_energy(dram_bytes, seconds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_inference() -> WorkloadRun {
+        WorkloadRun::analytic(4, 40, 2.0, false)
+    }
+
+    fn run_training() -> WorkloadRun {
+        WorkloadRun::analytic(4, 40, 2.0, true)
+    }
+
+    #[test]
+    fn enode_moves_far_less_dram() {
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let en = simulate_enode(&cfg, &run_inference(), &e);
+        let ba = simulate_baseline(&cfg, &run_inference(), &e);
+        assert!(
+            ba.dram_bytes > 10.0 * en.dram_bytes,
+            "baseline {:.2e} vs eNODE {:.2e}",
+            ba.dram_bytes,
+            en.dram_bytes
+        );
+    }
+
+    #[test]
+    fn same_macs_without_expedited_algorithms() {
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let run = run_inference(); // rows_fraction = 1.0
+        let en = simulate_enode(&cfg, &run, &e);
+        let ba = simulate_baseline(&cfg, &run, &e);
+        assert!((en.macs - ba.macs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_slower_due_to_dram_serialization() {
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let en = simulate_enode(&cfg, &run_inference(), &e);
+        let ba = simulate_baseline(&cfg, &run_inference(), &e);
+        assert!(ba.seconds > en.seconds);
+    }
+
+    #[test]
+    fn training_dram_gap_larger_than_inference() {
+        // Fig 16: training power gap (3.05×) exceeds inference gap (2.1×)
+        // because of training-state spill.
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let inf_ratio = simulate_baseline(&cfg, &run_inference(), &e).dram_energy_j
+            / simulate_enode(&cfg, &run_inference(), &e).dram_energy_j;
+        let tr_ratio = simulate_baseline(&cfg, &run_training(), &e).dram_energy_j
+            / simulate_enode(&cfg, &run_training(), &e).dram_energy_j;
+        assert!(tr_ratio > inf_ratio, "training {tr_ratio:.1} vs inference {inf_ratio:.1}");
+    }
+
+    #[test]
+    fn expedited_algorithms_speed_up_enode() {
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let plain = simulate_enode(&cfg, &WorkloadRun::analytic(4, 40, 3.0, false), &e);
+        let mut ea = WorkloadRun::analytic(4, 40, 1.5, false);
+        ea.rows_fraction = 0.8;
+        let fast = simulate_enode(&cfg, &ea, &e);
+        assert!(fast.seconds < plain.seconds * 0.6);
+        assert!(fast.energy_j() < plain.energy_j());
+    }
+
+    #[test]
+    fn power_breakdown_sums() {
+        let cfg = HwConfig::config_a();
+        let e = EnergyModel::default();
+        let r = simulate_baseline(&cfg, &run_training(), &e);
+        assert!(
+            (r.power_w() - r.dram_power_w() - r.compute_power_w()).abs() < 1e-9
+        );
+        assert!(r.power_w() > 0.0 && r.power_w() < 100.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hop-level model of the ring NoC connecting the NN cores and the
+//! central hub (§V-A, Fig 7a): a forward pass loops clockwise through the
+//! cores, a backward pass counter-clockwise, and the hub (controller +
+//! global router) sits on the ring as node `cores`.
+
+use crate::config::HwConfig;
+
+/// The ring interconnect: `cores` NN-core nodes plus the central hub.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RingNoc {
+    /// NN cores on the ring (the hub is an additional node).
+    pub cores: usize,
+    /// Link payload per cycle in bytes.
+    pub link_bytes_per_cycle: f64,
+    /// Latency per hop in cycles (router + link).
+    pub hop_latency: u64,
+}
+
+/// Loop direction (§V-A: forward clockwise, backward counter-clockwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopDirection {
+    /// Forward pass.
+    Clockwise,
+    /// Backward (adjoint) pass.
+    CounterClockwise,
+}
+
+impl RingNoc {
+    /// Builds the ring from a hardware configuration (1 GHz links at the
+    /// configured bandwidth).
+    pub fn from_config(cfg: &HwConfig) -> Self {
+        RingNoc {
+            cores: cfg.cores,
+            link_bytes_per_cycle: cfg.link_bandwidth / cfg.clock_hz,
+            hop_latency: 1,
+        }
+    }
+
+    /// Total ring nodes (cores + hub).
+    pub fn nodes(&self) -> usize {
+        self.cores + 1
+    }
+
+    /// Hop count from node `from` to node `to` travelling in `dir`
+    /// (node `cores` is the hub).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn hops(&self, from: usize, to: usize, dir: LoopDirection) -> usize {
+        let n = self.nodes();
+        assert!(from < n && to < n, "node out of range");
+        match dir {
+            LoopDirection::Clockwise => (to + n - from) % n,
+            LoopDirection::CounterClockwise => (from + n - to) % n,
+        }
+    }
+
+    /// Cycles for one message of `bytes` from `from` to `to`: wormhole
+    /// pipe — header pays hop latency per hop, payload streams behind it.
+    pub fn transfer_cycles(&self, from: usize, to: usize, dir: LoopDirection, bytes: u64) -> u64 {
+        let hops = self.hops(from, to, dir) as u64;
+        hops * self.hop_latency + (bytes as f64 / self.link_bytes_per_cycle).ceil() as u64
+    }
+
+    /// Cycles for one full `f`-evaluation loop: hub → core 0 → … →
+    /// core `cores−1` → hub, streaming `bytes_per_link` on each segment
+    /// (payload dominates; segments pipeline, so the loop costs one
+    /// segment's stream time plus the full fill latency).
+    pub fn loop_cycles(&self, _dir: LoopDirection, bytes_per_link: u64) -> u64 {
+        let fill = self.nodes() as u64 * self.hop_latency;
+        fill + (bytes_per_link as f64 / self.link_bytes_per_cycle).ceil() as u64
+    }
+
+    /// The forward and backward loops visit the cores in exactly opposite
+    /// orders (the property that lets the unified cores reuse weights for
+    /// the adjoint pass).
+    pub fn loop_order(&self, dir: LoopDirection) -> Vec<usize> {
+        match dir {
+            LoopDirection::Clockwise => (0..self.cores).collect(),
+            LoopDirection::CounterClockwise => (0..self.cores).rev().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingNoc {
+        RingNoc {
+            cores: 4,
+            link_bytes_per_cycle: 2.0,
+            hop_latency: 1,
+        }
+    }
+
+    #[test]
+    fn hop_counts_wrap() {
+        let r = ring();
+        assert_eq!(r.hops(0, 3, LoopDirection::Clockwise), 3);
+        assert_eq!(r.hops(3, 0, LoopDirection::Clockwise), 2); // via hub (node 4)
+        assert_eq!(r.hops(0, 3, LoopDirection::CounterClockwise), 2);
+        assert_eq!(r.hops(2, 2, LoopDirection::Clockwise), 0);
+    }
+
+    #[test]
+    fn directions_are_mirror_images() {
+        let r = ring();
+        for a in 0..r.nodes() {
+            for b in 0..r.nodes() {
+                let cw = r.hops(a, b, LoopDirection::Clockwise);
+                let ccw = r.hops(b, a, LoopDirection::CounterClockwise);
+                assert_eq!(cw, ccw, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_orders_reverse() {
+        let r = ring();
+        let mut fwd = r.loop_order(LoopDirection::Clockwise);
+        let bwd = r.loop_order(LoopDirection::CounterClockwise);
+        fwd.reverse();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn transfer_time_dominated_by_payload() {
+        let r = ring();
+        let t = r.transfer_cycles(0, 1, LoopDirection::Clockwise, 1000);
+        assert_eq!(t, 1 + 500);
+        // Longer routes only add hop latency.
+        let t3 = r.transfer_cycles(0, 3, LoopDirection::Clockwise, 1000);
+        assert_eq!(t3 - t, 2);
+    }
+
+    #[test]
+    fn pipelined_loop_cheaper_than_sequential_transfers() {
+        let r = ring();
+        let bytes = 10_000u64;
+        let looped = r.loop_cycles(LoopDirection::Clockwise, bytes);
+        let sequential: u64 = (0..r.nodes())
+            .map(|i| r.transfer_cycles(i, (i + 1) % r.nodes(), LoopDirection::Clockwise, bytes))
+            .sum();
+        assert!(looped < sequential / 2, "{looped} vs {sequential}");
+    }
+
+    #[test]
+    fn config_a_loop_feeds_cores_fast_enough() {
+        let cfg = HwConfig::config_a();
+        let r = RingNoc::from_config(&cfg);
+        // One row of activations per link must stream faster than a core
+        // consumes it (utilization requirement of §V-B).
+        let row_bytes = cfg.layer.row_bytes();
+        let stream = r.loop_cycles(LoopDirection::Clockwise, row_bytes);
+        // Core time for one row of one conv layer:
+        let blocks = (cfg.layer.c / cfg.parallel_channels) as u64;
+        let core_row_cycles = cfg.layer.w as u64 * blocks * blocks * 9;
+        assert!(
+            stream <= core_row_cycles,
+            "ring streaming {stream} cycles vs core {core_row_cycles}"
+        );
+    }
+}

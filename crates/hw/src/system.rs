@@ -1,0 +1,122 @@
+//! System-level simulation of one depth-first integrator step: the
+//! packetized stream scheduler ([`crate::packet`]), the per-core service
+//! model ([`crate::core`]) and the ring ([`crate::ring`]) composed into a
+//! row-granular replay of the `s` concurrent `f`-evaluation streams. It
+//! cross-validates the analytic cycle counts the performance model
+//! ([`crate::perf`]) uses, and reports the buffer occupancy that the
+//! integral-state buffer must cover.
+
+use crate::config::HwConfig;
+use crate::core::CoreModel;
+use crate::packet::{simulate_pipeline, Schedule};
+use crate::ring::{LoopDirection, RingNoc};
+
+/// The outcome of simulating one full integrator step (all `s` streams
+/// over the whole feature map).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemReport {
+    /// Total cycles for the step.
+    pub cycles: u64,
+    /// Peak inter-stream buffer occupancy in rows.
+    pub peak_buffer_rows: u64,
+    /// Mean core utilization.
+    pub utilization: f64,
+    /// Cycles one feature-map row occupies a core.
+    pub row_cycles: u64,
+}
+
+/// Simulates one RK step of the configured integrator on the eNODE ring
+/// with the given scheduling policy.
+pub fn simulate_integrator_step(cfg: &HwConfig, schedule: Schedule) -> SystemReport {
+    let core = CoreModel::from_config(cfg);
+    // One row of one conv layer on one core; with n_conv layers pipelined
+    // across the cores, steady-state throughput is one row per row-time
+    // (time-multiplex rounds when f is deeper than the ring).
+    let rounds = cfg.n_conv.div_ceil(cfg.cores) as u64;
+    let row_cycles = core.packets_per_row(cfg.layer.w) * core.service_cycles() * rounds;
+
+    // Dependency lag between consecutive streams: the embedded network's
+    // pipeline depth in rows.
+    let lag = (cfg.n_conv * (cfg.kernel - 1) / 2 + 1) as u64;
+    let pipe = simulate_pipeline(cfg.stages, cfg.layer.h as u64, lag, schedule);
+
+    // The ring must also stream each row between cores; it overlaps with
+    // compute when fast enough (checked by ring tests), adding only fill.
+    let ring = RingNoc::from_config(cfg);
+    let fill = ring.loop_cycles(LoopDirection::Clockwise, cfg.layer.row_bytes());
+
+    let busy = pipe.makespan - pipe.idle_slots;
+    SystemReport {
+        cycles: pipe.makespan * row_cycles + fill,
+        peak_buffer_rows: pipe.peak_buffer_rows,
+        utilization: busy as f64 / pipe.makespan as f64,
+        row_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depthfirst::integral_state_rows;
+    use crate::pe::f_eval_cycles;
+    use enode_ode::tableau::ButcherTableau;
+
+    #[test]
+    fn packetized_step_matches_analytic_cycles() {
+        // The perf model charges s × f_eval_cycles per trial; the
+        // row-granular system simulation must land within a few percent
+        // (pipeline fill + ring fill).
+        let cfg = HwConfig::config_a();
+        let sim = simulate_integrator_step(&cfg, Schedule::Packetized);
+        let analytic = cfg.stages as u64 * f_eval_cycles(&cfg);
+        let ratio = sim.cycles as f64 / analytic as f64;
+        assert!(
+            (0.98..1.10).contains(&ratio),
+            "sim {} vs analytic {analytic} (ratio {ratio:.3})",
+            sim.cycles
+        );
+        assert!(sim.utilization > 0.9, "utilization {}", sim.utilization);
+    }
+
+    #[test]
+    fn buffer_occupancy_within_provisioned_rows() {
+        // The peak inter-stream occupancy the scheduler produces must fit
+        // in the integral-state buffer Table I provisions.
+        let cfg = HwConfig::config_a();
+        let sim = simulate_integrator_step(&cfg, Schedule::Packetized);
+        let provisioned =
+            integral_state_rows(&ButcherTableau::rk23_bogacki_shampine(), cfg.n_conv, cfg.kernel);
+        assert!(
+            (sim.peak_buffer_rows as usize) < provisioned,
+            "occupancy {} rows vs provisioned {provisioned}",
+            sim.peak_buffer_rows
+        );
+    }
+
+    #[test]
+    fn blocking_needs_full_map_buffers() {
+        let cfg = HwConfig::config_a();
+        let packetized = simulate_integrator_step(&cfg, Schedule::Packetized);
+        let blocking = simulate_integrator_step(&cfg, Schedule::Blocking);
+        // Same throughput class, an order more buffering.
+        assert!(blocking.peak_buffer_rows >= cfg.layer.h as u64);
+        assert!(packetized.peak_buffer_rows * 4 < blocking.peak_buffer_rows);
+        let dt = blocking.cycles.abs_diff(packetized.cycles);
+        assert!(
+            (dt as f64) < 0.05 * packetized.cycles as f64,
+            "cycles should be close: {} vs {}",
+            packetized.cycles,
+            blocking.cycles
+        );
+    }
+
+    #[test]
+    fn deeper_f_time_multiplexes() {
+        let mut cfg = HwConfig::config_a();
+        let base = simulate_integrator_step(&cfg, Schedule::Packetized);
+        cfg.n_conv = 8; // two rounds on 4 cores
+        let deep = simulate_integrator_step(&cfg, Schedule::Packetized);
+        let ratio = deep.cycles as f64 / base.cycles as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio:.2}");
+    }
+}

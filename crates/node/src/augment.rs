@@ -1,0 +1,161 @@
+//! Augmented Neural ODEs (ANODE, Dupont et al. — the paper's reference
+//! \[7\]): the ODE state is padded with extra zero-initialized dimensions,
+//! giving the flow room to avoid the topology constraints of plain NODEs.
+//!
+//! Augmentation happens at the model input (zeros appended as channels for
+//! rank-4 states, features for rank-2); the prediction projects back onto
+//! the original dimensions. The adjoint of the projection pads the
+//! gradient with zeros; the adjoint of the augmentation slices them off.
+
+use enode_tensor::Tensor;
+
+/// Appends `extra` zero channels (rank 4) or features (rank 2).
+///
+/// # Panics
+///
+/// Panics for other ranks.
+pub fn augment(x: &Tensor, extra: usize) -> Tensor {
+    if extra == 0 {
+        return x.clone();
+    }
+    match x.shape().len() {
+        4 => {
+            let (n, c, h, w) = x.shape_obj().nchw();
+            let mut y = Tensor::zeros(&[n, c + extra, h, w]);
+            for ni in 0..n {
+                for ci in 0..c {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            *y.at4_mut(ni, ci, hi, wi) = x.at4(ni, ci, hi, wi);
+                        }
+                    }
+                }
+            }
+            y
+        }
+        2 => {
+            let (n, d) = (x.shape()[0], x.shape()[1]);
+            let mut y = Tensor::zeros(&[n, d + extra]);
+            for ni in 0..n {
+                for di in 0..d {
+                    y.data_mut()[ni * (d + extra) + di] = x.data()[ni * d + di];
+                }
+            }
+            y
+        }
+        r => panic!("augmentation supports rank 2 or 4 states, got rank {r}"),
+    }
+}
+
+/// Keeps the first `keep` channels/features, dropping the augmented ones.
+///
+/// # Panics
+///
+/// Panics if `keep` exceeds the state's channel/feature extent.
+pub fn project(y: &Tensor, keep: usize) -> Tensor {
+    match y.shape().len() {
+        4 => {
+            let (n, c, h, w) = y.shape_obj().nchw();
+            assert!(keep <= c, "cannot keep {keep} of {c} channels");
+            if keep == c {
+                return y.clone();
+            }
+            let mut out = Tensor::zeros(&[n, keep, h, w]);
+            for ni in 0..n {
+                for ci in 0..keep {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            *out.at4_mut(ni, ci, hi, wi) = y.at4(ni, ci, hi, wi);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        2 => {
+            let (n, d) = (y.shape()[0], y.shape()[1]);
+            assert!(keep <= d, "cannot keep {keep} of {d} features");
+            if keep == d {
+                return y.clone();
+            }
+            let mut out = Tensor::zeros(&[n, keep]);
+            for ni in 0..n {
+                for di in 0..keep {
+                    out.data_mut()[ni * keep + di] = y.data()[ni * d + di];
+                }
+            }
+            out
+        }
+        r => panic!("augmentation supports rank 2 or 4 states, got rank {r}"),
+    }
+}
+
+/// Adjoint of [`project`]: pads a gradient over the kept dimensions back
+/// to the augmented extent with zeros (the augmented dims received no
+/// loss signal from the projection).
+pub fn project_adjoint(grad: &Tensor, extra: usize) -> Tensor {
+    augment(grad, extra)
+}
+
+/// Adjoint of [`augment`]: slices a gradient over the augmented state down
+/// to the original dimensions.
+pub fn augment_adjoint(grad: &Tensor, keep: usize) -> Tensor {
+    project(grad, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::init;
+
+    #[test]
+    fn augment_then_project_is_identity() {
+        for dims in [vec![3usize, 4], vec![2, 3, 4, 4]] {
+            let x = init::uniform(&dims, -1.0, 1.0, 1);
+            let keep = dims[1];
+            let padded = augment(&x, 5);
+            assert_eq!(padded.shape()[1], keep + 5);
+            let back = project(&padded, keep);
+            assert_eq!(back.data(), x.data());
+        }
+    }
+
+    #[test]
+    fn augmented_dims_are_zero() {
+        let x = init::uniform(&[2, 3], -1.0, 1.0, 2);
+        let padded = augment(&x, 2);
+        for ni in 0..2 {
+            assert_eq!(padded.data()[ni * 5 + 3], 0.0);
+            assert_eq!(padded.data()[ni * 5 + 4], 0.0);
+        }
+    }
+
+    #[test]
+    fn adjoint_identity_holds() {
+        // <project(y), g> == <y, project_adjoint(g)>.
+        let y = init::uniform(&[2, 6], -1.0, 1.0, 3);
+        let g = init::uniform(&[2, 4], -1.0, 1.0, 4);
+        let lhs = project(&y, 4).dot(&g);
+        let rhs = y.dot(&project_adjoint(&g, 2));
+        assert!((lhs - rhs).abs() < 1e-5);
+        // <augment(x), h> == <x, augment_adjoint(h)>.
+        let x = init::uniform(&[2, 4], -1.0, 1.0, 5);
+        let h = init::uniform(&[2, 6], -1.0, 1.0, 6);
+        let lhs = augment(&x, 2).dot(&h);
+        let rhs = x.dot(&augment_adjoint(&h, 4));
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_extra_is_noop() {
+        let x = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 7);
+        assert_eq!(augment(&x, 0).data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep")]
+    fn overproject_rejected() {
+        let x = init::uniform(&[1, 2], -1.0, 1.0, 8);
+        let _ = project(&x, 5);
+    }
+}

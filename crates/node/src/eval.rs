@@ -1,0 +1,189 @@
+//! Model evaluation utilities: confusion matrices and the
+//! accuracy-versus-compute trade-off curve (the axis along which every
+//! eNODE algorithm knob — ε, s_acc/s_rej, Ĥ — moves a deployment).
+
+use crate::inference::{forward_model, NodeError, NodeSolveOptions};
+use crate::loss::cross_entropy_logits;
+use crate::model::NodeModel;
+use enode_tensor::Tensor;
+
+/// A confusion matrix for a `k`-class classifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty `k × k` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one class");
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Builds the matrix from logits `[N, K]` and true labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes/labels are inconsistent.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Self {
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(labels.len(), n, "one label per sample");
+        let mut m = ConfusionMatrix::new(k);
+        for (ni, &label) in labels.iter().enumerate() {
+            let row = &logits.data()[ni * k..(ni + 1) * k];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            m.record(label, pred);
+        }
+        m
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "class out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        if self.total() == 0 {
+            0.0
+        } else {
+            correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Recall of one class (diagonal / row sum), `None` when unseen.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.k).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+/// One point of an accuracy-vs-compute sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TradeoffPoint {
+    /// Error tolerance ε used.
+    pub tolerance: f64,
+    /// Classification accuracy.
+    pub accuracy: f64,
+    /// Function evaluations per sample.
+    pub nfe_per_sample: f64,
+    /// Trials per integration layer.
+    pub trials_per_layer: f64,
+}
+
+/// Sweeps the tolerance and measures accuracy vs compute for a classifier
+/// model on a labeled batch.
+///
+/// # Errors
+///
+/// Returns [`NodeError`] if any forward pass fails.
+pub fn tolerance_tradeoff(
+    model: &NodeModel,
+    inputs: &Tensor,
+    labels: &[usize],
+    base_opts: &NodeSolveOptions,
+    tolerances: &[f64],
+) -> Result<Vec<TradeoffPoint>, NodeError> {
+    let n = inputs.shape()[0] as f64;
+    let mut out = Vec::with_capacity(tolerances.len());
+    for &tol in tolerances {
+        let mut opts = *base_opts;
+        opts.tolerance = tol;
+        let (logits, trace) = forward_model(model, inputs, &opts)?;
+        let (_, _, acc) = cross_entropy_logits(&logits, labels);
+        out.push(TradeoffPoint {
+            tolerance: tol,
+            accuracy: acc as f64,
+            nfe_per_sample: trace.total_stats().nfe as f64 / n,
+            trials_per_layer: trace.trials_per_layer(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::NodeSolveOptions;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(2, 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.recall(0), Some(0.5));
+        assert_eq!(m.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn from_logits_uses_argmax() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]);
+        let m = ConfusionMatrix::from_logits(&logits, &[0, 0]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+    }
+
+    #[test]
+    fn unseen_class_recall_is_none() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.recall(1), None);
+    }
+
+    #[test]
+    fn tradeoff_nfe_decreases_with_looser_tolerance() {
+        let model = NodeModel::image_classifier(3, 1, 1, 4, 1);
+        let inputs = enode_tensor::init::uniform(&[4, 3, 6, 6], -1.0, 1.0, 2);
+        let labels = [0usize, 1, 2, 3];
+        let pts = tolerance_tradeoff(
+            &model,
+            &inputs,
+            &labels,
+            &NodeSolveOptions::new(1e-3),
+            &[1e-2, 1e-4],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].nfe_per_sample > pts[0].nfe_per_sample,
+            "tighter tolerance must cost more nfe"
+        );
+    }
+}

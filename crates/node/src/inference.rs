@@ -1,0 +1,645 @@
+//! The NODE forward pass: integration layers solved by iterative stepsize
+//! search (paper §II-A/B, Fig 3 "forward pass").
+
+use crate::model::{HeadCache, NodeModel};
+use crate::priority::{
+    find_window, judge_with_priority, num_rows, PriorityOptions, PriorityWindow,
+};
+use enode_ode::controller::{
+    ClassicController, ConventionalSearchController, SlopeAdaptiveController, StepController,
+    TrialDecision,
+};
+use enode_ode::state::StateOps;
+use enode_ode::step::rk_step;
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::network::Network;
+use enode_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Which stepsize-search policy drives the forward pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ControllerKind {
+    /// The conventional search of §II-B: fixed shrink factor, no growth;
+    /// each evaluation point starts from the previous accepted `Δt`.
+    Conventional {
+        /// Rejection shrink factor (0, 1).
+        shrink: f64,
+    },
+    /// The conventional search restarted from the constant `C` at every
+    /// evaluation point — the high-trial-count regime of Fig 4a.
+    ConventionalConstantInit {
+        /// Rejection shrink factor (0, 1).
+        shrink: f64,
+    },
+    /// A literature-standard error-proportional controller.
+    Classic,
+    /// eNODE's slope-adaptive search (§VII-A).
+    SlopeAdaptive {
+        /// Consecutive-accept threshold `s_acc`.
+        s_acc: u32,
+        /// Consecutive-reject threshold `s_rej`.
+        s_rej: u32,
+    },
+}
+
+impl ControllerKind {
+    fn build(&self, tableau: &ButcherTableau, default_dt: f64) -> Box<dyn StepController> {
+        match *self {
+            ControllerKind::Conventional { shrink } => {
+                Box::new(ConventionalSearchController::new(default_dt, shrink))
+            }
+            ControllerKind::ConventionalConstantInit { shrink } => Box::new(
+                ConventionalSearchController::new(default_dt, shrink).with_constant_init(),
+            ),
+            ControllerKind::Classic => Box::new(
+                ClassicController::new(tableau.error_order()).with_default_dt(default_dt),
+            ),
+            ControllerKind::SlopeAdaptive { s_acc, s_rej } => {
+                Box::new(SlopeAdaptiveController::new(s_acc, s_rej).with_default_dt(default_dt))
+            }
+        }
+    }
+}
+
+/// Failure modes of the NODE forward pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeError {
+    /// The stepsize search at some layer could not meet the tolerance.
+    StepsizeUnderflow {
+        /// Which integration layer failed.
+        layer: usize,
+    },
+    /// A state became non-finite.
+    NonFiniteState {
+        /// Which integration layer failed.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::StepsizeUnderflow { layer } => {
+                write!(f, "stepsize search underflowed in integration layer {layer}")
+            }
+            NodeError::NonFiniteState { layer } => {
+                write!(f, "state became non-finite in integration layer {layer}")
+            }
+        }
+    }
+}
+
+impl Error for NodeError {}
+
+/// Options for the NODE forward pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSolveOptions {
+    /// Error tolerance ε (paper experiments use 1e-6).
+    pub tolerance: f64,
+    /// The pre-defined initial stepsize `C`.
+    pub default_dt: f64,
+    /// Stepsize-search policy.
+    pub controller: ControllerKind,
+    /// Priority processing + early stop, when enabled.
+    pub priority: Option<PriorityOptions>,
+    /// Integrator (RK23 in all paper experiments).
+    pub tableau_kind: TableauKind,
+    /// Trial budget per evaluation point.
+    pub max_trials_per_point: usize,
+    /// Evaluation-point budget per layer.
+    pub max_points: usize,
+    /// Smallest permissible stepsize.
+    pub dt_min: f64,
+    /// When true, accepted states are quantized through IEEE binary16
+    /// after every step — modeling the prototype's FP16 storage datapath
+    /// (paper §VIII: "All designs use FP16 precision").
+    pub fp16_storage: bool,
+    /// Store every `k`-th accepted state as an ACA checkpoint (1 = every
+    /// evaluation point, the paper's setting). Larger strides trade
+    /// checkpoint memory for recomputation in the backward pass, which
+    /// replays each inter-checkpoint segment with one extra local forward.
+    pub checkpoint_stride: usize,
+}
+
+/// Which integrator to use (a small enum so options stay `Copy`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableauKind {
+    /// Heun 2(1).
+    HeunEuler,
+    /// Bogacki–Shampine 3(2) — the paper's RK23.
+    Rk23,
+    /// Fehlberg 5(4).
+    Rkf45,
+    /// Dormand–Prince 5(4).
+    Dopri5,
+}
+
+impl TableauKind {
+    /// Materializes the Butcher tableau.
+    pub fn tableau(self) -> ButcherTableau {
+        match self {
+            TableauKind::HeunEuler => ButcherTableau::heun_euler(),
+            TableauKind::Rk23 => ButcherTableau::rk23_bogacki_shampine(),
+            TableauKind::Rkf45 => ButcherTableau::rkf45(),
+            TableauKind::Dopri5 => ButcherTableau::dopri5(),
+        }
+    }
+}
+
+impl NodeSolveOptions {
+    /// Defaults matching the paper's experimental setup: RK23, conventional
+    /// search with shrink 0.5, initial stepsize 0.1, no priority.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        NodeSolveOptions {
+            tolerance,
+            default_dt: 0.1,
+            controller: ControllerKind::Conventional { shrink: 0.5 },
+            priority: None,
+            tableau_kind: TableauKind::Rk23,
+            max_trials_per_point: 64,
+            max_points: 100_000,
+            dt_min: 1e-10,
+            fp16_storage: false,
+            checkpoint_stride: 1,
+        }
+    }
+
+    /// Sets the checkpoint stride (bounded-memory ACA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_checkpoint_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "checkpoint stride must be positive");
+        self.checkpoint_stride = stride;
+        self
+    }
+
+    /// Enables FP16 quantization of stored states (checkpoints and the
+    /// running state) — the prototype's storage precision.
+    pub fn with_fp16_storage(mut self) -> Self {
+        self.fp16_storage = true;
+        self
+    }
+
+    /// Switches the stepsize-search policy.
+    pub fn with_controller(mut self, kind: ControllerKind) -> Self {
+        self.controller = kind;
+        self
+    }
+
+    /// Enables priority processing + early stop with window `Ĥ`.
+    pub fn with_priority(mut self, window_rows: usize) -> Self {
+        self.priority = Some(PriorityOptions::new(window_rows));
+        self
+    }
+
+    /// Sets the initial stepsize constant `C`.
+    pub fn with_default_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite());
+        self.default_dt = dt;
+        self
+    }
+
+    /// Switches the integrator.
+    pub fn with_tableau(mut self, kind: TableauKind) -> Self {
+        self.tableau_kind = kind;
+        self
+    }
+}
+
+/// Record of one accepted integration step (one checkpoint interval).
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Start time of the step.
+    pub t0: f64,
+    /// Accepted stepsize.
+    pub dt: f64,
+    /// Trials the search used (1 = accepted immediately).
+    pub trials: usize,
+}
+
+/// Per-layer statistics of the forward pass — the quantities Figs 11/13
+/// plot.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerStats {
+    /// Evaluation points (accepted steps), `n_eval`.
+    pub points: usize,
+    /// Total trials (accepted + rejected).
+    pub trials: usize,
+    /// Rejected trials.
+    pub rejected: usize,
+    /// Function evaluations.
+    pub nfe: usize,
+    /// Rows of the feature map processed across all trials.
+    pub rows_processed: u64,
+    /// Rows a non-prioritized implementation would have processed.
+    pub rows_total: u64,
+    /// Trials that stopped early in the priority window.
+    pub early_stops: usize,
+}
+
+/// One stored ACA checkpoint: the state at the *left edge* of step
+/// `step` (so `step == 0` is the layer input).
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Index of the step this state precedes.
+    pub step: usize,
+    /// Time of the checkpoint.
+    pub t: f64,
+    /// The stored state.
+    pub state: Tensor,
+}
+
+/// Trace of one integration layer's forward pass. Checkpoints are exactly
+/// the states the ACA method stores for the backward pass (§II-C) —
+/// every accepted evaluation point at stride 1, sparser otherwise.
+#[derive(Clone, Debug)]
+pub struct LayerTrace {
+    /// Stored checkpoints in increasing step order (always starts at the
+    /// layer input, step 0).
+    pub checkpoints: Vec<Checkpoint>,
+    /// One record per accepted step (`checkpoints.len() - 1` records).
+    pub steps: Vec<StepRecord>,
+    /// Layer statistics.
+    pub stats: LayerStats,
+    /// The integrator used (the backward pass replays it).
+    pub tableau: TableauKind,
+}
+
+impl LayerTrace {
+    /// Bytes of checkpoint storage at the given element width — the DRAM
+    /// traffic the forward pass generates for the backward pass.
+    pub fn checkpoint_bytes(&self, bytes_per_element: usize) -> u64 {
+        self.checkpoints
+            .iter()
+            .map(|c| c.state.storage_bytes(bytes_per_element) as u64)
+            .sum()
+    }
+}
+
+/// Trace of a full forward pass.
+#[derive(Clone, Debug)]
+pub struct ForwardTrace {
+    /// One trace per integration layer.
+    pub layers: Vec<LayerTrace>,
+    /// Head cache when the model has a classifier head.
+    pub head_cache: Option<HeadCache>,
+}
+
+impl ForwardTrace {
+    /// Sum of layer statistics.
+    pub fn total_stats(&self) -> LayerStats {
+        let mut acc = LayerStats::default();
+        for l in &self.layers {
+            acc.points += l.stats.points;
+            acc.trials += l.stats.trials;
+            acc.rejected += l.stats.rejected;
+            acc.nfe += l.stats.nfe;
+            acc.rows_processed += l.stats.rows_processed;
+            acc.rows_total += l.stats.rows_total;
+            acc.early_stops += l.stats.early_stops;
+        }
+        acc
+    }
+
+    /// Mean trials per integration layer (the y-axis of Figs 11 and 13).
+    pub fn trials_per_layer(&self) -> f64 {
+        self.total_stats().trials as f64 / self.layers.len() as f64
+    }
+}
+
+/// Solves one integration layer `[t0, t1]` with iterative stepsize search.
+///
+/// # Errors
+///
+/// Returns [`NodeError`] on stepsize underflow or non-finite states
+/// (`layer` is reported as 0; [`forward_model`] rewrites it).
+pub fn forward_layer(
+    f: &Network,
+    y0: &Tensor,
+    t_span: (f64, f64),
+    opts: &NodeSolveOptions,
+) -> Result<(Tensor, LayerTrace), NodeError> {
+    let tableau = opts.tableau_kind.tableau();
+    let mut controller = opts.controller.build(&tableau, opts.default_dt);
+    let (t0, t1) = t_span;
+    let rows_per_map = num_rows(y0) as u64;
+
+    let mut y = y0.clone();
+    let mut t = t0;
+    let mut checkpoints = vec![Checkpoint {
+        step: 0,
+        t: t0,
+        state: y0.clone(),
+    }];
+    let mut steps = Vec::new();
+    let mut stats = LayerStats::default();
+    let mut dt_hint: Option<f64> = None;
+    let mut fsal: Option<Tensor> = None;
+
+    while t < t1 - 1e-12 {
+        if checkpoints.len() > opts.max_points {
+            return Err(NodeError::StepsizeUnderflow { layer: 0 });
+        }
+        let remaining = t1 - t;
+        let mut dt = controller
+            .begin_point(dt_hint, remaining)
+            .max(opts.dt_min)
+            .min(remaining);
+        let mut trials = 0usize;
+        let mut k1: Option<Tensor> = fsal.take();
+        let mut window: Option<PriorityWindow> = None;
+        loop {
+            trials += 1;
+            stats.trials += 1;
+            if trials > opts.max_trials_per_point {
+                return Err(NodeError::StepsizeUnderflow { layer: 0 });
+            }
+            let mut eval = |tt: f64, yy: &Tensor| f.eval(tt as f32, yy);
+            let out = rk_step(&tableau, &mut eval, t, dt, &y, k1.clone());
+            stats.nfe += out.nfe;
+            if !out.y_next.is_finite() {
+                return Err(NodeError::NonFiniteState { layer: 0 });
+            }
+            // k1 = f(t, y) is dt-independent: reuse it across retrials.
+            k1 = Some(out.stages[0].clone());
+            let error = out.error.as_ref().expect("adaptive tableau");
+
+            // Decision norm: full map on the first trial (which also
+            // initializes the priority window), window-only afterwards.
+            let (decision_norm, rows_this_trial, early) = match (opts.priority, trials) {
+                (Some(p), 1) => {
+                    window = Some(find_window(error, p.window_rows));
+                    (StateOps::norm_l2(error), rows_per_map, false)
+                }
+                (Some(_), _) => {
+                    let w = window.expect("window set on first trial");
+                    let j = judge_with_priority(error, w, opts.tolerance);
+                    (j.decision_norm, j.rows_processed as u64, j.early_stopped)
+                }
+                (None, _) => (StateOps::norm_l2(error), rows_per_map, false),
+            };
+            stats.rows_processed += rows_this_trial;
+            stats.rows_total += rows_per_map;
+            if early {
+                stats.early_stops += 1;
+            }
+
+            let ratio = decision_norm / opts.tolerance;
+            match controller.on_trial(dt, ratio) {
+                TrialDecision::Accept { dt_next_hint } => {
+                    t += dt;
+                    y = out.y_next;
+                    if opts.fp16_storage {
+                        for v in y.data_mut() {
+                            *v = enode_tensor::F16::from_f32(*v).to_f32();
+                        }
+                    }
+                    if tableau.is_fsal() {
+                        fsal = out.stages.into_iter().last();
+                    }
+                    steps.push(StepRecord { t0: t - dt, dt, trials });
+                    if steps.len() % opts.checkpoint_stride == 0 {
+                        checkpoints.push(Checkpoint {
+                            step: steps.len(),
+                            t,
+                            state: y.clone(),
+                        });
+                    }
+                    stats.points += 1;
+                    dt_hint = Some(dt_next_hint);
+                    controller.end_point(trials == 1);
+                    break;
+                }
+                TrialDecision::Reject { dt_retry } => {
+                    stats.rejected += 1;
+                    if dt_retry < opts.dt_min {
+                        return Err(NodeError::StepsizeUnderflow { layer: 0 });
+                    }
+                    dt = dt_retry;
+                }
+            }
+        }
+    }
+
+    let trace = LayerTrace {
+        checkpoints,
+        steps,
+        stats,
+        tableau: opts.tableau_kind,
+    };
+    Ok((y, trace))
+}
+
+/// Runs the full NODE forward pass: every integration layer in sequence,
+/// then the classifier head if present. Returns the model output (logits
+/// when a head exists, else the final state) and the full trace.
+///
+/// # Errors
+///
+/// Returns [`NodeError`] identifying the failing layer.
+pub fn forward_model(
+    model: &NodeModel,
+    x: &Tensor,
+    opts: &NodeSolveOptions,
+) -> Result<(Tensor, ForwardTrace), NodeError> {
+    let orig_width = x.shape()[1];
+    let mut state = crate::augment::augment(x, model.augment_dims());
+    let mut layers = Vec::with_capacity(model.num_layers());
+    for (li, f) in model.layers().iter().enumerate() {
+        let (y, trace) = forward_layer(f, &state, model.t_span(), opts).map_err(|e| match e {
+            NodeError::StepsizeUnderflow { .. } => NodeError::StepsizeUnderflow { layer: li },
+            NodeError::NonFiniteState { .. } => NodeError::NonFiniteState { layer: li },
+        })?;
+        state = y;
+        layers.push(trace);
+    }
+    // ANODE: predictions live in the original dimensions.
+    let projected = crate::augment::project(&state, orig_width);
+    let (output, head_cache) = match model.head() {
+        Some(head) => {
+            let (logits, cache) = head.forward(&projected);
+            (logits, Some(cache))
+        }
+        None => (projected, None),
+    };
+    Ok((output, ForwardTrace { layers, head_cache }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::dense::Dense;
+    use enode_tensor::network::Op;
+
+    /// A NODE whose embedded network computes exactly f(t, h) = -h,
+    /// so the layer computes h(1) = h(0)·e^{-1}.
+    fn decay_network() -> Network {
+        let w = Tensor::from_vec(vec![-1.0], &[1, 1]);
+        let b = Tensor::zeros(&[1]);
+        Network::new(vec![Op::dense(Dense::from_parts(w, b))])
+    }
+
+    #[test]
+    fn layer_solves_known_ode() {
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let opts = NodeSolveOptions::new(1e-7).with_default_dt(0.05);
+        let (y, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap();
+        assert!(
+            (y.data()[0] - (-1.0f32).exp()).abs() < 1e-4,
+            "got {}",
+            y.data()[0]
+        );
+        assert_eq!(trace.checkpoints.len(), trace.steps.len() + 1);
+        assert!(trace.stats.points >= 5);
+    }
+
+    #[test]
+    fn trace_times_are_monotone_and_cover_span() {
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![2.0], &[1, 1]);
+        let opts = NodeSolveOptions::new(1e-6);
+        let (_, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap();
+        let mut prev = -1.0;
+        for c in &trace.checkpoints {
+            assert!(c.t > prev);
+            prev = c.t;
+        }
+        assert_eq!(trace.checkpoints[0].t, 0.0);
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_tolerance_more_points() {
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let loose = forward_layer(&f, &y0, (0.0, 1.0), &NodeSolveOptions::new(1e-3))
+            .unwrap()
+            .1;
+        let tight = forward_layer(&f, &y0, (0.0, 1.0), &NodeSolveOptions::new(1e-8))
+            .unwrap()
+            .1;
+        assert!(tight.stats.points > loose.stats.points);
+    }
+
+    #[test]
+    fn multi_layer_model_composes() {
+        // Two decay layers: h -> h e^{-1} -> h e^{-2}.
+        let model = NodeModel::new(vec![decay_network(), decay_network()], (0.0, 1.0));
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let opts = NodeSolveOptions::new(1e-7).with_default_dt(0.05);
+        let (y, trace) = forward_model(&model, &x, &opts).unwrap();
+        assert!((y.data()[0] - (-2.0f32).exp()).abs() < 1e-3);
+        assert_eq!(trace.layers.len(), 2);
+    }
+
+    #[test]
+    fn slope_adaptive_beats_conventional_on_decay() {
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let conv = NodeSolveOptions::new(1e-6)
+            .with_default_dt(0.02)
+            .with_controller(ControllerKind::Conventional { shrink: 0.5 });
+        let slope = NodeSolveOptions::new(1e-6)
+            .with_default_dt(0.02)
+            .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 });
+        let t_conv = forward_layer(&f, &y0, (0.0, 2.0), &conv).unwrap().1;
+        let t_slope = forward_layer(&f, &y0, (0.0, 2.0), &slope).unwrap().1;
+        assert!(
+            t_slope.stats.trials < t_conv.stats.trials,
+            "slope {} vs conventional {}",
+            t_slope.stats.trials,
+            t_conv.stats.trials
+        );
+    }
+
+    #[test]
+    fn priority_reduces_rows_when_rejections_happen() {
+        // Batch of 16 samples; start with a too-large dt to force rejects.
+        let f = Network::new(vec![Op::dense(Dense::from_parts(
+            Tensor::from_vec(vec![-3.0], &[1, 1]),
+            Tensor::zeros(&[1]),
+        ))]);
+        let mut y0 = Tensor::zeros(&[16, 1]);
+        for i in 0..16 {
+            y0.data_mut()[i] = 1.0 + i as f32;
+        }
+        let base = NodeSolveOptions::new(1e-6).with_default_dt(0.5);
+        let prio = base.with_priority(4);
+        let tb = forward_layer(&f, &y0, (0.0, 1.0), &base).unwrap().1;
+        let tp = forward_layer(&f, &y0, (0.0, 1.0), &prio).unwrap().1;
+        assert!(tb.stats.rejected > 0, "test needs rejections to be meaningful");
+        assert!(tp.stats.early_stops > 0, "priority should early-stop rejects");
+        assert!(
+            tp.stats.rows_processed < tp.stats.rows_total,
+            "early stops must save rows"
+        );
+    }
+
+    #[test]
+    fn non_finite_dynamics_reported_with_layer() {
+        // Failure injection: a network whose weights explode produces NaN/
+        // inf states; the solver must fail cleanly, naming the layer.
+        let w = Tensor::from_vec(vec![1e30], &[1, 1]);
+        let bad = Network::new(vec![Op::dense(Dense::from_parts(w, Tensor::zeros(&[1])))]);
+        let model = NodeModel::new(vec![decay_network(), bad], (0.0, 1.0));
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let err = forward_model(&model, &x, &NodeSolveOptions::new(1e-5)).unwrap_err();
+        match err {
+            NodeError::NonFiniteState { layer } => assert_eq!(layer, 1),
+            NodeError::StepsizeUnderflow { layer } => assert_eq!(layer, 1),
+        }
+    }
+
+    #[test]
+    fn impossible_tolerance_underflows_cleanly() {
+        // A tolerance below the f32 noise floor exhausts the trial budget
+        // instead of looping forever.
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let mut opts = NodeSolveOptions::new(1e-30);
+        opts.max_trials_per_point = 8;
+        opts.dt_min = 1e-6;
+        let err = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap_err();
+        assert!(matches!(err, NodeError::StepsizeUnderflow { .. }));
+    }
+
+    #[test]
+    fn fp16_storage_quantizes_but_stays_accurate() {
+        let f = decay_network();
+        let y0 = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let opts32 = NodeSolveOptions::new(1e-5).with_default_dt(0.05);
+        let opts16 = opts32.with_fp16_storage();
+        let (y32, _) = forward_layer(&f, &y0, (0.0, 1.0), &opts32).unwrap();
+        let (y16, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts16).unwrap();
+        // Different bits (quantization happened) ...
+        assert_ne!(y32.data(), y16.data());
+        // ... but within FP16 accumulation error of the exact solution.
+        let exact = (-1.0f32).exp();
+        assert!(
+            (y16.data()[0] - exact).abs() < 1e-2,
+            "fp16 path drifted: {} vs {exact}",
+            y16.data()[0]
+        );
+        // Every checkpoint is exactly representable in binary16.
+        for ck in &trace.checkpoints {
+            for &v in ck.state.data() {
+                assert_eq!(enode_tensor::F16::from_f32(v).to_f32(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn head_output_shape() {
+        let model = NodeModel::image_classifier(4, 2, 1, 10, 0);
+        let x = Tensor::ones(&[2, 4, 6, 6]);
+        let opts = NodeSolveOptions::new(1e-3);
+        let (logits, trace) = forward_model(&model, &x, &opts).unwrap();
+        assert_eq!(logits.shape(), &[2, 10]);
+        assert!(trace.head_cache.is_some());
+    }
+}

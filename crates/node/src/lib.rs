@@ -1,0 +1,55 @@
+//! Neural ODE (NODE) inference and training — the eNODE paper's algorithm
+//! stack.
+//!
+//! A NODE (paper §II) models a dynamic system as a stack of **integration
+//! layers**, each solving the initial-value problem
+//! `dh/dt = f(t, h(t), θ)` with a shallow **embedded NN** `f`. This crate
+//! implements:
+//!
+//! * [`model`] — the NODE model: per-layer embedded networks, time spans,
+//!   and optional classifier head.
+//! * [`inference`] — the forward pass: per evaluation point, an iterative
+//!   stepsize search (conventional, classic or eNODE's slope-adaptive)
+//!   drives RK trial integrations until `‖e‖₂ ≤ ε`.
+//! * [`priority`] — eNODE's **priority processing and early stop**
+//!   (§VII-B): the high-error row window `Ĥ` found in the first trial
+//!   judges subsequent trials, allowing rejected trials to terminate after
+//!   `Ĥ` rows.
+//! * [`train`] — the backward pass: the **adaptive-checkpoint-adjoint
+//!   (ACA)** method (§II-C): only accepted evaluation points are stored as
+//!   checkpoints; each backward interval recomputes its intermediate
+//!   training states with a local forward step, then propagates the adjoint
+//!   and parameter gradients through the integrator's computation graph.
+//! * [`profile`] — latency/memory/compute profiles (paper §II-D, Fig 3/4).
+//!
+//! # Example: fit a Neural ODE to an exponential decay
+//!
+//! ```
+//! use enode_node::model::NodeModel;
+//! use enode_node::inference::{forward_model, NodeSolveOptions};
+//! use enode_tensor::{Tensor, network::{Network, Op}, dense::Dense};
+//!
+//! let f = Network::new(vec![
+//!     Op::dense(Dense::new_seeded(1, 8, 1)),
+//!     Op::tanh(),
+//!     Op::dense(Dense::new_seeded(8, 1, 2)),
+//! ]);
+//! let model = NodeModel::new(vec![f], (0.0, 1.0));
+//! let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+//! let opts = NodeSolveOptions::new(1e-4);
+//! let (y, trace) = forward_model(&model, &x, &opts).unwrap();
+//! assert_eq!(y.shape(), &[1, 1]);
+//! assert!(trace.layers[0].stats.trials >= 1);
+//! ```
+
+pub mod augment;
+pub mod eval;
+pub mod inference;
+pub mod loss;
+pub mod model;
+pub mod priority;
+pub mod profile;
+pub mod train;
+
+pub use inference::{forward_model, ControllerKind, NodeSolveOptions};
+pub use model::NodeModel;

@@ -1,0 +1,143 @@
+//! Loss functions with gradients.
+
+use enode_tensor::Tensor;
+
+/// Mean-squared-error loss `L = mean((pred − target)²)`.
+///
+/// Returns `(loss, dL/dpred)`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred - target;
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Softmax cross-entropy over logits `[N, K]` with integer labels.
+///
+/// Returns `(mean loss, dL/dlogits, accuracy)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor, f32) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [N, K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per sample");
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for ni in 0..n {
+        let row = &logits.data()[ni * k..(ni + 1) * k];
+        let label = labels[ni];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if argmax == label {
+            correct += 1;
+        }
+        loss += -((exps[label] / sum).max(1e-30).ln()) as f64;
+        for ki in 0..k {
+            let p = exps[ki] / sum;
+            let target = if ki == label { 1.0 } else { 0.0 };
+            grad.data_mut()[ni * k + ki] = (p - target) / n as f32;
+        }
+    }
+    (
+        (loss / n as f64) as f32,
+        grad,
+        correct as f32 / n as f32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::init;
+
+    #[test]
+    fn mse_zero_at_match() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_matches_fd() {
+        let mut pred = init::uniform(&[6], -1.0, 1.0, 1);
+        let target = init::uniform(&[6], -1.0, 1.0, 2);
+        let (_, grad) = mse(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let orig = pred.data()[i];
+            pred.data_mut()[i] = orig + eps;
+            let lp = mse(&pred, &target).0;
+            pred.data_mut()[i] = orig - eps;
+            let lm = mse(&pred, &target).0;
+            pred.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let (loss, _, acc) = cross_entropy_logits(&logits, &[0]);
+        assert!(loss < 1e-3);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let mut logits = init::uniform(&[2, 4], -2.0, 2.0, 3);
+        let labels = [1usize, 3];
+        let (_, grad, _) = cross_entropy_logits(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..8 {
+            let orig = logits.data()[i];
+            logits.data_mut()[i] = orig + eps;
+            let lp = cross_entropy_logits(&logits, &labels).0;
+            logits.data_mut()[i] = orig - eps;
+            let lm = cross_entropy_logits(&logits, &labels).0;
+            logits.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.data()[i]).abs() < 1e-3,
+                "logit {i}: fd {fd} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = init::uniform(&[3, 5], -2.0, 2.0, 4);
+        let (_, grad, _) = cross_entropy_logits(&logits, &[0, 2, 4]);
+        for ni in 0..3 {
+            let s: f32 = grad.data()[ni * 5..(ni + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let (_, _, acc) = cross_entropy_logits(&logits, &[0, 0]);
+        assert_eq!(acc, 0.5);
+    }
+}

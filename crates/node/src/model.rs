@@ -1,0 +1,393 @@
+//! The Neural-ODE model: integration layers, embedded networks and heads.
+
+use enode_tensor::dense::Dense;
+use enode_tensor::network::{Network, Op};
+use enode_tensor::Tensor;
+
+/// A classification head: global average pooling over the spatial
+/// dimensions followed by a dense layer to class logits. (Rank-2 states
+/// skip the pooling.)
+#[derive(Clone, Debug)]
+pub struct ClassifierHead {
+    dense: Dense,
+}
+
+/// Cache from the head's forward pass.
+#[derive(Clone, Debug)]
+pub struct HeadCache {
+    pooled: Tensor,
+    in_shape: Vec<usize>,
+}
+
+impl ClassifierHead {
+    /// Creates a head mapping `features` to `classes` logits.
+    pub fn new_seeded(features: usize, classes: usize, seed: u64) -> Self {
+        ClassifierHead {
+            dense: Dense::new_seeded(features, classes, seed),
+        }
+    }
+
+    /// The dense readout layer.
+    pub fn dense(&self) -> &Dense {
+        &self.dense
+    }
+
+    /// Mutable access to the readout layer.
+    pub fn dense_mut(&mut self) -> &mut Dense {
+        &mut self.dense
+    }
+
+    /// Forward pass: `[N, C, H, W] → GAP → [N, C] → logits [N, K]`, or
+    /// `[N, D] → logits` directly.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, HeadCache) {
+        let pooled = match x.shape().len() {
+            4 => global_avg_pool(x),
+            2 => x.clone(),
+            r => panic!("classifier head takes rank 2 or 4 input, got rank {r}"),
+        };
+        let logits = self.dense.forward(&pooled);
+        (
+            logits,
+            HeadCache {
+                pooled,
+                in_shape: x.shape().to_vec(),
+            },
+        )
+    }
+
+    /// Backward pass: returns `(dx, dweight, dbias)`.
+    pub fn backward(&self, cache: &HeadCache, dlogits: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let (dw, db) = self.dense.backward_params(&cache.pooled, dlogits);
+        let dpooled = self.dense.backward_input(dlogits);
+        let dx = match cache.in_shape.len() {
+            4 => global_avg_pool_backward(&dpooled, &cache.in_shape),
+            _ => dpooled,
+        };
+        (dx, dw, db)
+    }
+}
+
+fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape_obj().nchw();
+    let mut out = Tensor::zeros(&[n, c]);
+    let inv = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    acc += x.at4(ni, ci, hi, wi);
+                }
+            }
+            out.data_mut()[ni * c + ci] = acc * inv;
+        }
+    }
+    out
+}
+
+fn global_avg_pool_backward(dpooled: &Tensor, in_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut dx = Tensor::zeros(in_shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = dpooled.data()[ni * c + ci] * inv;
+            for hi in 0..h {
+                for wi in 0..w {
+                    *dx.at4_mut(ni, ci, hi, wi) = g;
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// A Neural-ODE model: `N` integration layers (each an IVP over the same
+/// time span with its own embedded network) and an optional classifier
+/// head.
+///
+/// # Example
+///
+/// ```
+/// use enode_node::model::NodeModel;
+/// use enode_tensor::network::{Network, Op};
+/// use enode_tensor::dense::Dense;
+/// let f = Network::new(vec![Op::dense(Dense::new_seeded(2, 2, 0))]);
+/// let model = NodeModel::new(vec![f.clone(), f], (0.0, 1.0));
+/// assert_eq!(model.num_layers(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeModel {
+    layers: Vec<Network>,
+    t_span: (f64, f64),
+    head: Option<ClassifierHead>,
+    augment: usize,
+}
+
+impl NodeModel {
+    /// Creates a model from per-layer embedded networks and the per-layer
+    /// integration span `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or the span is not increasing.
+    pub fn new(layers: Vec<Network>, t_span: (f64, f64)) -> Self {
+        assert!(!layers.is_empty(), "a NODE needs at least one integration layer");
+        assert!(t_span.1 > t_span.0, "integration span must be increasing");
+        NodeModel {
+            layers,
+            t_span,
+            head: None,
+            augment: 0,
+        }
+    }
+
+    /// Attaches a classifier head.
+    pub fn with_head(mut self, head: ClassifierHead) -> Self {
+        self.head = Some(head);
+        self
+    }
+
+    /// Turns the model into an Augmented NODE (ANODE \[7\]): `extra` zero
+    /// channels/features are appended to the input state before the first
+    /// integration layer and dropped from the prediction. The embedded
+    /// networks must be built for the augmented width.
+    pub fn with_augmentation(mut self, extra: usize) -> Self {
+        self.augment = extra;
+        self
+    }
+
+    /// Extra augmented dimensions (0 for a plain NODE).
+    pub fn augment_dims(&self) -> usize {
+        self.augment
+    }
+
+    /// Number of integration layers (`N` of the paper).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The embedded networks, one per integration layer.
+    pub fn layers(&self) -> &[Network] {
+        &self.layers
+    }
+
+    /// Mutable access to the embedded networks.
+    pub fn layers_mut(&mut self) -> &mut [Network] {
+        &mut self.layers
+    }
+
+    /// The per-layer time span.
+    pub fn t_span(&self) -> (f64, f64) {
+        self.t_span
+    }
+
+    /// The classifier head, if any.
+    pub fn head(&self) -> Option<&ClassifierHead> {
+        self.head.as_ref()
+    }
+
+    /// Mutable access to the head.
+    pub fn head_mut(&mut self) -> Option<&mut ClassifierHead> {
+        self.head.as_mut()
+    }
+
+    /// Mutable references to every trainable parameter: each layer's
+    /// network parameters in order, then the head's weight and bias. The
+    /// trainer's gradient vector is aligned with this order.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out = Vec::new();
+        for f in &mut self.layers {
+            out.extend(f.params_mut());
+        }
+        if let Some(head) = &mut self.head {
+            let (w, b) = head.dense.params_mut();
+            out.push(w);
+            out.push(b);
+        }
+        out
+    }
+
+    /// Total scalar parameter count (embedded networks + head).
+    pub fn scalar_param_count(&self) -> usize {
+        let mut n: usize = self.layers.iter().map(Network::scalar_param_count).sum();
+        if let Some(h) = &self.head {
+            n += h.dense().weight().len() + h.dense().bias().len();
+        }
+        n
+    }
+
+    /// Builds the standard dynamic-system NODE used by the Three-Body /
+    /// Lotka–Volterra experiments: `num_layers` integration layers, each an
+    /// MLP `dim → hidden → dim` with tanh and time injection.
+    pub fn dynamic_system(dim: usize, hidden: usize, num_layers: usize, seed: u64) -> Self {
+        let layers = (0..num_layers)
+            .map(|l| {
+                Network::new(vec![
+                    Op::ConcatTime,
+                    Op::dense(Dense::new_seeded(dim + 1, hidden, seed + 10 * l as u64)),
+                    Op::tanh(),
+                    Op::dense(Dense::new_seeded(hidden, dim, seed + 10 * l as u64 + 1)),
+                ])
+            })
+            .collect();
+        NodeModel::new(layers, (0.0, 1.0))
+    }
+
+    /// Builds an augmented dynamic-system NODE (ANODE): the flow runs in
+    /// `dim + extra` dimensions; predictions project back to `dim`.
+    pub fn dynamic_system_augmented(
+        dim: usize,
+        extra: usize,
+        hidden: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        Self::dynamic_system(dim + extra, hidden, num_layers, seed).with_augmentation(extra)
+    }
+
+    /// Like [`NodeModel::image_classifier`] but with GroupNorm between the
+    /// convolutions — the Norm layers the eNODE NN core's pre-/post-
+    /// processing unit computes (§VI), and the standard NODE-classifier
+    /// recipe (batch statistics would make `f` batch-dependent).
+    pub fn image_classifier_normed(
+        channels: usize,
+        n_conv: usize,
+        num_layers: usize,
+        classes: usize,
+        groups: usize,
+        seed: u64,
+    ) -> Self {
+        use enode_tensor::conv::Conv2d;
+        use enode_tensor::norm::GroupNorm;
+        let layers: Vec<Network> = (0..num_layers)
+            .map(|l| {
+                let mut ops = Vec::new();
+                for k in 0..n_conv {
+                    ops.push(Op::conv2d(Conv2d::new_seeded(
+                        channels,
+                        channels,
+                        3,
+                        seed + (l * n_conv + k) as u64,
+                    )));
+                    ops.push(Op::group_norm(GroupNorm::new(channels, groups)));
+                    if k + 1 < n_conv {
+                        ops.push(Op::relu());
+                    }
+                }
+                ops.push(Op::tanh());
+                Network::new(ops)
+            })
+            .collect();
+        NodeModel::new(layers, (0.0, 1.0))
+            .with_head(ClassifierHead::new_seeded(channels, classes, seed + 999))
+    }
+
+    /// Builds the image-classification NODE of the paper's profiling setup
+    /// (§II-D): `num_layers` integration layers whose embedded network is a
+    /// stack of `n_conv` 3×3 convolutions with ReLU between them, plus a
+    /// classifier head.
+    pub fn image_classifier(
+        channels: usize,
+        n_conv: usize,
+        num_layers: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        use enode_tensor::conv::Conv2d;
+        let layers: Vec<Network> = (0..num_layers)
+            .map(|l| {
+                let mut ops = Vec::new();
+                for k in 0..n_conv {
+                    ops.push(Op::conv2d(Conv2d::new_seeded(
+                        channels,
+                        channels,
+                        3,
+                        seed + (l * n_conv + k) as u64,
+                    )));
+                    if k + 1 < n_conv {
+                        ops.push(Op::relu());
+                    }
+                }
+                // tanh keeps the ODE field bounded, as NODE classifiers do.
+                ops.push(Op::tanh());
+                Network::new(ops)
+            })
+            .collect();
+        NodeModel::new(layers, (0.0, 1.0))
+            .with_head(ClassifierHead::new_seeded(channels, classes, seed + 999))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::init;
+
+    #[test]
+    fn gap_averages() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let p = global_avg_pool(&x);
+        assert_eq!(p.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn gap_backward_distributes() {
+        let d = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let dx = global_avg_pool_backward(&d, &[1, 2, 2, 2]);
+        assert_eq!(dx.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(dx.at4(0, 1, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn head_forward_shapes() {
+        let head = ClassifierHead::new_seeded(4, 10, 1);
+        let x = Tensor::ones(&[2, 4, 3, 3]);
+        let (logits, _) = head.forward(&x);
+        assert_eq!(logits.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn head_gradient_matches_fd() {
+        let head = ClassifierHead::new_seeded(3, 2, 5);
+        let mut x = init::uniform(&[1, 3, 2, 2], -1.0, 1.0, 6);
+        let v = init::uniform(&[1, 2], -1.0, 1.0, 7);
+        let (_, cache) = head.forward(&x);
+        let (dx, _, _) = head.backward(&cache, &v);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = head.forward(&x).0.dot(&v);
+            x.data_mut()[idx] = orig - eps;
+            let lm = head.forward(&x).0.dot(&v);
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.data()[idx]).abs() < 1e-2 * fd.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dynamic_system_builder() {
+        let m = NodeModel::dynamic_system(3, 16, 4, 0);
+        assert_eq!(m.num_layers(), 4);
+        assert!(m.head().is_none());
+        let y = m.layers()[0].eval(0.5, &Tensor::ones(&[1, 3]));
+        assert_eq!(y.shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn image_classifier_builder() {
+        let m = NodeModel::image_classifier(4, 2, 2, 10, 0);
+        assert_eq!(m.num_layers(), 2);
+        assert!(m.head().is_some());
+        let y = m.layers()[0].eval(0.0, &Tensor::ones(&[1, 4, 5, 5]));
+        assert_eq!(y.shape(), &[1, 4, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_model_rejected() {
+        let _ = NodeModel::new(vec![], (0.0, 1.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Algorithm-level latency and memory profiling (paper §II-D, Figs 3/4).
+//!
+//! Latency is counted in *evaluation units*: one forward pass of the
+//! embedded NN `f` costs 1 unit, and a VJP through `f` costs 2 units (it
+//! touches every weight twice: input-gradient + weight-gradient), the
+//! standard 1:2 forward:backward FLOP ratio. Priority processing scales a
+//! trial's cost by the fraction of rows it actually processed.
+
+use crate::inference::{ForwardTrace, LayerStats};
+use crate::train::adjoint::BackwardProfile;
+
+/// Profiling counters of one full training iteration (forward + backward).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterationProfile {
+    /// Aggregated forward-pass statistics.
+    pub forward: LayerStats,
+    /// Backward-pass counters.
+    pub backward: BackwardProfile,
+    /// Bytes of checkpoints written by the forward pass (FP16).
+    pub checkpoint_bytes: u64,
+    /// Number of integration layers.
+    pub layers: usize,
+}
+
+impl IterationProfile {
+    /// Builds the profile from a forward trace and backward counters.
+    pub fn from_parts(trace: &ForwardTrace, backward: &BackwardProfile) -> Self {
+        let forward = trace.total_stats();
+        let checkpoint_bytes = trace.layers.iter().map(|l| l.checkpoint_bytes(2)).sum();
+        IterationProfile {
+            forward,
+            backward: *backward,
+            checkpoint_bytes,
+            layers: trace.layers.len(),
+        }
+    }
+
+    /// Forward latency in evaluation units, scaled by the row fraction the
+    /// priority processing actually computed.
+    pub fn forward_latency_units(&self) -> f64 {
+        let row_fraction = if self.forward.rows_total > 0 {
+            self.forward.rows_processed as f64 / self.forward.rows_total as f64
+        } else {
+            1.0
+        };
+        self.forward.nfe as f64 * row_fraction
+    }
+
+    /// The *necessary* forward latency: one accepted trial per evaluation
+    /// point (what a search-free oracle would pay).
+    pub fn forward_necessary_units(&self) -> f64 {
+        if self.forward.trials == 0 {
+            return 0.0;
+        }
+        let nfe_per_trial = self.forward.nfe as f64 / self.forward.trials as f64;
+        self.forward.points as f64 * nfe_per_trial
+    }
+
+    /// Latency spent in the iterative stepsize search beyond the necessary
+    /// integration (the Fig 4a "stepsize search" bar).
+    pub fn search_latency_units(&self) -> f64 {
+        (self.forward_latency_units() - self.forward_necessary_units()).max(0.0)
+    }
+
+    /// Backward latency in evaluation units: local forwards at 1 unit, VJPs
+    /// at 2 units.
+    pub fn backward_latency_units(&self) -> f64 {
+        self.backward.nfe_local_forward as f64 + 2.0 * self.backward.vjp_evals as f64
+    }
+
+    /// Total iteration latency in evaluation units.
+    pub fn total_latency_units(&self) -> f64 {
+        self.forward_latency_units() + self.backward_latency_units()
+    }
+
+    /// Fraction of the iteration spent in the forward pass.
+    pub fn forward_fraction(&self) -> f64 {
+        let total = self.total_latency_units();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.forward_latency_units() / total
+        }
+    }
+
+    /// Fraction of the iteration spent in stepsize search (Fig 4a's
+    /// headline: 87% on the A100 profile).
+    pub fn search_fraction(&self) -> f64 {
+        let total = self.total_latency_units();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.search_latency_units() / total
+        }
+    }
+}
+
+/// An algorithm-level memory profile: peak resident size and total traffic
+/// (the two bars of Fig 4b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryProfile {
+    /// Peak bytes resident at once.
+    pub size_bytes: u64,
+    /// Total bytes moved (reads + writes).
+    pub access_bytes: u64,
+}
+
+impl MemoryProfile {
+    /// Ratio of this profile's size to another's.
+    pub fn size_ratio(&self, other: &MemoryProfile) -> f64 {
+        self.size_bytes as f64 / other.size_bytes as f64
+    }
+
+    /// Ratio of this profile's traffic to another's.
+    pub fn access_ratio(&self, other: &MemoryProfile) -> f64 {
+        self.access_bytes as f64 / other.access_bytes as f64
+    }
+}
+
+/// Memory profile of NODE *inference*: the integrator must keep the
+/// initial state plus all `s` integral states live (layer-by-layer
+/// accounting, §IV-A), and every `f` evaluation reads and writes one state.
+pub fn node_inference_memory(
+    state_bytes: u64,
+    stages: usize,
+    forward: &LayerStats,
+) -> MemoryProfile {
+    MemoryProfile {
+        size_bytes: state_bytes * (stages as u64 + 1),
+        access_bytes: forward.nfe as u64 * state_bytes * 2,
+    }
+}
+
+/// Memory profile of NODE *training*: inference memory plus checkpoints
+/// plus the training states each backward interval stores and reloads.
+pub fn node_training_memory(
+    state_bytes: u64,
+    stages: usize,
+    profile: &IterationProfile,
+) -> MemoryProfile {
+    let inf = node_inference_memory(state_bytes, stages, &profile.forward);
+    MemoryProfile {
+        size_bytes: inf.size_bytes + profile.backward.training_state_peak_bytes,
+        access_bytes: inf.access_bytes
+            + 2 * profile.checkpoint_bytes
+            + 2 * profile.backward.training_state_total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{forward_model, ControllerKind, NodeSolveOptions};
+    use crate::model::NodeModel;
+    use crate::train::adjoint::aca_backward_model;
+    use enode_tensor::{init, Tensor};
+
+    fn profiled_iteration(opts: &NodeSolveOptions) -> IterationProfile {
+        let model = NodeModel::dynamic_system(2, 8, 2, 17);
+        let x = init::uniform(&[4, 2], -0.5, 0.5, 18);
+        let (y, trace) = forward_model(&model, &x, opts).unwrap();
+        let (_, _, bwd) = aca_backward_model(&model, &trace, &Tensor::ones(y.shape()));
+        IterationProfile::from_parts(&trace, &bwd)
+    }
+
+    #[test]
+    fn latency_units_positive_and_consistent() {
+        let p = profiled_iteration(&NodeSolveOptions::new(1e-5));
+        assert!(p.forward_latency_units() > 0.0);
+        assert!(p.backward_latency_units() > 0.0);
+        assert!(
+            (p.forward_fraction() + p.backward_latency_units() / p.total_latency_units() - 1.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(p.search_latency_units() <= p.forward_latency_units());
+    }
+
+    #[test]
+    fn search_fraction_grows_with_rejections() {
+        // A huge initial dt forces searches at every point.
+        let easy = profiled_iteration(&NodeSolveOptions::new(1e-4).with_default_dt(0.05));
+        let hard = profiled_iteration(
+            &NodeSolveOptions::new(1e-6)
+                .with_default_dt(1.0)
+                .with_controller(ControllerKind::Conventional { shrink: 0.5 }),
+        );
+        assert!(
+            hard.search_fraction() > easy.search_fraction(),
+            "hard {} vs easy {}",
+            hard.search_fraction(),
+            easy.search_fraction()
+        );
+    }
+
+    #[test]
+    fn training_memory_exceeds_inference() {
+        let p = profiled_iteration(&NodeSolveOptions::new(1e-5));
+        let state_bytes = 4 * 2 * 2; // [4,2] fp16
+        let inf = node_inference_memory(state_bytes, 4, &p.forward);
+        let tr = node_training_memory(state_bytes, 4, &p);
+        assert!(tr.size_bytes > inf.size_bytes);
+        assert!(tr.access_bytes > inf.access_bytes);
+        assert!(tr.access_ratio(&inf) > 1.0);
+    }
+}

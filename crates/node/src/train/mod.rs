@@ -1,0 +1,25 @@
+//! NODE training: the backward pass (paper §II-C, Fig 3).
+//!
+//! Training a NODE needs the gradients of the loss with respect to the
+//! input state (the **adjoint** `a(t) = ∂L/∂h(t)`, eq. 4) and the
+//! parameters (`dL/dθ`, eq. 5). The **adaptive-checkpoint-adjoint (ACA)**
+//! method stores only the accepted evaluation points of the forward pass as
+//! checkpoints; each backward interval then
+//!
+//! 1. re-runs a *local forward step* from the checkpoint to recover the
+//!    intermediate training states (integral states + conv-layer
+//!    activations),
+//! 2. propagates the adjoint backward through the integrator's computation
+//!    graph, and
+//! 3. accumulates the parameter gradients,
+//!
+//! reusing the forward pass's accepted stepsizes (no stepsize search in the
+//! backward pass).
+
+pub mod adjoint;
+pub mod trainer;
+pub mod trajectory;
+
+pub use adjoint::{aca_backward_layer, aca_backward_model, BackwardProfile};
+pub use trainer::{TrainReport, Trainer};
+pub use trajectory::{TrajectoryTarget, TrajectoryTrainer};

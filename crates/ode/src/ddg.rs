@@ -1,0 +1,321 @@
+//! Data-dependency graph (DDG) of a depth-first integrator (paper §IV).
+//!
+//! The depth-first transformation factors a high-order integrator into
+//! fine-grained nodes — the initial state `h`, integral states `k_i`,
+//! *partial states* `p_{i,j}` (running accumulations toward the stage
+//! inputs), *error partials* `e_i` (running accumulations of the error
+//! state) and the final state — ordered so that every produced value is
+//! consumed by all dependents immediately and can be retired from its
+//! buffer after a one-row lag (Fig 6).
+//!
+//! This module builds that graph for any [`ButcherTableau`] and performs
+//! the lifetime analysis the hardware buffer models consume: how many
+//! *rows* of on-chip buffer the integrator needs, versus how many *full
+//! feature maps* a layer-by-layer baseline needs.
+
+use crate::tableau::ButcherTableau;
+use std::collections::HashMap;
+
+/// A node in the depth-first DDG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DdgNode {
+    /// The initial state `h(t)`.
+    Initial,
+    /// Integral state `k_{i+1}` (0-indexed stage).
+    Integral(usize),
+    /// Partial state `p_{i+1, j+1}`: stage `i`'s input after accumulating
+    /// contributions from stages `0..=j`.
+    Partial {
+        /// Target stage (0-indexed).
+        i: usize,
+        /// Number of accumulated contributions minus one (0-indexed).
+        j: usize,
+    },
+    /// Error partial `e_{i+1}`: the error accumulation after stage `i`'s
+    /// contribution. The last error partial is the full error state `e`.
+    ErrorPartial(usize),
+    /// The final state `h(t + Δt)`.
+    Next,
+}
+
+/// The depth-first DDG of one integrator step, with per-node pipeline
+/// depths and buffer lifetimes.
+///
+/// # Example
+///
+/// ```
+/// use enode_ode::{ButcherTableau, ddg::DepthFirstDdg};
+/// let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+/// assert_eq!(ddg.num_integral_states(), 4);
+/// assert_eq!(ddg.num_partial_states(), 6);   // p21 p31 p32 p41 p42 p43
+/// assert_eq!(ddg.num_error_partials(), 3);   // e1 e2 e3 (e3 = e)
+/// // Paper §IV-A: 4 + 6 + 3 = 13 state rows; +2 conv halo rows = 15 rows
+/// // for a single 3x3-conv f, versus 5 full maps (320 rows at 64x64).
+/// assert_eq!(ddg.state_buffer_rows(), 13);
+/// assert_eq!(ddg.buffer_rows(1, 3), 15);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DepthFirstDdg {
+    stages: usize,
+    nodes: Vec<DdgNode>,
+    edges: Vec<(DdgNode, DdgNode)>,
+    depth: HashMap<DdgNode, usize>,
+}
+
+impl DepthFirstDdg {
+    /// Builds the depth-first DDG for an integrator.
+    pub fn from_tableau(tableau: &ButcherTableau) -> Self {
+        let s = tableau.stages();
+        let mut nodes = vec![DdgNode::Initial, DdgNode::Integral(0)];
+        let mut edges = vec![(DdgNode::Initial, DdgNode::Integral(0))];
+
+        // Partial-state chains: p_{i,0} = h + dt·a[i][0]·k_0, then
+        // p_{i,j} = p_{i,j-1} + dt·a[i][j]·k_j, and k_i = f(p_{i,i-1}).
+        // The paper materializes the full chain (Fig 6a shows p31 even
+        // though a[2][0] = 0 for RK23), so we do too.
+        for i in 1..s {
+            for j in 0..i {
+                let p = DdgNode::Partial { i, j };
+                nodes.push(p);
+                edges.push((DdgNode::Integral(j), p));
+                if j == 0 {
+                    edges.push((DdgNode::Initial, p));
+                } else {
+                    edges.push((DdgNode::Partial { i, j: j - 1 }, p));
+                }
+            }
+            let k = DdgNode::Integral(i);
+            nodes.push(k);
+            edges.push((DdgNode::Partial { i, j: i - 1 }, k));
+        }
+
+        // Error-partial chain: e_i accumulates d_i·k_i.
+        if tableau.is_adaptive() {
+            for i in 0..s.saturating_sub(1) {
+                let e = DdgNode::ErrorPartial(i);
+                nodes.push(e);
+                edges.push((DdgNode::Integral(i), e));
+                if i > 0 {
+                    edges.push((DdgNode::ErrorPartial(i - 1), e));
+                }
+            }
+            // Final error partial also consumes the last integral state.
+            if s >= 2 {
+                edges.push((DdgNode::Integral(s - 1), DdgNode::ErrorPartial(s - 2)));
+            }
+        }
+
+        // Final state: h + dt·Σ b_i k_i.
+        nodes.push(DdgNode::Next);
+        edges.push((DdgNode::Initial, DdgNode::Next));
+        for (i, &bi) in tableau.b().iter().enumerate() {
+            if bi != 0.0 {
+                edges.push((DdgNode::Integral(i), DdgNode::Next));
+            }
+        }
+
+        let depth = compute_depths(&nodes, &edges);
+        DepthFirstDdg {
+            stages: s,
+            nodes,
+            edges,
+            depth,
+        }
+    }
+
+    /// Number of integral states (`s` of the paper).
+    pub fn num_integral_states(&self) -> usize {
+        self.stages
+    }
+
+    /// Number of partial states `p_{i,j}` — `s(s−1)/2`.
+    pub fn num_partial_states(&self) -> usize {
+        self.stages * (self.stages - 1) / 2
+    }
+
+    /// Number of error partials (`s − 1`, zero for fixed-order methods).
+    pub fn num_error_partials(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DdgNode::ErrorPartial(_)))
+            .count()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[DdgNode] {
+        &self.nodes
+    }
+
+    /// All producer → consumer edges.
+    pub fn edges(&self) -> &[(DdgNode, DdgNode)] {
+        &self.edges
+    }
+
+    /// Pipeline depth of a node: the longest producer chain from the
+    /// initial state. Nodes at equal depth process the same input wave in
+    /// parallel (criterion 2 of §IV-A).
+    pub fn depth_of(&self, node: DdgNode) -> usize {
+        self.depth[&node]
+    }
+
+    /// Buffer lifetime of a node in pipeline stages: how long its rows must
+    /// stay buffered before the last consumer has read them. Sink nodes
+    /// have lifetime 0 (streamed out).
+    pub fn lifetime_of(&self, node: DdgNode) -> usize {
+        let d = self.depth[&node];
+        self.edges
+            .iter()
+            .filter(|(p, _)| *p == node)
+            .map(|(_, c)| self.depth[c] - d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of *state* buffer rows the depth-first integrator needs: one
+    /// row per integral state (kept as psum rows), one per partial state,
+    /// one per error partial (paper §IV-A's accounting: "the integral
+    /// states … require one row of buffer for each partial state").
+    pub fn state_buffer_rows(&self) -> usize {
+        self.num_integral_states() + self.num_partial_states() + self.num_error_partials()
+    }
+
+    /// Total buffer rows including the convolution halo of the embedded NN:
+    /// each of the `n_conv` layers needs `kernel − 1` rows around its
+    /// window. Reproduces the paper's 15-row example for RK23 with one
+    /// 3×3 conv.
+    pub fn buffer_rows(&self, n_conv: usize, kernel: usize) -> usize {
+        self.state_buffer_rows() + n_conv * (kernel - 1)
+    }
+
+    /// Number of full feature maps a layer-by-layer baseline must buffer:
+    /// the initial state plus every integral state (paper §IV-A: "requires
+    /// buffering the initial state h(t) and all integral states k1 to k4").
+    pub fn baseline_full_maps(&self) -> usize {
+        1 + self.stages
+    }
+
+    /// Checks schedule legality: the graph is acyclic and every edge goes
+    /// to a strictly deeper node (no use-before-def in the wave pipeline).
+    pub fn verify_legal(&self) -> bool {
+        self.edges
+            .iter()
+            .all(|(p, c)| self.depth[c] > self.depth[p])
+    }
+}
+
+fn compute_depths(
+    nodes: &[DdgNode],
+    edges: &[(DdgNode, DdgNode)],
+) -> HashMap<DdgNode, usize> {
+    // Longest-path layering via iterative relaxation (graphs are tiny).
+    let mut depth: HashMap<DdgNode, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut changed = true;
+    let mut iterations = 0;
+    while changed {
+        changed = false;
+        iterations += 1;
+        assert!(
+            iterations <= nodes.len() + 1,
+            "DDG contains a cycle — illegal depth-first schedule"
+        );
+        for &(p, c) in edges {
+            let want = depth[&p] + 1;
+            if depth[&c] < want {
+                depth.insert(c, want);
+                changed = true;
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::all_tableaux;
+
+    #[test]
+    fn rk23_matches_paper_counts() {
+        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+        assert_eq!(ddg.num_integral_states(), 4);
+        assert_eq!(ddg.num_partial_states(), 6);
+        assert_eq!(ddg.num_error_partials(), 3);
+        // 64x64 maps: baseline 5 maps = 320 rows; eNODE 15 rows (1 conv).
+        assert_eq!(ddg.baseline_full_maps() * 64, 320);
+        assert_eq!(ddg.buffer_rows(1, 3), 15);
+    }
+
+    #[test]
+    fn euler_is_trivial() {
+        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::euler());
+        assert_eq!(ddg.num_integral_states(), 1);
+        assert_eq!(ddg.num_partial_states(), 0);
+        assert_eq!(ddg.num_error_partials(), 0);
+        assert_eq!(ddg.baseline_full_maps(), 2);
+    }
+
+    #[test]
+    fn all_graphs_legal() {
+        for tab in all_tableaux() {
+            let ddg = DepthFirstDdg::from_tableau(&tab);
+            assert!(ddg.verify_legal(), "{} schedule illegal", tab.name());
+        }
+    }
+
+    #[test]
+    fn k1_feeds_all_first_partials() {
+        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+        // Once k1 is available, p_{2,1}, p_{3,1}, p_{4,1} and e_1 all consume
+        // it in parallel (paper criterion 2).
+        let consumers: Vec<_> = ddg
+            .edges()
+            .iter()
+            .filter(|(p, _)| *p == DdgNode::Integral(0))
+            .map(|(_, c)| *c)
+            .collect();
+        assert!(consumers.contains(&DdgNode::Partial { i: 1, j: 0 }));
+        assert!(consumers.contains(&DdgNode::Partial { i: 2, j: 0 }));
+        assert!(consumers.contains(&DdgNode::Partial { i: 3, j: 0 }));
+        assert!(consumers.contains(&DdgNode::ErrorPartial(0)));
+        // And they all sit at the same pipeline depth.
+        let d = ddg.depth_of(DdgNode::Partial { i: 1, j: 0 });
+        assert_eq!(ddg.depth_of(DdgNode::Partial { i: 2, j: 0 }), d);
+        assert_eq!(ddg.depth_of(DdgNode::Partial { i: 3, j: 0 }), d);
+        assert_eq!(ddg.depth_of(DdgNode::ErrorPartial(0)), d);
+    }
+
+    #[test]
+    fn partial_state_lifetimes_bounded() {
+        // §IV-A: buffered data can be retired right after consumption. A
+        // partial state p_{i,j} is consumed as soon as k_{j+1} arrives, so
+        // its lifetime is bounded by one f-evaluation latency (2 DDG
+        // stages: partial chain + f application), never a whole map.
+        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+        for &node in ddg.nodes() {
+            if let DdgNode::Partial { .. } = node {
+                assert!(
+                    ddg.lifetime_of(node) <= 2,
+                    "partial {node:?} lives {} stages",
+                    ddg.lifetime_of(node)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_needs_more_rows() {
+        let rk23 = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+        let rk45 = DepthFirstDdg::from_tableau(&ButcherTableau::rkf45());
+        assert!(rk45.state_buffer_rows() > rk23.state_buffer_rows());
+        let euler = DepthFirstDdg::from_tableau(&ButcherTableau::euler());
+        assert!(euler.state_buffer_rows() < rk23.state_buffer_rows());
+    }
+
+    #[test]
+    fn depths_start_at_initial() {
+        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+        assert_eq!(ddg.depth_of(DdgNode::Initial), 0);
+        assert_eq!(ddg.depth_of(DdgNode::Integral(0)), 1);
+        assert!(ddg.depth_of(DdgNode::Next) > 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Stiffness diagnostics for explicit integrators.
+//!
+//! Explicit Runge–Kutta methods (everything the eNODE hardware runs) are
+//! stability-limited on stiff problems: the stepsize search keeps
+//! rejecting not because accuracy demands small steps but because `h·λ`
+//! leaves the stability region. This module provides a local estimate of
+//! the dominant eigenvalue magnitude (a directional Lipschitz estimate)
+//! and a monitor that classifies a solve as stiffness-limited — a useful
+//! deployment diagnostic for NODE models whose trained dynamics drift
+//! stiff.
+
+use crate::state::StateOps;
+
+/// Estimates the local logarithmic-norm scale `‖f(y+d) − f(y)‖ / ‖d‖`
+/// along the last step direction — an inexpensive proxy for `|λ_max|` of
+/// the Jacobian.
+///
+/// `y_prev` and `y` are two nearby states (e.g. consecutive accepted
+/// points) with their derivatives `f_prev`, `f_cur`.
+///
+/// Returns `None` when the states are too close to measure.
+pub fn local_lipschitz<S: StateOps>(y_prev: &S, y: &S, f_prev: &S, f_cur: &S) -> Option<f64> {
+    let mut dy = y.clone();
+    dy.axpy(-1.0, y_prev);
+    let denom = dy.norm_l2();
+    if denom < 1e-12 {
+        return None;
+    }
+    let mut df = f_cur.clone();
+    df.axpy(-1.0, f_prev);
+    Some(df.norm_l2() / denom)
+}
+
+/// Classifies whether a solve looks *stiffness-limited*: accepted
+/// stepsizes sit near the explicit stability bound `h ≈ c / L` instead of
+/// being set by accuracy.
+#[derive(Clone, Debug, Default)]
+pub struct StiffnessMonitor {
+    samples: usize,
+    stiff_samples: usize,
+    max_h_lambda: f64,
+}
+
+impl StiffnessMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one accepted step: stepsize `h` and the local Lipschitz
+    /// estimate `lipschitz`.
+    pub fn record(&mut self, h: f64, lipschitz: f64) {
+        self.samples += 1;
+        let h_lambda = h * lipschitz;
+        self.max_h_lambda = self.max_h_lambda.max(h_lambda);
+        // An explicit RK of modest order is stable for h·λ up to ~2–3;
+        // running persistently above 1 means the stepsize is pressed
+        // against the stability bound.
+        if h_lambda > 1.0 {
+            self.stiff_samples += 1;
+        }
+    }
+
+    /// Steps recorded.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Largest observed `h·λ̂`.
+    pub fn max_h_lambda(&self) -> f64 {
+        self.max_h_lambda
+    }
+
+    /// Fraction of steps pressed against the stability bound.
+    pub fn stiff_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.stiff_samples as f64 / self.samples as f64
+        }
+    }
+
+    /// True when the solve looks stiffness-limited: a substantial share of
+    /// steps at the stability bound and at least one clear excursion.
+    ///
+    /// The directional Lipschitz estimate under-reads once the trajectory
+    /// settles on the slow manifold (the step direction loses its fast
+    /// components), so the fraction threshold is deliberately below ½.
+    pub fn is_stiff(&self) -> bool {
+        self.samples >= 5 && self.stiff_fraction() > 0.25 && self.max_h_lambda > 2.0
+    }
+}
+
+/// Runs an adaptive solve and classifies its stiffness, using stored FSAL
+/// derivatives where available and recomputing `f` otherwise.
+pub fn classify_solve<S: StateOps>(
+    mut f: impl FnMut(f64, &S) -> S,
+    solution: &crate::solver::Solution<S>,
+) -> StiffnessMonitor {
+    let mut monitor = StiffnessMonitor::new();
+    let mut prev_t = solution.t0;
+    let mut prev_y = solution.y0.clone();
+    let mut prev_f = f(prev_t, &prev_y);
+    for p in &solution.points {
+        let cur_f = match &p.dy {
+            Some(d) => d.clone(),
+            None => f(p.t, &p.y),
+        };
+        if let Some(l) = local_lipschitz(&prev_y, &p.y, &prev_f, &cur_f) {
+            monitor.record(p.dt, l);
+        }
+        prev_t = p.t;
+        prev_y = p.y.clone();
+        prev_f = cur_f;
+    }
+    let _ = prev_t;
+    monitor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ClassicController;
+    use crate::solver::{solve_adaptive, AdaptiveOptions};
+    use crate::tableau::ButcherTableau;
+
+    fn solve(
+        f: impl FnMut(f64, &Vec<f64>) -> Vec<f64> + Copy,
+        t1: f64,
+        tol: f64,
+    ) -> crate::solver::Solution<Vec<f64>> {
+        let tab = ButcherTableau::rk23_bogacki_shampine();
+        let mut ctl = ClassicController::new(tab.error_order());
+        solve_adaptive(f, 0.0, t1, vec![1.0], &tab, &mut ctl, &AdaptiveOptions::new(tol))
+            .unwrap()
+    }
+
+    #[test]
+    fn lipschitz_recovers_linear_rate() {
+        // For y' = -λy the directional Lipschitz estimate equals λ.
+        let y_prev = vec![1.0];
+        let y = vec![0.9];
+        let f_prev = vec![-50.0 * 1.0];
+        let f_cur = vec![-50.0 * 0.9];
+        let l = local_lipschitz(&y_prev, &y, &f_prev, &f_cur).unwrap();
+        assert!((l - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stiff_problem_detected() {
+        // y' = -200(y - cos t): a classic stiff test. At loose tolerance
+        // the accuracy-optimal step is far larger than stability allows,
+        // so the solver runs pressed against h·λ ≈ O(1).
+        let stiff = |t: f64, y: &Vec<f64>| vec![-200.0 * (y[0] - t.cos())];
+        let sol = solve(stiff, 2.0, 1e-3);
+        let m = classify_solve(stiff, &sol);
+        assert!(m.is_stiff(), "h·λ max {} frac {}", m.max_h_lambda(), m.stiff_fraction());
+    }
+
+    #[test]
+    fn nonstiff_problem_not_flagged() {
+        let gentle = |_t: f64, y: &Vec<f64>| vec![-0.5 * y[0]];
+        let sol = solve(gentle, 2.0, 1e-6);
+        let m = classify_solve(gentle, &sol);
+        assert!(!m.is_stiff(), "frac {}", m.stiff_fraction());
+        assert!(m.max_h_lambda() < 1.0);
+    }
+
+    #[test]
+    fn identical_states_yield_none() {
+        let y = vec![1.0, 2.0];
+        assert!(local_lipschitz(&y, &y, &vec![0.1, 0.2], &vec![0.1, 0.2]).is_none());
+    }
+}

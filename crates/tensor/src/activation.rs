@@ -1,0 +1,142 @@
+//! Elementwise activation functions with forward and backward passes.
+
+use crate::tensor::Tensor;
+
+/// Elementwise activation kinds used by the embedded NNs.
+///
+/// Image-classification NODEs use [`Activation::Relu`] (with normalization);
+/// dynamic-system NODEs use [`Activation::Tanh`], whose smoothness matters
+/// for adaptive integrators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Softplus `ln(1 + e^x)` — a smooth ReLU.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation elementwise.
+    pub fn forward(self, x: &Tensor) -> Tensor {
+        x.map(|v| self.eval(v))
+    }
+
+    /// Scalar evaluation.
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Softplus => {
+                // Numerically stable: ln(1+e^x) = max(x,0) + ln(1+e^-|x|).
+                x.max(0.0) + (-x.abs()).exp().ln_1p()
+            }
+        }
+    }
+
+    /// Scalar derivative.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Softplus => sigmoid(x),
+        }
+    }
+
+    /// Backward pass: `dx = dy ⊙ σ'(x)` given the cached forward input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `dy` differ in shape.
+    pub fn backward(self, x: &Tensor, dy: &Tensor) -> Tensor {
+        x.zip(dy, |xi, g| self.derivative(xi) * g)
+    }
+}
+
+/// The logistic sigmoid, exposed because the eNODE slope-adaptive stepsize
+/// controller (§VII-A) uses it for its scaling factors β⁺ and β⁻.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn relu_clamps() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(Activation::Relu.forward(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for &x in &[-50.0f32, -3.0, 0.0, 1.5, 80.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Softplus,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.7, 1.9] {
+                let fd = (act.eval(x + eps) - act.eval(x - eps)) / (2.0 * eps);
+                let an = act.derivative(x);
+                assert!(
+                    (fd - an).abs() < 5e-3,
+                    "{act:?} at {x}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_is_elementwise_chain() {
+        let x = init::uniform(&[10], -2.0, 2.0, 1);
+        let dy = init::uniform(&[10], -1.0, 1.0, 2);
+        let dx = Activation::Tanh.backward(&x, &dy);
+        for i in 0..10 {
+            let expect = Activation::Tanh.derivative(x.data()[i]) * dy.data()[i];
+            assert!((dx.data()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softplus_stable_at_extremes() {
+        assert!(Activation::Softplus.eval(100.0).is_finite());
+        assert!(Activation::Softplus.eval(-100.0) >= 0.0);
+        assert!((Activation::Softplus.eval(100.0) - 100.0).abs() < 1e-4);
+    }
+}

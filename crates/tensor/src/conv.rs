@@ -1,0 +1,449 @@
+//! 2-D convolution: forward, input-gradient and weight-gradient passes.
+//!
+//! These are exactly the three dataflows the unified eNODE NN core executes
+//! (§VI): the forward conv broadcasts input-channel packets to the PE array;
+//! the backward (adjoint) conv reuses the same PEs with flipped kernels and
+//! the channel roles swapped; the weight-gradient pass reuses the same PEs
+//! once more.
+//!
+//! Neural-ODE embedded networks must preserve the state shape, so the
+//! convolutions here use stride 1 and "same" zero padding.
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer with "same" zero padding and stride 1.
+///
+/// Weights are stored `[M, C, K, K]` (output channels, input channels,
+/// kernel height, kernel width); bias is `[M]`.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::{Tensor, conv::Conv2d};
+/// let conv = Conv2d::new_seeded(3, 8, 3, 42);
+/// let x = Tensor::ones(&[2, 3, 6, 6]);
+/// let y = conv.forward(&x);
+/// assert_eq!(y.shape(), &[2, 8, 6, 6]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution from explicit weights `[M, C, K, K]` and bias
+    /// `[M]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent or the kernel size is even
+    /// ("same" padding requires an odd kernel).
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().len(), 4, "weight must be [M, C, K, K]");
+        let (m, c, kh, kw) = weight.shape_obj().nchw();
+        assert_eq!(kh, kw, "only square kernels are supported");
+        assert_eq!(kh % 2, 1, "\"same\" padding requires an odd kernel size");
+        assert_eq!(bias.shape(), &[m], "bias must be [M]");
+        Conv2d {
+            weight,
+            bias,
+            in_channels: c,
+            out_channels: m,
+            kernel: kh,
+        }
+    }
+
+    /// Creates a convolution with Kaiming-uniform weights from a seed.
+    pub fn new_seeded(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_uniform(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            seed,
+        );
+        let bias = Tensor::zeros(&[out_channels]);
+        Conv2d::from_parts(weight, bias)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size (K for a K×K kernel).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The weight tensor `[M, C, K, K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor `[M]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the weights (for optimizer updates).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Mutable access to the bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Simultaneous mutable access to weight and bias (split borrow).
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weight, &mut self.bias)
+    }
+
+    /// Number of multiply-accumulate operations in one forward pass over
+    /// `[n, C, H, W]` input (used by the hardware cost models).
+    pub fn macs(&self, n: usize, h: usize, w: usize) -> u64 {
+        n as u64
+            * self.out_channels as u64
+            * self.in_channels as u64
+            * h as u64
+            * w as u64
+            * (self.kernel * self.kernel) as u64
+    }
+
+    /// Forward convolution `y = W * x + b`.
+    ///
+    /// Uses the im2col + matrix-multiply lowering (the standard fast path;
+    /// [`Conv2d::forward_reference`] keeps the direct loop nest as the
+    /// verification oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with `C` matching
+    /// [`Conv2d::in_channels`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape_obj().nchw();
+        assert_eq!(c, self.in_channels, "input channel mismatch");
+        let k = self.kernel;
+        let m = self.out_channels;
+        let ckk = c * k * k;
+        let hw = h * w;
+        let wmat = self.weight.data(); // [M, C*K*K] row-major already
+        let mut y = Tensor::zeros(&[n, m, h, w]);
+        let mut cols = vec![0.0f32; ckk * hw];
+        for ni in 0..n {
+            im2col(x, ni, k, &mut cols);
+            // y[m, p] = sum_q W[m, q] * cols[q, p] + b[m]
+            let ydata = y.data_mut();
+            let ybase = ni * m * hw;
+            for mi in 0..m {
+                let yrow = &mut ydata[ybase + mi * hw..ybase + (mi + 1) * hw];
+                yrow.fill(self.bias.data()[mi]);
+                let wrow = &wmat[mi * ckk..(mi + 1) * ckk];
+                for (q, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let crow = &cols[q * hw..(q + 1) * hw];
+                    for (yv, &cv) in yrow.iter_mut().zip(crow) {
+                        *yv += wv * cv;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Direct (loop-nest) forward convolution — the verification oracle
+    /// for the im2col fast path.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape_obj().nchw();
+        assert_eq!(c, self.in_channels, "input channel mismatch");
+        let k = self.kernel;
+        let pad = (k / 2) as isize;
+        let m = self.out_channels;
+        let mut y = Tensor::zeros(&[n, m, h, w]);
+        for ni in 0..n {
+            for mi in 0..m {
+                let b = self.bias.data()[mi];
+                for ci in 0..c {
+                    for oh in 0..h {
+                        for ow in 0..w {
+                            let mut acc = 0.0f32;
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let ih = oh as isize + kh as isize - pad;
+                                    let iw = ow as isize + kw as isize - pad;
+                                    if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                                    {
+                                        acc += x.at4(ni, ci, ih as usize, iw as usize)
+                                            * self.weight.at4(mi, ci, kh, kw);
+                                    }
+                                }
+                            }
+                            *y.at4_mut(ni, mi, oh, ow) += acc;
+                        }
+                    }
+                }
+                if b != 0.0 {
+                    for oh in 0..h {
+                        for ow in 0..w {
+                            *y.at4_mut(ni, mi, oh, ow) += b;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Input gradient: given `dy = ∂L/∂y`, returns `dx = ∂L/∂x`.
+    ///
+    /// This is convolution in the backward direction — the same pipeline as
+    /// [`Conv2d::forward`] with the kernel flipped and input/output channel
+    /// roles swapped, matching the eNODE unified core (§VI, Fig 9c).
+    pub fn backward_input(&self, dy: &Tensor) -> Tensor {
+        let (n, m, h, w) = dy.shape_obj().nchw();
+        assert_eq!(m, self.out_channels, "grad channel mismatch");
+        let k = self.kernel;
+        let pad = (k / 2) as isize;
+        let c = self.in_channels;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for mi in 0..m {
+                    for ih in 0..h {
+                        for iw in 0..w {
+                            let mut acc = 0.0f32;
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    // dx[ih,iw] accumulates dy[oh,ow]*wflip;
+                                    // oh = ih - (kh - pad) inverted:
+                                    let oh = ih as isize - (kh as isize - pad);
+                                    let ow = iw as isize - (kw as isize - pad);
+                                    if oh >= 0 && ow >= 0 && (oh as usize) < h && (ow as usize) < w
+                                    {
+                                        acc += dy.at4(ni, mi, oh as usize, ow as usize)
+                                            * self.weight.at4(mi, ci, kh, kw);
+                                    }
+                                }
+                            }
+                            *dx.at4_mut(ni, ci, ih, iw) += acc;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Weight and bias gradients: given the cached forward input `x` and
+    /// `dy = ∂L/∂y`, returns `(dW, db)`.
+    ///
+    /// Uses the im2col lowering: `dW[m, q] = Σ_p dy[m, p] · cols[q, p]`.
+    pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
+        let (n, c, h, w) = x.shape_obj().nchw();
+        let (n2, m, h2, w2) = dy.shape_obj().nchw();
+        assert_eq!((n, h, w), (n2, h2, w2), "x/dy spatial mismatch");
+        assert_eq!(c, self.in_channels);
+        assert_eq!(m, self.out_channels);
+        let k = self.kernel;
+        let ckk = c * k * k;
+        let hw = h * w;
+        let mut dw = Tensor::zeros(&[m, c, k, k]);
+        let mut db = Tensor::zeros(&[m]);
+        let mut cols = vec![0.0f32; ckk * hw];
+        for ni in 0..n {
+            im2col(x, ni, k, &mut cols);
+            let dydata = dy.data();
+            let dybase = ni * m * hw;
+            for mi in 0..m {
+                let dyrow = &dydata[dybase + mi * hw..dybase + (mi + 1) * hw];
+                db.data_mut()[mi] += dyrow.iter().sum::<f32>();
+                let dwrow = &mut dw.data_mut()[mi * ckk..(mi + 1) * ckk];
+                for (q, dwv) in dwrow.iter_mut().enumerate() {
+                    let crow = &cols[q * hw..(q + 1) * hw];
+                    let mut acc = 0.0f32;
+                    for (&g, &cv) in dyrow.iter().zip(crow) {
+                        acc += g * cv;
+                    }
+                    *dwv += acc;
+                }
+            }
+        }
+        (dw, db)
+    }
+}
+
+/// Unfolds sample `ni` of `x` into the `[C·K·K, H·W]` column matrix with
+/// "same" zero padding (row `q = (c·K + kh)·K + kw`).
+fn im2col(x: &Tensor, ni: usize, k: usize, cols: &mut [f32]) {
+    let (_, c, h, w) = x.shape_obj().nchw();
+    let pad = (k / 2) as isize;
+    let hw = h * w;
+    debug_assert_eq!(cols.len(), c * k * k * hw);
+    let xdata = x.data();
+    for ci in 0..c {
+        let xbase = (ni * c + ci) * hw;
+        for kh in 0..k {
+            let dh = kh as isize - pad;
+            for kw in 0..k {
+                let dw_ = kw as isize - pad;
+                let q = (ci * k + kh) * k + kw;
+                let out = &mut cols[q * hw..(q + 1) * hw];
+                for oh in 0..h {
+                    let ih = oh as isize + dh;
+                    let orow = &mut out[oh * w..(oh + 1) * w];
+                    if ih < 0 || ih >= h as isize {
+                        orow.fill(0.0);
+                        continue;
+                    }
+                    let xrow = &xdata[xbase + ih as usize * w..xbase + (ih as usize + 1) * w];
+                    for (ow, ov) in orow.iter_mut().enumerate() {
+                        let iw = ow as isize + dw_;
+                        *ov = if iw >= 0 && (iw as usize) < w {
+                            xrow[iw as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity kernel: 1 in the center, zero elsewhere.
+    fn identity_conv(channels: usize) -> Conv2d {
+        let mut w = Tensor::zeros(&[channels, channels, 3, 3]);
+        for c in 0..channels {
+            *w.at4_mut(c, c, 1, 1) = 1.0;
+        }
+        Conv2d::from_parts(w, Tensor::zeros(&[channels]))
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let conv = identity_conv(2);
+        let x = Tensor::from_vec((0..32).map(|v| v as f32).collect(), &[1, 2, 4, 4]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn box_kernel_interior_sum() {
+        // All-ones 3x3 kernel on all-ones input: interior outputs are 9,
+        // edges 6, corners 4 (zero padding).
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let conv = Conv2d::from_parts(w, Tensor::zeros(&[1]));
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv.forward(&x);
+        assert_eq!(y.at4(0, 0, 1, 1), 9.0);
+        assert_eq!(y.at4(0, 0, 0, 1), 6.0);
+        assert_eq!(y.at4(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let w = Tensor::zeros(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let conv = Conv2d::from_parts(w, bias);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward(&x);
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at4(0, 1, 1, 1), -2.0);
+    }
+
+    #[test]
+    fn adjoint_identity() {
+        // <conv(x), y> == <x, conv^T(y)> for bias-free conv: the defining
+        // property of backward_input being the true adjoint.
+        let conv = Conv2d::new_seeded(3, 5, 3, 7);
+        let conv = Conv2d::from_parts(conv.weight().clone(), Tensor::zeros(&[5]));
+        let x = init::uniform(&[2, 3, 6, 6], -1.0, 1.0, 11);
+        let y = init::uniform(&[2, 5, 6, 6], -1.0, 1.0, 13);
+        let lhs = conv.forward(&x).dot(&y);
+        let rhs = x.dot(&conv.backward_input(&y));
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut conv = Conv2d::new_seeded(2, 2, 3, 3);
+        let x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, 5);
+        // Loss = sum(conv(x)); dy = ones.
+        let dy = Tensor::ones(&[1, 2, 4, 4]);
+        let (dw, db) = conv.backward_params(&x, &dy);
+        let eps = 1e-3;
+        // Check a handful of weight entries.
+        for &idx in &[0usize, 7, 17, 35] {
+            let orig = conv.weight().data()[idx];
+            conv.weight_mut().data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x).sum();
+            conv.weight_mut().data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x).sum();
+            conv.weight_mut().data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dw.data()[idx]).abs() < 1e-2 * fd.abs().max(1.0),
+                "dW[{idx}]: fd {fd} vs analytic {}",
+                dw.data()[idx]
+            );
+        }
+        // Bias gradient for loss=sum is just the number of output pixels.
+        assert!((db.data()[0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn im2col_forward_matches_reference() {
+        for (c, m, hh, ww, seed) in [(3usize, 5usize, 6usize, 7usize, 1u64), (8, 8, 4, 4, 2), (1, 2, 9, 3, 3)] {
+            let conv = Conv2d::new_seeded(c, m, 3, seed);
+            let mut conv = conv;
+            // Non-zero bias to exercise the bias path.
+            conv.bias_mut().data_mut().iter_mut().enumerate().for_each(|(i, b)| *b = i as f32 * 0.1);
+            let x = init::uniform(&[2, c, hh, ww], -1.0, 1.0, seed + 10);
+            let fast = conv.forward(&x);
+            let slow = conv.forward_reference(&x);
+            let diff = (&fast - &slow).norm_inf();
+            assert!(diff < 1e-4, "im2col deviates by {diff} for c={c} m={m}");
+        }
+    }
+
+    #[test]
+    fn macs_count() {
+        let conv = Conv2d::new_seeded(8, 8, 3, 0);
+        assert_eq!(conv.macs(1, 64, 64), 8 * 8 * 64 * 64 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let w = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = Conv2d::from_parts(w, Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_input_channels_rejected() {
+        let conv = Conv2d::new_seeded(3, 4, 3, 0);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let _ = conv.forward(&x);
+    }
+}

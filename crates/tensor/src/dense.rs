@@ -1,0 +1,219 @@
+//! Fully-connected (dense) layers.
+//!
+//! Dense layers form the embedded NN `f` for the dynamic-system workloads
+//! (Three-Body, Lotka–Volterra), whose states are small vectors rather than
+//! feature maps.
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A dense layer `y = W x + b` operating on `[N, D]` batches.
+///
+/// Weights are `[out, in]`; bias is `[out]`.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::{Tensor, dense::Dense};
+/// let layer = Dense::new_seeded(4, 2, 1);
+/// let x = Tensor::ones(&[3, 4]);
+/// let y = layer.forward(&x);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer from explicit weights `[out, in]` and bias
+    /// `[out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().len(), 2, "weight must be [out, in]");
+        let out = weight.shape()[0];
+        let inp = weight.shape()[1];
+        assert_eq!(bias.shape(), &[out], "bias must be [out]");
+        Dense {
+            weight,
+            bias,
+            in_features: inp,
+            out_features: out,
+        }
+    }
+
+    /// Creates a dense layer with Xavier-uniform weights from a seed.
+    pub fn new_seeded(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let weight = init::xavier_uniform(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            seed,
+        );
+        let bias = Tensor::zeros(&[out_features]);
+        Dense::from_parts(weight, bias)
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight tensor `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable weights (optimizer updates).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Simultaneous mutable access to weight and bias (split borrow).
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weight, &mut self.bias)
+    }
+
+    /// MAC count for a batch of `n` (for the hardware cost models).
+    pub fn macs(&self, n: usize) -> u64 {
+        n as u64 * self.in_features as u64 * self.out_features as u64
+    }
+
+    /// Forward pass over a `[N, in]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, in]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, d) = batch_dims(x);
+        assert_eq!(d, self.in_features, "input feature mismatch");
+        let o = self.out_features;
+        let mut y = Tensor::zeros(&[n, o]);
+        for ni in 0..n {
+            for oi in 0..o {
+                let mut acc = self.bias.data()[oi];
+                for di in 0..d {
+                    acc += self.weight.data()[oi * d + di] * x.data()[ni * d + di];
+                }
+                y.data_mut()[ni * o + oi] = acc;
+            }
+        }
+        y
+    }
+
+    /// Input gradient: `dx = W^T dy`.
+    pub fn backward_input(&self, dy: &Tensor) -> Tensor {
+        let (n, o) = batch_dims(dy);
+        assert_eq!(o, self.out_features, "grad feature mismatch");
+        let d = self.in_features;
+        let mut dx = Tensor::zeros(&[n, d]);
+        for ni in 0..n {
+            for di in 0..d {
+                let mut acc = 0.0;
+                for oi in 0..o {
+                    acc += self.weight.data()[oi * d + di] * dy.data()[ni * o + oi];
+                }
+                dx.data_mut()[ni * d + di] = acc;
+            }
+        }
+        dx
+    }
+
+    /// Weight and bias gradients from the cached input and `dy`.
+    pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
+        let (n, d) = batch_dims(x);
+        let (n2, o) = batch_dims(dy);
+        assert_eq!(n, n2, "x/dy batch mismatch");
+        assert_eq!(d, self.in_features);
+        assert_eq!(o, self.out_features);
+        let mut dw = Tensor::zeros(&[o, d]);
+        let mut db = Tensor::zeros(&[o]);
+        for ni in 0..n {
+            for oi in 0..o {
+                let g = dy.data()[ni * o + oi];
+                db.data_mut()[oi] += g;
+                for di in 0..d {
+                    dw.data_mut()[oi * d + di] += g * x.data()[ni * d + di];
+                }
+            }
+        }
+        (dw, db)
+    }
+}
+
+fn batch_dims(x: &Tensor) -> (usize, usize) {
+    assert_eq!(x.shape().len(), 2, "dense layers take [N, D] input");
+    (x.shape()[0], x.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let layer = Dense::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn adjoint_identity() {
+        let layer = Dense::from_parts(init::uniform(&[5, 4], -1.0, 1.0, 2), Tensor::zeros(&[5]));
+        let x = init::uniform(&[3, 4], -1.0, 1.0, 3);
+        let y = init::uniform(&[3, 5], -1.0, 1.0, 4);
+        let lhs = layer.forward(&x).dot(&y);
+        let rhs = x.dot(&layer.backward_input(&y));
+        assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut layer = Dense::new_seeded(3, 2, 8);
+        let x = init::uniform(&[2, 3], -1.0, 1.0, 9);
+        let dy = Tensor::ones(&[2, 2]);
+        let (dw, db) = layer.backward_params(&x, &dy);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = layer.weight().data()[idx];
+            layer.weight_mut().data_mut()[idx] = orig + eps;
+            let lp = layer.forward(&x).sum();
+            layer.weight_mut().data_mut()[idx] = orig - eps;
+            let lm = layer.forward(&x).sum();
+            layer.weight_mut().data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dw.data()[idx]).abs() < 1e-2 * fd.abs().max(1.0));
+        }
+        assert_eq!(db.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn macs_count() {
+        assert_eq!(Dense::new_seeded(10, 20, 0).macs(4), 800);
+    }
+}

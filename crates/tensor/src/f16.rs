@@ -1,0 +1,302 @@
+//! Software IEEE-754 binary16 ("half precision", FP16).
+//!
+//! The eNODE prototype's datapath is FP16 (§VIII: "All designs use FP16
+//! precision to support ODE applications"). This module implements binary16
+//! from scratch — conversion with round-to-nearest-even, subnormal and
+//! infinity handling — so that the reproduction can (a) account storage in
+//! true 2-byte elements and (b) study quantization effects of the FP16
+//! datapath on integration error.
+
+use std::fmt;
+
+/// An IEEE-754 binary16 floating-point number (1 sign, 5 exponent, 10
+/// mantissa bits), stored as its raw bit pattern.
+///
+/// Arithmetic is performed by converting to `f32`, operating, and rounding
+/// back — exactly the behaviour of a hardware FP16 unit with a single
+/// rounding per operation.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::F16;
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // FP16 has ~3 decimal digits: 0.1 is not representable exactly.
+/// let y = F16::from_f32(0.1);
+/// assert!((y.to_f32() - 0.1).abs() < 1e-4);
+/// assert!(y.to_f32() != 0.1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Machine epsilon (2^-10).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    ///
+    /// Values beyond the FP16 range become infinities; tiny values flush
+    /// through the subnormal range down to zero, as IEEE requires.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            let payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity. (Values that round up to 65536 also
+            // overflow; handled below via mantissa rounding carry.)
+            if unbiased == 16 && mant == 0 && exp != 0 {
+                // exactly 2^16 -> inf anyway
+            }
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range: keep top 10 mantissa bits, round-to-nearest-even
+            // on the remaining 13.
+            let mant16 = mant >> 13;
+            let round_bits = mant & 0x1FFF;
+            let halfway = 0x1000;
+            let mut out = ((unbiased + 15) as u16) << 10 | mant16 as u16;
+            if round_bits > halfway || (round_bits == halfway && (mant16 & 1) == 1) {
+                out += 1; // may carry into exponent, incl. overflow to inf — correct
+            }
+            return F16(sign | out);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: implicit leading 1 becomes explicit, shifted.
+            let shift = (-14 - unbiased) as u32; // 1..=11
+            let full = 0x80_0000 | mant; // 24-bit significand with hidden bit
+            let total_shift = 13 + shift;
+            let mant16 = full >> total_shift;
+            let rem = full & ((1 << total_shift) - 1);
+            let halfway = 1u32 << (total_shift - 1);
+            let mut out = mant16 as u16;
+            if rem > halfway || (rem == halfway && (mant16 & 1) == 1) {
+                out += 1;
+            }
+            return F16(sign | out);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x3FF) as u32;
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = mant * 2^-24. Normalize into f32.
+                let mut e = -14i32;
+                let mut m = mant;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x3FF;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13) // inf / nan
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True for finite values (neither NaN nor infinite).
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// FP16 addition: one rounding, as in a hardware FP16 adder.
+    pub fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+
+    /// FP16 multiplication: one rounding, as in a hardware FP16 multiplier.
+    pub fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+
+    /// Fused multiply-add with a single final rounding — the operation an
+    /// FP16 MAC unit (the eNODE PE) performs.
+    pub fn mul_add(self, a: F16, b: F16) -> F16 {
+        F16::from_f32((self.to_f32() as f64 * a.to_f32() as f64 + b.to_f32() as f64) as f32)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+/// Quantizes an `f32` slice through FP16 and back — models writing a tensor
+/// to an FP16 buffer (SRAM/DRAM) and reading it out.
+pub fn quantize_roundtrip(data: &[f32]) -> Vec<f32> {
+    data.iter().map(|&x| F16::from_f32(x).to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -512i32..=512 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must round-trip");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(5.5).to_bits(), 0x4580);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(70000.0).is_infinite());
+        assert!(F16::from_f32(-1e10).is_infinite());
+        assert_eq!(F16::from_f32(-1e10).to_f32(), f32::NEG_INFINITY);
+        // 65520 rounds up past MAX to infinity (round-to-nearest-even).
+        assert!(F16::from_f32(65520.0).is_infinite());
+        // 65519 rounds down to MAX.
+        assert_eq!(F16::from_f32(65519.0).to_bits(), F16::MAX.to_bits());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Largest subnormal.
+        let big_sub = 2.0f32.powi(-14) - 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(big_sub).to_f32(), big_sub);
+        // Below half the smallest subnormal underflows to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 sits exactly halfway between 1 and 1+2^-10; ties to even
+        // round down to 1.0 (mantissa 0 is even).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties round to
+        // the even mantissa (2), i.e. up.
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn mac_single_rounding() {
+        let a = F16::from_f32(0.1);
+        let b = F16::from_f32(0.2);
+        let c = F16::from_f32(0.3);
+        let fused = a.mul_add(b, c);
+        // The fused result differs from the doubly-rounded one in general;
+        // both must be within one ulp of the exact value.
+        let exact = a.to_f32() * b.to_f32() + c.to_f32();
+        assert!((fused.to_f32() - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_bit_patterns_convert_consistently() {
+        // Exhaustive: every finite f16 must satisfy from_f32(to_f32(x)) == x.
+        for bits in 0u16..=0xFFFF {
+            let x = F16::from_bits(bits);
+            if x.is_finite() {
+                let rt = F16::from_f32(x.to_f32());
+                // -0.0 and 0.0 both acceptable only for the zero patterns.
+                assert_eq!(
+                    rt.to_bits(),
+                    bits,
+                    "bits {bits:#06x} -> {} -> {:#06x}",
+                    x.to_f32(),
+                    rt.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_vector() {
+        let v = vec![0.1, -2.5, 1000.0, 3.14159];
+        let q = quantize_roundtrip(&v);
+        for (orig, quant) in v.iter().zip(&q) {
+            assert!((orig - quant).abs() / orig.abs() < 1e-3);
+        }
+    }
+}

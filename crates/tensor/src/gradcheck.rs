@@ -1,0 +1,120 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used pervasively by the test suites of this crate, `enode-node`
+//! (adjoint-gradient verification) and the integration tests.
+
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the worst relative error found and its index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error across the checked entries.
+    pub max_rel_error: f32,
+    /// Flat index where the largest error occurred.
+    pub argmax: usize,
+}
+
+impl GradCheckReport {
+    /// True when every checked entry was within `tol` relative error.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Compares an analytic gradient against a central finite difference of
+/// `loss` with respect to the entries of `x` listed in `indices`
+/// (all entries when `indices` is empty).
+///
+/// `loss` is called with temporarily perturbed copies of `x`.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::{Tensor, gradcheck::check_gradient};
+/// // loss = sum(x^2), gradient = 2x
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+/// let grad = x.scale(2.0);
+/// let report = check_gradient(
+///     &x,
+///     &grad,
+///     1e-3,
+///     &[],
+///     |t| t.data().iter().map(|v| v * v).sum(),
+/// );
+/// assert!(report.passes(1e-2));
+/// ```
+pub fn check_gradient(
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    indices: &[usize],
+    mut loss: impl FnMut(&Tensor) -> f32,
+) -> GradCheckReport {
+    assert_eq!(
+        x.shape(),
+        analytic.shape(),
+        "gradient shape must match input shape"
+    );
+    let all: Vec<usize>;
+    let idxs: &[usize] = if indices.is_empty() {
+        all = (0..x.len()).collect();
+        &all
+    } else {
+        indices
+    };
+    let mut max_rel = 0.0f32;
+    let mut argmax = 0usize;
+    let mut probe = x.clone();
+    for &i in idxs {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let lp = loss(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let lm = loss(&probe);
+        probe.data_mut()[i] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        let an = analytic.data()[i];
+        let denom = fd.abs().max(an.abs()).max(1e-4);
+        let rel = (fd - an).abs() / denom;
+        if rel > max_rel {
+            max_rel = rel;
+            argmax = i;
+        }
+    }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        argmax,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_gradient_passes() {
+        let x = Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.1], &[4]);
+        let grad = x.map(|v| 3.0 * v * v); // d/dx sum(x^3)
+        let report = check_gradient(&x, &grad, 1e-3, &[], |t| {
+            t.data().iter().map(|v| v.powi(3)).sum()
+        });
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let wrong = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let report = check_gradient(&x, &wrong, 1e-3, &[], |t| t.data().iter().sum());
+        assert!(!report.passes(1e-2));
+        assert!(report.max_rel_error > 0.5);
+    }
+
+    #[test]
+    fn subset_of_indices() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let grad = Tensor::ones(&[3]);
+        let report = check_gradient(&x, &grad, 1e-3, &[1], |t| t.sum());
+        assert!(report.passes(1e-3));
+    }
+}

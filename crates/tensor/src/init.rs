@@ -1,0 +1,99 @@
+//! Deterministic parameter initializers.
+//!
+//! All initializers take an explicit seed so that every experiment in the
+//! reproduction is bit-for-bit repeatable.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    assert!(lo < hi, "uniform: lo must be < hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Standard-normal initialization scaled by `std`.
+pub fn normal(dims: &[usize], std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    // Box-Muller transform; avoids a distribution dependency.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, dims)
+}
+
+/// Kaiming (He) uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)` — the standard choice for ReLU networks.
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(dims, -bound, bound, seed)
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `b = sqrt(6 / (fan_in + fan_out))` — the standard choice for tanh
+/// networks (the embedded NNs of dynamic-system NODEs use tanh).
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(dims, -bound, bound, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform(&[100], -1.0, 1.0, 9);
+        let b = uniform(&[100], -1.0, 1.0, 9);
+        let c = uniform(&[100], -1.0, 1.0, 10);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let t = uniform(&[1000], -0.5, 0.5, 1);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let t = normal(&[20000], 2.0, 3);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound() {
+        let t = kaiming_uniform(&[64, 64], 64, 0);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.norm_inf() <= bound);
+        assert!(t.norm_inf() > bound * 0.9, "should fill the range");
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let t = xavier_uniform(&[32, 16], 16, 32, 0);
+        let bound = (6.0f32 / 48.0).sqrt();
+        assert!(t.norm_inf() <= bound);
+    }
+}

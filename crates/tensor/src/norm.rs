@@ -1,0 +1,323 @@
+//! Group normalization with forward and backward passes.
+//!
+//! Neural-ODE embedded networks normalize with GroupNorm rather than
+//! BatchNorm because the ODE function `f` must be well-defined for a single
+//! state (batch statistics would make `f` depend on the batch). The eNODE
+//! NN core's pre-/post-processing unit computes "Norm and ReLU layers"
+//! (§VI); this module is that Norm.
+
+use crate::tensor::Tensor;
+
+/// Per-group normalization statistics cached by the forward pass and
+/// consumed by the backward pass.
+#[derive(Clone, Debug)]
+pub struct GroupNormCache {
+    /// Normalized values x̂ (same shape as the input).
+    pub xhat: Tensor,
+    /// Reciprocal standard deviation per `(sample, group)`.
+    pub inv_std: Vec<f32>,
+}
+
+/// Group normalization over `[N, C, H, W]` tensors.
+///
+/// Channels are split into `groups` equal groups; each `(sample, group)`
+/// slab is normalized to zero mean / unit variance, then scaled and shifted
+/// by learned per-channel `gamma` and `beta`.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::{Tensor, norm::GroupNorm};
+/// let gn = GroupNorm::new(8, 4);
+/// let x = Tensor::ones(&[1, 8, 4, 4]);
+/// let (y, _cache) = gn.forward(&x);
+/// assert_eq!(y.shape(), x.shape());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    channels: usize,
+    groups: usize,
+    eps: f32,
+}
+
+impl GroupNorm {
+    /// Creates a GroupNorm with unit gamma and zero beta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide `channels`.
+    pub fn new(channels: usize, groups: usize) -> Self {
+        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        GroupNorm {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            channels,
+            groups,
+            eps: 1e-5,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Group count.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The scale parameter `[C]`.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The shift parameter `[C]`.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// Mutable scale (optimizer updates).
+    pub fn gamma_mut(&mut self) -> &mut Tensor {
+        &mut self.gamma
+    }
+
+    /// Mutable shift.
+    pub fn beta_mut(&mut self) -> &mut Tensor {
+        &mut self.beta
+    }
+
+    /// Simultaneous mutable access to gamma and beta (split borrow).
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.gamma, &mut self.beta)
+    }
+
+    /// Forward pass; returns the output and the cache needed by
+    /// [`GroupNorm::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, GroupNormCache) {
+        let (n, c, h, w) = x.shape_obj().nchw();
+        assert_eq!(c, self.channels, "channel mismatch");
+        let cg = c / self.groups;
+        let group_len = cg * h * w;
+        let mut xhat = Tensor::zeros_like(x);
+        let mut inv_std = Vec::with_capacity(n * self.groups);
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let mut sum = 0.0f64;
+                let mut sumsq = 0.0f64;
+                for ci in g * cg..(g + 1) * cg {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let v = x.at4(ni, ci, hi, wi) as f64;
+                            sum += v;
+                            sumsq += v * v;
+                        }
+                    }
+                }
+                let mean = sum / group_len as f64;
+                let var = (sumsq / group_len as f64 - mean * mean).max(0.0);
+                let istd = 1.0 / (var + self.eps as f64).sqrt();
+                inv_std.push(istd as f32);
+                for ci in g * cg..(g + 1) * cg {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let v = x.at4(ni, ci, hi, wi) as f64;
+                            *xhat.at4_mut(ni, ci, hi, wi) = ((v - mean) * istd) as f32;
+                        }
+                    }
+                }
+            }
+        }
+        let mut y = Tensor::zeros_like(x);
+        for ni in 0..n {
+            for ci in 0..c {
+                let gm = self.gamma.data()[ci];
+                let bt = self.beta.data()[ci];
+                for hi in 0..h {
+                    for wi in 0..w {
+                        *y.at4_mut(ni, ci, hi, wi) = gm * xhat.at4(ni, ci, hi, wi) + bt;
+                    }
+                }
+            }
+        }
+        (y, GroupNormCache { xhat, inv_std })
+    }
+
+    /// Backward pass: returns `(dx, dgamma, dbeta)`.
+    pub fn backward(&self, cache: &GroupNormCache, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let (n, c, h, w) = dy.shape_obj().nchw();
+        assert_eq!(c, self.channels, "channel mismatch");
+        let cg = c / self.groups;
+        let group_len = (cg * h * w) as f32;
+        let mut dgamma = Tensor::zeros(&[c]);
+        let mut dbeta = Tensor::zeros(&[c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut dg = 0.0f32;
+                let mut db = 0.0f32;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let g = dy.at4(ni, ci, hi, wi);
+                        dg += g * cache.xhat.at4(ni, ci, hi, wi);
+                        db += g;
+                    }
+                }
+                dgamma.data_mut()[ci] += dg;
+                dbeta.data_mut()[ci] += db;
+            }
+        }
+        let mut dx = Tensor::zeros_like(dy);
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let istd = cache.inv_std[ni * self.groups + g];
+                // dxhat = dy * gamma; then the standard normalization
+                // backward: dx = istd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
+                let mut mean_dxhat = 0.0f64;
+                let mut mean_dxhat_xhat = 0.0f64;
+                for ci in g * cg..(g + 1) * cg {
+                    let gm = self.gamma.data()[ci] as f64;
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let dxh = dy.at4(ni, ci, hi, wi) as f64 * gm;
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * cache.xhat.at4(ni, ci, hi, wi) as f64;
+                        }
+                    }
+                }
+                mean_dxhat /= group_len as f64;
+                mean_dxhat_xhat /= group_len as f64;
+                for ci in g * cg..(g + 1) * cg {
+                    let gm = self.gamma.data()[ci] as f64;
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let dxh = dy.at4(ni, ci, hi, wi) as f64 * gm;
+                            let xh = cache.xhat.at4(ni, ci, hi, wi) as f64;
+                            *dx.at4_mut(ni, ci, hi, wi) =
+                                (istd as f64 * (dxh - mean_dxhat - xh * mean_dxhat_xhat)) as f32;
+                        }
+                    }
+                }
+            }
+        }
+        (dx, dgamma, dbeta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn output_is_normalized() {
+        let gn = GroupNorm::new(4, 2);
+        let x = init::uniform(&[2, 4, 3, 3], -5.0, 5.0, 1);
+        let (y, _) = gn.forward(&x);
+        // With unit gamma / zero beta, each (sample, group) slab of y has
+        // ~zero mean and ~unit variance.
+        let (_, c, h, w) = x.shape_obj().nchw();
+        let cg = c / 2;
+        for ni in 0..2 {
+            for g in 0..2 {
+                let mut vals = Vec::new();
+                for ci in g * cg..(g + 1) * cg {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            vals.push(y.at4(ni, ci, hi, wi));
+                        }
+                    }
+                }
+                let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                let var: f32 =
+                    vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut gn = GroupNorm::new(2, 1);
+        gn.gamma_mut().data_mut()[0] = 2.0;
+        gn.beta_mut().data_mut()[1] = 3.0;
+        let x = init::uniform(&[1, 2, 2, 2], -1.0, 1.0, 7);
+        let (y, cache) = gn.forward(&x);
+        for hi in 0..2 {
+            for wi in 0..2 {
+                assert!(
+                    (y.at4(0, 0, hi, wi) - 2.0 * cache.xhat.at4(0, 0, hi, wi)).abs() < 1e-6
+                );
+                assert!(
+                    (y.at4(0, 1, hi, wi) - (cache.xhat.at4(0, 1, hi, wi) + 3.0)).abs() < 1e-6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let gn = GroupNorm::new(4, 2);
+        let mut x = init::uniform(&[1, 4, 2, 2], -1.0, 1.0, 3);
+        // Loss: weighted sum with fixed weights so the gradient is nontrivial.
+        let wts = init::uniform(&[1, 4, 2, 2], -1.0, 1.0, 4);
+        let (_, cache) = gn.forward(&x);
+        let (dx, _, _) = gn.backward(&cache, &wts);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 9, 15] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = gn.forward(&x).0.dot(&wts);
+            x.data_mut()[idx] = orig - eps;
+            let lm = gn.forward(&x).0.dot(&wts);
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[idx]).abs() < 2e-2 * fd.abs().max(1.0),
+                "dx[{idx}]: fd {fd} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut gn = GroupNorm::new(2, 1);
+        let x = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 5);
+        let wts = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 6);
+        let (_, cache) = gn.forward(&x);
+        let (_, dgamma, dbeta) = gn.backward(&cache, &wts);
+        let eps = 1e-3;
+        for ci in 0..2 {
+            let orig = gn.gamma().data()[ci];
+            gn.gamma_mut().data_mut()[ci] = orig + eps;
+            let lp = gn.forward(&x).0.dot(&wts);
+            gn.gamma_mut().data_mut()[ci] = orig - eps;
+            let lm = gn.forward(&x).0.dot(&wts);
+            gn.gamma_mut().data_mut()[ci] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dgamma.data()[ci]).abs() < 1e-2 * fd.abs().max(1.0));
+
+            let origb = gn.beta().data()[ci];
+            gn.beta_mut().data_mut()[ci] = origb + eps;
+            let lpb = gn.forward(&x).0.dot(&wts);
+            gn.beta_mut().data_mut()[ci] = origb - eps;
+            let lmb = gn.forward(&x).0.dot(&wts);
+            gn.beta_mut().data_mut()[ci] = origb;
+            let fdb = (lpb - lmb) / (2.0 * eps);
+            assert!((fdb - dbeta.data()[ci]).abs() < 1e-2 * fdb.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_group_count_rejected() {
+        let _ = GroupNorm::new(6, 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Gradient-descent optimizers.
+//!
+//! eNODE updates weights *locally* after the backward loop around the ring
+//! (§V-A: "The weights are updated locally"), which corresponds to a plain
+//! SGD step. Adam is included because the NODE algorithm literature trains
+//! with it; the hardware energy model charges the same parameter-update
+//! traffic either way.
+
+use crate::tensor::Tensor;
+
+/// Plain SGD with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::{Tensor, optim::Sgd};
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// let mut p = Tensor::from_vec(vec![1.0], &[1]);
+/// let g = Tensor::from_vec(vec![2.0], &[1]);
+/// opt.step(&mut [&mut p], &[g.clone()]);
+/// assert!((p.data()[0] - 0.8).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite());
+        self.lr = lr;
+    }
+
+    /// Applies one descent step: `p -= lr * (momentum-filtered) g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` lengths differ, or if shapes change
+    /// between calls.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = grads.iter().map(Tensor::zeros_like).collect();
+        }
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_mut(self.momentum);
+                v.axpy(1.0, g);
+                p.axpy(-self.lr, v);
+            } else {
+                p.axpy(-self.lr, g);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard hyperparameters
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one Adam step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` lengths differ.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(Tensor::zeros_like).collect();
+            self.v = grads.iter().map(Tensor::zeros_like).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            let m = &mut self.m[i];
+            m.scale_mut(self.beta1);
+            m.axpy(1.0 - self.beta1, g);
+            let v = &mut self.v[i];
+            v.scale_mut(self.beta2);
+            let g2 = g.map(|x| x * x);
+            v.axpy(1.0 - self.beta2, &g2);
+            for ((pi, &mi), &vi) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = 0.5 x^2 (gradient x) must converge to 0.
+    fn run_quadratic(steps: usize, mut apply: impl FnMut(&mut Tensor)) -> f32 {
+        let mut x = Tensor::from_vec(vec![5.0, -3.0], &[2]);
+        for _ in 0..steps {
+            apply(&mut x);
+        }
+        x.norm_l2()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let end = run_quadratic(100, |x| {
+            let g = x.clone();
+            opt.step(&mut [x], &[g]);
+        });
+        assert!(end < 1e-3, "|x| = {end}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01);
+        let end_plain = run_quadratic(50, |x| {
+            let g = x.clone();
+            plain.step(&mut [x], &[g]);
+        });
+        let mut mom = Sgd::new(0.01).with_momentum(0.9);
+        let end_mom = run_quadratic(50, |x| {
+            let g = x.clone();
+            mom.step(&mut [x], &[g]);
+        });
+        assert!(end_mom < end_plain, "momentum {end_mom} vs plain {end_plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let end = run_quadratic(200, |x| {
+            let g = x.clone();
+            opt.step(&mut [x], &[g]);
+        });
+        assert!(end < 1e-2, "|x| = {end}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut opt = Adam::new(0.5);
+        let mut x = Tensor::from_vec(vec![10.0], &[1]);
+        let g = Tensor::from_vec(vec![3.0], &[1]);
+        opt.step(&mut [&mut x], &[g]);
+        assert!((x.data()[0] - 9.5).abs() < 1e-3, "x = {}", x.data()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lr_rejected() {
+        let _ = Sgd::new(-1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Spatial pooling layers with backward passes.
+//!
+//! Used by the ResNet-style reference models and available for NODE
+//! classifier stems; the eNODE NN core's pre-/post-processing unit handles
+//! these elementwise/reduction ops outside the PE array.
+
+use crate::tensor::Tensor;
+
+/// 2×2 max pooling with stride 2 over `[N, C, H, W]`.
+///
+/// Returns the pooled tensor and an argmax cache for the backward pass.
+///
+/// # Panics
+///
+/// Panics if `H` or `W` is odd.
+pub fn max_pool2(x: &Tensor) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = x.shape_obj().nchw();
+    assert!(h % 2 == 0 && w % 2 == 0, "max_pool2 needs even H and W");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut y = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for yh in 0..oh {
+                for yw in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dh in 0..2 {
+                        for dw in 0..2 {
+                            let ih = yh * 2 + dh;
+                            let iw = yw * 2 + dw;
+                            let v = x.at4(ni, ci, ih, iw);
+                            if v > best {
+                                best = v;
+                                best_idx = x.shape_obj().offset4(ni, ci, ih, iw);
+                            }
+                        }
+                    }
+                    *y.at4_mut(ni, ci, yh, yw) = best;
+                    argmax[y.shape_obj().offset4(ni, ci, yh, yw)] = best_idx;
+                }
+            }
+        }
+    }
+    (y, argmax)
+}
+
+/// Backward of [`max_pool2`]: routes each gradient to its argmax input.
+pub fn max_pool2_backward(dy: &Tensor, argmax: &[usize], in_shape: &[usize]) -> Tensor {
+    assert_eq!(dy.len(), argmax.len(), "cache mismatch");
+    let mut dx = Tensor::zeros(in_shape);
+    for (g, &idx) in dy.data().iter().zip(argmax) {
+        dx.data_mut()[idx] += g;
+    }
+    dx
+}
+
+/// 2×2 average pooling with stride 2 over `[N, C, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `H` or `W` is odd.
+pub fn avg_pool2(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape_obj().nchw();
+    assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 needs even H and W");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut y = Tensor::zeros(&[n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for yh in 0..oh {
+                for yw in 0..ow {
+                    let s = x.at4(ni, ci, yh * 2, yw * 2)
+                        + x.at4(ni, ci, yh * 2 + 1, yw * 2)
+                        + x.at4(ni, ci, yh * 2, yw * 2 + 1)
+                        + x.at4(ni, ci, yh * 2 + 1, yw * 2 + 1);
+                    *y.at4_mut(ni, ci, yh, yw) = s * 0.25;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Backward of [`avg_pool2`]: spreads each gradient evenly over its 2×2
+/// window.
+pub fn avg_pool2_backward(dy: &Tensor, in_shape: &[usize]) -> Tensor {
+    let (n, c, oh, ow) = dy.shape_obj().nchw();
+    let mut dx = Tensor::zeros(in_shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            for yh in 0..oh {
+                for yw in 0..ow {
+                    let g = dy.at4(ni, ci, yh, yw) * 0.25;
+                    for dh in 0..2 {
+                        for dw in 0..2 {
+                            *dx.at4_mut(ni, ci, yh * 2 + dh, yw * 2 + dw) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Row-wise softmax over `[N, K]` logits (numerically stabilized).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax takes [N, K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for ni in 0..n {
+        let row = &logits.data()[ni * k..(ni + 1) * k];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (o, e) in out.data_mut()[ni * k..(ni + 1) * k].iter_mut().zip(&exps) {
+            *o = e / sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let (y, _) = max_pool2(&x);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let (_, cache) = max_pool2(&x);
+        let dy = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
+        let dx = max_pool2_backward(&dy, &cache, &[1, 1, 2, 2]);
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = avg_pool2(&x);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, 1);
+        let v = init::uniform(&[1, 2, 2, 2], -1.0, 1.0, 2);
+        let dx = avg_pool2_backward(&v, x.shape());
+        let eps = 1e-3;
+        for idx in [0usize, 7, 20, 31] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = avg_pool2(&x).dot(&v);
+            x.data_mut()[idx] = orig - eps;
+            let lm = avg_pool2(&x).dot(&v);
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn max_pool_gradcheck_away_from_ties() {
+        let mut x = init::uniform(&[1, 1, 4, 4], 0.0, 1.0, 3);
+        // Perturb distinct values so argmax is stable under eps.
+        let v = init::uniform(&[1, 1, 2, 2], -1.0, 1.0, 4);
+        let (_, cache) = max_pool2(&x);
+        let dx = max_pool2_backward(&v, &cache, x.shape());
+        let eps = 1e-4;
+        for idx in 0..16 {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = max_pool2(&x).0.dot(&v);
+            x.data_mut()[idx] = orig - eps;
+            let lm = max_pool2(&x).0.dot(&v);
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = init::uniform(&[3, 5], -4.0, 4.0, 5);
+        let p = softmax(&x);
+        for ni in 0..3 {
+            let s: f32 = p.data()[ni * 5..(ni + 1) * 5].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.data()[ni * 5..(ni + 1) * 5].iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_at_extremes() {
+        let x = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let p = softmax(&x);
+        assert!((p.data()[0] - 1.0).abs() < 1e-6);
+        assert!(p.data()[1] >= 0.0);
+    }
+}

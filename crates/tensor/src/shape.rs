@@ -1,0 +1,162 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+/// A tensor shape: the extent of each dimension, row-major (last dimension
+/// contiguous).
+///
+/// Shapes up to rank 4 are used throughout (`[N, C, H, W]` for feature maps,
+/// `[M, C, Kh, Kw]` for convolution kernels, `[N, D]` for flat states).
+///
+/// # Example
+///
+/// ```
+/// use enode_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4, 4]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.strides(), vec![48, 16, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any extent is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape extents must be non-zero, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interprets this shape as a 4-D `[N, C, H, W]` feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 shape, got {self:?}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// Flat row-major offset of a 4-D index.
+    #[inline]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 4);
+        ((n * self.0[1] + c) * self.0[2] + h) * self.0[3] + w
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const R: usize> From<[usize; R]> for Shape {
+    fn from(dims: [usize; R]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 5]);
+        assert_eq!(s.strides(), vec![15, 5, 1]);
+    }
+
+    #[test]
+    fn offset4_matches_strides() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        let st = s.strides();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert_eq!(
+                            s.offset4(n, c, h, w),
+                            n * st[0] + c * st[1] + h * st[2] + w * st[3]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::new(&[7]).len(), 7);
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_rejected() {
+        let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = Shape::new(&[]);
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(Shape::new(&[64, 64, 64]).to_string(), "64x64x64");
+    }
+
+    #[test]
+    fn from_array() {
+        let s: Shape = [1, 2, 3].into();
+        assert_eq!(s.dims(), &[1, 2, 3]);
+    }
+}

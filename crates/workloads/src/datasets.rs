@@ -1,0 +1,176 @@
+//! Common dataset utilities.
+
+use enode_tensor::Tensor;
+
+/// A supervised dataset: inputs paired with either target states
+/// (dynamic-system regression) or class labels (image classification).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Input batch (`[N, D]` states or `[N, C, H, W]` images).
+    pub inputs: Tensor,
+    /// Target states for regression (same shape family as inputs).
+    pub targets: Option<Tensor>,
+    /// Class labels for classification.
+    pub labels: Option<Vec<usize>>,
+}
+
+impl Dataset {
+    /// A regression dataset.
+    pub fn regression(inputs: Tensor, targets: Tensor) -> Self {
+        assert_eq!(
+            inputs.shape()[0],
+            targets.shape()[0],
+            "input/target batch mismatch"
+        );
+        Dataset {
+            inputs,
+            targets: Some(targets),
+            labels: None,
+        }
+    }
+
+    /// A classification dataset.
+    pub fn classification(inputs: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(inputs.shape()[0], labels.len(), "input/label batch mismatch");
+        Dataset {
+            inputs,
+            targets: None,
+            labels: Some(labels),
+        }
+    }
+
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.inputs.shape()[0]
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits the dataset into contiguous mini-batches of at most
+    /// `batch_size` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn minibatches(&self, batch_size: usize) -> Vec<Dataset> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        let sample_len: usize = self.inputs.shape()[1..].iter().product();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let m = end - start;
+            let mut dims = self.inputs.shape().to_vec();
+            dims[0] = m;
+            let inputs = Tensor::from_vec(
+                self.inputs.data()[start * sample_len..end * sample_len].to_vec(),
+                &dims,
+            );
+            let targets = self.targets.as_ref().map(|t| {
+                let tlen: usize = t.shape()[1..].iter().product();
+                let mut tdims = t.shape().to_vec();
+                tdims[0] = m;
+                Tensor::from_vec(t.data()[start * tlen..end * tlen].to_vec(), &tdims)
+            });
+            let labels = self
+                .labels
+                .as_ref()
+                .map(|l| l[start..end].to_vec());
+            out.push(Dataset {
+                inputs,
+                targets,
+                labels,
+            });
+            start = end;
+        }
+        out
+    }
+}
+
+/// Trajectory accuracy in percent: `100 · (1 − NRMSE)` clamped to `[0,
+/// 100]`, where NRMSE is the RMSE normalized by the target's RMS value.
+/// The paper plots one "accuracy" axis for both image and dynamic-system
+/// workloads (Figs 11/13); this is the dynamic-system counterpart.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn trajectory_accuracy(pred: &Tensor, truth: &Tensor) -> f64 {
+    assert_eq!(pred.shape(), truth.shape(), "shape mismatch");
+    let n = pred.len() as f64;
+    let mse: f64 = pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&p, &t)| ((p - t) as f64).powi(2))
+        .sum::<f64>()
+        / n;
+    let rms: f64 = (truth.data().iter().map(|&t| (t as f64).powi(2)).sum::<f64>() / n).sqrt();
+    if rms < 1e-12 {
+        return if mse < 1e-12 { 100.0 } else { 0.0 };
+    }
+    (100.0 * (1.0 - mse.sqrt() / rms)).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_100() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(trajectory_accuracy(&t, &t), 100.0);
+    }
+
+    #[test]
+    fn garbage_prediction_is_low() {
+        let truth = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]);
+        let pred = Tensor::from_vec(vec![-5.0, 9.0, 0.0], &[3]);
+        assert!(trajectory_accuracy(&pred, &truth) < 20.0);
+    }
+
+    #[test]
+    fn accuracy_monotone_in_error() {
+        let truth = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let close = Tensor::from_vec(vec![1.05, 2.05], &[2]);
+        let far = Tensor::from_vec(vec![1.5, 2.5], &[2]);
+        assert!(
+            trajectory_accuracy(&close, &truth) > trajectory_accuracy(&far, &truth)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn mismatched_regression_rejected() {
+        let _ = Dataset::regression(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3, 3]));
+    }
+
+    #[test]
+    fn minibatches_partition_samples() {
+        let inputs = Tensor::from_vec((0..20).map(|v| v as f32).collect(), &[10, 2]);
+        let d = Dataset::classification(inputs, (0..10).collect());
+        let batches = d.minibatches(4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        // Sample 5 lives in batch 1, row 1.
+        assert_eq!(batches[1].inputs.data()[2], 10.0);
+        assert_eq!(batches[1].labels.as_ref().unwrap()[1], 5);
+        let total: usize = batches.iter().map(Dataset::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn minibatches_slice_targets() {
+        let d = Dataset::regression(
+            Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]),
+            Tensor::from_vec((100..112).map(|v| v as f32).collect(), &[4, 3]),
+        );
+        let batches = d.minibatches(3);
+        assert_eq!(batches[1].targets.as_ref().unwrap().data(), &[109.0, 110.0, 111.0]);
+    }
+}

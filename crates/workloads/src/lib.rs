@@ -1,0 +1,20 @@
+//! Evaluation workloads of the eNODE paper (§VIII): the Three-Body
+//! equations, the Lotka–Volterra equations, image-classification stand-ins
+//! for CIFAR-10 / MNIST, and ResNet reference profiles.
+//!
+//! "These are the most common benchmarks used by the NODE algorithm
+//! community" — the dynamic systems exercise adaptive integration on
+//! genuinely stiff-ish trajectories; the image workloads exercise the
+//! feature-map (conv) path. The real CIFAR-10/MNIST datasets are not
+//! available offline, so [`images`] generates deterministic synthetic
+//! class-prototype datasets with the same tensor shapes and separability
+//! structure (see DESIGN.md's substitution table).
+
+pub mod datasets;
+pub mod images;
+pub mod lotka_volterra;
+pub mod resnet;
+pub mod three_body;
+pub mod van_der_pol;
+
+pub use datasets::{trajectory_accuracy, Dataset};

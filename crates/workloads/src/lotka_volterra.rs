@@ -1,0 +1,169 @@
+//! The Lotka–Volterra predator–prey equations (paper eq. 7) — the second
+//! dynamic-system benchmark.
+
+use crate::datasets::Dataset;
+use enode_ode::controller::ClassicController;
+use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// State dimension: prey count `x` and predator count `y`.
+pub const STATE_DIM: usize = 2;
+
+/// The Lotka–Volterra system `ẋ = αx − βxy`, `ẏ = δxy − ηy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LotkaVolterra {
+    /// Prey growth rate α.
+    pub alpha: f64,
+    /// Predation rate β.
+    pub beta: f64,
+    /// Predator growth per prey δ.
+    pub delta: f64,
+    /// Predator death rate η.
+    pub eta: f64,
+}
+
+impl Default for LotkaVolterra {
+    fn default() -> Self {
+        LotkaVolterra {
+            alpha: 1.5,
+            beta: 1.0,
+            delta: 1.0,
+            eta: 3.0,
+        }
+    }
+}
+
+impl LotkaVolterra {
+    /// The right-hand side of eq. (7).
+    pub fn f(&self, _t: f64, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), STATE_DIM);
+        vec![
+            self.alpha * y[0] - self.beta * y[0] * y[1],
+            self.delta * y[0] * y[1] - self.eta * y[1],
+        ]
+    }
+
+    /// The conserved quantity `V = δx − η ln x + βy − α ln y` of the
+    /// Lotka–Volterra flow (used to validate the integrator).
+    pub fn invariant(&self, y: &[f64]) -> f64 {
+        self.delta * y[0] - self.eta * y[0].ln() + self.beta * y[1] - self.alpha * y[1].ln()
+    }
+
+    /// The nontrivial equilibrium `(η/δ, α/β)`.
+    pub fn equilibrium(&self) -> [f64; 2] {
+        [self.eta / self.delta, self.alpha / self.beta]
+    }
+
+    /// A random initial population pair away from extinction.
+    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
+        vec![rng.gen_range(0.5..3.0), rng.gen_range(0.5..3.0)]
+    }
+
+    /// High-accuracy ground-truth integration.
+    pub fn ground_truth(&self, y0: Vec<f64>, t1: f64) -> Solution<Vec<f64>> {
+        let tab = ButcherTableau::rkf45();
+        let mut ctl = ClassicController::new(tab.error_order());
+        let mut opts = AdaptiveOptions::new(1e-10);
+        opts.max_points = 10_000_000;
+        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
+            .expect("lotka-volterra ground truth must integrate")
+    }
+
+    /// Observes a ground-truth trajectory at the given times (each `> 0`,
+    /// increasing): the supervision format of trajectory fitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty or not strictly increasing.
+    pub fn observe(&self, y0: Vec<f64>, times: &[f64]) -> Vec<Tensor> {
+        assert!(!times.is_empty() && times.windows(2).all(|w| w[0] < w[1]));
+        let sol = self.ground_truth(y0, *times.last().unwrap());
+        times
+            .iter()
+            .map(|&t| {
+                let y = sol.sample(t);
+                Tensor::from_vec(y.iter().map(|&v| v as f32).collect(), &[1, STATE_DIM])
+            })
+            .collect()
+    }
+
+    /// Builds the regression dataset: initial populations mapped to the
+    /// populations at `t1`.
+    pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(n * STATE_DIM);
+        let mut targets = Vec::with_capacity(n * STATE_DIM);
+        for _ in 0..n {
+            let y0 = self.random_initial(&mut rng);
+            let sol = self.ground_truth(y0.clone(), t1);
+            inputs.extend(y0.iter().map(|&v| v as f32));
+            targets.extend(sol.final_state().iter().map(|&v| v as f32));
+        }
+        Dataset::regression(
+            Tensor::from_vec(inputs, &[n, STATE_DIM]),
+            Tensor::from_vec(targets, &[n, STATE_DIM]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_is_stationary() {
+        let lv = LotkaVolterra::default();
+        let eq = lv.equilibrium();
+        let dy = lv.f(0.0, &eq);
+        assert!(dy[0].abs() < 1e-12 && dy[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_conserved_along_orbit() {
+        let lv = LotkaVolterra::default();
+        let y0 = vec![1.0, 1.0];
+        let v0 = lv.invariant(&y0);
+        let sol = lv.ground_truth(y0, 5.0);
+        for p in sol.points.iter().step_by(50) {
+            let v = lv.invariant(&p.y);
+            assert!((v - v0).abs() < 1e-5, "invariant drift at t={}: {v0} -> {v}", p.t);
+        }
+    }
+
+    #[test]
+    fn populations_stay_positive() {
+        let lv = LotkaVolterra::default();
+        let sol = lv.ground_truth(vec![0.7, 2.5], 8.0);
+        for p in &sol.points {
+            assert!(p.y[0] > 0.0 && p.y[1] > 0.0, "extinct at t={}", p.t);
+        }
+    }
+
+    #[test]
+    fn orbit_is_periodic() {
+        // LV orbits are closed; the state must return near its start
+        // within a few periods. Find the closest return after t > 1.
+        let lv = LotkaVolterra::default();
+        let y0 = vec![1.0, 1.0];
+        let sol = lv.ground_truth(y0.clone(), 12.0);
+        let min_dist = sol
+            .points
+            .iter()
+            .filter(|p| p.t > 1.0)
+            .map(|p| ((p.y[0] - y0[0]).powi(2) + (p.y[1] - y0[1]).powi(2)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_dist < 0.05, "closest return {min_dist}");
+    }
+
+    #[test]
+    fn dataset_deterministic() {
+        let lv = LotkaVolterra::default();
+        let a = lv.dataset(4, 1.0, 9);
+        let b = lv.dataset(4, 1.0, 9);
+        assert_eq!(a.inputs.data(), b.inputs.data());
+        assert_eq!(a.inputs.shape(), &[4, 2]);
+    }
+}

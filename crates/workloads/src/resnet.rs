@@ -1,0 +1,160 @@
+//! ResNet reference profiles (paper Fig 4b: ResNet-100; Fig 18b:
+//! ResNet-200 mapped on the ASIC baseline).
+//!
+//! The comparisons need the ResNets' compute and memory *footprints*, not
+//! their accuracy, so this module models the standard CIFAR-style ResNet
+//! layer stack (3 stages, channels doubling and resolution halving) and
+//! derives MACs, weight bytes, activation sizes and training traffic.
+
+/// A CIFAR-style ResNet profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResNetProfile {
+    /// Total convolution layers (e.g. 100 or 200).
+    pub layers: usize,
+    /// Input resolution (CIFAR: 32).
+    pub input_size: usize,
+    /// Stage-1 channel width (CIFAR ResNets: 16).
+    pub base_channels: usize,
+}
+
+/// One stage of the profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Conv layers in the stage.
+    pub layers: usize,
+    /// Channels.
+    pub channels: usize,
+    /// Feature-map height/width.
+    pub size: usize,
+}
+
+impl ResNetProfile {
+    /// The standard CIFAR ResNet-N profile.
+    pub fn cifar(layers: usize) -> Self {
+        ResNetProfile {
+            layers,
+            input_size: 32,
+            base_channels: 16,
+        }
+    }
+
+    /// The three stages: layers split evenly, channels `{1,2,4}×base`,
+    /// resolution `{1, 1/2, 1/4}× input`.
+    pub fn stages(&self) -> [Stage; 3] {
+        let per = self.layers / 3;
+        [
+            Stage {
+                layers: per,
+                channels: self.base_channels,
+                size: self.input_size,
+            },
+            Stage {
+                layers: per,
+                channels: self.base_channels * 2,
+                size: self.input_size / 2,
+            },
+            Stage {
+                layers: self.layers - 2 * per,
+                channels: self.base_channels * 4,
+                size: self.input_size / 4,
+            },
+        ]
+    }
+
+    /// Total MACs of one forward pass (3×3 convs).
+    pub fn forward_macs(&self) -> u64 {
+        self.stages()
+            .iter()
+            .map(|s| (s.layers * s.size * s.size * s.channels * s.channels * 9) as u64)
+            .sum()
+    }
+
+    /// Weight bytes at FP16.
+    pub fn weight_bytes(&self) -> u64 {
+        self.stages()
+            .iter()
+            .map(|s| (s.layers * s.channels * s.channels * 9 * 2) as u64)
+            .sum()
+    }
+
+    /// Peak activation bytes during inference: one map in flight (FP16) —
+    /// layer-by-layer execution needs the largest input+output pair.
+    pub fn inference_activation_bytes(&self) -> u64 {
+        self.stages()
+            .iter()
+            .map(|s| 2 * (s.size * s.size * s.channels * 2) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total activation bytes stored for training (backprop keeps every
+    /// layer's activation).
+    pub fn training_activation_bytes(&self) -> u64 {
+        self.stages()
+            .iter()
+            .map(|s| (s.layers * s.size * s.size * s.channels * 2) as u64)
+            .sum()
+    }
+
+    /// Memory traffic of one inference (read+write one activation map per
+    /// layer, plus one weight pass).
+    pub fn inference_access_bytes(&self) -> u64 {
+        let acts: u64 = self
+            .stages()
+            .iter()
+            .map(|s| (s.layers * s.size * s.size * s.channels * 2 * 2) as u64)
+            .sum();
+        acts + self.weight_bytes()
+    }
+
+    /// Memory traffic of one training iteration: forward writes every
+    /// activation, backward reads them and round-trips gradients.
+    pub fn training_access_bytes(&self) -> u64 {
+        // forward: write acts; backward: read acts, write+read grads.
+        3 * self.training_activation_bytes() + self.inference_access_bytes() + 2 * self.weight_bytes()
+    }
+
+    /// Backward-pass MACs (input-gradient + weight-gradient ≈ 2× forward).
+    pub fn training_macs(&self) -> u64 {
+        3 * self.forward_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_cover_all_layers() {
+        for n in [100usize, 200] {
+            let p = ResNetProfile::cifar(n);
+            let total: usize = p.stages().iter().map(|s| s.layers).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn resnet200_doubles_resnet100() {
+        let a = ResNetProfile::cifar(100);
+        let b = ResNetProfile::cifar(200);
+        let ratio = b.forward_macs() as f64 / a.forward_macs() as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "MAC ratio {ratio}");
+        assert!(b.training_activation_bytes() > a.training_activation_bytes());
+    }
+
+    #[test]
+    fn cifar_resnet100_macs_plausible() {
+        // CIFAR ResNet-110 is ~255 MFLOPs ≈ 127 MMACs; our 100-layer
+        // profile should land in the same decade.
+        let p = ResNetProfile::cifar(100);
+        let macs = p.forward_macs() as f64;
+        assert!(macs > 5e7 && macs < 1e9, "{macs:.2e}");
+    }
+
+    #[test]
+    fn training_costs_more_than_inference() {
+        let p = ResNetProfile::cifar(100);
+        assert!(p.training_access_bytes() > p.inference_access_bytes());
+        assert_eq!(p.training_macs(), 3 * p.forward_macs());
+    }
+}

@@ -1,0 +1,203 @@
+//! The Three-Body problem (paper eq. 6): trajectories of three mutually
+//! gravitating bodies — a classic chaotic dynamic system and one of the
+//! paper's two dynamic-system benchmarks.
+//!
+//! We use the planar (2-D) problem: the state is
+//! `[r1, r2, r3, v1, v2, v3]` with 2-D positions and velocities — 12
+//! dimensions. Ground-truth trajectories come from a tight-tolerance RKF45
+//! integration of the physical equations.
+
+use crate::datasets::Dataset;
+use enode_ode::controller::ClassicController;
+use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimension of the planar three-body state.
+pub const STATE_DIM: usize = 12;
+
+/// Physical parameters: gravitational constant and the three masses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreeBody {
+    /// Gravitational constant (natural units).
+    pub g: f64,
+    /// Body masses.
+    pub masses: [f64; 3],
+    /// Softening length to avoid the collision singularity.
+    pub softening: f64,
+}
+
+impl Default for ThreeBody {
+    fn default() -> Self {
+        ThreeBody {
+            g: 1.0,
+            masses: [1.0, 1.0, 1.0],
+            softening: 0.1,
+        }
+    }
+}
+
+impl ThreeBody {
+    /// The right-hand side of eq. (6): `r̈_i = −Σ_{j≠i} G m_j (r_i − r_j)
+    /// / |r_i − r_j|³` (with softening), as a first-order system.
+    pub fn f(&self, _t: f64, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), STATE_DIM, "state must be 12-dimensional");
+        let mut dy = vec![0.0; STATE_DIM];
+        // dr/dt = v.
+        dy[..6].copy_from_slice(&y[6..12]);
+        for i in 0..3 {
+            let (xi, yi) = (y[2 * i], y[2 * i + 1]);
+            let mut ax = 0.0;
+            let mut ay = 0.0;
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let dx = xi - y[2 * j];
+                let dyv = yi - y[2 * j + 1];
+                let dist2 = dx * dx + dyv * dyv + self.softening * self.softening;
+                let inv_d3 = dist2.powf(-1.5);
+                ax -= self.g * self.masses[j] * dx * inv_d3;
+                ay -= self.g * self.masses[j] * dyv * inv_d3;
+            }
+            dy[6 + 2 * i] = ax;
+            dy[7 + 2 * i] = ay;
+        }
+        dy
+    }
+
+    /// Total energy (kinetic + potential) — conserved by the true dynamics,
+    /// used to validate the ground-truth integrator.
+    pub fn energy(&self, y: &[f64]) -> f64 {
+        let mut e = 0.0;
+        for i in 0..3 {
+            let v2 = y[6 + 2 * i].powi(2) + y[7 + 2 * i].powi(2);
+            e += 0.5 * self.masses[i] * v2;
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let d = (dx * dx + dy * dy + self.softening * self.softening).sqrt();
+                e -= self.g * self.masses[i] * self.masses[j] / d;
+            }
+        }
+        e
+    }
+
+    /// A random initial state: bodies near a triangle with small random
+    /// perturbations and near-zero total momentum.
+    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
+        let base = [
+            (1.0, 0.0),
+            (-0.5, 0.866),
+            (-0.5, -0.866),
+        ];
+        let mut y = vec![0.0; STATE_DIM];
+        for i in 0..3 {
+            y[2 * i] = base[i].0 + rng.gen_range(-0.1..0.1);
+            y[2 * i + 1] = base[i].1 + rng.gen_range(-0.1..0.1);
+            // Roughly circular velocities.
+            y[6 + 2 * i] = -base[i].1 * 0.5 + rng.gen_range(-0.05..0.05);
+            y[7 + 2 * i] = base[i].0 * 0.5 + rng.gen_range(-0.05..0.05);
+        }
+        y
+    }
+
+    /// Integrates the physical system to high accuracy (ground truth).
+    pub fn ground_truth(&self, y0: Vec<f64>, t1: f64) -> Solution<Vec<f64>> {
+        let tab = ButcherTableau::rkf45();
+        let mut ctl = ClassicController::new(tab.error_order());
+        let mut opts = AdaptiveOptions::new(1e-9);
+        opts.max_points = 10_000_000;
+        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
+            .expect("three-body ground truth must integrate")
+    }
+
+    /// Builds a regression dataset: `n` initial states mapped to their
+    /// states at `t1` (the task the NODE learns).
+    pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(n * STATE_DIM);
+        let mut targets = Vec::with_capacity(n * STATE_DIM);
+        for _ in 0..n {
+            let y0 = self.random_initial(&mut rng);
+            let sol = self.ground_truth(y0.clone(), t1);
+            inputs.extend(y0.iter().map(|&v| v as f32));
+            targets.extend(sol.final_state().iter().map(|&v| v as f32));
+        }
+        Dataset::regression(
+            Tensor::from_vec(inputs, &[n, STATE_DIM]),
+            Tensor::from_vec(targets, &[n, STATE_DIM]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_configuration_stays_symmetric() {
+        // Equilateral triangle with symmetric circular velocities: the
+        // center of mass must not move.
+        let tb = ThreeBody::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let y0 = tb.random_initial(&mut rng);
+        let com_x: f64 = (0..3).map(|i| y0[2 * i]).sum::<f64>() / 3.0;
+        let sol = tb.ground_truth(y0, 1.0);
+        let yf = sol.final_state();
+        let com_x_f: f64 = (0..3).map(|i| yf[2 * i]).sum::<f64>() / 3.0;
+        // Momentum is only approximately zero: allow modest drift.
+        assert!((com_x_f - com_x).abs() < 0.3, "COM drifted {com_x} -> {com_x_f}");
+    }
+
+    #[test]
+    fn energy_conserved_by_ground_truth() {
+        let tb = ThreeBody::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let y0 = tb.random_initial(&mut rng);
+        let e0 = tb.energy(&y0);
+        let sol = tb.ground_truth(y0, 2.0);
+        let e1 = tb.energy(sol.final_state());
+        assert!(
+            (e1 - e0).abs() < 1e-4 * e0.abs().max(1.0),
+            "energy drift {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn acceleration_points_toward_other_bodies() {
+        let tb = ThreeBody::default();
+        // Body 0 at origin, bodies 1,2 to the right: acceleration of body 0
+        // must point right (+x).
+        let mut y = vec![0.0; STATE_DIM];
+        y[2] = 1.0; // body 1 at (1, 0)
+        y[4] = 2.0; // body 2 at (2, 0)
+        let dy = tb.f(0.0, &y);
+        assert!(dy[6] > 0.0, "ax of body 0 = {}", dy[6]);
+    }
+
+    #[test]
+    fn dataset_shapes_and_determinism() {
+        let tb = ThreeBody::default();
+        let d1 = tb.dataset(3, 0.5, 42);
+        let d2 = tb.dataset(3, 0.5, 42);
+        assert_eq!(d1.inputs.shape(), &[3, 12]);
+        assert_eq!(d1.inputs.data(), d2.inputs.data());
+        assert_eq!(
+            d1.targets.as_ref().unwrap().data(),
+            d2.targets.as_ref().unwrap().data()
+        );
+    }
+
+    #[test]
+    fn trajectories_diverge_from_initial_state() {
+        let tb = ThreeBody::default();
+        let d = tb.dataset(2, 1.0, 1);
+        let diff = (&d.inputs - d.targets.as_ref().unwrap()).norm_l2();
+        assert!(diff > 0.1, "dynamics must move the state");
+    }
+}

@@ -1,0 +1,142 @@
+//! The Van der Pol oscillator — the standard tunably-stiff benchmark.
+//!
+//! `ẍ = μ(1 − x²)ẋ − x`. Small `μ` is a gentle limit-cycle oscillator;
+//! large `μ` develops fast relaxation edges that press explicit
+//! integrators against their stability bound — the regime the
+//! [`enode_ode::stiffness`] diagnostics flag, and a stress test for the
+//! slope-adaptive stepsize search (slopes alternate between near-zero and
+//! enormous).
+
+use crate::datasets::Dataset;
+use enode_ode::controller::ClassicController;
+use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
+use enode_ode::tableau::ButcherTableau;
+use enode_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// State dimension (`x`, `ẋ`).
+pub const STATE_DIM: usize = 2;
+
+/// The Van der Pol system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VanDerPol {
+    /// Nonlinearity/stiffness parameter μ.
+    pub mu: f64,
+}
+
+impl Default for VanDerPol {
+    fn default() -> Self {
+        VanDerPol { mu: 2.0 }
+    }
+}
+
+impl VanDerPol {
+    /// A stiff instance (μ = 30).
+    pub fn stiff() -> Self {
+        VanDerPol { mu: 30.0 }
+    }
+
+    /// The right-hand side as a first-order system.
+    pub fn f(&self, _t: f64, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), STATE_DIM);
+        vec![y[1], self.mu * (1.0 - y[0] * y[0]) * y[1] - y[0]]
+    }
+
+    /// A random initial state near the limit cycle.
+    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
+        vec![rng.gen_range(0.5..2.5), rng.gen_range(-1.0..1.0)]
+    }
+
+    /// High-accuracy ground truth.
+    pub fn ground_truth(&self, y0: Vec<f64>, t1: f64) -> Solution<Vec<f64>> {
+        let tab = ButcherTableau::dopri5();
+        let mut ctl = ClassicController::new(tab.error_order());
+        let mut opts = AdaptiveOptions::new(1e-9);
+        opts.max_points = 10_000_000;
+        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
+            .expect("van der pol ground truth must integrate")
+    }
+
+    /// Flow-map regression dataset `x(0) → x(t1)`.
+    pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(n * STATE_DIM);
+        let mut targets = Vec::with_capacity(n * STATE_DIM);
+        for _ in 0..n {
+            let y0 = self.random_initial(&mut rng);
+            let sol = self.ground_truth(y0.clone(), t1);
+            inputs.extend(y0.iter().map(|&v| v as f32));
+            targets.extend(sol.final_state().iter().map(|&v| v as f32));
+        }
+        Dataset::regression(
+            Tensor::from_vec(inputs, &[n, STATE_DIM]),
+            Tensor::from_vec(targets, &[n, STATE_DIM]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_ode::stiffness::classify_solve;
+
+    #[test]
+    fn origin_is_unstable_equilibrium() {
+        let vdp = VanDerPol::default();
+        // f(0,0) = 0, but a small perturbation grows toward the limit cycle.
+        assert_eq!(vdp.f(0.0, &[0.0, 0.0]), vec![0.0, 0.0]);
+        let sol = vdp.ground_truth(vec![0.01, 0.0], 10.0);
+        let amp = sol.final_state()[0].abs().max(sol.final_state()[1].abs());
+        assert!(amp > 0.5, "perturbation should grow, amplitude {amp}");
+    }
+
+    #[test]
+    fn limit_cycle_amplitude_near_two() {
+        // The Van der Pol limit cycle has x-amplitude ≈ 2 for all μ.
+        let vdp = VanDerPol::default();
+        let sol = vdp.ground_truth(vec![0.5, 0.0], 40.0);
+        let max_x = sol
+            .points
+            .iter()
+            .filter(|p| p.t > 20.0)
+            .map(|p| p.y[0].abs())
+            .fold(0.0f64, f64::max);
+        assert!((max_x - 2.0).abs() < 0.1, "amplitude {max_x}");
+    }
+
+    #[test]
+    fn stiff_instance_flagged_gentle_not() {
+        let gentle = VanDerPol { mu: 0.5 };
+        let tab = ButcherTableau::rk23_bogacki_shampine();
+        let run = |vdp: VanDerPol, tol: f64| {
+            let mut ctl = ClassicController::new(tab.error_order());
+            let sol = solve_adaptive(
+                |t, y: &Vec<f64>| vdp.f(t, y),
+                0.0,
+                20.0,
+                vec![2.0, 0.0],
+                &tab,
+                &mut ctl,
+                &AdaptiveOptions::new(tol),
+            )
+            .unwrap();
+            classify_solve(|t, y: &Vec<f64>| vdp.f(t, y), &sol)
+        };
+        assert!(!run(gentle, 1e-6).is_stiff());
+        let stiff = run(VanDerPol::stiff(), 1e-3);
+        assert!(
+            stiff.max_h_lambda() > run(gentle, 1e-6).max_h_lambda(),
+            "stiff instance should press harder against stability"
+        );
+    }
+
+    #[test]
+    fn dataset_deterministic() {
+        let vdp = VanDerPol::default();
+        let a = vdp.dataset(3, 1.0, 5);
+        let b = vdp.dataset(3, 1.0, 5);
+        assert_eq!(a.inputs.data(), b.inputs.data());
+        assert_eq!(a.inputs.shape(), &[3, 2]);
+    }
+}

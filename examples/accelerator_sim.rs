@@ -1,0 +1,85 @@
+//! Tour of the hardware models: Table I floorplans, depth-first buffer
+//! sizing, the packetized ring pipeline, the DRAM model, and an
+//! edge-vs-GPU energy comparison.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use enode::hw::area::{breakdown, Design};
+use enode::hw::depthfirst;
+use enode::hw::dram::{Dram, DramConfig};
+use enode::hw::packet::{simulate_pipeline, Schedule};
+use enode::prelude::*;
+
+fn main() {
+    // 1. Floorplans (Table I).
+    for (name, cfg) in [("Config A", HwConfig::config_a()), ("Config B", HwConfig::config_b())] {
+        let base = breakdown(&cfg, Design::Baseline);
+        let enode = breakdown(&cfg, Design::Enode);
+        println!(
+            "{name} ({}x{}x{}): baseline {:.2} MB / {:.2} mm^2, eNODE {:.2} MB / {:.2} mm^2 ({:.0}% smaller)",
+            cfg.layer.h,
+            cfg.layer.w,
+            cfg.layer.c,
+            base.total_mb(),
+            base.total_mm2(),
+            enode.total_mb(),
+            enode.total_mm2(),
+            (1.0 - enode.total_mm2() / base.total_mm2()) * 100.0
+        );
+    }
+
+    // 2. Depth-first buffer sizing.
+    let a = HwConfig::config_a();
+    println!(
+        "depth-first integral states: {} vs baseline {} | training states live: {} vs {}",
+        fmt_mb(depthfirst::integral_state_bytes_enode(&a)),
+        fmt_mb(depthfirst::integral_state_bytes_baseline(&a)),
+        fmt_mb(depthfirst::training_state_live_bytes_enode(&a)),
+        fmt_mb(depthfirst::training_state_live_bytes_baseline(&a)),
+    );
+
+    // 3. Packetized vs blocking ring scheduling.
+    let p = simulate_pipeline(4, 64, 5, Schedule::Packetized);
+    let b = simulate_pipeline(4, 64, 5, Schedule::Blocking);
+    println!(
+        "ring pipeline (4 streams x 64 rows): packetized buffers {} rows, blocking {} rows (same {}-slot makespan)",
+        p.peak_buffer_rows, b.peak_buffer_rows, p.makespan
+    );
+
+    // 4. DRAM model: streaming vs random access.
+    let mut seq = Dram::new(DramConfig::default());
+    for i in 0..4096u64 {
+        seq.read(i * 64, 64);
+    }
+    let mut rnd = Dram::new(DramConfig::default());
+    for i in 0..4096u64 {
+        rnd.read(i * 8 * 2048, 64);
+    }
+    println!(
+        "DRAM 256 KiB: sequential {:.1} nJ/B ({} row misses), random {:.1} nJ/B ({} misses)",
+        seq.effective_energy_per_byte() * 1e9,
+        seq.stats().row_misses,
+        rnd.effective_energy_per_byte() * 1e9,
+        rnd.stats().row_misses
+    );
+
+    // 5. Edge accelerator vs datacenter GPU on a NODE training iteration.
+    let run = WorkloadRun::analytic(4, 50, 2.0, true);
+    let energy = EnergyModel::default();
+    let enode = simulate_enode(&a, &run, &energy);
+    let gpu = simulate_gpu(&a, &run, &GpuModel::default());
+    println!(
+        "training iteration: eNODE {:.2} J @ {:.1} W | A100-class {:.2} J @ {:.0} W -> {:.1}x energy gap",
+        enode.energy_j(),
+        enode.power_w(),
+        gpu.energy_j(),
+        gpu.power_w(),
+        gpu.energy_j() / enode.energy_j()
+    );
+}
+
+fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / 1048576.0)
+}

@@ -1,0 +1,51 @@
+//! Train a convolutional Neural-ODE image classifier (the paper's
+//! profiling workload family) on the synthetic CIFAR-10 stand-in, with
+//! the expedited algorithms on, and report the priority early-stop
+//! savings.
+//!
+//! ```sh
+//! cargo run --release --example edge_classifier
+//! ```
+
+use enode::node::train::trainer::Target;
+use enode::prelude::*;
+use enode::workloads::images::SyntheticImages;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = SyntheticImages::cifar_like(4, 1);
+    let train = task.batch(20, 2);
+    let test = task.batch(20, 3);
+    println!(
+        "synthetic CIFAR-10 stand-in: {} classes, {}x{}x{} images",
+        task.classes, task.channels, task.size, task.size
+    );
+
+    // 2 integration layers, 2-conv f, classifier head; slope-adaptive
+    // search + priority window H = 8 (half the map).
+    let model = NodeModel::image_classifier(4, 2, 2, 10, 9);
+    let opts = NodeSolveOptions::new(1e-4)
+        .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 })
+        .with_priority(8);
+    let mut trainer = Trainer::new(model, opts, 0.05);
+
+    let target = Target::Labels(train.labels.clone().unwrap());
+    for epoch in 0..6 {
+        let r = trainer.step(&train.inputs, &target)?;
+        let s = r.profile.forward;
+        println!(
+            "epoch {epoch}: loss {:.3}, train acc {:.0}%, trials {}, early stops {}, rows {:.0}%",
+            r.loss,
+            r.accuracy * 100.0,
+            s.trials,
+            s.early_stops,
+            100.0 * s.rows_processed as f64 / s.rows_total.max(1) as f64
+        );
+    }
+
+    let (loss, acc) = trainer.evaluate(
+        &test.inputs,
+        &Target::Labels(test.labels.clone().unwrap()),
+    )?;
+    println!("held-out: loss {loss:.3}, accuracy {:.0}%", acc * 100.0);
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! A tour of the standalone integrator crate: compare the built-in
+//! Runge–Kutta pairs on a chaotic-ish problem, verify their convergence
+//! orders empirically, sample a dense solution with Hermite interpolation,
+//! and run the stiffness diagnostic on a Van der Pol relaxation
+//! oscillator.
+//!
+//! ```sh
+//! cargo run --release --example integrator_playground
+//! ```
+
+use enode::ode::controller::ClassicController;
+use enode::ode::solver::{solve_adaptive, AdaptiveOptions};
+use enode::ode::stiffness::classify_solve;
+use enode::ode::tableau::{all_tableaux, ButcherTableau};
+use enode::ode::verify::estimate_global_order;
+use enode::workloads::van_der_pol::VanDerPol;
+
+fn main() {
+    // 1. Empirical convergence orders on exponential decay.
+    println!("empirical convergence orders (claimed in parentheses):");
+    let exact = vec![(-1.0f64).exp()];
+    for tab in all_tableaux() {
+        let est = estimate_global_order(
+            &tab,
+            |_t, y: &Vec<f64>| vec![-y[0]],
+            vec![1.0],
+            1.0,
+            &exact,
+            16,
+        );
+        println!("  {:>11}: {est:4.2} ({})", tab.name(), tab.order());
+    }
+
+    // 2. Efficiency comparison: nfe to integrate a Lotka–Volterra orbit.
+    let lv = enode::workloads::lotka_volterra::LotkaVolterra::default();
+    println!("\nnfe to solve Lotka-Volterra over t=[0,5] at tol 1e-6:");
+    for tab in [
+        ButcherTableau::rk23_bogacki_shampine(),
+        ButcherTableau::rkf45(),
+        ButcherTableau::cash_karp(),
+        ButcherTableau::dopri5(),
+    ] {
+        let mut ctl = ClassicController::new(tab.error_order());
+        let sol = solve_adaptive(
+            |t, y: &Vec<f64>| lv.f(t, y),
+            0.0,
+            5.0,
+            vec![1.0, 1.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(1e-6),
+        )
+        .unwrap();
+        println!(
+            "  {:>11}: {:5} nfe over {:4} points",
+            tab.name(),
+            sol.stats.nfe,
+            sol.n_eval()
+        );
+    }
+
+    // 3. Hermite dense output: sample between adaptive points.
+    let tab = ButcherTableau::rk23_bogacki_shampine();
+    let mut ctl = ClassicController::new(tab.error_order());
+    let sol = solve_adaptive(
+        |t, y: &Vec<f64>| lv.f(t, y),
+        0.0,
+        5.0,
+        vec![1.0, 1.0],
+        &tab,
+        &mut ctl,
+        &AdaptiveOptions::new(1e-6),
+    )
+    .unwrap();
+    let t = 2.345;
+    let lin = sol.sample(t);
+    let herm = sol.sample_hermite(t);
+    let truth = lv.ground_truth(vec![1.0, 1.0], t);
+    println!(
+        "\ndense output at t={t}: linear ({:.5}, {:.5}) | hermite ({:.5}, {:.5}) | truth ({:.5}, {:.5})",
+        lin[0], lin[1], herm[0], herm[1],
+        truth.final_state()[0], truth.final_state()[1]
+    );
+
+    // 4. Stiffness diagnostic on Van der Pol.
+    println!("\nstiffness diagnostic (explicit RK23):");
+    for (name, vdp, tol) in [
+        ("gentle mu=0.5", VanDerPol { mu: 0.5 }, 1e-6),
+        ("stiff  mu=30 ", VanDerPol::stiff(), 1e-3),
+    ] {
+        let tab = ButcherTableau::rk23_bogacki_shampine();
+        let mut ctl = ClassicController::new(tab.error_order());
+        let sol = solve_adaptive(
+            |t, y: &Vec<f64>| vdp.f(t, y),
+            0.0,
+            20.0,
+            vec![2.0, 0.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(tol),
+        )
+        .unwrap();
+        let m = classify_solve(|t, y: &Vec<f64>| vdp.f(t, y), &sol);
+        println!(
+            "  {name}: {} points, max h*lambda {:.2}, stiff fraction {:.2} -> stiff: {}",
+            sol.n_eval(),
+            m.max_h_lambda(),
+            m.stiff_fraction(),
+            m.is_stiff()
+        );
+    }
+}

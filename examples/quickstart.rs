@@ -1,0 +1,67 @@
+//! Quickstart: build a Neural ODE, run eNODE-style inference with the
+//! slope-adaptive stepsize search, and map the measured run onto the
+//! accelerator simulators.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use enode::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-integration-layer Neural ODE over a 2-D state (an MLP f with
+    // tanh and time injection per layer).
+    let model = NodeModel::dynamic_system(2, 16, 2, 42);
+    println!(
+        "model: {} integration layers, {} scalar parameters",
+        model.num_layers(),
+        model.scalar_param_count()
+    );
+
+    let x = Tensor::from_vec(vec![1.0, 0.5], &[1, 2]);
+
+    // Conventional iterative stepsize search (the paper's §II-B baseline).
+    let conventional = NodeSolveOptions::new(1e-6)
+        .with_controller(ControllerKind::ConventionalConstantInit { shrink: 0.5 });
+    let (_, trace_conv) = forward_model(&model, &x, &conventional)?;
+
+    // eNODE's slope-adaptive search + priority early stop (§VII).
+    let expedited = NodeSolveOptions::new(1e-6)
+        .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 })
+        .with_priority(8);
+    let (y, trace_ea) = forward_model(&model, &x, &expedited)?;
+
+    println!("h(T) = {:?}", y);
+    println!(
+        "stepsize-search trials/layer: conventional {:.1}, slope-adaptive {:.1} ({:.2}x fewer)",
+        trace_conv.trials_per_layer(),
+        trace_ea.trials_per_layer(),
+        trace_conv.trials_per_layer() / trace_ea.trials_per_layer()
+    );
+
+    // Map both runs onto the hardware models (Table I Configuration A).
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+    let base = simulate_baseline(&cfg, &WorkloadRun::from_trace(&trace_conv), &energy);
+    let enode = simulate_enode(&cfg, &WorkloadRun::from_trace(&trace_ea), &energy);
+    println!(
+        "baseline ASIC : {:.3} s, {:.2} J ({:.2} W, DRAM {:.2} W)",
+        base.seconds,
+        base.energy_j(),
+        base.power_w(),
+        base.dram_power_w()
+    );
+    println!(
+        "eNODE         : {:.3} s, {:.2} J ({:.2} W, DRAM {:.2} W)",
+        enode.seconds,
+        enode.energy_j(),
+        enode.power_w(),
+        enode.dram_power_w()
+    );
+    println!(
+        "eNODE wins: {:.2}x faster, {:.2}x less energy",
+        base.seconds / enode.seconds,
+        base.energy_j() / enode.energy_j()
+    );
+    Ok(())
+}

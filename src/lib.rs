@@ -1,0 +1,70 @@
+//! # eNODE — energy-efficient, low-latency edge inference and training of
+//! Neural ODEs
+//!
+//! A from-scratch Rust reproduction of *eNODE* (Zhu, Tao & Zhang,
+//! HPCA 2023): the complete Neural-ODE algorithm stack plus a calibrated
+//! cycle-level simulator of the eNODE accelerator and its SIMD ASIC
+//! baseline.
+//!
+//! This facade crate re-exports the five member crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `enode-tensor` | NCHW tensors, FP16, conv/dense/norm layers with backward passes, optimizers |
+//! | [`ode`] | `enode-ode` | Runge–Kutta tableaux, adaptive solvers, stepsize-search controllers (incl. slope-adaptive), depth-first DDG |
+//! | [`node`] | `enode-node` | NODE inference & ACA training, priority processing + early stop |
+//! | [`hw`] | `enode-hw` | eNODE/baseline/GPU simulators, DRAM, area & energy models |
+//! | [`workloads`] | `enode-workloads` | Three-Body, Lotka–Volterra, synthetic image sets, ResNet profiles |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enode::prelude::*;
+//!
+//! // 1. A Neural ODE for a 2-D dynamic system.
+//! let model = NodeModel::dynamic_system(2, 16, 2, 42);
+//!
+//! // 2. Inference with eNODE's slope-adaptive stepsize search.
+//! let opts = NodeSolveOptions::new(1e-5)
+//!     .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 });
+//! let x = Tensor::from_vec(vec![1.0, 0.5], &[1, 2]);
+//! let (y, trace) = forward_model(&model, &x, &opts)?;
+//! assert_eq!(y.shape(), &[1, 2]);
+//!
+//! // 3. Map the measured run onto the accelerator simulators.
+//! let cfg = HwConfig::config_a();
+//! let run = WorkloadRun::from_trace(&trace);
+//! let energy = EnergyModel::default();
+//! let enode = simulate_enode(&cfg, &run, &energy);
+//! let baseline = simulate_baseline(&cfg, &run, &energy);
+//! assert!(enode.energy_j() < baseline.energy_j());
+//! # Ok::<(), enode::node::inference::NodeError>(())
+//! ```
+
+pub use enode_hw as hw;
+pub use enode_node as node;
+pub use enode_ode as ode;
+pub use enode_tensor as tensor;
+pub use enode_workloads as workloads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use enode_hw::config::{HwConfig, LayerDims, WorkloadRun};
+    pub use enode_hw::energy::EnergyModel;
+    pub use enode_hw::gpu::{simulate_gpu, GpuModel};
+    pub use enode_hw::perf::{simulate_baseline, simulate_enode, SimReport};
+    pub use enode_node::inference::{
+        forward_model, ControllerKind, NodeSolveOptions, TableauKind,
+    };
+    pub use enode_node::model::NodeModel;
+    pub use enode_node::train::{TrainReport, Trainer};
+    pub use enode_ode::controller::{
+        ClassicController, ConventionalSearchController, SlopeAdaptiveController,
+    };
+    pub use enode_ode::solver::{solve_adaptive, solve_fixed, AdaptiveOptions};
+    pub use enode_ode::tableau::ButcherTableau;
+    pub use enode_tensor::network::{Network, Op};
+    pub use enode_tensor::Tensor;
+    pub use enode_workloads::lotka_volterra::LotkaVolterra;
+    pub use enode_workloads::three_body::ThreeBody;
+}

@@ -1,0 +1,200 @@
+//! End-to-end integration tests spanning all crates: NODE training on the
+//! physical workloads, expedited-algorithm behaviour, and the
+//! algorithm→hardware pipeline.
+
+use enode::node::train::trainer::Target;
+use enode::prelude::*;
+use enode::workloads::trajectory_accuracy;
+
+/// Training a NODE on Lotka–Volterra data converges: loss drops by an
+/// order of magnitude and held-out trajectory accuracy is high.
+#[test]
+fn lotka_volterra_training_converges() {
+    let lv = LotkaVolterra::default();
+    let train = lv.dataset(12, 1.0, 1);
+    let test = lv.dataset(6, 1.0, 2);
+    let model = NodeModel::dynamic_system(2, 24, 2, 3);
+    let opts = NodeSolveOptions::new(1e-5);
+    let mut trainer = Trainer::new(model, opts, 0.02);
+    let target = Target::State(train.targets.clone().unwrap());
+    let first = trainer.step(&train.inputs, &target).unwrap().loss;
+    let mut last = first;
+    for _ in 0..60 {
+        last = trainer.step(&train.inputs, &target).unwrap().loss;
+    }
+    assert!(
+        last < first * 0.2,
+        "loss should drop 5x: {first:.5} -> {last:.5}"
+    );
+    let (pred, _) = forward_model(trainer.model(), &test.inputs, &opts).unwrap();
+    let acc = trajectory_accuracy(&pred, test.targets.as_ref().unwrap());
+    assert!(acc > 70.0, "held-out trajectory accuracy {acc:.1}%");
+}
+
+/// The slope-adaptive search preserves solution quality while cutting
+/// trials on a trained three-body NODE.
+#[test]
+fn slope_adaptive_preserves_three_body_solutions() {
+    let tb = ThreeBody::default();
+    let data = tb.dataset(4, 1.0, 5);
+    let model = NodeModel::dynamic_system(12, 32, 2, 7);
+    let conventional = NodeSolveOptions::new(1e-6)
+        .with_controller(ControllerKind::ConventionalConstantInit { shrink: 0.5 });
+    let slope = NodeSolveOptions::new(1e-6)
+        .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 });
+    let (y_conv, t_conv) = forward_model(&model, &data.inputs, &conventional).unwrap();
+    let (y_slope, t_slope) = forward_model(&model, &data.inputs, &slope).unwrap();
+    // Same solution within tolerance-scale error.
+    let diff = (&y_conv - &y_slope).norm_l2();
+    assert!(diff < 1e-2, "solutions diverge: {diff}");
+    // Fewer trials.
+    assert!(
+        t_slope.total_stats().trials < t_conv.total_stats().trials,
+        "slope {} vs conventional {}",
+        t_slope.total_stats().trials,
+        t_conv.total_stats().trials
+    );
+}
+
+/// Priority early stop only ever skips rows on *rejected* trials, so the
+/// final states stay within tolerance scale of the full computation.
+#[test]
+fn priority_early_stop_keeps_solutions_close() {
+    let lv = LotkaVolterra::default();
+    let data = lv.dataset(16, 1.0, 9);
+    let model = NodeModel::dynamic_system(2, 16, 2, 11);
+    let base = NodeSolveOptions::new(1e-5)
+        .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 });
+    let prio = base.with_priority(4);
+    let (y_full, _) = forward_model(&model, &data.inputs, &base).unwrap();
+    let (y_prio, trace) = forward_model(&model, &data.inputs, &prio).unwrap();
+    let rel = (&y_full - &y_prio).norm_l2() / y_full.norm_l2().max(1e-6);
+    assert!(rel < 0.05, "priority processing changed solutions by {rel}");
+    let s = trace.total_stats();
+    assert!(s.rows_processed <= s.rows_total);
+}
+
+/// The full algorithm→hardware pipeline: measured workloads mapped onto
+/// the simulators reproduce the paper's headline relationships.
+#[test]
+fn hardware_pipeline_headline_relations() {
+    let lv = LotkaVolterra::default();
+    let data = lv.dataset(8, 1.0, 13);
+    let model = NodeModel::dynamic_system(2, 16, 4, 15);
+    let conventional = NodeSolveOptions::new(1e-5)
+        .with_controller(ControllerKind::ConventionalConstantInit { shrink: 0.5 });
+    let expedited = NodeSolveOptions::new(1e-5)
+        .with_controller(ControllerKind::SlopeAdaptive { s_acc: 3, s_rej: 3 })
+        .with_priority(4);
+    let (_, t_conv) = forward_model(&model, &data.inputs, &conventional).unwrap();
+    let (_, t_ea) = forward_model(&model, &data.inputs, &expedited).unwrap();
+
+    let cfg = HwConfig::config_a();
+    let energy = EnergyModel::default();
+    let base = simulate_baseline(&cfg, &WorkloadRun::from_trace(&t_conv), &energy);
+    let enode_noea = simulate_enode(&cfg, &WorkloadRun::from_trace(&t_conv), &energy);
+    let enode_ea = simulate_enode(&cfg, &WorkloadRun::from_trace(&t_ea), &energy);
+
+    // §VIII headlines: eNODE beats the baseline on energy; the expedited
+    // algorithms add speed on top.
+    assert!(enode_noea.energy_j() < base.energy_j());
+    assert!(enode_ea.energy_j() < enode_noea.energy_j());
+    assert!(enode_ea.seconds < base.seconds);
+    // DRAM power collapses (Fig 16's mechanism).
+    assert!(enode_noea.dram_power_w() < base.dram_power_w() / 2.0);
+}
+
+/// Deterministic reproducibility: identical seeds give identical traces
+/// and simulator outputs.
+#[test]
+fn runs_are_deterministic() {
+    let lv = LotkaVolterra::default();
+    let run = || {
+        let data = lv.dataset(4, 1.0, 21);
+        let model = NodeModel::dynamic_system(2, 16, 2, 23);
+        let opts = NodeSolveOptions::new(1e-5);
+        let (y, trace) = forward_model(&model, &data.inputs, &opts).unwrap();
+        (y, trace.total_stats().trials, trace.total_stats().nfe)
+    };
+    let (y1, t1, n1) = run();
+    let (y2, t2, n2) = run();
+    assert_eq!(y1.data(), y2.data());
+    assert_eq!(t1, t2);
+    assert_eq!(n1, n2);
+}
+
+/// The classic ANODE separation: a 1-D NODE flow is monotone (trajectories
+/// cannot cross), so it can never learn x ↦ −x; an augmented NODE can.
+#[test]
+fn augmented_node_beats_plain_on_crossing_map() {
+    use enode::node::model::NodeModel;
+    let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]);
+    let target = Target::State(Tensor::from_vec(vec![1.0, -1.0], &[2, 1]));
+    let opts = NodeSolveOptions::new(1e-4);
+
+    let train = |model: NodeModel| {
+        let mut trainer = Trainer::new(model, opts, 0.05);
+        let mut loss = f32::INFINITY;
+        for _ in 0..80 {
+            loss = trainer.step(&x, &target).unwrap().loss;
+        }
+        loss
+    };
+    let plain = train(NodeModel::dynamic_system(1, 16, 1, 5));
+    let augmented = train(NodeModel::dynamic_system_augmented(1, 2, 16, 1, 5));
+    // The plain model is topologically stuck near MSE=... (cannot cross);
+    // the augmented one fits.
+    assert!(
+        augmented < 0.1,
+        "augmented NODE should fit the crossing map, loss {augmented}"
+    );
+    assert!(
+        plain > augmented * 5.0,
+        "plain {plain} should be far worse than augmented {augmented}"
+    );
+}
+
+/// An augmented NODE classifier learns the two-armed spiral (exercises
+/// the head + augmentation + ACA pipeline together).
+#[test]
+fn augmented_node_classifies_spirals() {
+    use enode::node::model::{ClassifierHead, NodeModel};
+    use enode::workloads::images::spirals;
+    let data = spirals(40, 0.02, 3);
+    let model = NodeModel::dynamic_system_augmented(2, 2, 24, 1, 7)
+        .with_head(ClassifierHead::new_seeded(2, 2, 8));
+    let opts = NodeSolveOptions::new(1e-4);
+    let mut trainer = Trainer::new(model, opts, 0.05);
+    let target = Target::Labels(data.labels.clone().unwrap());
+    let mut acc = 0.0;
+    for _ in 0..120 {
+        acc = trainer.step(&data.inputs, &target).unwrap().accuracy;
+        if acc >= 0.95 {
+            break;
+        }
+    }
+    assert!(acc >= 0.95, "spiral accuracy only {acc}");
+}
+
+/// ACA training gradients drive a conv image classifier to fit its batch
+/// (exercises conv forward/backward, GroupNorm-free path, head, ACA).
+#[test]
+fn image_classifier_fits_small_batch() {
+    let task = enode::workloads::images::SyntheticImages::cifar_like(3, 31);
+    let batch = task.batch(10, 32);
+    let model = NodeModel::image_classifier(3, 1, 1, 10, 33);
+    let opts = NodeSolveOptions::new(1e-3);
+    let mut trainer = Trainer::new(model, opts, 0.05);
+    let target = Target::Labels(batch.labels.clone().unwrap());
+    let mut acc = 0.0;
+    for _ in 0..50 {
+        acc = trainer.step(&batch.inputs, &target).unwrap().accuracy;
+        if acc >= 0.8 {
+            break;
+        }
+    }
+    assert!(
+        acc >= 0.8,
+        "training accuracy only reached {acc} (chance level is 0.1)"
+    );
+}
