@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, release build, full test suite.
+# Everything runs fully offline — the workspace has no external deps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> enode-lint (static analysis over shipped artifacts)"
+cargo run -q --release -p enode-analysis --bin enode-lint
+
+echo "CI OK"

@@ -1,0 +1,46 @@
+//! `enode-lint`: runs every static-analysis pass over the repository's
+//! shipped tableaux, depth-first DDG schedules, paper models, and Table I
+//! hardware configurations. Exits nonzero if any error-severity
+//! diagnostic fires, so it can gate CI.
+
+use enode_analysis::{ddg, hwcheck, lint_everything, shape, tableau};
+use enode_node::model::NodeModel;
+
+fn main() {
+    println!("enode-lint: static analysis of the eNODE stack\n");
+
+    println!(
+        "-- tableaux ({} methods) --",
+        enode_ode::tableau::all_tableaux().len()
+    );
+    print!("{}", tableau::lint_all_tableaux().render());
+
+    println!("\n-- depth-first DDG schedules --");
+    print!("{}", ddg::lint_all_ddgs().render());
+
+    println!("\n-- embedded-network shapes and FP16 range --");
+    let m = NodeModel::dynamic_system(12, 32, 2, 5);
+    let mut sample = enode_analysis::Diagnostics::new();
+    for (l, layer) in m.layers().iter().enumerate() {
+        sample.extend(shape::lint_network(
+            &format!("three_body layer {l}"),
+            layer,
+            &[1, 12],
+            4.0,
+        ));
+    }
+    print!("{}", sample.render());
+
+    println!("\n-- hardware configurations (Table I) --");
+    print!("{}", hwcheck::lint_paper_configs().render());
+
+    // The authoritative verdict covers every model, not just the sample
+    // printed above.
+    let all = lint_everything();
+    println!("\n-- total --");
+    print!("{}", all.render());
+
+    if all.has_errors() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Depth-first DDG schedule lints: cycle detection, wave-pipeline edge
+//! legality, peak buffer liveness vs the hardware row budget, and the
+//! one-row-lag retirement bound on partial states.
+//!
+//! Codes: `E010`–`E012`, `W010`.
+//!
+//! Unlike [`DepthFirstDdg::verify_legal`], which asserts on a cyclic graph
+//! while computing depths, this pass takes the raw node/edge lists plus a
+//! *claimed* depth map and reports every violation as a diagnostic — it
+//! must be able to describe a broken schedule, not die on one.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use enode_ode::ddg::{DdgNode, DepthFirstDdg};
+use enode_ode::tableau::ButcherTableau;
+use std::collections::HashMap;
+
+/// Maximum legal buffer lifetime of a partial state, in pipeline stages:
+/// `p_{i,j}` is consumed when `p_{i,j+1}` (one stage) or `k_{i}` via the
+/// following `f` evaluation (two stages) arrives. Anything longer defeats
+/// the one-row-lag retirement of paper §IV-A.
+pub const MAX_PARTIAL_LIFETIME: usize = 2;
+
+/// Peak number of simultaneously-live buffered states across the wave
+/// pipeline. A state node (integral, partial, or error partial) is live
+/// from its production depth through the depth of its last consumer;
+/// `Initial` and `Next` stream through and occupy no state rows.
+pub fn peak_liveness(edges: &[(DdgNode, DdgNode)], depth: &HashMap<DdgNode, usize>) -> usize {
+    let intervals: Vec<(usize, usize)> = depth
+        .iter()
+        .filter(|(n, _)| !matches!(n, DdgNode::Initial | DdgNode::Next))
+        .map(|(&n, &d)| {
+            let last = edges
+                .iter()
+                .filter(|(p, _)| *p == n)
+                .filter_map(|(_, c)| depth.get(c).copied())
+                .max()
+                .unwrap_or(d);
+            (d, last.max(d))
+        })
+        .collect();
+    let max_depth = intervals.iter().map(|&(_, e)| e).max().unwrap_or(0);
+    (0..=max_depth)
+        .map(|t| intervals.iter().filter(|&&(s, e)| s <= t && t <= e).count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lints a raw schedule: node list, producer→consumer edges, the claimed
+/// per-node pipeline depths, and the buffer row budget the hardware model
+/// assumes for this integrator.
+pub fn lint_schedule(
+    subject: &str,
+    nodes: &[DdgNode],
+    edges: &[(DdgNode, DdgNode)],
+    depth: &HashMap<DdgNode, usize>,
+    assumed_buffer_rows: usize,
+) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+
+    // E010: Kahn topological sort over the raw edge list. Done first and
+    // independently of the claimed depths — a cyclic graph has no legal
+    // depth assignment at all.
+    let mut all_nodes: Vec<DdgNode> = nodes.to_vec();
+    for &(p, c) in edges {
+        if !all_nodes.contains(&p) {
+            all_nodes.push(p);
+        }
+        if !all_nodes.contains(&c) {
+            all_nodes.push(c);
+        }
+    }
+    let mut indegree: HashMap<DdgNode, usize> = all_nodes.iter().map(|&n| (n, 0)).collect();
+    for &(_, c) in edges {
+        *indegree.get_mut(&c).unwrap() += 1;
+    }
+    let mut queue: Vec<DdgNode> = all_nodes
+        .iter()
+        .copied()
+        .filter(|n| indegree[n] == 0)
+        .collect();
+    let mut visited = 0usize;
+    while let Some(n) = queue.pop() {
+        visited += 1;
+        for &(p, c) in edges {
+            if p == n {
+                let d = indegree.get_mut(&c).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    if visited != all_nodes.len() {
+        let stuck: Vec<String> = all_nodes
+            .iter()
+            .filter(|n| indegree[n] > 0)
+            .map(|n| format!("{n:?}"))
+            .collect();
+        ds.push(
+            Diagnostic::new(
+                Code::E010DdgCycle,
+                subject,
+                format!("dependency cycle through {} node(s)", stuck.len()),
+            )
+            .with_note("nodes", stuck.join(", ")),
+        );
+        // A cyclic graph makes depth/liveness analysis meaningless.
+        return ds;
+    }
+
+    // E011: every edge must advance the wave pipeline by at least one
+    // stage under the claimed depths.
+    for &(p, c) in edges {
+        match (depth.get(&p), depth.get(&c)) {
+            (Some(&dp), Some(&dc)) if dc > dp => {}
+            (Some(&dp), Some(&dc)) => {
+                ds.push(
+                    Diagnostic::new(
+                        Code::E011DdgIllegalEdge,
+                        subject,
+                        format!("edge {p:?} → {c:?} does not advance the pipeline"),
+                    )
+                    .with_note("producer_depth", dp)
+                    .with_note("consumer_depth", dc),
+                );
+            }
+            _ => {
+                ds.push(Diagnostic::new(
+                    Code::E011DdgIllegalEdge,
+                    subject,
+                    format!("edge {p:?} → {c:?} references a node with no depth"),
+                ));
+            }
+        }
+    }
+
+    // E012: simultaneously-live state rows must fit the assumed budget.
+    let peak = peak_liveness(edges, depth);
+    if peak > assumed_buffer_rows {
+        ds.push(
+            Diagnostic::new(
+                Code::E012DdgLivenessExceedsBuffer,
+                subject,
+                format!("peak liveness {peak} rows exceeds budget of {assumed_buffer_rows}"),
+            )
+            .with_note("peak_rows", peak)
+            .with_note("budget_rows", assumed_buffer_rows),
+        );
+    }
+
+    // W010: partial states must retire within the one-row lag.
+    for &n in &all_nodes {
+        if let DdgNode::Partial { .. } = n {
+            let Some(&d) = depth.get(&n) else { continue };
+            let life = edges
+                .iter()
+                .filter(|(p, _)| *p == n)
+                .filter_map(|(_, c)| depth.get(c).map(|&dc| dc.saturating_sub(d)))
+                .max()
+                .unwrap_or(0);
+            if life > MAX_PARTIAL_LIFETIME {
+                ds.push(
+                    Diagnostic::new(
+                        Code::W010DdgPartialLifetime,
+                        subject,
+                        format!(
+                            "{n:?} stays live for {life} stages (limit {MAX_PARTIAL_LIFETIME})"
+                        ),
+                    )
+                    .with_note("lifetime", life)
+                    .with_note("limit", MAX_PARTIAL_LIFETIME),
+                );
+            }
+        }
+    }
+
+    ds
+}
+
+/// Builds the depth-first DDG for a tableau and lints its schedule
+/// against the row budget the hardware model derives for it.
+pub fn lint_tableau_ddg(tab: &ButcherTableau) -> Diagnostics {
+    let ddg = DepthFirstDdg::from_tableau(tab);
+    let depth: HashMap<DdgNode, usize> =
+        ddg.nodes().iter().map(|&n| (n, ddg.depth_of(n))).collect();
+    lint_schedule(
+        &format!("ddg {}", tab.name()),
+        ddg.nodes(),
+        ddg.edges(),
+        &depth,
+        ddg.state_buffer_rows(),
+    )
+}
+
+/// Runs the DDG lints over every shipped tableau.
+pub fn lint_all_ddgs() -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    for tab in enode_ode::tableau::all_tableaux() {
+        ds.extend(lint_tableau_ddg(&tab));
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_ode::tableau::all_tableaux;
+
+    #[test]
+    fn all_shipped_ddgs_are_clean() {
+        let ds = lint_all_ddgs();
+        assert!(ds.is_empty(), "unexpected diagnostics:\n{}", ds.render());
+    }
+
+    #[test]
+    fn peak_liveness_never_exceeds_state_buffer_rows() {
+        // The paper's row accounting (one row per integral/partial/error
+        // state for the whole step) is an upper bound on the liveness the
+        // analyzer computes.
+        for tab in all_tableaux() {
+            let ddg = DepthFirstDdg::from_tableau(&tab);
+            let depth: HashMap<DdgNode, usize> =
+                ddg.nodes().iter().map(|&n| (n, ddg.depth_of(n))).collect();
+            let peak = peak_liveness(ddg.edges(), &depth);
+            assert!(
+                peak <= ddg.state_buffer_rows(),
+                "{}: peak {peak} > rows {}",
+                tab.name(),
+                ddg.state_buffer_rows()
+            );
+            assert!(peak > 0);
+        }
+    }
+
+    #[test]
+    fn cycle_fires_e010_and_stops() {
+        let nodes = vec![DdgNode::Initial, DdgNode::Integral(0), DdgNode::Integral(1)];
+        let edges = vec![
+            (DdgNode::Integral(0), DdgNode::Integral(1)),
+            (DdgNode::Integral(1), DdgNode::Integral(0)),
+        ];
+        let depth: HashMap<DdgNode, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        let ds = lint_schedule("cyclic", &nodes, &edges, &depth, 16);
+        assert!(ds.has_code(Code::E010DdgCycle), "{}", ds.render());
+        // Depth-based lints are skipped once the graph is cyclic.
+        assert!(!ds.has_code(Code::E011DdgIllegalEdge));
+    }
+
+    #[test]
+    fn non_advancing_edge_fires_e011() {
+        let nodes = vec![DdgNode::Initial, DdgNode::Integral(0)];
+        let edges = vec![(DdgNode::Initial, DdgNode::Integral(0))];
+        let depth: HashMap<DdgNode, usize> =
+            [(DdgNode::Initial, 1), (DdgNode::Integral(0), 1)].into();
+        let ds = lint_schedule("flat", &nodes, &edges, &depth, 16);
+        assert!(ds.has_code(Code::E011DdgIllegalEdge), "{}", ds.render());
+    }
+
+    #[test]
+    fn missing_depth_fires_e011() {
+        let nodes = vec![DdgNode::Initial, DdgNode::Integral(0)];
+        let edges = vec![(DdgNode::Initial, DdgNode::Integral(0))];
+        let depth: HashMap<DdgNode, usize> = [(DdgNode::Initial, 0)].into();
+        let ds = lint_schedule("undepthed", &nodes, &edges, &depth, 16);
+        assert!(ds.has_code(Code::E011DdgIllegalEdge), "{}", ds.render());
+    }
+
+    #[test]
+    fn tiny_budget_fires_e012() {
+        let rk23 = ButcherTableau::rk23_bogacki_shampine();
+        let ddg = DepthFirstDdg::from_tableau(&rk23);
+        let depth: HashMap<DdgNode, usize> =
+            ddg.nodes().iter().map(|&n| (n, ddg.depth_of(n))).collect();
+        let ds = lint_schedule("rk23-tiny-budget", ddg.nodes(), ddg.edges(), &depth, 1);
+        assert!(
+            ds.has_code(Code::E012DdgLivenessExceedsBuffer),
+            "{}",
+            ds.render()
+        );
+    }
+
+    #[test]
+    fn long_lived_partial_fires_w010() {
+        // A partial whose only consumer sits 4 stages deeper.
+        let p = DdgNode::Partial { i: 1, j: 0 };
+        let nodes = vec![DdgNode::Initial, p, DdgNode::Next];
+        let edges = vec![(DdgNode::Initial, p), (p, DdgNode::Next)];
+        let depth: HashMap<DdgNode, usize> =
+            [(DdgNode::Initial, 0), (p, 1), (DdgNode::Next, 5)].into();
+        let ds = lint_schedule("laggy", &nodes, &edges, &depth, 16);
+        assert!(ds.has_code(Code::W010DdgPartialLifetime), "{}", ds.render());
+    }
+}

@@ -1,0 +1,394 @@
+//! The diagnostics engine: stable lint codes, severities, span-like
+//! context, and a rendered text report.
+//!
+//! Every pass in this crate produces [`Diagnostic`]s tagged with a stable
+//! [`Code`] (an `E0xx` error or `W0xx` warning — the number never changes
+//! meaning once shipped), the subject it fired on (e.g. a tableau or
+//! config name), and an optional list of `key: value` context notes that
+//! play the role of source spans for these non-textual artifacts.
+//!
+//! # Code space
+//!
+//! | Range | Pass family |
+//! |---|---|
+//! | `E001–E009` / `W001–W009` | Butcher tableau lints ([`crate::tableau`]) |
+//! | `E010–E019` / `W010–W019` | DDG schedule lints ([`crate::ddg`]) |
+//! | `E020–E029` / `W020–W029` | Network shape & FP16 range lints ([`crate::shape`]) |
+//! | `E030–E039` / `W030–W039` | Hardware feasibility lints ([`crate::hwcheck`]) |
+//!
+//! Adding a pass: pick the next free code in the family's range, add a
+//! [`Code`] variant with its `summary()` text, emit it from the pass, and
+//! add a negative test that triggers it on a deliberately broken input.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intended; never fails a lint run.
+    Warning,
+    /// A definite inconsistency; `enode-lint` exits nonzero.
+    Error,
+}
+
+/// Stable lint codes. The numeric part is permanent: codes are never
+/// renumbered, only retired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Code {
+    // --- tableau lints (E001-E009 / W001-W009) ---
+    /// Row-sum consistency `Σ_j a_ij = c_i` violated.
+    E001TableauRowSum,
+    /// The `a` matrix is not strictly lower triangular (method not explicit).
+    E002TableauNotExplicit,
+    /// An order condition through order 4 fails for the claimed order.
+    E003TableauOrderCondition,
+    /// The embedded-pair weights do not satisfy their claimed order.
+    E004TableauEmbeddedOrder,
+    /// Error weights of an adaptive pair do not sum to ~0.
+    E005TableauErrorWeights,
+    /// Structural defect: stage-count mismatch between `c`, `a`, and `b`.
+    E006TableauShape,
+    /// FSAL flag inconsistent with the coefficients (last a-row vs `b`).
+    W001TableauFsalFlag,
+    /// Embedded order gap is not 1 (unusual for production pairs).
+    W002TableauOrderGap,
+
+    // --- DDG schedule lints (E010-E019 / W010-W019) ---
+    /// The DDG has a dependency cycle.
+    E010DdgCycle,
+    /// An edge does not go strictly deeper (schedule illegal).
+    E011DdgIllegalEdge,
+    /// Peak liveness exceeds the state-buffer rows the hardware assumes.
+    E012DdgLivenessExceedsBuffer,
+    /// A partial state lives longer than the one-row-lag retirement bound.
+    W010DdgPartialLifetime,
+
+    // --- network shape & FP16 range lints (E020-E029 / W020-W029) ---
+    /// Shape inference failed: an op rejects its input shape.
+    E020ShapeMismatch,
+    /// The ODE function f does not preserve the state shape.
+    E021ShapeNotPreserved,
+    /// Worst-case magnitude exceeds `f16::MAX` (FP16 overflow).
+    E022Fp16Overflow,
+    /// Worst-case magnitude within 8x of `f16::MAX` (near overflow).
+    W020Fp16NearOverflow,
+
+    // --- hardware feasibility lints (E030-E039 / W030-W039) ---
+    /// A structural `HwConfig` field is zero/invalid.
+    E030HwConfigInvalid,
+    /// Training buffer smaller than peak depth-first live bytes.
+    E031HwTrainingBufferTooSmall,
+    /// Weight buffer cannot hold the resident weights.
+    E032HwWeightsNotResident,
+    /// DRAM bandwidth below the streaming demand of the workload.
+    E033HwDramBandwidth,
+    /// Ring link bandwidth below the inter-core streaming demand.
+    W030HwLinkBandwidth,
+    /// The layer mapping leaves cores idle in the last round.
+    W031HwIdleCores,
+    /// The layer mapping needs multiple rounds (weights swapped per step).
+    W032HwMultiRound,
+    /// Integral-state buffer demand close to the training buffer size.
+    W033HwBufferHeadroom,
+}
+
+impl Code {
+    /// The stable textual form, e.g. `"E001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::E001TableauRowSum => "E001",
+            Code::E002TableauNotExplicit => "E002",
+            Code::E003TableauOrderCondition => "E003",
+            Code::E004TableauEmbeddedOrder => "E004",
+            Code::E005TableauErrorWeights => "E005",
+            Code::E006TableauShape => "E006",
+            Code::W001TableauFsalFlag => "W001",
+            Code::W002TableauOrderGap => "W002",
+            Code::E010DdgCycle => "E010",
+            Code::E011DdgIllegalEdge => "E011",
+            Code::E012DdgLivenessExceedsBuffer => "E012",
+            Code::W010DdgPartialLifetime => "W010",
+            Code::E020ShapeMismatch => "E020",
+            Code::E021ShapeNotPreserved => "E021",
+            Code::E022Fp16Overflow => "E022",
+            Code::W020Fp16NearOverflow => "W020",
+            Code::E030HwConfigInvalid => "E030",
+            Code::E031HwTrainingBufferTooSmall => "E031",
+            Code::E032HwWeightsNotResident => "E032",
+            Code::E033HwDramBandwidth => "E033",
+            Code::W030HwLinkBandwidth => "W030",
+            Code::W031HwIdleCores => "W031",
+            Code::W032HwMultiRound => "W032",
+            Code::W033HwBufferHeadroom => "W033",
+        }
+    }
+
+    /// The severity implied by the code's letter.
+    pub fn severity(&self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+
+    /// One-line description of what the lint checks.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::E001TableauRowSum => "tableau row sum Σa_ij must equal c_i",
+            Code::E002TableauNotExplicit => "tableau must be strictly lower triangular",
+            Code::E003TableauOrderCondition => "order condition fails for claimed order",
+            Code::E004TableauEmbeddedOrder => "embedded pair fails its claimed order",
+            Code::E005TableauErrorWeights => "error weights must sum to zero",
+            Code::E006TableauShape => "tableau stage counts inconsistent",
+            Code::W001TableauFsalFlag => "FSAL flag inconsistent with coefficients",
+            Code::W002TableauOrderGap => "embedded order gap is not 1",
+            Code::E010DdgCycle => "DDG contains a dependency cycle",
+            Code::E011DdgIllegalEdge => "DDG edge does not go strictly deeper",
+            Code::E012DdgLivenessExceedsBuffer => "peak liveness exceeds buffer rows",
+            Code::W010DdgPartialLifetime => "partial state outlives one-row-lag bound",
+            Code::E020ShapeMismatch => "op rejects its input shape",
+            Code::E021ShapeNotPreserved => "ODE function must preserve state shape",
+            Code::E022Fp16Overflow => "worst-case magnitude exceeds f16::MAX",
+            Code::W020Fp16NearOverflow => "worst-case magnitude near f16::MAX",
+            Code::E030HwConfigInvalid => "hardware config field invalid",
+            Code::E031HwTrainingBufferTooSmall => "training buffer below peak live bytes",
+            Code::E032HwWeightsNotResident => "weights exceed the weight buffer",
+            Code::E033HwDramBandwidth => "DRAM bandwidth below streaming demand",
+            Code::W030HwLinkBandwidth => "ring link bandwidth below streaming demand",
+            Code::W031HwIdleCores => "layer mapping idles cores in last round",
+            Code::W032HwMultiRound => "layer mapping needs multiple rounds",
+            Code::W033HwBufferHeadroom => "buffer headroom below 10%",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: Code,
+    /// What the pass examined, e.g. `"tableau rk23(bogacki-shampine)"`.
+    pub subject: String,
+    /// Human-readable explanation with the measured values.
+    pub message: String,
+    /// Span-like `key: value` context notes (stage index, layer index,
+    /// byte counts, ...).
+    pub notes: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no context notes.
+    pub fn new(code: Code, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            subject: subject.into(),
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a `key: value` context note.
+    pub fn with_note(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.notes.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// The severity implied by the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{kind}[{}]: {} — {}",
+            self.code, self.subject, self.message
+        )?;
+        for (k, v) in &self.notes {
+            write!(f, "\n    = {k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An accumulating collection of findings from one or more passes.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Merges another collection into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// All findings, in emission order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no findings were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.items.len() - self.error_count()
+    }
+
+    /// `true` when at least one error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// `true` when a finding with this code exists.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.items.iter().any(|d| d.code == code)
+    }
+
+    /// The rendered multi-line text report (one block per finding plus a
+    /// summary line). Empty collections render as a single OK line.
+    pub fn render(&self) -> String {
+        if self.items.is_empty() {
+            return "ok: no diagnostics\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_follows_code_letter() {
+        assert_eq!(Code::E001TableauRowSum.severity(), Severity::Error);
+        assert_eq!(Code::W001TableauFsalFlag.severity(), Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn counting_and_has_code() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty() && !ds.has_errors());
+        ds.push(Diagnostic::new(Code::E001TableauRowSum, "t", "bad row"));
+        ds.push(Diagnostic::new(Code::W002TableauOrderGap, "t", "gap 2"));
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.error_count(), 1);
+        assert_eq!(ds.warning_count(), 1);
+        assert!(ds.has_errors());
+        assert!(ds.has_code(Code::E001TableauRowSum));
+        assert!(!ds.has_code(Code::E010DdgCycle));
+    }
+
+    #[test]
+    fn render_includes_code_subject_and_notes() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new(Code::E012DdgLivenessExceedsBuffer, "rk23 ddg", "15 > 13")
+                .with_note("peak_rows", 15)
+                .with_note("buffer_rows", 13),
+        );
+        let r = ds.render();
+        assert!(r.contains("error[E012]"));
+        assert!(r.contains("rk23 ddg"));
+        assert!(r.contains("peak_rows: 15"));
+        assert!(r.contains("1 error(s), 0 warning(s)"));
+    }
+
+    #[test]
+    fn empty_render_is_ok_line() {
+        assert_eq!(Diagnostics::new().render(), "ok: no diagnostics\n");
+    }
+
+    #[test]
+    fn all_codes_have_distinct_strings() {
+        let codes = [
+            Code::E001TableauRowSum,
+            Code::E002TableauNotExplicit,
+            Code::E003TableauOrderCondition,
+            Code::E004TableauEmbeddedOrder,
+            Code::E005TableauErrorWeights,
+            Code::E006TableauShape,
+            Code::W001TableauFsalFlag,
+            Code::W002TableauOrderGap,
+            Code::E010DdgCycle,
+            Code::E011DdgIllegalEdge,
+            Code::E012DdgLivenessExceedsBuffer,
+            Code::W010DdgPartialLifetime,
+            Code::E020ShapeMismatch,
+            Code::E021ShapeNotPreserved,
+            Code::E022Fp16Overflow,
+            Code::W020Fp16NearOverflow,
+            Code::E030HwConfigInvalid,
+            Code::E031HwTrainingBufferTooSmall,
+            Code::E032HwWeightsNotResident,
+            Code::E033HwDramBandwidth,
+            Code::W030HwLinkBandwidth,
+            Code::W031HwIdleCores,
+            Code::W032HwMultiRound,
+            Code::W033HwBufferHeadroom,
+        ];
+        let mut strs: Vec<_> = codes.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), codes.len());
+        for c in codes {
+            assert!(!c.summary().is_empty());
+        }
+    }
+}

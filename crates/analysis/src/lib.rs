@@ -1,0 +1,104 @@
+//! Static analysis for the eNODE stack.
+//!
+//! Four lint families over the repository's core data structures, each
+//! reporting [`Diagnostic`]s with stable codes:
+//!
+//! * [`tableau`] — Butcher-tableau consistency (`E001`–`E006`,
+//!   `W001`–`W002`): row sums, explicitness, order conditions through
+//!   order 4, embedded-pair order, FSAL flags.
+//! * [`ddg`] — depth-first DDG schedules (`E010`–`E012`, `W010`): cycle
+//!   detection, wave-pipeline edge legality, peak buffer liveness, the
+//!   one-row-lag retirement bound.
+//! * [`shape`] — embedded-network shapes and FP16 range (`E020`–`E022`,
+//!   `W020`): NCHW shape inference and worst-case interval propagation
+//!   against `F16::MAX`.
+//! * [`hwcheck`] — hardware-configuration feasibility (`E030`–`E033`,
+//!   `W030`–`W033`): buffer provisioning, weight residency, DRAM and
+//!   ring-link bandwidth, layer-to-core mapping.
+//!
+//! The `enode-lint` binary runs every family over the paper's shipped
+//! tableaux, models and Table I configurations and exits nonzero if any
+//! error-severity diagnostic fires.
+
+pub mod ddg;
+pub mod diag;
+pub mod hwcheck;
+pub mod shape;
+pub mod tableau;
+
+pub use diag::{Code, Diagnostic, Diagnostics, Severity};
+
+use enode_node::model::NodeModel;
+
+/// The paper's representative embedded networks, with the state shape and
+/// worst-case input magnitude each is linted against.
+fn paper_models() -> Vec<(String, NodeModel, Vec<usize>, f64)> {
+    vec![
+        (
+            "three_body dynamic_system(12, 32, 2)".into(),
+            NodeModel::dynamic_system(12, 32, 2, 5),
+            vec![1, 12],
+            4.0,
+        ),
+        (
+            "lotka_volterra dynamic_system(2, 24, 2)".into(),
+            NodeModel::dynamic_system(2, 24, 2, 7),
+            vec![1, 2],
+            4.0,
+        ),
+        (
+            "van_der_pol dynamic_system(2, 16, 2)".into(),
+            NodeModel::dynamic_system(2, 16, 2, 42),
+            vec![1, 2],
+            4.0,
+        ),
+        (
+            "edge image_classifier(4 ch, 2 conv)".into(),
+            NodeModel::image_classifier(4, 2, 2, 10, 9),
+            vec![1, 4, 16, 16],
+            1.0,
+        ),
+        (
+            "normed image_classifier(8 ch, 4 conv)".into(),
+            NodeModel::image_classifier_normed(8, 4, 2, 10, 4, 11),
+            vec![1, 8, 16, 16],
+            1.0,
+        ),
+    ]
+}
+
+/// Runs all four lint families over everything the repository ships: the
+/// tableau catalog, their depth-first DDGs, the paper's embedded networks,
+/// and both Table I hardware configurations.
+pub fn lint_everything() -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    ds.extend(tableau::lint_all_tableaux());
+    ds.extend(ddg::lint_all_ddgs());
+    for (name, model, shape, bound) in paper_models() {
+        for (l, layer) in model.layers().iter().enumerate() {
+            ds.extend(shape::lint_network(
+                &format!("{name} layer {l}"),
+                layer,
+                &shape,
+                bound,
+            ));
+        }
+    }
+    ds.extend(hwcheck::lint_paper_configs());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_shipped_lints_clean() {
+        let ds = lint_everything();
+        assert!(
+            ds.is_empty(),
+            "shipped artifacts must lint clean:\n{}",
+            ds.render()
+        );
+    }
+}

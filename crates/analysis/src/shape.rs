@@ -1,0 +1,369 @@
+//! Network shape and FP16-range lints.
+//!
+//! Codes: `E020`–`E022`, `W020`.
+//!
+//! Two static analyses over an embedded-NN [`Network`]:
+//!
+//! 1. **NCHW shape inference** — threads a symbolic shape through the op
+//!    chain and reports the first op that rejects its input (`E020`), then
+//!    checks that the chain as a whole preserves the state shape (`E021`)
+//!    — `dh/dt = f(t, h)` only makes sense when `f` maps the state space
+//!    to itself.
+//! 2. **FP16 interval propagation** — threads a worst-case absolute
+//!    magnitude bound through the same chain and flags any intermediate
+//!    that can exceed `F16::MAX` (`E022`) or come within 2× of it
+//!    (`W020`), the failure mode the paper's FP16 datapath must avoid.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use enode_tensor::activation::Activation;
+use enode_tensor::f16::F16;
+use enode_tensor::network::{Network, Op};
+
+/// Magnitude bound assumed for the ODE time `t` appended by `ConcatTime`
+/// (the paper integrates over `t ∈ [0, 1]`).
+const TIME_BOUND: f64 = 1.0;
+
+/// Shape inference for one op. `Ok(out_shape)` or `Err(reason)`.
+fn infer_op_shape(op: &Op, shape: &[usize]) -> Result<Vec<usize>, String> {
+    match op {
+        Op::Conv2d(c) => {
+            if shape.len() != 4 {
+                return Err(format!(
+                    "Conv2d needs rank-4 NCHW input, got rank {}",
+                    shape.len()
+                ));
+            }
+            if shape[1] != c.in_channels() {
+                return Err(format!(
+                    "Conv2d expects {} input channels, got {}",
+                    c.in_channels(),
+                    shape[1]
+                ));
+            }
+            if shape[2] < c.kernel() || shape[3] < c.kernel() {
+                return Err(format!(
+                    "Conv2d kernel {} does not fit {}x{} input",
+                    c.kernel(),
+                    shape[2],
+                    shape[3]
+                ));
+            }
+            Ok(vec![shape[0], c.out_channels(), shape[2], shape[3]])
+        }
+        Op::Dense(d) => {
+            if shape.len() != 2 {
+                return Err(format!(
+                    "Dense needs rank-2 input, got rank {}",
+                    shape.len()
+                ));
+            }
+            if shape[1] != d.in_features() {
+                return Err(format!(
+                    "Dense expects {} input features, got {}",
+                    d.in_features(),
+                    shape[1]
+                ));
+            }
+            Ok(vec![shape[0], d.out_features()])
+        }
+        Op::Activation(_) => Ok(shape.to_vec()),
+        Op::GroupNorm(g) => {
+            if shape.len() != 4 {
+                return Err(format!(
+                    "GroupNorm needs rank-4 NCHW input, got rank {}",
+                    shape.len()
+                ));
+            }
+            if shape[1] != g.channels() {
+                return Err(format!(
+                    "GroupNorm expects {} channels, got {}",
+                    g.channels(),
+                    shape[1]
+                ));
+            }
+            Ok(shape.to_vec())
+        }
+        Op::ConcatTime => match shape.len() {
+            4 => Ok(vec![shape[0], shape[1] + 1, shape[2], shape[3]]),
+            2 => Ok(vec![shape[0], shape[1] + 1]),
+            r => Err(format!(
+                "ConcatTime supports rank 2 or 4 inputs, got rank {r}"
+            )),
+        },
+    }
+}
+
+/// Infers the output shape of a network on `input_shape`, or the first
+/// op index + reason that rejects it.
+pub fn infer_output_shape(
+    net: &Network,
+    input_shape: &[usize],
+) -> Result<Vec<usize>, (usize, String)> {
+    let mut shape = input_shape.to_vec();
+    for (idx, op) in net.ops().iter().enumerate() {
+        shape = infer_op_shape(op, &shape).map_err(|e| (idx, e))?;
+    }
+    Ok(shape)
+}
+
+/// Worst-case output magnitude of one op given an input magnitude bound.
+fn propagate_bound(op: &Op, shape: &[usize], bound: f64) -> f64 {
+    match op {
+        Op::Conv2d(c) => {
+            // |y_o| ≤ Σ_{c,k,k} |w[o,·]|·bound + |b[o]|, worst output channel.
+            let w = c.weight();
+            let per_out = w.len() / c.out_channels();
+            (0..c.out_channels())
+                .map(|o| {
+                    let wsum: f64 = w.data()[o * per_out..(o + 1) * per_out]
+                        .iter()
+                        .map(|x| x.abs() as f64)
+                        .sum();
+                    wsum * bound + c.bias().data()[o].abs() as f64
+                })
+                .fold(0.0, f64::max)
+        }
+        Op::Dense(d) => {
+            let w = d.weight();
+            let per_out = d.in_features();
+            (0..d.out_features())
+                .map(|o| {
+                    let wsum: f64 = w.data()[o * per_out..(o + 1) * per_out]
+                        .iter()
+                        .map(|x| x.abs() as f64)
+                        .sum();
+                    wsum * bound + d.bias().data()[o].abs() as f64
+                })
+                .fold(0.0, f64::max)
+        }
+        Op::Activation(a) => match a {
+            Activation::Relu => bound,
+            Activation::Tanh | Activation::Sigmoid => 1.0,
+            // softplus(x) ≤ max(x, 0) + ln 2.
+            Activation::Softplus => bound + std::f64::consts::LN_2,
+        },
+        Op::GroupNorm(g) => {
+            // |x̂| ≤ √(N−1) for a group of N elements (extreme: one element
+            // carries all the variance), so |y| ≤ max|γ|·√(N−1) + max|β|.
+            let group_elems = (g.channels() / g.groups()) * shape[2] * shape[3];
+            let xhat_bound = ((group_elems.saturating_sub(1)) as f64).sqrt();
+            let gmax = g
+                .gamma()
+                .data()
+                .iter()
+                .map(|x| x.abs() as f64)
+                .fold(0.0, f64::max);
+            let bmax = g
+                .beta()
+                .data()
+                .iter()
+                .map(|x| x.abs() as f64)
+                .fold(0.0, f64::max);
+            gmax * xhat_bound + bmax
+        }
+        Op::ConcatTime => bound.max(TIME_BOUND),
+    }
+}
+
+/// Worst-case absolute magnitude of the network output (and every
+/// intermediate's running maximum) for inputs bounded by `input_bound`.
+/// Returns `None` when shape inference fails.
+pub fn fp16_worst_case(net: &Network, input_shape: &[usize], input_bound: f64) -> Option<f64> {
+    let mut shape = input_shape.to_vec();
+    let mut bound = input_bound;
+    let mut worst = input_bound;
+    for op in net.ops() {
+        bound = propagate_bound(op, &shape, bound);
+        worst = worst.max(bound);
+        shape = infer_op_shape(op, &shape).ok()?;
+    }
+    Some(worst)
+}
+
+/// Runs the shape and FP16-range lints on one network.
+///
+/// `input_bound` is the largest absolute state magnitude the caller
+/// expects to feed `f` (e.g. normalized images → 1.0, dynamic-system
+/// states → a few units).
+pub fn lint_network(
+    subject: &str,
+    net: &Network,
+    input_shape: &[usize],
+    input_bound: f64,
+) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+
+    // E020: per-op shape legality.
+    let out_shape = match infer_output_shape(net, input_shape) {
+        Ok(s) => s,
+        Err((idx, reason)) => {
+            ds.push(
+                Diagnostic::new(
+                    Code::E020ShapeMismatch,
+                    subject,
+                    format!("op {idx} rejects its input: {reason}"),
+                )
+                .with_note("op_index", idx)
+                .with_note("input_shape", format!("{input_shape:?}")),
+            );
+            return ds;
+        }
+    };
+
+    // E021: f must be an endomap of the state space.
+    if out_shape != input_shape {
+        ds.push(
+            Diagnostic::new(
+                Code::E021ShapeNotPreserved,
+                subject,
+                format!("f maps {input_shape:?} to {out_shape:?}; dh/dt needs matching shapes"),
+            )
+            .with_note("input_shape", format!("{input_shape:?}"))
+            .with_note("output_shape", format!("{out_shape:?}")),
+        );
+    }
+
+    // E022 / W020: FP16 range.
+    let f16_max = F16::MAX.to_f32() as f64;
+    if let Some(worst) = fp16_worst_case(net, input_shape, input_bound) {
+        if worst > f16_max {
+            ds.push(
+                Diagnostic::new(
+                    Code::E022Fp16Overflow,
+                    subject,
+                    format!("worst-case magnitude {worst:.1} exceeds F16::MAX = {f16_max}"),
+                )
+                .with_note("worst_case", format!("{worst:.1}"))
+                .with_note("f16_max", f16_max),
+            );
+        } else if worst > f16_max / 2.0 {
+            ds.push(
+                Diagnostic::new(
+                    Code::W020Fp16NearOverflow,
+                    subject,
+                    format!("worst-case magnitude {worst:.1} is within 2x of F16::MAX"),
+                )
+                .with_note("worst_case", format!("{worst:.1}"))
+                .with_note("f16_max", f16_max),
+            );
+        }
+    }
+
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_tensor::conv::Conv2d;
+    use enode_tensor::dense::Dense;
+    use enode_tensor::norm::GroupNorm;
+    use enode_tensor::Tensor;
+
+    fn conv_net() -> Network {
+        Network::new(vec![
+            Op::ConcatTime,
+            Op::conv2d(Conv2d::new_seeded(3, 4, 3, 1)),
+            Op::group_norm(GroupNorm::new(4, 2)),
+            Op::relu(),
+            Op::conv2d(Conv2d::new_seeded(4, 2, 3, 2)),
+        ])
+    }
+
+    #[test]
+    fn well_formed_conv_net_is_clean() {
+        let ds = lint_network("conv_net", &conv_net(), &[1, 2, 8, 8], 1.0);
+        assert!(ds.is_empty(), "{}", ds.render());
+    }
+
+    #[test]
+    fn well_formed_dense_net_is_clean() {
+        let f = Network::new(vec![
+            Op::ConcatTime,
+            Op::dense(Dense::new_seeded(3, 16, 1)),
+            Op::tanh(),
+            Op::dense(Dense::new_seeded(16, 2, 2)),
+        ]);
+        let ds = lint_network("dense_net", &f, &[1, 2], 2.0);
+        assert!(ds.is_empty(), "{}", ds.render());
+    }
+
+    #[test]
+    fn channel_mismatch_fires_e020() {
+        // Net expects 3 channels after ConcatTime, feed 4-channel input.
+        let ds = lint_network("bad_channels", &conv_net(), &[1, 4, 8, 8], 1.0);
+        assert!(ds.has_code(Code::E020ShapeMismatch), "{}", ds.render());
+        // Downstream lints must not run on an uninferrable chain.
+        assert!(!ds.has_code(Code::E021ShapeNotPreserved));
+    }
+
+    #[test]
+    fn rank_mismatch_fires_e020() {
+        let ds = lint_network("bad_rank", &conv_net(), &[1, 2], 1.0);
+        assert!(ds.has_code(Code::E020ShapeMismatch), "{}", ds.render());
+    }
+
+    #[test]
+    fn non_preserving_net_fires_e021() {
+        // 2 -> 5 features: not an endomap.
+        let f = Network::new(vec![Op::dense(Dense::new_seeded(2, 5, 1))]);
+        let ds = lint_network("grows", &f, &[1, 2], 1.0);
+        assert!(ds.has_code(Code::E021ShapeNotPreserved), "{}", ds.render());
+    }
+
+    #[test]
+    fn huge_weights_fire_e022() {
+        // One dense layer with weights of 40000: bound = 2·40000 > 65504.
+        let w = Tensor::from_vec(vec![40000.0, 40000.0, 0.0, 0.0], &[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let f = Network::new(vec![Op::dense(Dense::from_parts(w, b))]);
+        let ds = lint_network("overflow", &f, &[1, 2], 1.0);
+        assert!(ds.has_code(Code::E022Fp16Overflow), "{}", ds.render());
+    }
+
+    #[test]
+    fn large_weights_fire_w020() {
+        // Bound = 40000: above F16::MAX/2 = 32752, below F16::MAX.
+        let w = Tensor::from_vec(vec![40000.0, 0.0, 0.0, 40000.0], &[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let f = Network::new(vec![Op::dense(Dense::from_parts(w, b))]);
+        let ds = lint_network("near_overflow", &f, &[1, 2], 1.0);
+        assert!(ds.has_code(Code::W020Fp16NearOverflow), "{}", ds.render());
+        assert!(!ds.has_code(Code::E022Fp16Overflow));
+    }
+
+    #[test]
+    fn saturating_activation_resets_bound() {
+        // tanh clamps to 1, so a huge weight BEFORE tanh overflows but the
+        // same weight AFTER a tanh sandwich with small outer weights is ok.
+        let w_big = Tensor::from_vec(vec![50000.0], &[1, 1]);
+        let overflow = Network::new(vec![Op::dense(Dense::from_parts(
+            w_big.clone(),
+            Tensor::zeros(&[1]),
+        ))]);
+        assert!(lint_network("pre", &overflow, &[1, 1], 2.0).has_code(Code::E022Fp16Overflow));
+
+        let safe = Network::new(vec![
+            Op::tanh(),
+            Op::dense(Dense::from_parts(
+                Tensor::from_vec(vec![2.0], &[1, 1]),
+                Tensor::zeros(&[1]),
+            )),
+        ]);
+        let ds = lint_network("post", &safe, &[1, 1], 60000.0);
+        // Input bound 60000 itself is near-overflow -> W020 fires, but no
+        // hard overflow occurs anywhere in the chain.
+        assert!(!ds.has_code(Code::E022Fp16Overflow), "{}", ds.render());
+    }
+
+    #[test]
+    fn shipped_models_infer_and_fit_fp16() {
+        use enode_node::model::NodeModel;
+        let m = NodeModel::dynamic_system(4, 32, 2, 7);
+        for layer in m.layers() {
+            let out = infer_output_shape(layer, &[1, 4]).expect("shape chain must infer");
+            assert_eq!(out, vec![1, 4]);
+            assert!(fp16_worst_case(layer, &[1, 4], 4.0).unwrap() < 65504.0);
+        }
+    }
+}

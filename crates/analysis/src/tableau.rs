@@ -1,0 +1,490 @@
+//! Butcher-tableau lints: structural shape, explicitness, row-sum (node)
+//! consistency, order conditions through order 4, embedded-pair order, and
+//! FSAL-flag consistency.
+//!
+//! Codes: `E001`–`E006`, `W001`–`W002`.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use enode_ode::tableau::ButcherTableau;
+
+/// Numerical tolerance for coefficient identities. The shipped tableaux
+/// satisfy their conditions to ~1e-15; 1e-8 leaves headroom for rational
+/// coefficients rounded through f64 while still catching every real bug.
+const TOL: f64 = 1e-8;
+
+/// Runs every tableau lint on one tableau.
+pub fn lint_tableau(tab: &ButcherTableau) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let subject = format!("tableau {}", tab.name());
+
+    if !check_shape(tab, &subject, &mut ds) {
+        // Shape is broken: the remaining lints would index out of bounds.
+        return ds;
+    }
+    check_explicit(tab, &subject, &mut ds);
+    check_row_sums(tab, &subject, &mut ds);
+    check_order_conditions(tab, &subject, &mut ds);
+    check_error_weights(tab, &subject, &mut ds);
+    check_embedded_order(tab, &subject, &mut ds);
+    check_fsal_flag(tab, &subject, &mut ds);
+    check_order_gap(tab, &subject, &mut ds);
+    ds
+}
+
+/// Runs the tableau lints on every shipped method.
+pub fn lint_all_tableaux() -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    for tab in enode_ode::tableau::all_tableaux() {
+        ds.extend(lint_tableau(&tab));
+    }
+    ds
+}
+
+/// E006: `c`, `a`, `b` (and `err`, when present) must agree on the stage
+/// count, and row `i` of `a` must have exactly `i` entries.
+fn check_shape(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) -> bool {
+    let s = tab.b().len();
+    let mut ok = true;
+    if tab.c().len() != s {
+        ds.push(
+            Diagnostic::new(
+                Code::E006TableauShape,
+                subject,
+                format!("c has {} entries but b has {s} stages", tab.c().len()),
+            )
+            .with_note("c_len", tab.c().len())
+            .with_note("stages", s),
+        );
+        ok = false;
+    }
+    if tab.a().len() != s {
+        ds.push(
+            Diagnostic::new(
+                Code::E006TableauShape,
+                subject,
+                format!("a has {} rows but b has {s} stages", tab.a().len()),
+            )
+            .with_note("a_rows", tab.a().len())
+            .with_note("stages", s),
+        );
+        ok = false;
+    }
+    for (i, row) in tab.a().iter().enumerate() {
+        if row.len() != i {
+            ds.push(
+                Diagnostic::new(
+                    Code::E006TableauShape,
+                    subject,
+                    format!("a row {i} has {} entries, expected {i}", row.len()),
+                )
+                .with_note("stage", i),
+            );
+            ok = false;
+        }
+    }
+    if let Some(e) = tab.error_weights() {
+        if e.len() != s {
+            ds.push(
+                Diagnostic::new(
+                    Code::E006TableauShape,
+                    subject,
+                    format!(
+                        "error weights have {} entries but b has {s} stages",
+                        e.len()
+                    ),
+                )
+                .with_note("err_len", e.len()),
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// E002: in the dense view of `a` every entry on or above the diagonal
+/// must be zero. Our row-`i`-has-`i`-entries representation encodes
+/// strict lower-triangularity structurally, so after [`check_shape`]
+/// passes this can only fire on future dense representations — but the
+/// lint still checks what it can: the first stage must have `c_0 = 0`
+/// (an explicit method cannot sample ahead before any stage exists).
+fn check_explicit(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    if tab.c()[0].abs() > TOL {
+        ds.push(
+            Diagnostic::new(
+                Code::E002TableauNotExplicit,
+                subject,
+                format!(
+                    "first stage has c_0 = {} (explicit methods need c_0 = 0)",
+                    tab.c()[0]
+                ),
+            )
+            .with_note("c0", tab.c()[0]),
+        );
+    }
+}
+
+/// E001: node condition `Σ_j a_ij = c_i` per stage.
+fn check_row_sums(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    for (i, row) in tab.a().iter().enumerate() {
+        let sum: f64 = row.iter().sum();
+        if (sum - tab.c()[i]).abs() > TOL {
+            ds.push(
+                Diagnostic::new(
+                    Code::E001TableauRowSum,
+                    subject,
+                    format!("stage {i}: Σa = {sum} but c = {}", tab.c()[i]),
+                )
+                .with_note("stage", i)
+                .with_note("row_sum", sum)
+                .with_note("c", tab.c()[i]),
+            );
+        }
+    }
+}
+
+/// The residuals of the classical order conditions through order 4 for
+/// weight vector `b` over the tableau's `a`/`c`. Entry k lists
+/// `(condition-name, residual, order-it-belongs-to)`.
+fn order_condition_residuals(tab: &ButcherTableau, b: &[f64]) -> Vec<(&'static str, f64, u32)> {
+    let c = tab.c();
+    let a = tab.a();
+    let s = b.len();
+    let sum = |f: &dyn Fn(usize) -> f64| -> f64 { (0..s).map(f).sum() };
+    // Σ_j a_ij c_j and Σ_j a_ij c_j^2 and Σ_j a_ij (a c)_j.
+    let ac: Vec<f64> = (0..s)
+        .map(|i| a[i].iter().enumerate().map(|(j, aij)| aij * c[j]).sum())
+        .collect();
+    let ac2: Vec<f64> = (0..s)
+        .map(|i| {
+            a[i].iter()
+                .enumerate()
+                .map(|(j, aij)| aij * c[j] * c[j])
+                .sum()
+        })
+        .collect();
+    let aac: Vec<f64> = (0..s)
+        .map(|i| a[i].iter().enumerate().map(|(j, aij)| aij * ac[j]).sum())
+        .collect();
+    vec![
+        ("Σb = 1", sum(&|i| b[i]) - 1.0, 1),
+        ("Σb·c = 1/2", sum(&|i| b[i] * c[i]) - 0.5, 2),
+        ("Σb·c² = 1/3", sum(&|i| b[i] * c[i] * c[i]) - 1.0 / 3.0, 3),
+        ("Σb·(a·c) = 1/6", sum(&|i| b[i] * ac[i]) - 1.0 / 6.0, 3),
+        ("Σb·c³ = 1/4", sum(&|i| b[i] * c[i] * c[i] * c[i]) - 0.25, 4),
+        ("Σb·c·(a·c) = 1/8", sum(&|i| b[i] * c[i] * ac[i]) - 0.125, 4),
+        ("Σb·(a·c²) = 1/12", sum(&|i| b[i] * ac2[i]) - 1.0 / 12.0, 4),
+        ("Σb·(a·a·c) = 1/24", sum(&|i| b[i] * aac[i]) - 1.0 / 24.0, 4),
+    ]
+}
+
+/// E003: every order condition up to `min(claimed order, 4)` must hold
+/// for the advancing weights `b`.
+fn check_order_conditions(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    let claimed = tab.order().min(4);
+    for (name, residual, order) in order_condition_residuals(tab, tab.b()) {
+        if order <= claimed && residual.abs() > TOL {
+            ds.push(
+                Diagnostic::new(
+                    Code::E003TableauOrderCondition,
+                    subject,
+                    format!(
+                        "claimed order {}, but {name} misses by {residual:.3e}",
+                        tab.order()
+                    ),
+                )
+                .with_note("condition", name)
+                .with_note("order", order)
+                .with_note("residual", format!("{residual:.3e}")),
+            );
+        }
+    }
+}
+
+/// E005: error weights of an adaptive pair must sum to ~0 (they are
+/// `b − b̂` of two consistent methods).
+fn check_error_weights(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    if let Some(e) = tab.error_weights() {
+        let sum: f64 = e.iter().sum();
+        if sum.abs() > TOL {
+            ds.push(
+                Diagnostic::new(
+                    Code::E005TableauErrorWeights,
+                    subject,
+                    format!("error weights sum to {sum:.3e}, expected 0"),
+                )
+                .with_note("sum", format!("{sum:.3e}")),
+            );
+        }
+    }
+}
+
+/// E004: the embedded weights `b̂ = b − d` must satisfy the order
+/// conditions of the claimed embedded order.
+fn check_embedded_order(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    let (Some(err), Some(emb)) = (tab.error_weights(), tab.embedded_order()) else {
+        return;
+    };
+    let bhat: Vec<f64> = tab.b().iter().zip(err).map(|(b, d)| b - d).collect();
+    let claimed = emb.min(4);
+    for (name, residual, order) in order_condition_residuals(tab, &bhat) {
+        if order <= claimed && residual.abs() > TOL {
+            ds.push(
+                Diagnostic::new(
+                    Code::E004TableauEmbeddedOrder,
+                    subject,
+                    format!("embedded order {emb}, but {name} misses by {residual:.3e}"),
+                )
+                .with_note("condition", name)
+                .with_note("order", order)
+                .with_note("residual", format!("{residual:.3e}")),
+            );
+        }
+    }
+}
+
+/// Structural FSAL: the last stage's `a` row equals `b` (restricted to
+/// the first `s−1` weights), `b_last = 0`, and `c_last = 1` — i.e. the
+/// last stage evaluates `f(t+h, y_next)`.
+fn is_structurally_fsal(tab: &ButcherTableau) -> bool {
+    let s = tab.b().len();
+    if s < 2 {
+        return false;
+    }
+    let last_row = &tab.a()[s - 1];
+    let row_matches = last_row
+        .iter()
+        .zip(tab.b())
+        .all(|(ai, bi)| (ai - bi).abs() < TOL);
+    row_matches && tab.b()[s - 1].abs() < TOL && (tab.c()[s - 1] - 1.0).abs() < TOL
+}
+
+/// W001: the `fsal` flag must agree with the coefficients in both
+/// directions (a flag that is wrongly true costs correctness; wrongly
+/// false costs one `f` evaluation per step).
+fn check_fsal_flag(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    let structural = is_structurally_fsal(tab);
+    if tab.is_fsal() != structural {
+        ds.push(
+            Diagnostic::new(
+                Code::W001TableauFsalFlag,
+                subject,
+                format!(
+                    "fsal flag is {} but coefficients say {}",
+                    tab.is_fsal(),
+                    structural
+                ),
+            )
+            .with_note("flag", tab.is_fsal())
+            .with_note("structural", structural),
+        );
+    }
+}
+
+/// W002: production embedded pairs have order gap exactly 1 (`p(p−1)`
+/// pairs exist but scale stepsize poorly).
+fn check_order_gap(tab: &ButcherTableau, subject: &str, ds: &mut Diagnostics) {
+    if let Some(emb) = tab.embedded_order() {
+        let gap = tab.order().abs_diff(emb);
+        if gap != 1 {
+            ds.push(
+                Diagnostic::new(
+                    Code::W002TableauOrderGap,
+                    subject,
+                    format!(
+                        "order {} with embedded order {emb} (gap {gap})",
+                        tab.order()
+                    ),
+                )
+                .with_note("gap", gap),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shipped_tableaux_are_clean() {
+        let ds = lint_all_tableaux();
+        assert!(ds.is_empty(), "unexpected diagnostics:\n{}", ds.render());
+    }
+
+    #[test]
+    fn bad_row_sum_fires_e001() {
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "bad_rowsum",
+            vec![0.0, 0.3],
+            vec![vec![], vec![0.5]],
+            vec![0.5, 0.5],
+            None,
+            1,
+            None,
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(ds.has_code(Code::E001TableauRowSum), "{}", ds.render());
+    }
+
+    #[test]
+    fn nonzero_c0_fires_e002() {
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "bad_c0",
+            vec![0.25],
+            vec![vec![]],
+            vec![1.0],
+            None,
+            1,
+            None,
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(ds.has_code(Code::E002TableauNotExplicit), "{}", ds.render());
+    }
+
+    #[test]
+    fn inflated_order_fires_e003() {
+        // Forward Euler claiming order 2: Σb·c = 0 ≠ 1/2.
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "euler_order2",
+            vec![0.0],
+            vec![vec![]],
+            vec![1.0],
+            None,
+            2,
+            None,
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(
+            ds.has_code(Code::E003TableauOrderCondition),
+            "{}",
+            ds.render()
+        );
+    }
+
+    #[test]
+    fn bad_embedded_weights_fire_e004() {
+        // Heun with error weights whose b̂ = b − d is NOT order 1
+        // (Σb̂ = 0.9 ≠ 1) while still summing to ~0... they must sum to
+        // nonzero to break Σb̂; use d summing to 0.1 so E005 fires too,
+        // then a separate pair for E004 alone: d = [0.5, -0.5] gives
+        // b̂ = [0.0, 1.0] with Σb̂c = 1 ≠ 1/2 at embedded order 2.
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "heun_bad_embedded",
+            vec![0.0, 1.0],
+            vec![vec![], vec![1.0]],
+            vec![0.5, 0.5],
+            Some(vec![0.5, -0.5]),
+            2,
+            Some(2),
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(
+            ds.has_code(Code::E004TableauEmbeddedOrder),
+            "{}",
+            ds.render()
+        );
+        assert!(!ds.has_code(Code::E005TableauErrorWeights));
+    }
+
+    #[test]
+    fn nonzero_error_sum_fires_e005() {
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "bad_err_sum",
+            vec![0.0, 1.0],
+            vec![vec![], vec![1.0]],
+            vec![0.5, 0.5],
+            Some(vec![-0.4, 0.5]),
+            2,
+            Some(1),
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(
+            ds.has_code(Code::E005TableauErrorWeights),
+            "{}",
+            ds.render()
+        );
+    }
+
+    #[test]
+    fn stage_mismatch_fires_e006_and_stops() {
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "bad_shape",
+            vec![0.0],
+            vec![vec![], vec![1.0]],
+            vec![0.5, 0.5],
+            None,
+            2,
+            None,
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(ds.has_code(Code::E006TableauShape), "{}", ds.render());
+        // Order-condition lints must not run (they would index out of bounds).
+        assert!(!ds.has_code(Code::E003TableauOrderCondition));
+    }
+
+    #[test]
+    fn wrong_fsal_flag_fires_w001_both_directions() {
+        // Claiming FSAL on plain Heun (last a-row [1.0] != b[0] = 0.5).
+        let claimed = ButcherTableau::from_coefficients_unchecked(
+            "heun_fsal_claimed",
+            vec![0.0, 1.0],
+            vec![vec![], vec![1.0]],
+            vec![0.5, 0.5],
+            None,
+            2,
+            None,
+            true,
+        );
+        assert!(lint_tableau(&claimed).has_code(Code::W001TableauFsalFlag));
+
+        // Denying FSAL on a structurally-FSAL tableau (RK23 with flag off).
+        let rk23 = ButcherTableau::rk23_bogacki_shampine();
+        let denied = ButcherTableau::from_coefficients_unchecked(
+            "rk23_fsal_denied",
+            rk23.c().to_vec(),
+            rk23.a().to_vec(),
+            rk23.b().to_vec(),
+            rk23.error_weights().map(|e| e.to_vec()),
+            3,
+            Some(2),
+            false,
+        );
+        assert!(lint_tableau(&denied).has_code(Code::W001TableauFsalFlag));
+    }
+
+    #[test]
+    fn order_gap_two_fires_w002() {
+        // Heun with a (fictional) embedded order 4 claim -> gap 2; E004
+        // will also fire since b̂ can't be order 4, which is fine — check
+        // W002 specifically.
+        let t = ButcherTableau::from_coefficients_unchecked(
+            "heun_gap2",
+            vec![0.0, 1.0],
+            vec![vec![], vec![1.0]],
+            vec![0.5, 0.5],
+            Some(vec![-0.5, 0.5]),
+            3,
+            Some(1),
+            false,
+        );
+        let ds = lint_tableau(&t);
+        assert!(ds.has_code(Code::W002TableauOrderGap), "{}", ds.render());
+    }
+
+    #[test]
+    fn structural_fsal_detected_for_shipped_pairs() {
+        assert!(is_structurally_fsal(
+            &ButcherTableau::rk23_bogacki_shampine()
+        ));
+        assert!(is_structurally_fsal(&ButcherTableau::dopri5()));
+        assert!(!is_structurally_fsal(&ButcherTableau::rkf45()));
+        assert!(!is_structurally_fsal(&ButcherTableau::heun_euler()));
+        assert!(!is_structurally_fsal(&ButcherTableau::euler()));
+    }
+}

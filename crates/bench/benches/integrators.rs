@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the integrator substrate: single RK
-//! steps, adaptive solves under each controller, and the NODE forward
-//! pass (the kernel behind Figs 11/13/17).
+//! Micro-benchmarks of the integrator substrate: single RK steps,
+//! adaptive solves under each controller, and the NODE forward pass (the
+//! kernel behind Figs 11/13/17).
+//!
+//! ```sh
+//! cargo bench -p enode-bench --bench integrators
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enode_bench::micro::Micro;
 use enode_node::inference::{forward_layer, ControllerKind, NodeSolveOptions};
 use enode_ode::controller::{ClassicController, ConventionalSearchController};
 use enode_ode::solver::{solve_adaptive, AdaptiveOptions};
@@ -17,66 +21,50 @@ fn lv(_t: f64, y: &Vec<f64>) -> Vec<f64> {
     vec![1.5 * y[0] - y[0] * y[1], y[0] * y[1] - 3.0 * y[1]]
 }
 
-fn rk_steps(c: &mut Criterion) {
+fn rk_steps(m: &Micro) {
     for tab in [
         ButcherTableau::euler(),
         ButcherTableau::rk23_bogacki_shampine(),
         ButcherTableau::dopri5(),
     ] {
-        c.bench_function(&format!("rk_step_{}_lotka_volterra", tab.name()), |b| {
-            b.iter(|| {
-                black_box(rk_step(
-                    &tab,
-                    &mut lv,
-                    0.0,
-                    0.05,
-                    black_box(&vec![1.0, 1.0]),
-                    None,
-                ))
-            })
+        let y0 = vec![1.0, 1.0];
+        m.bench(&format!("rk_step_{}_lotka_volterra", tab.name()), || {
+            rk_step(&tab, &mut lv, 0.0, 0.05, black_box(&y0), None)
         });
     }
 }
 
-fn adaptive_solves(c: &mut Criterion) {
+fn adaptive_solves(m: &Micro) {
     let tab = ButcherTableau::rk23_bogacki_shampine();
-    c.bench_function("solve_classic_lv_tol1e-7", |b| {
-        b.iter(|| {
-            let mut ctl = ClassicController::new(tab.error_order());
-            black_box(
-                solve_adaptive(
-                    lv,
-                    0.0,
-                    5.0,
-                    vec![1.0, 1.0],
-                    &tab,
-                    &mut ctl,
-                    &AdaptiveOptions::new(1e-7),
-                )
-                .unwrap(),
-            )
-        })
+    m.bench("solve_classic_lv_tol1e-7", || {
+        let mut ctl = ClassicController::new(tab.error_order());
+        solve_adaptive(
+            lv,
+            0.0,
+            5.0,
+            vec![1.0, 1.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(1e-7),
+        )
+        .unwrap()
     });
-    c.bench_function("solve_conventional_lv_tol1e-7", |b| {
-        b.iter(|| {
-            let mut ctl = ConventionalSearchController::new(0.1, 0.5);
-            black_box(
-                solve_adaptive(
-                    lv,
-                    0.0,
-                    5.0,
-                    vec![1.0, 1.0],
-                    &tab,
-                    &mut ctl,
-                    &AdaptiveOptions::new(1e-7),
-                )
-                .unwrap(),
-            )
-        })
+    m.bench("solve_conventional_lv_tol1e-7", || {
+        let mut ctl = ConventionalSearchController::new(0.1, 0.5);
+        solve_adaptive(
+            lv,
+            0.0,
+            5.0,
+            vec![1.0, 1.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(1e-7),
+        )
+        .unwrap()
     });
 }
 
-fn node_forward(c: &mut Criterion) {
+fn node_forward(m: &Micro) {
     let f = Network::new(vec![
         Op::ConcatTime,
         Op::dense(Dense::new_seeded(3, 16, 1)),
@@ -95,17 +83,15 @@ fn node_forward(c: &mut Criterion) {
         ),
     ] {
         let opts = NodeSolveOptions::new(1e-5).with_controller(kind);
-        c.bench_function(&format!("node_forward_layer_{name}"), |b| {
-            b.iter(|| {
-                black_box(forward_layer(&f, black_box(&y0), (0.0, 1.0), &opts).unwrap())
-            })
+        m.bench(&format!("node_forward_layer_{name}"), || {
+            forward_layer(&f, black_box(&y0), (0.0, 1.0), &opts).unwrap()
         });
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = rk_steps, adaptive_solves, node_forward
+fn main() {
+    let m = Micro::default();
+    rk_steps(&m);
+    adaptive_solves(&m);
+    node_forward(&m);
 }
-criterion_main!(benches);

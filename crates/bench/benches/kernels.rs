@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks of the NN kernels (the inner loops every
-//! table/figure workload exercises): conv forward / input-gradient /
-//! weight-gradient, the functional PE-array model, and the embedded-NN
-//! forward + VJP.
+//! Micro-benchmarks of the NN kernels (the inner loops every table/figure
+//! workload exercises): conv forward / input-gradient / weight-gradient,
+//! the functional PE-array model, and the embedded-NN forward + VJP.
+//!
+//! ```sh
+//! cargo bench -p enode-bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enode_bench::micro::Micro;
 use enode_hw::pe::{Direction, PeArray};
 use enode_tensor::conv::Conv2d;
 use enode_tensor::dense::Dense;
@@ -12,35 +15,33 @@ use enode_tensor::network::{Network, Op};
 use enode_tensor::Tensor;
 use std::hint::black_box;
 
-fn conv_kernels(c: &mut Criterion) {
+fn conv_kernels(m: &Micro) {
     let conv = Conv2d::new_seeded(8, 8, 3, 1);
     let x = init::uniform(&[1, 8, 16, 16], -1.0, 1.0, 2);
     let dy = init::uniform(&[1, 8, 16, 16], -1.0, 1.0, 3);
-    c.bench_function("conv2d_forward_8c_16x16", |b| {
-        b.iter(|| black_box(conv.forward(black_box(&x))))
+    m.bench("conv2d_forward_8c_16x16", || conv.forward(black_box(&x)));
+    m.bench("conv2d_backward_input_8c_16x16", || {
+        conv.backward_input(black_box(&dy))
     });
-    c.bench_function("conv2d_backward_input_8c_16x16", |b| {
-        b.iter(|| black_box(conv.backward_input(black_box(&dy))))
-    });
-    c.bench_function("conv2d_backward_params_8c_16x16", |b| {
-        b.iter(|| black_box(conv.backward_params(black_box(&x), black_box(&dy))))
+    m.bench("conv2d_backward_params_8c_16x16", || {
+        conv.backward_params(black_box(&x), black_box(&dy))
     });
 }
 
-fn pe_array(c: &mut Criterion) {
+fn pe_array(m: &Micro) {
     let conv = Conv2d::new_seeded(8, 8, 3, 4);
     let conv = Conv2d::from_parts(conv.weight().clone(), Tensor::zeros(&[8]));
     let array = PeArray::load(&conv);
     let x = init::uniform(&[1, 8, 16, 16], -1.0, 1.0, 5);
-    c.bench_function("pe_array_forward_8c_16x16", |b| {
-        b.iter(|| black_box(array.run(black_box(&x), Direction::Forward)))
+    m.bench("pe_array_forward_8c_16x16", || {
+        array.run(black_box(&x), Direction::Forward)
     });
-    c.bench_function("pe_array_backward_8c_16x16", |b| {
-        b.iter(|| black_box(array.run(black_box(&x), Direction::Backward)))
+    m.bench("pe_array_backward_8c_16x16", || {
+        array.run(black_box(&x), Direction::Backward)
     });
 }
 
-fn embedded_network(c: &mut Criterion) {
+fn embedded_network(m: &Micro) {
     let f = Network::new(vec![
         Op::ConcatTime,
         Op::dense(Dense::new_seeded(13, 32, 6)),
@@ -48,20 +49,16 @@ fn embedded_network(c: &mut Criterion) {
         Op::dense(Dense::new_seeded(32, 12, 7)),
     ]);
     let h = init::uniform(&[8, 12], -1.0, 1.0, 8);
-    c.bench_function("embedded_nn_eval_3body", |b| {
-        b.iter(|| black_box(f.eval(0.5, black_box(&h))))
-    });
-    c.bench_function("embedded_nn_vjp_3body", |b| {
-        b.iter(|| {
-            let (y, caches) = f.forward_at(0.5, black_box(&h));
-            black_box(f.backward(&caches, &y))
-        })
+    m.bench("embedded_nn_eval_3body", || f.eval(0.5, black_box(&h)));
+    m.bench("embedded_nn_vjp_3body", || {
+        let (y, caches) = f.forward_at(0.5, black_box(&h));
+        f.backward(&caches, &y)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = conv_kernels, pe_array, embedded_network
+fn main() {
+    let m = Micro::default();
+    conv_kernels(&m);
+    pe_array(&m);
+    embedded_network(&m);
 }
-criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the hardware simulators: the analytic
-//! performance models, the row-level pipeline simulation, and the DRAM
-//! timing model.
+//! Micro-benchmarks of the hardware simulators: the analytic performance
+//! models, the row-level pipeline simulation, and the DRAM timing model.
+//!
+//! ```sh
+//! cargo bench -p enode-bench --bench simulators
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enode_bench::micro::Micro;
 use enode_hw::config::{HwConfig, WorkloadRun};
 use enode_hw::dram::{Dram, DramConfig};
 use enode_hw::energy::EnergyModel;
@@ -10,42 +13,40 @@ use enode_hw::packet::{simulate_pipeline, Schedule};
 use enode_hw::perf::{simulate_baseline, simulate_enode};
 use std::hint::black_box;
 
-fn perf_models(c: &mut Criterion) {
+fn perf_models(m: &Micro) {
     let cfg = HwConfig::config_a();
     let energy = EnergyModel::default();
     let run = WorkloadRun::analytic(4, 200, 2.5, true);
-    c.bench_function("simulate_enode_training", |b| {
-        b.iter(|| black_box(simulate_enode(&cfg, black_box(&run), &energy)))
+    m.bench("simulate_enode_training", || {
+        simulate_enode(&cfg, black_box(&run), &energy)
     });
-    c.bench_function("simulate_baseline_training", |b| {
-        b.iter(|| black_box(simulate_baseline(&cfg, black_box(&run), &energy)))
-    });
-}
-
-fn pipeline(c: &mut Criterion) {
-    c.bench_function("pipeline_packetized_4x256", |b| {
-        b.iter(|| black_box(simulate_pipeline(4, 256, 5, Schedule::Packetized)))
-    });
-    c.bench_function("pipeline_blocking_4x256", |b| {
-        b.iter(|| black_box(simulate_pipeline(4, 256, 5, Schedule::Blocking)))
+    m.bench("simulate_baseline_training", || {
+        simulate_baseline(&cfg, black_box(&run), &energy)
     });
 }
 
-fn dram(c: &mut Criterion) {
-    c.bench_function("dram_stream_1mb", |b| {
-        b.iter(|| {
-            let mut d = Dram::new(DramConfig::default());
-            for i in 0..(1u64 << 14) {
-                d.read(i * 64, 64);
-            }
-            black_box(d.stats())
-        })
+fn pipeline(m: &Micro) {
+    m.bench("pipeline_packetized_4x256", || {
+        simulate_pipeline(4, 256, 5, Schedule::Packetized)
+    });
+    m.bench("pipeline_blocking_4x256", || {
+        simulate_pipeline(4, 256, 5, Schedule::Blocking)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = perf_models, pipeline, dram
+fn dram(m: &Micro) {
+    m.bench("dram_stream_1mb", || {
+        let mut d = Dram::new(DramConfig::default());
+        for i in 0..(1u64 << 14) {
+            d.read(i * 64, 64);
+        }
+        d.stats()
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    let m = Micro::default();
+    perf_models(&m);
+    pipeline(&m);
+    dram(&m);
+}

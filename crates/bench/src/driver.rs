@@ -83,12 +83,20 @@ impl Bench {
             Bench::ThreeBody => {
                 let tb = ThreeBody::default();
                 let model = NodeModel::dynamic_system(12, 32, 4, seed);
-                (model, tb.dataset(8, 1.0, seed), tb.dataset(4, 1.0, seed + 1))
+                (
+                    model,
+                    tb.dataset(8, 1.0, seed),
+                    tb.dataset(4, 1.0, seed + 1),
+                )
             }
             Bench::LotkaVolterra => {
                 let lv = LotkaVolterra::default();
                 let model = NodeModel::dynamic_system(2, 16, 4, seed);
-                (model, lv.dataset(12, 1.0, seed), lv.dataset(6, 1.0, seed + 1))
+                (
+                    model,
+                    lv.dataset(12, 1.0, seed),
+                    lv.dataset(6, 1.0, seed + 1),
+                )
             }
             Bench::MnistLike => {
                 let task = SyntheticImages::mnist_like(4, seed);
@@ -115,7 +123,12 @@ pub fn conventional_opts(bench: Bench) -> NodeSolveOptions {
 
 /// eNODE's expedited algorithms (§VII): slope-adaptive search with the
 /// given thresholds, plus priority processing when `window` is set.
-pub fn expedited_opts(bench: Bench, s_acc: u32, s_rej: u32, window: Option<usize>) -> NodeSolveOptions {
+pub fn expedited_opts(
+    bench: Bench,
+    s_acc: u32,
+    s_rej: u32,
+    window: Option<usize>,
+) -> NodeSolveOptions {
     use enode_node::inference::ControllerKind;
     let mut opts = NodeSolveOptions::new(bench.tolerance())
         .with_default_dt(0.1)
@@ -150,7 +163,12 @@ pub struct BenchResult {
 ///
 /// Panics if the forward pass fails (stepsize underflow etc.) — the
 /// harness configurations are chosen to avoid that.
-pub fn run_bench(bench: Bench, opts: &NodeSolveOptions, train_iters: usize, seed: u64) -> BenchResult {
+pub fn run_bench(
+    bench: Bench,
+    opts: &NodeSolveOptions,
+    train_iters: usize,
+    seed: u64,
+) -> BenchResult {
     let (model, train, test) = bench.build(seed);
     let target = match (&train.labels, &train.targets) {
         (Some(l), _) => Target::Labels(l.clone()),

@@ -38,11 +38,24 @@ pub fn packetized_vs_blocking() {
 /// weights; an unrolled depth-first integrator would replicate them per
 /// stage.
 pub fn function_reuse() {
-    report::banner("Ablation", "function reuse (folded ring) vs unrolled integrator");
+    report::banner(
+        "Ablation",
+        "function reuse (folded ring) vs unrolled integrator",
+    );
     let cfg = HwConfig::config_a();
     let folded = breakdown(&cfg, Design::Enode);
-    let core = folded.rows.iter().find(|r| r.name == "Core & Control").unwrap().mm2;
-    let weights = folded.rows.iter().find(|r| r.name == "Weight Buffer").unwrap().mm2;
+    let core = folded
+        .rows
+        .iter()
+        .find(|r| r.name == "Core & Control")
+        .unwrap()
+        .mm2;
+    let weights = folded
+        .rows
+        .iter()
+        .find(|r| r.name == "Weight Buffer")
+        .unwrap()
+        .mm2;
     // Unrolled: one core+weight copy per RK23 stage.
     let unrolled_extra = (cfg.stages as f64 - 1.0) * (core + weights);
     report::header(&["design", "total mm^2"]);
@@ -65,8 +78,18 @@ pub fn unified_core() {
     report::banner("Ablation", "unified vs split forward/backward NN core");
     let cfg = HwConfig::config_a();
     let b = breakdown(&cfg, Design::Enode);
-    let core = b.rows.iter().find(|r| r.name == "Core & Control").unwrap().mm2;
-    let weights = b.rows.iter().find(|r| r.name == "Weight Buffer").unwrap().mm2;
+    let core = b
+        .rows
+        .iter()
+        .find(|r| r.name == "Core & Control")
+        .unwrap()
+        .mm2;
+    let weights = b
+        .rows
+        .iter()
+        .find(|r| r.name == "Weight Buffer")
+        .unwrap()
+        .mm2;
     report::header(&["design", "total mm^2"]);
     report::row(&["unified core (eNODE)", &format!("{:.2}", b.total_mm2())]);
     report::row(&[
@@ -82,9 +105,18 @@ pub fn unified_core() {
 /// The 2×2 expedited-algorithm factorial on Lotka–Volterra: slope-adaptive
 /// search × priority early stop (the "EA" split of Fig 18).
 pub fn ea_factorial() {
-    report::banner("Ablation", "expedited algorithms factorial (Lotka-Volterra)");
+    report::banner(
+        "Ablation",
+        "expedited algorithms factorial (Lotka-Volterra)",
+    );
     let bench = Bench::LotkaVolterra;
-    report::header(&["slope-adaptive", "priority", "trials/layer", "rows frac", "accuracy %"]);
+    report::header(&[
+        "slope-adaptive",
+        "priority",
+        "trials/layer",
+        "rows frac",
+        "accuracy %",
+    ]);
     for (slope, prio) in [(false, false), (true, false), (false, true), (true, true)] {
         let opts = match (slope, prio) {
             (true, w) => expedited_opts(bench, 3, 3, w.then_some(4)),
@@ -167,7 +199,11 @@ pub fn integrator_order() {
 pub fn checkpoint_stride() {
     use enode_node::inference::{forward_layer, NodeSolveOptions};
     use enode_node::train::adjoint::aca_backward_layer;
-    use enode_tensor::{dense::Dense, network::{Network, Op}, Tensor};
+    use enode_tensor::{
+        dense::Dense,
+        network::{Network, Op},
+        Tensor,
+    };
 
     report::banner("Ablation", "ACA checkpoint stride: memory vs recompute");
     let f = Network::new(vec![

@@ -6,7 +6,10 @@ use crate::report;
 
 /// Profiles a CIFAR-like training iteration under the conventional search.
 pub fn run() {
-    report::banner("Fig 4a", "training-iteration latency breakdown (CIFAR-like)");
+    report::banner(
+        "Fig 4a",
+        "training-iteration latency breakdown (CIFAR-like)",
+    );
     let bench = Bench::CifarLike;
     // The profiled setup restarts the search from C each point (§II-B's
     // constant-init option) — the regime where search dominates.

@@ -20,7 +20,12 @@ pub fn run() {
         "acc drop",
     ]);
     for bench in Bench::all() {
-        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 21);
+        let base = run_bench(
+            bench,
+            &conventional_opts(bench),
+            bench.default_train_iters(),
+            21,
+        );
         report::row(&[
             bench.name(),
             "conventional",
@@ -30,7 +35,12 @@ pub fn run() {
             "-",
         ]);
         for s in [1u32, 3, 5] {
-            let r = run_bench(bench, &expedited_opts(bench, s, s, None), bench.default_train_iters(), 21);
+            let r = run_bench(
+                bench,
+                &expedited_opts(bench, s, s, None),
+                bench.default_train_iters(),
+                21,
+            );
             report::row(&[
                 bench.name(),
                 &format!("s={s}"),

@@ -60,5 +60,8 @@ pub fn run() {
         h
     );
     let full_norm = StateOps::norm_l2(error);
-    println!("full ||e||_2 = {full_norm:.3e}; window ||e||_2 = {:.3e}", in_window.sqrt());
+    println!(
+        "full ||e||_2 = {full_norm:.3e}; window ||e||_2 = {:.3e}",
+        in_window.sqrt()
+    );
 }

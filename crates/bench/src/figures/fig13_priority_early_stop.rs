@@ -37,7 +37,12 @@ pub fn run() {
             &format!("{:.1}", full.accuracy),
         ]);
         for window in [2usize, 4, 8, 16] {
-            let r = run_bench(bench, &opts.with_priority(window), bench.default_train_iters(), 31);
+            let r = run_bench(
+                bench,
+                &opts.with_priority(window),
+                bench.default_train_iters(),
+                31,
+            );
             let s = &r.profile.forward;
             let rows_frac = if s.rows_total > 0 {
                 s.rows_processed as f64 / s.rows_total as f64

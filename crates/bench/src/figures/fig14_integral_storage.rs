@@ -43,9 +43,7 @@ pub fn run() {
     let b_ratio = integral_state_bytes_enode_for(&cfg_b, &rk23) as f64
         / integral_state_bytes_baseline_for(&cfg_b, &rk23) as f64;
     println!();
-    println!(
-        "paper: eNODE integral-state memory 60% smaller @64x64x64, 90% smaller @256x256x64"
-    );
+    println!("paper: eNODE integral-state memory 60% smaller @64x64x64, 90% smaller @256x256x64");
     println!(
         "ours : {:.0}% smaller @64x64x64, {:.0}% smaller @256x256x64 (RK23, 4-conv f)",
         (1.0 - a_ratio) * 100.0,

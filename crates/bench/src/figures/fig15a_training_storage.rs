@@ -39,5 +39,8 @@ pub fn run() {
             / training_state_live_bytes_baseline(&a) as f64;
     println!();
     println!("paper: storage reduced by more than 45% for a 4-layer f");
-    println!("ours : {:.0}% reduction @ Config A (4-layer f, 64x64x64)", red * 100.0);
+    println!(
+        "ours : {:.0}% reduction @ Config A (4-layer f, 64x64x64)",
+        red * 100.0
+    );
 }

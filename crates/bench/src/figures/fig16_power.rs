@@ -24,7 +24,12 @@ pub fn run() {
         "eNODE total",
     ]);
     for bench in Bench::all() {
-        let r = run_bench(bench, &conventional_opts(bench), bench.default_train_iters().min(3), 41);
+        let r = run_bench(
+            bench,
+            &conventional_opts(bench),
+            bench.default_train_iters().min(3),
+            41,
+        );
         for (mi, (mode, run)) in [("inference", r.infer_run), ("training", r.train_run)]
             .into_iter()
             .enumerate()
@@ -48,11 +53,19 @@ pub fn run() {
     println!();
     println!(
         "ours (avg): inference base {:.2}/{:.2} W, eNODE {:.2}/{:.2} W ({:.2}x total reduction)",
-        avg[0][0], avg[0][1], avg[0][2], avg[0][3], avg[0][1] / avg[0][3]
+        avg[0][0],
+        avg[0][1],
+        avg[0][2],
+        avg[0][3],
+        avg[0][1] / avg[0][3]
     );
     println!(
         "ours (avg): training  base {:.2}/{:.2} W, eNODE {:.2}/{:.2} W ({:.2}x total reduction)",
-        avg[1][0], avg[1][1], avg[1][2], avg[1][3], avg[1][1] / avg[1][3]
+        avg[1][0],
+        avg[1][1],
+        avg[1][2],
+        avg[1][3],
+        avg[1][1] / avg[1][3]
     );
     println!("paper     : inference base 5.65/9.32 W, eNODE 0.48/4.43 W (2.1x)");
     println!("paper     : training  base 11.03/14.72 W, eNODE 0.85/4.82 W (3.05x)");

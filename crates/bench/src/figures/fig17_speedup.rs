@@ -17,9 +17,19 @@ pub fn run() {
     let paper = [("Three-Body", 1.87, 1.6), ("Lotka-Volterra", 2.38, 2.09)];
     for (bench, (_, p_inf, p_tr)) in Bench::dynamic().into_iter().zip(paper) {
         // Baseline hardware runs the conventional search.
-        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 51);
+        let base = run_bench(
+            bench,
+            &conventional_opts(bench),
+            bench.default_train_iters(),
+            51,
+        );
         // eNODE runs the expedited algorithms (s=3, H=10 as in the paper).
-        let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 51);
+        let ea = run_bench(
+            bench,
+            &expedited_opts(bench, 3, 3, Some(10)),
+            bench.default_train_iters(),
+            51,
+        );
 
         let inf_base = simulate_baseline(&cfg, &base.infer_run, &energy);
         let inf_en = simulate_enode(&cfg, &ea.infer_run, &energy);

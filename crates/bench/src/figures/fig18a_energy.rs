@@ -28,8 +28,18 @@ pub fn run() {
         "gains(paper)",
     ]);
     for (bench, (_, (pi0, pi1, pt0, pt1))) in Bench::dynamic().into_iter().zip(paper) {
-        let base = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 61);
-        let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 61);
+        let base = run_bench(
+            bench,
+            &conventional_opts(bench),
+            bench.default_train_iters(),
+            61,
+        );
+        let ea = run_bench(
+            bench,
+            &expedited_opts(bench, 3, 3, Some(10)),
+            bench.default_train_iters(),
+            61,
+        );
         for (mode, run_base, run_ea, p0, p1) in [
             ("inference", base.infer_run, ea.infer_run, pi0, pi1),
             ("training", base.train_run, ea.train_run, pt0, pt1),

@@ -11,12 +11,7 @@ use enode_workloads::resnet::ResNetProfile;
 
 /// Energy of a ResNet run on the baseline accelerator: compute at the
 /// shared MAC rate plus layer-by-layer activation traffic.
-fn resnet_energy(
-    cfg: &HwConfig,
-    energy: &EnergyModel,
-    macs: f64,
-    access_bytes: f64,
-) -> (f64, f64) {
+fn resnet_energy(cfg: &HwConfig, energy: &EnergyModel, macs: f64, access_bytes: f64) -> (f64, f64) {
     let compute_seconds = macs / (cfg.macs_per_cycle() as f64 * cfg.clock_hz * 0.95);
     let seconds = compute_seconds + access_bytes / cfg.dram_bandwidth;
     let e = energy.compute_energy(macs, false) + energy.dram_energy(access_bytes, seconds);
@@ -54,8 +49,18 @@ pub fn run() {
         rn.training_access_bytes() as f64 * batch,
     );
 
-    let conv = run_bench(bench, &conventional_opts(bench), bench.default_train_iters(), 71);
-    let ea = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 71);
+    let conv = run_bench(
+        bench,
+        &conventional_opts(bench),
+        bench.default_train_iters(),
+        71,
+    );
+    let ea = run_bench(
+        bench,
+        &expedited_opts(bench, 3, 3, Some(10)),
+        bench.default_train_iters(),
+        71,
+    );
     // Map the measured NODE workloads to a Config-A-scaled layer? No — the
     // MNIST NODE's own geometry: scale MACs by using the small-layer
     // config so NODE and ResNet see the same feature sizes.
@@ -72,7 +77,11 @@ pub fn run() {
         &report::f(rn_inf_e),
         &report::f(rn_tr_e),
     ]);
-    report::row(&["eNODE w/o EA", &report::f(en_noea_inf), &report::f(en_noea_tr)]);
+    report::row(&[
+        "eNODE w/o EA",
+        &report::f(en_noea_inf),
+        &report::f(en_noea_tr),
+    ]);
     report::row(&["eNODE + EA", &report::f(en_ea_inf), &report::f(en_ea_tr)]);
     println!();
     println!(
@@ -86,9 +95,7 @@ pub fn run() {
     println!(
         "note : under our calibration the NODE's integration work (points x trials x s f-evals)"
     );
-    println!(
-        "       exceeds the ResNet's single pass, so the ratio depends on how few evaluation"
-    );
+    println!("       exceeds the ResNet's single pass, so the ratio depends on how few evaluation");
     println!(
         "       points the trained NODE needs; see EXPERIMENTS.md for the sensitivity discussion"
     );

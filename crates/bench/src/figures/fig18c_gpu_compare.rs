@@ -10,9 +10,17 @@ use enode_hw::perf::simulate_enode;
 
 /// Runs the GPU comparison on the CIFAR-like training workload.
 pub fn run() {
-    report::banner("Fig 18c (§VIII-D)", "eNODE vs A100-class GPU, training energy");
+    report::banner(
+        "Fig 18c (§VIII-D)",
+        "eNODE vs A100-class GPU, training energy",
+    );
     let bench = Bench::CifarLike;
-    let r = run_bench(bench, &expedited_opts(bench, 3, 3, Some(10)), bench.default_train_iters(), 81);
+    let r = run_bench(
+        bench,
+        &expedited_opts(bench, 3, 3, Some(10)),
+        bench.default_train_iters(),
+        81,
+    );
     let mut cfg = HwConfig::for_layer(enode_hw::config::LayerDims::new(16, 16, 64));
     cfg.n_conv = 2;
     let energy = EnergyModel::default();

@@ -8,4 +8,5 @@
 
 pub mod driver;
 pub mod figures;
+pub mod micro;
 pub mod report;

@@ -1,0 +1,117 @@
+//! A minimal micro-benchmark harness (offline replacement for criterion).
+//!
+//! Each benchmark warms up, then runs a fixed number of timed samples of
+//! many iterations each and reports the median, min, and max per-iteration
+//! time. Use [`Micro::bench`] with a closure returning a value so the
+//! optimizer cannot elide the work (the result is passed through
+//! [`std::hint::black_box`]).
+//!
+//! The harness intentionally has no statistics beyond the median: these
+//! benches exist to show relative magnitudes and catch order-of-magnitude
+//! regressions when run by hand, not to resolve 1% deltas.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Harness configuration plus accumulated results.
+pub struct Micro {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Minimum wall time per sample; iterations scale until they fill it.
+    pub min_sample_secs: f64,
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Micro {
+            samples: 10,
+            min_sample_secs: 0.02,
+        }
+    }
+}
+
+impl Micro {
+    /// A harness taking `samples` timed samples per benchmark.
+    pub fn new(samples: usize) -> Self {
+        Micro {
+            samples,
+            ..Micro::default()
+        }
+    }
+
+    /// Times `f`, printing `name` with median/min/max per-iteration time.
+    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        // Warm-up and iteration-count calibration: double until one batch
+        // takes at least `min_sample_secs`.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if start.elapsed().as_secs_f64() >= self.min_sample_secs || iters > (1 << 30) {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<44} {:>12}/iter  (min {}, max {}, {iters} iters x {} samples)",
+            fmt_secs(median),
+            fmt_secs(min),
+            fmt_secs(max),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let m = Micro {
+            samples: 3,
+            min_sample_secs: 1e-4,
+        };
+        let mut calls = 0u64;
+        m.bench("noop_accumulate", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn fmt_covers_ranges() {
+        assert!(fmt_secs(5e-9).ends_with("ns"));
+        assert!(fmt_secs(5e-6).ends_with("µs"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(5.0).ends_with(" s"));
+    }
+}

@@ -129,7 +129,11 @@ mod tests {
         assert!((row(&b, "Weight Buffer").mm2 - 5.34).abs() < 0.01);
         assert!((row(&b, "Integral State Buffer").mm2 - 9.24).abs() < 0.01);
         assert!((row(&b, "Training State Buffer").mm2 - 5.78).abs() < 0.02);
-        assert!((b.total_mm2() - 23.89).abs() < 0.05, "total {:.2}", b.total_mm2());
+        assert!(
+            (b.total_mm2() - 23.89).abs() < 0.05,
+            "total {:.2}",
+            b.total_mm2()
+        );
         assert!((b.total_mb() - 5.5).abs() < 0.01);
     }
 
@@ -138,7 +142,11 @@ mod tests {
         let b = breakdown(&HwConfig::config_a(), Design::Enode);
         assert!((row(&b, "Integral State Buffer").mm2 - 2.03).abs() < 0.03);
         assert!((row(&b, "Line Buffer").mm2 - 2.31).abs() < 0.01);
-        assert!((b.total_mm2() - 19.12).abs() < 0.1, "total {:.2}", b.total_mm2());
+        assert!(
+            (b.total_mm2() - 19.12).abs() < 0.1,
+            "total {:.2}",
+            b.total_mm2()
+        );
         assert!((b.total_mb() - 4.44).abs() < 0.02);
     }
 
@@ -150,11 +158,19 @@ mod tests {
             "got {:.2}",
             row(&base, "Integral State Buffer").mm2
         );
-        assert!((base.total_mm2() - 179.35).abs() < 0.3, "total {:.2}", base.total_mm2());
+        assert!(
+            (base.total_mm2() - 179.35).abs() < 0.3,
+            "total {:.2}",
+            base.total_mm2()
+        );
         let en = breakdown(&HwConfig::config_b(), Design::Enode);
         assert!((row(&en, "Integral State Buffer").mm2 - 8.13).abs() < 0.05);
         assert!((row(&en, "Line Buffer").mm2 - 9.24).abs() < 0.01);
-        assert!((en.total_mm2() - 49.01).abs() < 0.3, "total {:.2}", en.total_mm2());
+        assert!(
+            (en.total_mm2() - 49.01).abs() < 0.3,
+            "total {:.2}",
+            en.total_mm2()
+        );
     }
 
     #[test]
@@ -163,11 +179,17 @@ mod tests {
         let a_base = breakdown(&HwConfig::config_a(), Design::Baseline).total_mm2();
         let a_enode = breakdown(&HwConfig::config_a(), Design::Enode).total_mm2();
         let saving_a = 1.0 - a_enode / a_base;
-        assert!((saving_a - 0.20).abs() < 0.02, "Config A saving {saving_a:.3}");
+        assert!(
+            (saving_a - 0.20).abs() < 0.02,
+            "Config A saving {saving_a:.3}"
+        );
         let b_base = breakdown(&HwConfig::config_b(), Design::Baseline).total_mm2();
         let b_enode = breakdown(&HwConfig::config_b(), Design::Enode).total_mm2();
         let saving_b = 1.0 - b_enode / b_base;
-        assert!((saving_b - 0.727).abs() < 0.02, "Config B saving {saving_b:.3}");
+        assert!(
+            (saving_b - 0.727).abs() < 0.02,
+            "Config B saving {saving_b:.3}"
+        );
     }
 
     #[test]
@@ -178,9 +200,8 @@ mod tests {
         use crate::config::LayerDims;
         let small = HwConfig::for_layer(LayerDims::new(64, 64, 64));
         let big = HwConfig::for_layer(LayerDims::new(128, 128, 64));
-        let growth = |design| {
-            breakdown(&big, design).total_mm2() / breakdown(&small, design).total_mm2()
-        };
+        let growth =
+            |design| breakdown(&big, design).total_mm2() / breakdown(&small, design).total_mm2();
         assert!(growth(Design::Baseline) > 1.8);
         assert!(growth(Design::Enode) < growth(Design::Baseline) * 0.8);
     }

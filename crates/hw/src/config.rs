@@ -111,9 +111,54 @@ impl HwConfig {
     pub fn for_layer(layer: LayerDims) -> Self {
         let mut cfg = Self::config_a();
         cfg.layer = layer;
-        cfg.training_buffer_bytes =
-            crate::depthfirst::training_state_live_bytes_enode(&cfg);
+        cfg.training_buffer_bytes = crate::depthfirst::training_state_live_bytes_enode(&cfg);
         cfg
+    }
+
+    /// Checks the structural sanity of the configuration, returning the
+    /// first problem found. The simulators call this behind
+    /// `debug_assert!` as a cheap preflight; the `enode-analysis` crate
+    /// wraps it (plus the quantitative feasibility checks) into full
+    /// diagnostics.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layer.h == 0 || self.layer.w == 0 || self.layer.c == 0 {
+            return Err(format!(
+                "layer dims {}x{}x{} contain a zero",
+                self.layer.h, self.layer.w, self.layer.c
+            ));
+        }
+        if self.cores == 0 || self.pes_per_core == 0 || self.parallel_channels == 0 {
+            return Err("cores, PEs per core and parallel channels must be nonzero".into());
+        }
+        if self.clock_hz <= 0.0 || self.clock_hz.is_nan() {
+            return Err(format!("clock must be positive, got {}", self.clock_hz));
+        }
+        if self.link_bandwidth <= 0.0
+            || self.dram_bandwidth <= 0.0
+            || self.link_bandwidth.is_nan()
+            || self.dram_bandwidth.is_nan()
+        {
+            return Err("link and DRAM bandwidth must be positive".into());
+        }
+        if self.n_conv == 0 {
+            return Err("embedded network needs at least one conv layer".into());
+        }
+        if self.kernel == 0 || self.kernel.is_multiple_of(2) {
+            return Err(format!(
+                "kernel {} must be odd for \"same\" padding",
+                self.kernel
+            ));
+        }
+        if self.stages == 0 {
+            return Err("integrator needs at least one stage".into());
+        }
+        if self.stages_backward > self.stages {
+            return Err(format!(
+                "stages_backward {} exceeds stages {}",
+                self.stages_backward, self.stages
+            ));
+        }
+        Ok(())
     }
 
     /// Total MAC throughput in MACs per cycle (all cores).

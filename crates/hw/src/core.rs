@@ -84,7 +84,7 @@ pub fn simulate_core(model: &CoreModel, n_packets: u64, arrival_interval: u64) -
         let start = arrive.max(busy_until);
         // Queue occupancy at this arrival: packets arrived but not started.
         let in_flight = if busy_until > arrive {
-            ((busy_until - arrive) + service - 1) / service
+            (busy_until - arrive).div_ceil(service)
         } else {
             0
         };

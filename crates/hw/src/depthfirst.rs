@@ -47,17 +47,12 @@ pub fn integral_state_rows(tableau: &ButcherTableau, n_conv: usize, kernel: usiz
 /// eNODE's integral-state buffer in bytes for a configuration (RK23).
 pub fn integral_state_bytes_enode(cfg: &HwConfig) -> u64 {
     let tableau = ButcherTableau::rk23_bogacki_shampine();
-    integral_state_rows(&tableau, cfg.n_conv, cfg.kernel) as u64
-        * cfg.layer.buffered_row_bytes()
+    integral_state_rows(&tableau, cfg.n_conv, cfg.kernel) as u64 * cfg.layer.buffered_row_bytes()
 }
 
 /// eNODE's integral-state buffer for an arbitrary integrator.
-pub fn integral_state_bytes_enode_for(
-    cfg: &HwConfig,
-    tableau: &ButcherTableau,
-) -> u64 {
-    integral_state_rows(tableau, cfg.n_conv, cfg.kernel) as u64
-        * cfg.layer.buffered_row_bytes()
+pub fn integral_state_bytes_enode_for(cfg: &HwConfig, tableau: &ButcherTableau) -> u64 {
+    integral_state_rows(tableau, cfg.n_conv, cfg.kernel) as u64 * cfg.layer.buffered_row_bytes()
 }
 
 /// The baseline's integral-state buffer: `s` full feature maps.
@@ -116,9 +111,7 @@ pub fn simulate_training_lifetime_rows(cfg: &HwConfig) -> usize {
         let mut live = 0usize;
         for d in 0..d_total {
             let produced = t.saturating_sub(d * pad).min(h);
-            let consumed = t
-                .saturating_sub(start + (d_total - 1 - d) * pad)
-                .min(h);
+            let consumed = t.saturating_sub(start + (d_total - 1 - d) * pad).min(h);
             live += produced - consumed;
         }
         peak = peak.max(live);
@@ -153,7 +146,10 @@ mod tests {
         // 13 state rows + 4 streams × 10 + 3 staging = 56 rows.
         assert_eq!(integral_state_rows(&tableau, 4, 3), 56);
         let bytes = integral_state_bytes_enode(&cfg) as f64 / MB;
-        assert!((bytes - 0.44).abs() < 0.01, "got {bytes:.3} MB, Table I: 0.44");
+        assert!(
+            (bytes - 0.44).abs() < 0.01,
+            "got {bytes:.3} MB, Table I: 0.44"
+        );
         let base = integral_state_bytes_baseline(&cfg) as f64 / MB;
         assert!((base - 2.0).abs() < 1e-9, "got {base} MB, Table I: 2");
     }
@@ -162,7 +158,10 @@ mod tests {
     fn config_b_integral_buffer_matches_table1() {
         let cfg = HwConfig::config_b();
         let bytes = integral_state_bytes_enode(&cfg) as f64 / MB;
-        assert!((bytes - 1.76).abs() < 0.01, "got {bytes:.3} MB, Table I: 1.76");
+        assert!(
+            (bytes - 1.76).abs() < 0.01,
+            "got {bytes:.3} MB, Table I: 1.76"
+        );
         let base = integral_state_bytes_baseline(&cfg) as f64 / MB;
         assert!((base - 32.0).abs() < 1e-9, "got {base} MB, Table I: 32");
     }
@@ -179,13 +178,19 @@ mod tests {
     fn training_live_bytes_match_fig15() {
         let a = HwConfig::config_a();
         let baseline = training_state_live_bytes_baseline(&a) as f64 / MB;
-        assert!((baseline - 6.0).abs() < 1e-9, "baseline needs 6 MB (Fig 15b)");
+        assert!(
+            (baseline - 6.0).abs() < 1e-9,
+            "baseline needs 6 MB (Fig 15b)"
+        );
         let enode = training_state_live_bytes_enode(&a) as f64 / MB;
         // Paper provisions 1.25 MB; the model computes 1.22 MB (156 rows).
         assert!((enode - 1.22).abs() < 0.02, "got {enode:.3} MB");
         let b = HwConfig::config_b();
         let enode_b = training_state_live_bytes_enode(&b) as f64 / MB;
-        assert!((enode_b - 4.875).abs() < 0.03, "got {enode_b:.3} MB, Table I: 4.9");
+        assert!(
+            (enode_b - 4.875).abs() < 0.03,
+            "got {enode_b:.3} MB, Table I: 4.9"
+        );
     }
 
     #[test]
@@ -204,7 +209,11 @@ mod tests {
         let base_live = training_state_live_bytes_baseline(&a);
         let base_spill = training_spill_bytes_per_interval(base_live, 1024 * 1024) as f64 / MB;
         assert!((base_spill - 10.0).abs() < 0.1, "got {base_spill:.2} MB");
-        assert!(base_spill / spill_1mb > 20.0, "ratio {}", base_spill / spill_1mb);
+        assert!(
+            base_spill / spill_1mb > 20.0,
+            "ratio {}",
+            base_spill / spill_1mb
+        );
     }
 
     #[test]

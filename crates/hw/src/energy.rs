@@ -73,7 +73,11 @@ impl EnergyModel {
         EnergyBreakdown {
             mac_j: macs * self.e_mac,
             sram_j: macs * self.sram_bytes_per_mac * self.e_sram_per_byte,
-            ring_j: if enode { macs * self.e_ring_per_mac } else { 0.0 },
+            ring_j: if enode {
+                macs * self.e_ring_per_mac
+            } else {
+                0.0
+            },
             dram_io_j: dram_bytes * self.e_dram_per_byte,
             dram_background_j: self.p_dram_background * seconds,
         }

@@ -88,7 +88,11 @@ mod tests {
         let launch = (run.trials * cfg.stages + run.points * cfg.stages_backward * 3) as f64
             * gpu.kernels_per_f_eval
             * gpu.kernel_launch_s;
-        assert!(launch / r.seconds > 0.01, "launch share {}", launch / r.seconds);
+        assert!(
+            launch / r.seconds > 0.01,
+            "launch share {}",
+            launch / r.seconds
+        );
     }
 
     #[test]

@@ -133,9 +133,6 @@ mod tests {
         // 8 convs of 256x256x9 FP16 = 9.4 MB > 2.25 MB buffer.
         assert!(!weights_resident(&cfg));
         let reload = weight_reload_bytes_per_step(&cfg);
-        assert_eq!(
-            reload,
-            (cfg.weight_bytes() - cfg.weight_buffer_bytes) * 4
-        );
+        assert_eq!(reload, (cfg.weight_bytes() - cfg.weight_buffer_bytes) * 4);
     }
 }

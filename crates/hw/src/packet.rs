@@ -54,7 +54,12 @@ pub struct PipelineReport {
 /// # Panics
 ///
 /// Panics if `streams` or `rows` is zero.
-pub fn simulate_pipeline(streams: usize, rows: u64, lag: u64, schedule: Schedule) -> PipelineReport {
+pub fn simulate_pipeline(
+    streams: usize,
+    rows: u64,
+    lag: u64,
+    schedule: Schedule,
+) -> PipelineReport {
     assert!(streams > 0 && rows > 0, "streams and rows must be positive");
     let mut produced = vec![0u64; streams];
     let mut makespan = 0u64;

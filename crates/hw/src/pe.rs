@@ -114,12 +114,7 @@ impl PeArray {
                                                     iw as isize - kw as isize + pad,
                                                 ),
                                                 Direction::Backward => (
-                                                    self.weights.at4(
-                                                        c,
-                                                        m,
-                                                        k - 1 - kh,
-                                                        k - 1 - kw,
-                                                    ),
+                                                    self.weights.at4(c, m, k - 1 - kh, k - 1 - kw),
                                                     ih as isize - kh as isize + pad,
                                                     iw as isize - kw as isize + pad,
                                                 ),
@@ -159,10 +154,7 @@ impl PeArray {
 pub fn f_eval_cycles(cfg: &HwConfig) -> u64 {
     let per_layer = {
         let blocks = (cfg.layer.c as u64 / cfg.parallel_channels as u64).max(1);
-        (cfg.layer.h * cfg.layer.w) as u64
-            * blocks
-            * blocks
-            * (cfg.kernel * cfg.kernel) as u64
+        (cfg.layer.h * cfg.layer.w) as u64 * blocks * blocks * (cfg.kernel * cfg.kernel) as u64
     };
     // Layers beyond the core count time-multiplex.
     let rounds = cfg.n_conv.div_ceil(cfg.cores) as u64;

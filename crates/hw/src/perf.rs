@@ -68,10 +68,7 @@ fn backward_macs(cfg: &HwConfig, run: &WorkloadRun) -> f64 {
     if !run.training {
         return 0.0;
     }
-    run.points as f64
-        * cfg.stages_backward as f64
-        * cfg.macs_per_f_eval() as f64
-        * (1.0 + 2.0)
+    run.points as f64 * cfg.stages_backward as f64 * cfg.macs_per_f_eval() as f64 * (1.0 + 2.0)
 }
 
 /// Simulates the eNODE accelerator.
@@ -80,6 +77,11 @@ fn backward_macs(cfg: &HwConfig, run: &WorkloadRun) -> f64 {
 /// (forward), checkpoint reads plus any training-state spill (backward),
 /// and one weight load.
 pub fn simulate_enode(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -> SimReport {
+    debug_assert!(
+        cfg.validate().is_ok(),
+        "invalid HwConfig: {}",
+        cfg.validate().unwrap_err()
+    );
     let macs = forward_macs(cfg, run) + backward_macs(cfg, run);
     let util = link_limited_utilization(cfg) * 0.95; // pipeline fill margin
     let compute_seconds = macs / (cfg.macs_per_cycle() as f64 * cfg.clock_hz * util);
@@ -87,15 +89,13 @@ pub fn simulate_enode(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -
     let map = cfg.layer.map_bytes() as f64;
     let mut dram_bytes = map + cfg.weight_bytes() as f64; // input + weights
     dram_bytes += run.points as f64 * map; // checkpoint writes
-    // Function reuse requires resident weights; oversized networks reload
-    // per integrator step (mapping::weight_reload_bytes_per_step).
-    dram_bytes +=
-        run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
+                                           // Function reuse requires resident weights; oversized networks reload
+                                           // per integrator step (mapping::weight_reload_bytes_per_step).
+    dram_bytes += run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
     if run.training {
         dram_bytes += run.points as f64 * map; // checkpoint reads
         let live = depthfirst::training_state_live_bytes_enode(cfg);
-        let spill =
-            depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
+        let spill = depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
         dram_bytes += run.points as f64 * spill as f64;
     }
     // eNODE's transfers overlap with the streaming pipeline; DRAM adds
@@ -116,9 +116,13 @@ pub fn simulate_enode(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -
 /// \[22\]): layer-by-layer processing, full-feature-map activation traffic
 /// through DRAM, and training-state spill per Fig 15(b).
 pub fn simulate_baseline(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel) -> SimReport {
+    debug_assert!(
+        cfg.validate().is_ok(),
+        "invalid HwConfig: {}",
+        cfg.validate().unwrap_err()
+    );
     // The baseline runs every trial at full maps (no priority early stop).
-    let fwd_macs =
-        run.trials as f64 * cfg.stages as f64 * cfg.macs_per_f_eval() as f64;
+    let fwd_macs = run.trials as f64 * cfg.stages as f64 * cfg.macs_per_f_eval() as f64;
     let bwd_macs = backward_macs(cfg, run);
     let macs = fwd_macs + bwd_macs;
     let util = 0.95;
@@ -130,23 +134,21 @@ pub fn simulate_baseline(cfg: &HwConfig, run: &WorkloadRun, energy: &EnergyModel
     let mut dram_bytes = map + cfg.weight_bytes() as f64;
     dram_bytes += f_evals_fwd * cfg.n_conv as f64 * 2.0 * map;
     dram_bytes += run.points as f64 * map; // accepted states out
-    dram_bytes +=
-        run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
+    dram_bytes += run.points as f64 * crate::mapping::weight_reload_bytes_per_step(cfg) as f64;
     if run.training {
         dram_bytes += run.points as f64 * map; // checkpoint reads
-        // Layer-by-layer backward: the local forward, the adjoint
-        // convolutions and the weight-gradient pass each round-trip every
-        // layer's maps through DRAM. Adjoints and partial gradients are
-        // FP32 accumulations (mixed-precision training), doubling the
-        // element width of the backward traffic.
+                                               // Layer-by-layer backward: the local forward, the adjoint
+                                               // convolutions and the weight-gradient pass each round-trip every
+                                               // layer's maps through DRAM. Adjoints and partial gradients are
+                                               // FP32 accumulations (mixed-precision training), doubling the
+                                               // element width of the backward traffic.
         let layer_passes = run.points as f64 * cfg.stages_backward as f64 * 3.0;
         dram_bytes += layer_passes * cfg.n_conv as f64 * 2.0 * map * 2.0;
         // Training states: written once by the local forward, read back by
         // the adjoint and weight-gradient passes; only the on-chip buffer's
         // worth is spared each way.
         let live = depthfirst::training_state_live_bytes_baseline(cfg);
-        let spill =
-            depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
+        let spill = depthfirst::training_spill_bytes_per_interval(live, cfg.training_buffer_bytes);
         dram_bytes += run.points as f64 * 1.5 * spill as f64;
     }
     // Layer-by-layer: activation transfers serialize with compute.
@@ -216,7 +218,10 @@ mod tests {
             / simulate_enode(&cfg, &run_inference(), &e).dram_energy_j;
         let tr_ratio = simulate_baseline(&cfg, &run_training(), &e).dram_energy_j
             / simulate_enode(&cfg, &run_training(), &e).dram_energy_j;
-        assert!(tr_ratio > inf_ratio, "training {tr_ratio:.1} vs inference {inf_ratio:.1}");
+        assert!(
+            tr_ratio > inf_ratio,
+            "training {tr_ratio:.1} vs inference {inf_ratio:.1}"
+        );
     }
 
     #[test]
@@ -236,9 +241,7 @@ mod tests {
         let cfg = HwConfig::config_a();
         let e = EnergyModel::default();
         let r = simulate_baseline(&cfg, &run_training(), &e);
-        assert!(
-            (r.power_w() - r.dram_power_w() - r.compute_power_w()).abs() < 1e-9
-        );
+        assert!((r.power_w() - r.dram_power_w() - r.compute_power_w()).abs() < 1e-9);
         assert!(r.power_w() > 0.0 && r.power_w() < 100.0);
     }
 }

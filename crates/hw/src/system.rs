@@ -84,8 +84,11 @@ mod tests {
         // in the integral-state buffer Table I provisions.
         let cfg = HwConfig::config_a();
         let sim = simulate_integrator_step(&cfg, Schedule::Packetized);
-        let provisioned =
-            integral_state_rows(&ButcherTableau::rk23_bogacki_shampine(), cfg.n_conv, cfg.kernel);
+        let provisioned = integral_state_rows(
+            &ButcherTableau::rk23_bogacki_shampine(),
+            cfg.n_conv,
+            cfg.kernel,
+        );
         assert!(
             (sim.peak_buffer_rows as usize) < provisioned,
             "occupancy {} rows vs provisioned {provisioned}",

@@ -1,146 +1,225 @@
-//! Property-based tests for the hardware simulator.
+//! Randomized property tests for the hardware simulator.
+//!
+//! Formerly `proptest` suites; now deterministic sweeps driven by the
+//! in-repo [`enode_tensor::rng::Rng64`] generator so the workspace builds
+//! fully offline.
 
 use enode_hw::config::{HwConfig, LayerDims, WorkloadRun};
 use enode_hw::depthfirst::{
-    integral_state_bytes_baseline, integral_state_bytes_enode,
-    training_spill_bytes_per_interval, training_state_live_bytes_baseline,
-    training_state_live_bytes_enode,
+    integral_state_bytes_baseline, integral_state_bytes_enode, training_spill_bytes_per_interval,
+    training_state_live_bytes_baseline, training_state_live_bytes_enode,
 };
 use enode_hw::dram::{Dram, DramConfig};
 use enode_hw::energy::EnergyModel;
 use enode_hw::packet::{simulate_pipeline, Schedule};
 use enode_hw::perf::{simulate_baseline, simulate_enode};
-use proptest::prelude::*;
+use enode_tensor::rng::Rng64;
 
-fn arb_layer() -> impl Strategy<Value = LayerDims> {
-    (4usize..9, 4usize..9, 3usize..8)
-        .prop_map(|(h, w, c)| LayerDims::new(1 << h, 1 << w, 1 << c))
+const CASES: usize = 32;
+
+fn random_layer(rng: &mut Rng64) -> LayerDims {
+    LayerDims::new(
+        1 << rng.gen_range_usize(4, 9),
+        1 << rng.gen_range_usize(4, 9),
+        1 << rng.gen_range_usize(3, 8),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Depth-first buffering always beats the full-map baseline, and the
-    /// advantage grows with the map height.
-    #[test]
-    fn depthfirst_always_smaller(layer in arb_layer()) {
+/// Depth-first buffering always beats the full-map baseline, and the
+/// advantage grows with the map height.
+#[test]
+fn depthfirst_always_smaller() {
+    let mut rng = Rng64::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let layer = random_layer(&mut rng);
         let cfg = HwConfig::for_layer(layer);
-        prop_assert!(integral_state_bytes_enode(&cfg) < integral_state_bytes_baseline(&cfg));
-        prop_assert!(
-            training_state_live_bytes_enode(&cfg) <= training_state_live_bytes_baseline(&cfg)
+        assert!(
+            integral_state_bytes_enode(&cfg) < integral_state_bytes_baseline(&cfg),
+            "{layer:?}"
+        );
+        assert!(
+            training_state_live_bytes_enode(&cfg) <= training_state_live_bytes_baseline(&cfg),
+            "{layer:?}"
         );
     }
+}
 
-    /// Spill is monotone non-increasing in buffer size and zero at the
-    /// provisioning point.
-    #[test]
-    fn spill_monotone(layer in arb_layer(), frac in 0.0f64..2.0) {
+/// Spill is monotone non-increasing in buffer size and zero at the
+/// provisioning point.
+#[test]
+fn spill_monotone() {
+    let mut rng = Rng64::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let layer = random_layer(&mut rng);
+        let frac = rng.gen_range_f64(0.0, 2.0);
         let cfg = HwConfig::for_layer(layer);
         let live = training_state_live_bytes_enode(&cfg);
         let b1 = (live as f64 * frac) as u64;
         let b2 = b1 + 1024;
-        prop_assert!(
+        assert!(
             training_spill_bytes_per_interval(live, b2)
-                <= training_spill_bytes_per_interval(live, b1)
+                <= training_spill_bytes_per_interval(live, b1),
+            "{layer:?} frac={frac}"
         );
-        prop_assert_eq!(training_spill_bytes_per_interval(live, live), 0);
+        assert_eq!(training_spill_bytes_per_interval(live, live), 0);
     }
+}
 
-    /// Pipeline simulation invariants: work conservation (busy slots =
-    /// streams × rows) and packetized buffering bounded by streams × lag.
-    #[test]
-    fn pipeline_work_conserved(streams in 1usize..6, rows in 8u64..128, lag in 1u64..8) {
+/// Pipeline simulation invariants: work conservation (busy slots =
+/// streams × rows) and packetized buffering bounded by streams × lag.
+#[test]
+fn pipeline_work_conserved() {
+    let mut rng = Rng64::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let streams = rng.gen_range_usize(1, 6);
+        let rows = rng.gen_range_usize(8, 128) as u64;
+        let lag = rng.gen_range_usize(1, 8) as u64;
         for schedule in [Schedule::Packetized, Schedule::Blocking] {
             let r = simulate_pipeline(streams, rows, lag, schedule);
-            prop_assert_eq!(r.makespan - r.idle_slots, streams as u64 * rows);
+            assert_eq!(
+                r.makespan - r.idle_slots,
+                streams as u64 * rows,
+                "streams={streams} rows={rows} lag={lag}"
+            );
         }
         let p = simulate_pipeline(streams, rows, lag, Schedule::Packetized);
-        prop_assert!(p.peak_buffer_rows <= streams as u64 * (lag + 1));
+        assert!(p.peak_buffer_rows <= streams as u64 * (lag + 1));
     }
+}
 
-    /// DRAM byte accounting is exact and cycles are positive.
-    #[test]
-    fn dram_accounting(accesses in prop::collection::vec((0u64..1u64 << 20, 1u64..4096), 1..50)) {
+/// DRAM byte accounting is exact and cycles are positive.
+#[test]
+fn dram_accounting() {
+    let mut rng = Rng64::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 50);
         let mut d = Dram::new(DramConfig::default());
         let mut expect = 0u64;
-        for &(addr, bytes) in &accesses {
+        for _ in 0..n {
+            let addr = rng.gen_range_usize(0, 1 << 20) as u64;
+            let bytes = rng.gen_range_usize(1, 4096) as u64;
             let cycles = d.read(addr, bytes);
-            prop_assert!(cycles > 0);
+            assert!(cycles > 0);
             expect += bytes;
         }
-        prop_assert_eq!(d.stats().bytes, expect);
-        prop_assert_eq!(d.stats().reads as usize, accesses.len());
-        prop_assert!(d.energy_j() > 0.0);
+        assert_eq!(d.stats().bytes, expect);
+        assert_eq!(d.stats().reads as usize, n);
+        assert!(d.energy_j() > 0.0);
     }
+}
 
-    /// Simulator monotonicity: more trials never makes either design
-    /// faster or cheaper.
-    #[test]
-    fn more_trials_cost_more(points in 5usize..50, extra in 1usize..40) {
-        let cfg = HwConfig::config_a();
-        let e = EnergyModel::default();
+/// Simulator monotonicity: more trials never makes either design
+/// faster or cheaper.
+#[test]
+fn more_trials_cost_more() {
+    let mut rng = Rng64::seed_from_u64(0xC5);
+    let cfg = HwConfig::config_a();
+    let e = EnergyModel::default();
+    for _ in 0..CASES {
+        let points = rng.gen_range_usize(5, 50);
+        let extra = rng.gen_range_usize(1, 40);
         let small = WorkloadRun::analytic(4, points, 1.5, false);
         let mut large = small;
         large.trials += extra;
         for sim in [simulate_enode, simulate_baseline] {
             let a = sim(&cfg, &small, &e);
             let b = sim(&cfg, &large, &e);
-            prop_assert!(b.seconds >= a.seconds);
-            prop_assert!(b.energy_j() >= a.energy_j());
+            assert!(b.seconds >= a.seconds, "points={points} extra={extra}");
+            assert!(
+                b.energy_j() >= a.energy_j(),
+                "points={points} extra={extra}"
+            );
         }
     }
+}
 
-    /// Ring hop identity: going clockwise then counter-clockwise between
-    /// any two nodes sums to the ring size (or zero for the same node).
-    #[test]
-    fn ring_hops_complementary(cores in 1usize..8, a in 0usize..9, b in 0usize..9) {
-        use enode_hw::ring::{LoopDirection, RingNoc};
-        let r = RingNoc { cores, link_bytes_per_cycle: 1.0, hop_latency: 1 };
+/// Ring hop identity: going clockwise then counter-clockwise between
+/// any two nodes sums to the ring size (or zero for the same node).
+#[test]
+fn ring_hops_complementary() {
+    use enode_hw::ring::{LoopDirection, RingNoc};
+    let mut rng = Rng64::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let cores = rng.gen_range_usize(1, 8);
+        let r = RingNoc {
+            cores,
+            link_bytes_per_cycle: 1.0,
+            hop_latency: 1,
+        };
         let n = r.nodes();
-        let (a, b) = (a % n, b % n);
+        let a = rng.gen_range_usize(0, 9) % n;
+        let b = rng.gen_range_usize(0, 9) % n;
         let cw = r.hops(a, b, LoopDirection::Clockwise);
         let ccw = r.hops(a, b, LoopDirection::CounterClockwise);
         if a == b {
-            prop_assert_eq!(cw + ccw, 0);
+            assert_eq!(cw + ccw, 0, "cores={cores} a={a} b={b}");
         } else {
-            prop_assert_eq!(cw + ccw, n);
+            assert_eq!(cw + ccw, n, "cores={cores} a={a} b={b}");
         }
     }
+}
 
-    /// Layer mapping covers every layer exactly once and never exceeds the
-    /// core count per round.
-    #[test]
-    fn mapping_covers_layers(n_conv in 1usize..20, cores in 1usize..8) {
-        use enode_hw::mapping::map_layers;
-        let m = map_layers(n_conv, cores);
-        prop_assert_eq!(m.core_of_layer.len(), n_conv);
-        prop_assert!(m.core_of_layer.iter().all(|&c| c < cores));
-        prop_assert_eq!(m.rounds, n_conv.div_ceil(cores));
-        let u = m.utilization(cores);
-        prop_assert!(u > 0.0 && u <= 1.0);
+/// Layer mapping covers every layer exactly once and never exceeds the
+/// core count per round.
+#[test]
+fn mapping_covers_layers() {
+    use enode_hw::mapping::map_layers;
+    for n_conv in 1usize..20 {
+        for cores in 1usize..8 {
+            let m = map_layers(n_conv, cores);
+            assert_eq!(m.core_of_layer.len(), n_conv);
+            assert!(m.core_of_layer.iter().all(|&c| c < cores));
+            assert_eq!(m.rounds, n_conv.div_ceil(cores));
+            let u = m.utilization(cores);
+            assert!(u > 0.0 && u <= 1.0, "n_conv={n_conv} cores={cores}");
+        }
     }
+}
 
-    /// Core queueing model: utilization never exceeds 1 and matches the
-    /// arrival/service ratio when under-loaded.
-    #[test]
-    fn core_utilization_bounded(interval_mult in 1u64..6, packets in 10u64..200) {
-        use enode_hw::core::{simulate_core, CoreModel};
-        let m = CoreModel { channels: 16, parallel_channels: 8, kernel: 3, adder_latency: 2 };
+/// Core queueing model: utilization never exceeds 1 and matches the
+/// arrival/service ratio when under-loaded.
+#[test]
+fn core_utilization_bounded() {
+    use enode_hw::core::{simulate_core, CoreModel};
+    let mut rng = Rng64::seed_from_u64(0xC7);
+    let m = CoreModel {
+        channels: 16,
+        parallel_channels: 8,
+        kernel: 3,
+        adder_latency: 2,
+    };
+    for _ in 0..CASES {
+        let interval_mult = rng.gen_range_usize(1, 6) as u64;
+        let packets = rng.gen_range_usize(10, 200) as u64;
         let r = simulate_core(&m, packets, m.service_cycles() * interval_mult);
-        prop_assert!(r.utilization() <= 1.0 + 1e-9);
+        assert!(r.utilization() <= 1.0 + 1e-9);
         let expect = 1.0 / interval_mult as f64;
-        prop_assert!((r.utilization() - expect).abs() < 0.1, "{} vs {}", r.utilization(), expect);
+        assert!(
+            (r.utilization() - expect).abs() < 0.1,
+            "{} vs {} (mult={interval_mult} packets={packets})",
+            r.utilization(),
+            expect
+        );
     }
+}
 
-    /// eNODE always wins on energy for identical workloads (the DRAM
-    /// traffic gap guarantees it even before the expedited algorithms).
-    #[test]
-    fn enode_energy_wins(points in 5usize..50, tpp in 1usize..5, training in any::<bool>()) {
-        let cfg = HwConfig::config_a();
-        let e = EnergyModel::default();
+/// eNODE always wins on energy for identical workloads (the DRAM
+/// traffic gap guarantees it even before the expedited algorithms).
+#[test]
+fn enode_energy_wins() {
+    let mut rng = Rng64::seed_from_u64(0xC8);
+    let cfg = HwConfig::config_a();
+    let e = EnergyModel::default();
+    for _ in 0..CASES {
+        let points = rng.gen_range_usize(5, 50);
+        let tpp = rng.gen_range_usize(1, 5);
+        let training = rng.gen_bool();
         let run = WorkloadRun::analytic(4, points, tpp as f64, training);
         let en = simulate_enode(&cfg, &run, &e);
         let ba = simulate_baseline(&cfg, &run, &e);
-        prop_assert!(en.energy_j() < ba.energy_j());
+        assert!(
+            en.energy_j() < ba.energy_j(),
+            "points={points} tpp={tpp} training={training}"
+        );
     }
 }

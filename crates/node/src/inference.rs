@@ -49,12 +49,12 @@ impl ControllerKind {
             ControllerKind::Conventional { shrink } => {
                 Box::new(ConventionalSearchController::new(default_dt, shrink))
             }
-            ControllerKind::ConventionalConstantInit { shrink } => Box::new(
-                ConventionalSearchController::new(default_dt, shrink).with_constant_init(),
-            ),
-            ControllerKind::Classic => Box::new(
-                ClassicController::new(tableau.error_order()).with_default_dt(default_dt),
-            ),
+            ControllerKind::ConventionalConstantInit { shrink } => {
+                Box::new(ConventionalSearchController::new(default_dt, shrink).with_constant_init())
+            }
+            ControllerKind::Classic => {
+                Box::new(ClassicController::new(tableau.error_order()).with_default_dt(default_dt))
+            }
             ControllerKind::SlopeAdaptive { s_acc, s_rej } => {
                 Box::new(SlopeAdaptiveController::new(s_acc, s_rej).with_default_dt(default_dt))
             }
@@ -81,7 +81,10 @@ impl fmt::Display for NodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NodeError::StepsizeUnderflow { layer } => {
-                write!(f, "stepsize search underflowed in integration layer {layer}")
+                write!(
+                    f,
+                    "stepsize search underflowed in integration layer {layer}"
+                )
             }
             NodeError::NonFiniteState { layer } => {
                 write!(f, "state became non-finite in integration layer {layer}")
@@ -326,6 +329,14 @@ pub fn forward_layer(
     let tableau = opts.tableau_kind.tableau();
     let mut controller = opts.controller.build(&tableau, opts.default_dt);
     let (t0, t1) = t_span;
+    debug_assert!(
+        t0.is_finite() && t1.is_finite() && t1 > t0,
+        "integration span must be finite and increasing, got ({t0}, {t1})"
+    );
+    debug_assert!(
+        y0.data().iter().all(|v| v.is_finite()),
+        "initial state contains NaN/Inf"
+    );
     let rows_per_map = num_rows(y0) as u64;
 
     let mut y = y0.clone();
@@ -401,7 +412,11 @@ pub fn forward_layer(
                     if tableau.is_fsal() {
                         fsal = out.stages.into_iter().last();
                     }
-                    steps.push(StepRecord { t0: t - dt, dt, trials });
+                    steps.push(StepRecord {
+                        t0: t - dt,
+                        dt,
+                        trials,
+                    });
                     if steps.len() % opts.checkpoint_stride == 0 {
                         checkpoints.push(Checkpoint {
                             step: steps.len(),
@@ -446,6 +461,10 @@ pub fn forward_model(
     x: &Tensor,
     opts: &NodeSolveOptions,
 ) -> Result<(Tensor, ForwardTrace), NodeError> {
+    debug_assert!(
+        x.data().iter().all(|v| v.is_finite()),
+        "model input contains NaN/Inf"
+    );
     let orig_width = x.shape()[1];
     let mut state = crate::augment::augment(x, model.augment_dims());
     let mut layers = Vec::with_capacity(model.num_layers());
@@ -572,8 +591,14 @@ mod tests {
         let prio = base.with_priority(4);
         let tb = forward_layer(&f, &y0, (0.0, 1.0), &base).unwrap().1;
         let tp = forward_layer(&f, &y0, (0.0, 1.0), &prio).unwrap().1;
-        assert!(tb.stats.rejected > 0, "test needs rejections to be meaningful");
-        assert!(tp.stats.early_stops > 0, "priority should early-stop rejects");
+        assert!(
+            tb.stats.rejected > 0,
+            "test needs rejections to be meaningful"
+        );
+        assert!(
+            tp.stats.early_stops > 0,
+            "priority should early-stop rejects"
+        );
         assert!(
             tp.stats.rows_processed < tp.stats.rows_total,
             "early stops must save rows"

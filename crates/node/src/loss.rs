@@ -33,9 +33,8 @@ pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor, 
     let mut grad = Tensor::zeros(&[n, k]);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
-    for ni in 0..n {
+    for (ni, &label) in labels.iter().enumerate() {
         let row = &logits.data()[ni * k..(ni + 1) * k];
-        let label = labels[ni];
         assert!(label < k, "label {label} out of range for {k} classes");
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|x| (x - max).exp()).collect();
@@ -50,17 +49,13 @@ pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor, 
             correct += 1;
         }
         loss += -((exps[label] / sum).max(1e-30).ln()) as f64;
-        for ki in 0..k {
-            let p = exps[ki] / sum;
+        for (ki, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             let target = if ki == label { 1.0 } else { 0.0 };
             grad.data_mut()[ni * k + ki] = (p - target) / n as f32;
         }
     }
-    (
-        (loss / n as f64) as f32,
-        grad,
-        correct as f32 / n as f32,
-    )
+    ((loss / n as f64) as f32, grad, correct as f32 / n as f32)
 }
 
 #[cfg(test)]

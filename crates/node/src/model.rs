@@ -132,7 +132,10 @@ impl NodeModel {
     ///
     /// Panics if `layers` is empty or the span is not increasing.
     pub fn new(layers: Vec<Network>, t_span: (f64, f64)) -> Self {
-        assert!(!layers.is_empty(), "a NODE needs at least one integration layer");
+        assert!(
+            !layers.is_empty(),
+            "a NODE needs at least one integration layer"
+        );
         assert!(t_span.1 > t_span.0, "integration span must be increasing");
         NodeModel {
             layers,
@@ -279,8 +282,11 @@ impl NodeModel {
                 Network::new(ops)
             })
             .collect();
-        NodeModel::new(layers, (0.0, 1.0))
-            .with_head(ClassifierHead::new_seeded(channels, classes, seed + 999))
+        NodeModel::new(layers, (0.0, 1.0)).with_head(ClassifierHead::new_seeded(
+            channels,
+            classes,
+            seed + 999,
+        ))
     }
 
     /// Builds the image-classification NODE of the paper's profiling setup
@@ -314,8 +320,11 @@ impl NodeModel {
                 Network::new(ops)
             })
             .collect();
-        NodeModel::new(layers, (0.0, 1.0))
-            .with_head(ClassifierHead::new_seeded(channels, classes, seed + 999))
+        NodeModel::new(layers, (0.0, 1.0)).with_head(ClassifierHead::new_seeded(
+            channels,
+            classes,
+            seed + 999,
+        ))
     }
 }
 

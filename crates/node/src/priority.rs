@@ -59,10 +59,10 @@ pub fn row_sq_norms(error: &Tensor) -> Vec<f64> {
             let mut rows = vec![0.0f64; h];
             for ni in 0..n {
                 for ci in 0..c {
-                    for hi in 0..h {
+                    for (hi, row) in rows.iter_mut().enumerate() {
                         for wi in 0..w {
                             let v = error.at4(ni, ci, hi, wi) as f64;
-                            rows[hi] += v * v;
+                            *row += v * v;
                         }
                     }
                 }
@@ -72,10 +72,10 @@ pub fn row_sq_norms(error: &Tensor) -> Vec<f64> {
         2 => {
             let (n, d) = (error.shape()[0], error.shape()[1]);
             let mut rows = vec![0.0f64; n];
-            for ni in 0..n {
+            for (ni, row) in rows.iter_mut().enumerate() {
                 for di in 0..d {
                     let v = error.data()[ni * d + di] as f64;
-                    rows[ni] += v * v;
+                    *row += v * v;
                 }
             }
             rows

@@ -46,8 +46,9 @@ impl BackwardProfile {
         self.nfe_local_forward += other.nfe_local_forward;
         self.vjp_evals += other.vjp_evals;
         self.checkpoint_reads += other.checkpoint_reads;
-        self.training_state_peak_bytes =
-            self.training_state_peak_bytes.max(other.training_state_peak_bytes);
+        self.training_state_peak_bytes = self
+            .training_state_peak_bytes
+            .max(other.training_state_peak_bytes);
         self.training_state_total_bytes += other.training_state_total_bytes;
     }
 }
@@ -59,9 +60,7 @@ fn cache_bytes(caches: &[OpCache]) -> u64 {
             OpCache::Conv { x } | OpCache::Dense { x } | OpCache::Activation { x } => {
                 x.storage_bytes(2) as u64
             }
-            OpCache::GroupNorm(g) => {
-                (g.xhat.storage_bytes(2) + g.inv_std.len() * 2) as u64
-            }
+            OpCache::GroupNorm(g) => (g.xhat.storage_bytes(2) + g.inv_std.len() * 2) as u64,
             OpCache::ConcatTime { .. } => 0,
         })
         .sum()
@@ -90,7 +89,11 @@ pub fn aca_backward_layer(
     let n_steps = trace.steps.len();
     let mut profile = BackwardProfile::default();
     let mut a = a_out.clone();
-    let mut grads: Vec<Tensor> = f.params().iter().map(|p| Tensor::zeros(p.shape())).collect();
+    let mut grads: Vec<Tensor> = f
+        .params()
+        .iter()
+        .map(|p| Tensor::zeros(p.shape()))
+        .collect();
 
     // Advance one full RK step (used when replaying a sparse-checkpoint
     // segment to recover the interior left-edge states).
@@ -181,10 +184,10 @@ pub fn aca_backward_layer(
                 if tableau.b()[i] != 0.0 {
                     g.axpy((h * tableau.b()[i]) as f32, &a);
                 }
-                for m in (i + 1)..s {
+                for (m, qm) in qs.iter().enumerate().skip(i + 1) {
                     let ami = tableau.a()[m][i];
                     if ami != 0.0 {
-                        if let Some(qm) = &qs[m] {
+                        if let Some(qm) = qm {
                             g.axpy((h * ami) as f32, qm);
                         }
                     }

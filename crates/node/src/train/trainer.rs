@@ -94,6 +94,10 @@ impl Trainer {
     ///
     /// Panics if `Target::Labels` is used without a classifier head.
     pub fn step(&mut self, x: &Tensor, target: &Target) -> Result<TrainReport, NodeError> {
+        debug_assert!(
+            x.data().iter().all(|v| v.is_finite()),
+            "training batch contains NaN/Inf"
+        );
         let (output, trace) = forward_model(&self.model, x, &self.opts)?;
 
         // Loss + gradient at the model output.
@@ -184,10 +188,7 @@ mod tests {
         for _ in 0..30 {
             last = trainer.step(&x, &target).unwrap().loss;
         }
-        assert!(
-            last < first * 0.5,
-            "loss should halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss should halve: {first} -> {last}");
     }
 
     #[test]

@@ -162,8 +162,8 @@ impl TrajectoryTrainer {
 mod tests {
     use super::*;
     use enode_tensor::dense::Dense;
-    use enode_tensor::network::Op;
     use enode_tensor::init;
+    use enode_tensor::network::Op;
 
     fn mlp(seed: u64) -> Network {
         Network::new(vec![
@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn fits_exponential_decay_trajectory() {
-        let mut trainer =
-            TrajectoryTrainer::new(mlp(3), NodeSolveOptions::new(1e-4), 0.05, 0.0);
+        let mut trainer = TrajectoryTrainer::new(mlp(3), NodeSolveOptions::new(1e-4), 0.05, 0.0);
         let x0 = Tensor::from_vec(vec![1.0], &[1, 1]);
         let target = decay_target();
         let first = trainer.step(&x0, &target).unwrap().loss;
@@ -231,8 +230,11 @@ mod tests {
         let (outputs, traces) = trainer.forward(&x0, &target).unwrap();
         let n_obs = outputs.len() as f32;
         let mut a = Tensor::zeros(x0.shape());
-        let mut grads: Vec<Tensor> =
-            f.params().iter().map(|p| Tensor::zeros(p.shape())).collect();
+        let mut grads: Vec<Tensor> = f
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(p.shape()))
+            .collect();
         for (trace, (y, t)) in traces.iter().zip(outputs.iter().zip(&target.states)).rev() {
             let (_, g) = mse(y, t);
             a.axpy(1.0 / n_obs, &g);

@@ -1,13 +1,17 @@
-//! Property-based tests for the NODE core: forward-pass invariants and
+//! Randomized tests for the NODE core: forward-pass invariants and
 //! adjoint-gradient correctness on randomized networks.
+//!
+//! Formerly `proptest` suites; now deterministic sweeps driven by the
+//! in-repo [`enode_tensor::rng::Rng64`] generator so the workspace builds
+//! fully offline.
 
 use enode_node::inference::{forward_layer, ControllerKind, NodeSolveOptions};
 use enode_node::priority::{find_window, judge_with_priority, row_sq_norms, window_norm};
 use enode_node::train::adjoint::aca_backward_layer;
 use enode_tensor::dense::Dense;
 use enode_tensor::network::{Network, Op};
+use enode_tensor::rng::Rng64;
 use enode_tensor::{init, Tensor};
-use proptest::prelude::*;
 
 fn random_net(seed: u64) -> Network {
     Network::new(vec![
@@ -18,16 +22,16 @@ fn random_net(seed: u64) -> Network {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The forward pass always covers exactly the requested time span with
-    /// monotone checkpoints, whatever the controller.
-    #[test]
-    fn forward_covers_span(seed in 0u64..200, ctl in 0u8..4) {
+/// The forward pass always covers exactly the requested time span with
+/// monotone checkpoints, whatever the controller.
+#[test]
+fn forward_covers_span() {
+    let mut rng = Rng64::seed_from_u64(0xB1);
+    for case in 0..16 {
+        let seed = rng.gen_range_usize(0, 200) as u64;
         let f = random_net(seed);
         let y0 = init::uniform(&[1, 2], -0.5, 0.5, seed + 5);
-        let controller = match ctl {
+        let controller = match case % 4 {
             0 => ControllerKind::Conventional { shrink: 0.5 },
             1 => ControllerKind::ConventionalConstantInit { shrink: 0.5 },
             2 => ControllerKind::Classic,
@@ -37,30 +41,41 @@ proptest! {
         let (_, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for c in &trace.checkpoints {
-            prop_assert!(c.t > prev);
+            assert!(c.t > prev, "seed={seed} case={case}");
             prev = c.t;
         }
-        prop_assert!((prev - 1.0).abs() < 1e-9);
+        assert!((prev - 1.0).abs() < 1e-9, "seed={seed} case={case}");
         // Accounting identities.
-        prop_assert_eq!(trace.stats.points, trace.steps.len());
-        prop_assert_eq!(trace.stats.trials, trace.stats.points + trace.stats.rejected);
+        assert_eq!(trace.stats.points, trace.steps.len());
+        assert_eq!(
+            trace.stats.trials,
+            trace.stats.points + trace.stats.rejected
+        );
     }
+}
 
-    /// The accepted steps tile the span exactly: Σ dt = t1 − t0.
-    #[test]
-    fn steps_tile_span(seed in 0u64..100) {
+/// The accepted steps tile the span exactly: Σ dt = t1 − t0.
+#[test]
+fn steps_tile_span() {
+    let mut rng = Rng64::seed_from_u64(0xB2);
+    for _ in 0..16 {
+        let seed = rng.gen_range_usize(0, 100) as u64;
         let f = random_net(seed);
         let y0 = init::uniform(&[1, 2], -0.5, 0.5, seed + 9);
         let opts = NodeSolveOptions::new(1e-5);
         let (_, trace) = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap();
         let total: f64 = trace.steps.iter().map(|s| s.dt).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "seed={seed}");
     }
+}
 
-    /// Adjoint gradient check: dL/dy0 from the ACA backward pass matches
-    /// finite differences of the full solve for L = <v, h(T)>.
-    #[test]
-    fn adjoint_gradcheck(seed in 0u64..40) {
+/// Adjoint gradient check: dL/dy0 from the ACA backward pass matches
+/// finite differences of the full solve for L = <v, h(T)>.
+#[test]
+fn adjoint_gradcheck() {
+    let mut rng = Rng64::seed_from_u64(0xB3);
+    for _ in 0..12 {
+        let seed = rng.gen_range_usize(0, 40) as u64;
         let f = random_net(seed * 7 + 1);
         let mut y0 = init::uniform(&[1, 2], -0.5, 0.5, seed * 7 + 2);
         let v = init::uniform(&[1, 2], -1.0, 1.0, seed * 7 + 3);
@@ -76,44 +91,55 @@ proptest! {
             let lm = forward_layer(&f, &y0, (0.0, 1.0), &opts).unwrap().0.dot(&v);
             y0.data_mut()[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            prop_assert!(
+            assert!(
                 (fd - a0.data()[i]).abs() < 5e-2 * fd.abs().max(0.3),
-                "component {}: fd {} vs adjoint {}", i, fd, a0.data()[i]
+                "seed={} component {}: fd {} vs adjoint {}",
+                seed,
+                i,
+                fd,
+                a0.data()[i]
             );
         }
     }
+}
 
-    /// Priority-window invariants: the found window maximizes its sum among
-    /// all windows of that size, and the window norm never exceeds the full
-    /// norm (so early-stop rejections are always sound).
-    #[test]
-    fn window_is_argmax(vals in prop::collection::vec(0.0f32..2.0, 8..40), len in 1usize..6) {
-        let h = vals.len();
-        let e = Tensor::from_vec(vals.clone(), &[1, 1, h, 1]);
+/// Priority-window invariants: the found window maximizes its sum among
+/// all windows of that size, and the window norm never exceeds the full
+/// norm (so early-stop rejections are always sound).
+#[test]
+fn window_is_argmax() {
+    let mut rng = Rng64::seed_from_u64(0xB4);
+    for case in 0..32 {
+        let h = rng.gen_range_usize(8, 40);
+        let len = rng.gen_range_usize(1, 6);
+        let vals: Vec<f32> = (0..h).map(|_| rng.gen_range_f32(0.0, 2.0)).collect();
+        let e = Tensor::from_vec(vals, &[1, 1, h, 1]);
         let w = find_window(&e, len);
         let rows = row_sq_norms(&e);
         let sum_at = |s: usize| rows[s..s + w.len].iter().sum::<f64>();
         let best = sum_at(w.start);
         for s in 0..=(h - w.len) {
-            prop_assert!(sum_at(s) <= best + 1e-9);
+            assert!(sum_at(s) <= best + 1e-9, "case={case} h={h} len={len}");
         }
         let full: f64 = rows.iter().sum::<f64>();
-        prop_assert!(window_norm(&e, w) <= full.sqrt() + 1e-9);
+        assert!(window_norm(&e, w) <= full.sqrt() + 1e-9, "case={case}");
     }
+}
 
-    /// Early-stop soundness: whenever priority judges reject (window norm
-    /// > ε), the full-map norm also exceeds ε.
-    #[test]
-    fn early_stop_rejections_sound(
-        vals in prop::collection::vec(0.0f32..1.0, 16),
-        tol in 0.1f64..3.0,
-    ) {
+/// Early-stop soundness: whenever priority judges reject (window norm
+/// > ε), the full-map norm also exceeds ε.
+#[test]
+fn early_stop_rejections_sound() {
+    let mut rng = Rng64::seed_from_u64(0xB5);
+    for case in 0..32 {
+        let vals: Vec<f32> = (0..16).map(|_| rng.gen_f32()).collect();
+        let tol = rng.gen_range_f64(0.1, 3.0);
         let e = Tensor::from_vec(vals, &[1, 1, 16, 1]);
         let w = find_window(&e, 4);
         let j = judge_with_priority(&e, w, tol);
         if j.early_stopped {
             let full = row_sq_norms(&e).iter().sum::<f64>().sqrt();
-            prop_assert!(full > tol);
+            assert!(full > tol, "case={case} tol={tol}");
         }
     }
 }

@@ -48,6 +48,24 @@ pub trait StepController {
     fn end_point(&mut self, first_accept: bool);
 }
 
+/// Debug-build guard on the trial inputs every controller receives. A NaN
+/// error ratio means the trial state diverged — accepting it would silently
+/// commit a poisoned step.
+fn debug_check_trial(dt: f64, err_ratio: f64) {
+    debug_assert!(
+        dt > 0.0 && dt.is_finite(),
+        "trial stepsize must be positive and finite, got {dt}"
+    );
+    debug_assert!(
+        !err_ratio.is_nan(),
+        "error ratio is NaN — diverged trial state"
+    );
+    debug_assert!(
+        err_ratio >= 0.0,
+        "error ratio must be nonnegative, got {err_ratio}"
+    );
+}
+
 /// The classic accept/reject controller (Press & Teukolsky, 1992).
 ///
 /// On each trial the stepsize is rescaled by
@@ -87,8 +105,7 @@ impl ClassicController {
         if err_ratio <= 0.0 {
             return self.max_scale;
         }
-        (self.safety * err_ratio.powf(-self.exponent))
-            .clamp(self.min_scale, self.max_scale)
+        (self.safety * err_ratio.powf(-self.exponent)).clamp(self.min_scale, self.max_scale)
     }
 }
 
@@ -98,6 +115,7 @@ impl StepController for ClassicController {
     }
 
     fn on_trial(&mut self, dt: f64, err_ratio: f64) -> TrialDecision {
+        debug_check_trial(dt, err_ratio);
         let scale = self.scale_for(err_ratio);
         if err_ratio <= 1.0 {
             TrialDecision::Accept {
@@ -164,21 +182,24 @@ impl StepController for PiController {
     }
 
     fn on_trial(&mut self, dt: f64, err_ratio: f64) -> TrialDecision {
+        debug_check_trial(dt, err_ratio);
         let r = err_ratio.max(1e-10);
         if err_ratio <= 1.0 {
             let history = match self.prev_ratio {
                 Some(prev) => (prev.max(1e-10) / r).powf(self.k_p),
                 None => 1.0,
             };
-            let scale = (self.safety * r.powf(-self.k_i) * history)
-                .clamp(self.min_scale, self.max_scale);
+            let scale =
+                (self.safety * r.powf(-self.k_i) * history).clamp(self.min_scale, self.max_scale);
             self.prev_ratio = Some(r);
             TrialDecision::Accept {
                 dt_next_hint: dt * scale,
             }
         } else {
             let scale = (self.safety * r.powf(-self.k_i)).clamp(self.min_scale, self.safety);
-            TrialDecision::Reject { dt_retry: dt * scale }
+            TrialDecision::Reject {
+                dt_retry: dt * scale,
+            }
         }
     }
 
@@ -242,6 +263,7 @@ impl StepController for ConventionalSearchController {
     }
 
     fn on_trial(&mut self, dt: f64, err_ratio: f64) -> TrialDecision {
+        debug_check_trial(dt, err_ratio);
         if err_ratio <= 1.0 {
             TrialDecision::Accept { dt_next_hint: dt }
         } else {
@@ -442,12 +464,8 @@ mod tests {
             assert!(bm > 0.0 && bm < 1.0);
         }
         // Monotone in the counter.
-        assert!(
-            SlopeAdaptiveController::beta_plus(5) > SlopeAdaptiveController::beta_plus(1)
-        );
-        assert!(
-            SlopeAdaptiveController::beta_minus(5) < SlopeAdaptiveController::beta_minus(1)
-        );
+        assert!(SlopeAdaptiveController::beta_plus(5) > SlopeAdaptiveController::beta_plus(1));
+        assert!(SlopeAdaptiveController::beta_minus(5) < SlopeAdaptiveController::beta_minus(1));
     }
 
     #[test]
@@ -476,5 +494,21 @@ mod tests {
         ctl.end_point(true);
         let dt = ctl.begin_point(Some(0.1), 10.0);
         assert!((dt - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_error_ratio_trips_debug_guard() {
+        let mut c = ClassicController::new(2);
+        let _ = c.on_trial(0.1, f64::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "positive")]
+    fn negative_stepsize_trips_debug_guard() {
+        let mut c = ConventionalSearchController::new(0.1, 0.5);
+        let _ = c.on_trial(-0.1, 0.5);
     }
 }

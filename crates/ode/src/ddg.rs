@@ -203,10 +203,7 @@ impl DepthFirstDdg {
     }
 }
 
-fn compute_depths(
-    nodes: &[DdgNode],
-    edges: &[(DdgNode, DdgNode)],
-) -> HashMap<DdgNode, usize> {
+fn compute_depths(nodes: &[DdgNode], edges: &[(DdgNode, DdgNode)]) -> HashMap<DdgNode, usize> {
     // Longest-path layering via iterative relaxation (graphs are tiny).
     let mut depth: HashMap<DdgNode, usize> = nodes.iter().map(|&n| (n, 0)).collect();
     let mut changed = true;

@@ -45,8 +45,8 @@ pub mod ddg;
 pub mod problems;
 pub mod solver;
 pub mod state;
-pub mod stiffness;
 pub mod step;
+pub mod stiffness;
 pub mod tableau;
 pub mod verify;
 

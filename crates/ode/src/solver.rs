@@ -146,7 +146,11 @@ impl<S: StateOps> Solution<S> {
         let mut prev_t = self.t0;
         let mut prev_y = &self.y0;
         for p in &self.points {
-            let (a, b) = if prev_t <= p.t { (prev_t, p.t) } else { (p.t, prev_t) };
+            let (a, b) = if prev_t <= p.t {
+                (prev_t, p.t)
+            } else {
+                (p.t, prev_t)
+            };
             if t >= a - 1e-12 && t <= b + 1e-12 {
                 let span = p.t - prev_t;
                 let w = if span.abs() < 1e-300 {
@@ -181,7 +185,7 @@ impl<S: StateOps> Solution<S> {
             if t >= prev_t - 1e-12 && t <= p.t + 1e-12 {
                 let (y0, d0) = match prev {
                     Some(q) => (&q.y, q.dy.as_ref()),
-                    None => (&self.y0, self.points.first().and_then(|_| None)),
+                    None => (&self.y0, None),
                 };
                 if let (Some(d0), Some(_)) = (d0, p.dy.as_ref()) {
                     let h = p.t - prev_t;
@@ -366,7 +370,9 @@ pub fn solve_adaptive<S: StateOps>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::{ClassicController, ConventionalSearchController, SlopeAdaptiveController};
+    use crate::controller::{
+        ClassicController, ConventionalSearchController, SlopeAdaptiveController,
+    };
 
     fn decay(_t: f64, y: &Vec<f64>) -> Vec<f64> {
         vec![-y[0]]
@@ -393,7 +399,10 @@ mod tests {
         let e100 = e(100);
         let e200 = e(200);
         let ratio = e100 / e200;
-        assert!((ratio - 2.0).abs() < 0.2, "Euler global order 1, ratio {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.2,
+            "Euler global order 1, ratio {ratio}"
+        );
     }
 
     #[test]

@@ -49,7 +49,15 @@ pub fn rk_step<S: StateOps>(
     y: &S,
     mut k1: Option<S>,
 ) -> StepOutcome<S> {
-    assert!(h > 0.0 && h.is_finite(), "stepsize must be positive, got {h}");
+    assert!(
+        h > 0.0 && h.is_finite(),
+        "stepsize must be positive, got {h}"
+    );
+    debug_assert!(t.is_finite(), "integration time must be finite, got {t}");
+    debug_assert!(
+        y.norm_l2().is_finite(),
+        "state contains NaN/Inf entering rk_step at t = {t}"
+    );
     let s = tableau.stages();
     let mut stages: Vec<S> = Vec::with_capacity(s);
     let mut nfe = 0;
@@ -174,8 +182,10 @@ mod tests {
         let true_err = (out.y_next[0] - (-0.2f64).exp()).abs();
         let est = out.error_norm();
         // Same order of magnitude.
-        assert!(est > true_err * 0.05 && est < true_err * 50.0,
-            "estimate {est} vs true {true_err}");
+        assert!(
+            est > true_err * 0.05 && est < true_err * 50.0,
+            "estimate {est} vs true {true_err}"
+        );
     }
 
     #[test]

@@ -131,8 +131,16 @@ mod tests {
     ) -> crate::solver::Solution<Vec<f64>> {
         let tab = ButcherTableau::rk23_bogacki_shampine();
         let mut ctl = ClassicController::new(tab.error_order());
-        solve_adaptive(f, 0.0, t1, vec![1.0], &tab, &mut ctl, &AdaptiveOptions::new(tol))
-            .unwrap()
+        solve_adaptive(
+            f,
+            0.0,
+            t1,
+            vec![1.0],
+            &tab,
+            &mut ctl,
+            &AdaptiveOptions::new(tol),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -154,7 +162,12 @@ mod tests {
         let stiff = |t: f64, y: &Vec<f64>| vec![-200.0 * (y[0] - t.cos())];
         let sol = solve(stiff, 2.0, 1e-3);
         let m = classify_solve(stiff, &sol);
-        assert!(m.is_stiff(), "h·λ max {} frac {}", m.max_h_lambda(), m.stiff_fraction());
+        assert!(
+            m.is_stiff(),
+            "h·λ max {} frac {}",
+            m.max_h_lambda(),
+            m.stiff_fraction()
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ impl ButcherTableau {
     ///
     /// Panics if dimensions are inconsistent, the node condition
     /// `c_i = Σ_j a_{ij}` fails, or `Σ b_i ≠ 1`.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_coefficients(
         name: &'static str,
         c: Vec<f64>,
@@ -59,7 +60,11 @@ impl ButcherTableau {
         assert_eq!(c.len(), s, "c must have one entry per stage");
         assert_eq!(a.len(), s, "a must have one row per stage");
         for (i, row) in a.iter().enumerate() {
-            assert_eq!(row.len(), i, "explicit method: row {i} must have {i} entries");
+            assert_eq!(
+                row.len(),
+                i,
+                "explicit method: row {i} must have {i} entries"
+            );
             let row_sum: f64 = row.iter().sum();
             assert!(
                 (row_sum - c[i]).abs() < 1e-12,
@@ -72,8 +77,41 @@ impl ButcherTableau {
         if let Some(ref e) = err {
             assert_eq!(e.len(), s, "error weights must have one entry per stage");
             let e_sum: f64 = e.iter().sum();
-            assert!(e_sum.abs() < 1e-12, "error weights must sum to 0, got {e_sum}");
+            assert!(
+                e_sum.abs() < 1e-12,
+                "error weights must sum to 0, got {e_sum}"
+            );
         }
+        ButcherTableau {
+            name,
+            c,
+            a,
+            b,
+            err,
+            order,
+            embedded_order,
+            fsal,
+        }
+    }
+
+    /// Builds a tableau from raw coefficients WITHOUT validating them.
+    ///
+    /// This exists for the static-analysis layer (`enode-analysis`), which
+    /// needs to represent deliberately inconsistent tableaux so its lint
+    /// passes (and their negative tests) can diagnose them instead of
+    /// panicking at construction. Everything else should use
+    /// [`ButcherTableau::from_coefficients`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_coefficients_unchecked(
+        name: &'static str,
+        c: Vec<f64>,
+        a: Vec<Vec<f64>>,
+        b: Vec<f64>,
+        err: Option<Vec<f64>>,
+        order: u32,
+        embedded_order: Option<u32>,
+        fsal: bool,
+    ) -> Self {
         ButcherTableau {
             name,
             c,
@@ -89,7 +127,16 @@ impl ButcherTableau {
     /// Forward Euler — the integrator a ResNet residual block implements
     /// (paper Fig 1a).
     pub fn euler() -> Self {
-        Self::from_coefficients("euler", vec![0.0], vec![vec![]], vec![1.0], None, 1, None, false)
+        Self::from_coefficients(
+            "euler",
+            vec![0.0],
+            vec![vec![]],
+            vec![1.0],
+            None,
+            1,
+            None,
+            false,
+        )
     }
 
     /// Explicit midpoint (2nd order).

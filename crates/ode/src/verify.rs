@@ -96,14 +96,8 @@ mod tests {
     fn order_estimator_detects_mislabeled_method() {
         // Euler claims order 1; the estimator must NOT credit it with 2.
         let exact = vec![(-1.0f64).exp()];
-        let est = estimate_global_order(
-            &ButcherTableau::euler(),
-            decay,
-            vec![1.0],
-            1.0,
-            &exact,
-            32,
-        );
+        let est =
+            estimate_global_order(&ButcherTableau::euler(), decay, vec![1.0], 1.0, &exact, 32);
         assert!(est < 1.5, "euler measured order {est:.2}");
     }
 }

@@ -1,4 +1,8 @@
-//! Property-based tests for the integrator substrate.
+//! Randomized property tests for the integrator substrate.
+//!
+//! Formerly `proptest` suites; now deterministic sweeps driven by the
+//! in-repo [`enode_tensor::rng::Rng64`] generator so the workspace builds
+//! fully offline.
 
 use enode_ode::controller::{
     ClassicController, ConventionalSearchController, SlopeAdaptiveController, StepController,
@@ -7,116 +11,172 @@ use enode_ode::controller::{
 use enode_ode::ddg::DepthFirstDdg;
 use enode_ode::solver::{solve_adaptive, solve_fixed, AdaptiveOptions};
 use enode_ode::tableau::{all_tableaux, ButcherTableau};
-use proptest::prelude::*;
+use enode_tensor::rng::Rng64;
 
-proptest! {
-    /// Linearity: for the linear ODE y' = A y, integrating a scaled initial
-    /// condition scales the solution (every RK method is linear in y0).
-    #[test]
-    fn rk_linear_in_initial_condition(scale in 0.1f64..10.0, steps in 1usize..50) {
-        let tab = ButcherTableau::rk23_bogacki_shampine();
-        let f = |_t: f64, y: &Vec<f64>| vec![-0.7 * y[0]];
+const CASES: usize = 48;
+
+/// Linearity: for the linear ODE y' = A y, integrating a scaled initial
+/// condition scales the solution (every RK method is linear in y0).
+#[test]
+fn rk_linear_in_initial_condition() {
+    let mut rng = Rng64::seed_from_u64(0xA1);
+    let tab = ButcherTableau::rk23_bogacki_shampine();
+    let f = |_t: f64, y: &Vec<f64>| vec![-0.7 * y[0]];
+    for _ in 0..CASES {
+        let scale = rng.gen_range_f64(0.1, 10.0);
+        let steps = rng.gen_range_usize(1, 50);
         let base = solve_fixed(f, 0.0, 1.0, vec![1.0], &tab, steps);
         let scaled = solve_fixed(f, 0.0, 1.0, vec![scale], &tab, steps);
         let expect = base.final_state()[0] * scale;
-        prop_assert!((scaled.final_state()[0] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        assert!(
+            (scaled.final_state()[0] - expect).abs() < 1e-9 * expect.abs().max(1.0),
+            "scale={scale} steps={steps}"
+        );
     }
+}
 
-    /// Time-grid invariance: splitting a fixed-step solve into two spans
-    /// gives the same answer as one solve with the same total steps.
-    #[test]
-    fn fixed_solve_composes(n1 in 1usize..20, n2 in 1usize..20) {
-        let tab = ButcherTableau::rk4();
-        let f = |t: f64, y: &Vec<f64>| vec![y[0] * (0.2 * t).sin()];
+/// Time-grid invariance: splitting a fixed-step solve into two spans
+/// gives the same answer as one solve with the same total steps.
+#[test]
+fn fixed_solve_composes() {
+    let mut rng = Rng64::seed_from_u64(0xA2);
+    let tab = ButcherTableau::rk4();
+    let f = |t: f64, y: &Vec<f64>| vec![y[0] * (0.2 * t).sin()];
+    for _ in 0..CASES {
+        let n1 = rng.gen_range_usize(1, 20);
+        let n2 = rng.gen_range_usize(1, 20);
         let total = n1 + n2;
         let t_mid = n1 as f64 / total as f64;
         let whole = solve_fixed(f, 0.0, 1.0, vec![1.0], &tab, total);
         let first = solve_fixed(f, 0.0, t_mid, vec![1.0], &tab, n1);
         let second = solve_fixed(f, t_mid, 1.0, first.final_state().clone(), &tab, n2);
-        prop_assert!(
+        assert!(
             (whole.final_state()[0] - second.final_state()[0]).abs() < 1e-10,
-            "{} vs {}", whole.final_state()[0], second.final_state()[0]
+            "n1={n1} n2={n2}: {} vs {}",
+            whole.final_state()[0],
+            second.final_state()[0]
         );
     }
+}
 
-    /// The adaptive solver always lands exactly on the end time and its
-    /// accepted count equals the number of evaluation points.
-    #[test]
-    fn adaptive_reaches_end(t1 in 0.5f64..5.0, tol_exp in 3i32..8) {
-        let tab = ButcherTableau::rk23_bogacki_shampine();
+/// The adaptive solver always lands exactly on the end time and its
+/// accepted count equals the number of evaluation points.
+#[test]
+fn adaptive_reaches_end() {
+    let mut rng = Rng64::seed_from_u64(0xA3);
+    let tab = ButcherTableau::rk23_bogacki_shampine();
+    for _ in 0..24 {
+        let t1 = rng.gen_range_f64(0.5, 5.0);
+        let tol_exp = rng.gen_range_usize(3, 8) as i32;
         let mut ctl = ClassicController::new(tab.error_order());
         let opts = AdaptiveOptions::new(10f64.powi(-tol_exp));
         let sol = solve_adaptive(
-            |t, y: &Vec<f64>| vec![(t).cos() * y[0].max(-10.0).min(10.0)],
-            0.0, t1, vec![1.0], &tab, &mut ctl, &opts,
-        ).unwrap();
-        prop_assert!((sol.final_time() - t1).abs() < 1e-9);
-        prop_assert_eq!(sol.stats.accepted, sol.n_eval());
+            |t, y: &Vec<f64>| vec![(t).cos() * y[0].clamp(-10.0, 10.0)],
+            0.0,
+            t1,
+            vec![1.0],
+            &tab,
+            &mut ctl,
+            &opts,
+        )
+        .unwrap();
+        assert!((sol.final_time() - t1).abs() < 1e-9, "t1={t1}");
+        assert_eq!(sol.stats.accepted, sol.n_eval(), "t1={t1} tol=1e-{tol_exp}");
     }
+}
 
-    /// Controller sanity: the classic controller's retry stepsize is always
-    /// strictly smaller on rejection, and decisions are deterministic.
-    #[test]
-    fn classic_controller_shrinks_on_reject(dt in 1e-6f64..10.0, ratio in 1.0001f64..1e6) {
+/// Controller sanity: the classic controller's retry stepsize is always
+/// strictly smaller on rejection, and decisions are deterministic.
+#[test]
+fn classic_controller_shrinks_on_reject() {
+    let mut rng = Rng64::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let dt = rng.gen_range_f64(1e-6, 10.0);
+        let ratio = 10f64.powf(rng.gen_range_f64(0.0001, 6.0));
         let mut c = ClassicController::new(2);
         match c.on_trial(dt, ratio) {
-            TrialDecision::Reject { dt_retry } => prop_assert!(dt_retry < dt),
-            TrialDecision::Accept { .. } => prop_assert!(false, "must reject ratio > 1"),
+            TrialDecision::Reject { dt_retry } => {
+                assert!(dt_retry < dt, "dt={dt} ratio={ratio}")
+            }
+            TrialDecision::Accept { .. } => panic!("must reject ratio {ratio} > 1"),
         }
     }
+}
 
-    /// Conventional search: retry is exactly dt * shrink.
-    #[test]
-    fn conventional_fixed_shrink(dt in 1e-6f64..10.0, shrink in 0.1f64..0.9) {
+/// Conventional search: retry is exactly dt * shrink.
+#[test]
+fn conventional_fixed_shrink() {
+    let mut rng = Rng64::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let dt = rng.gen_range_f64(1e-6, 10.0);
+        let shrink = rng.gen_range_f64(0.1, 0.9);
         let mut c = ConventionalSearchController::new(0.1, shrink);
         match c.on_trial(dt, 2.0) {
-            TrialDecision::Reject { dt_retry } =>
-                prop_assert!((dt_retry - dt * shrink).abs() < 1e-15),
-            TrialDecision::Accept { .. } => prop_assert!(false),
+            TrialDecision::Reject { dt_retry } => {
+                assert!(
+                    (dt_retry - dt * shrink).abs() < 1e-15,
+                    "dt={dt} shrink={shrink}"
+                )
+            }
+            TrialDecision::Accept { .. } => panic!("must reject"),
         }
     }
+}
 
-    /// Slope-adaptive invariant: β factors stay in their stated ranges for
-    /// any counter value, and the initial dt never exceeds the remaining
-    /// time.
-    #[test]
-    fn slope_adaptive_bounds(c_acc in 1u32..100, remaining in 0.01f64..10.0) {
-        prop_assert!(SlopeAdaptiveController::beta_plus(c_acc) > 1.0);
-        prop_assert!(SlopeAdaptiveController::beta_plus(c_acc) <= 2.0);
+/// Slope-adaptive invariant: β factors stay in their stated ranges for
+/// any counter value, and the initial dt never exceeds the remaining
+/// time.
+#[test]
+fn slope_adaptive_bounds() {
+    let mut rng = Rng64::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let c_acc = rng.gen_range_usize(1, 100) as u32;
+        let remaining = rng.gen_range_f64(0.01, 10.0);
+        assert!(SlopeAdaptiveController::beta_plus(c_acc) > 1.0);
+        assert!(SlopeAdaptiveController::beta_plus(c_acc) <= 2.0);
         let bm = SlopeAdaptiveController::beta_minus(c_acc);
-        prop_assert!(bm > 0.0 && bm < 1.0);
+        assert!(bm > 0.0 && bm < 1.0);
         let mut ctl = SlopeAdaptiveController::new(1, 1);
-        for _ in 0..c_acc { ctl.end_point(true); }
-        let dt = ctl.begin_point(Some(5.0), remaining);
-        prop_assert!(dt <= remaining + 1e-12);
-    }
-
-    /// DDG structural identities hold for every tableau: node counts follow
-    /// the closed forms and the schedule is always legal.
-    #[test]
-    fn ddg_counts(idx in 0usize..8) {
-        let tab = &all_tableaux()[idx];
-        let ddg = DepthFirstDdg::from_tableau(tab);
-        let s = tab.stages();
-        prop_assert_eq!(ddg.num_integral_states(), s);
-        prop_assert_eq!(ddg.num_partial_states(), s * (s - 1) / 2);
-        if tab.is_adaptive() {
-            prop_assert_eq!(ddg.num_error_partials(), s - 1);
-        } else {
-            prop_assert_eq!(ddg.num_error_partials(), 0);
+        for _ in 0..c_acc {
+            ctl.end_point(true);
         }
-        prop_assert!(ddg.verify_legal());
-        prop_assert_eq!(ddg.baseline_full_maps(), s + 1);
+        let dt = ctl.begin_point(Some(5.0), remaining);
+        assert!(
+            dt <= remaining + 1e-12,
+            "c_acc={c_acc} remaining={remaining}"
+        );
     }
+}
 
-    /// Depth-first buffer rows grow linearly with conv depth, with slope
-    /// kernel−1.
-    #[test]
-    fn buffer_rows_linear_in_conv_depth(n_conv in 1usize..16, kernel in 1usize..4) {
-        let kernel = kernel * 2 + 1; // 3, 5, 7
-        let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
-        let r1 = ddg.buffer_rows(n_conv, kernel);
-        let r2 = ddg.buffer_rows(n_conv + 1, kernel);
-        prop_assert_eq!(r2 - r1, kernel - 1);
+/// DDG structural identities hold for every tableau: node counts follow
+/// the closed forms and the schedule is always legal.
+#[test]
+fn ddg_counts() {
+    for tab in all_tableaux() {
+        let ddg = DepthFirstDdg::from_tableau(&tab);
+        let s = tab.stages();
+        assert_eq!(ddg.num_integral_states(), s, "{}", tab.name());
+        assert_eq!(ddg.num_partial_states(), s * (s - 1) / 2, "{}", tab.name());
+        if tab.is_adaptive() {
+            assert_eq!(ddg.num_error_partials(), s - 1, "{}", tab.name());
+        } else {
+            assert_eq!(ddg.num_error_partials(), 0, "{}", tab.name());
+        }
+        assert!(ddg.verify_legal(), "{}", tab.name());
+        assert_eq!(ddg.baseline_full_maps(), s + 1, "{}", tab.name());
+    }
+}
+
+/// Depth-first buffer rows grow linearly with conv depth, with slope
+/// kernel−1.
+#[test]
+fn buffer_rows_linear_in_conv_depth() {
+    let ddg = DepthFirstDdg::from_tableau(&ButcherTableau::rk23_bogacki_shampine());
+    for n_conv in 1usize..16 {
+        for kernel in [3usize, 5, 7] {
+            let r1 = ddg.buffer_rows(n_conv, kernel);
+            let r2 = ddg.buffer_rows(n_conv + 1, kernel);
+            assert_eq!(r2 - r1, kernel - 1, "n_conv={n_conv} kernel={kernel}");
+        }
     }
 }

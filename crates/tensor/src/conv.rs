@@ -61,11 +61,8 @@ impl Conv2d {
     /// Creates a convolution with Kaiming-uniform weights from a seed.
     pub fn new_seeded(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_uniform(
-            &[out_channels, in_channels, kernel, kernel],
-            fan_in,
-            seed,
-        );
+        let weight =
+            init::kaiming_uniform(&[out_channels, in_channels, kernel, kernel], fan_in, seed);
         let bias = Tensor::zeros(&[out_channels]);
         Conv2d::from_parts(weight, bias)
     }
@@ -413,11 +410,19 @@ mod tests {
 
     #[test]
     fn im2col_forward_matches_reference() {
-        for (c, m, hh, ww, seed) in [(3usize, 5usize, 6usize, 7usize, 1u64), (8, 8, 4, 4, 2), (1, 2, 9, 3, 3)] {
+        for (c, m, hh, ww, seed) in [
+            (3usize, 5usize, 6usize, 7usize, 1u64),
+            (8, 8, 4, 4, 2),
+            (1, 2, 9, 3, 3),
+        ] {
             let conv = Conv2d::new_seeded(c, m, 3, seed);
             let mut conv = conv;
             // Non-zero bias to exercise the bias path.
-            conv.bias_mut().data_mut().iter_mut().enumerate().for_each(|(i, b)| *b = i as f32 * 0.1);
+            conv.bias_mut()
+                .data_mut()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, b)| *b = i as f32 * 0.1);
             let x = init::uniform(&[2, c, hh, ww], -1.0, 1.0, seed + 10);
             let fast = conv.forward(&x);
             let slow = conv.forward_reference(&x);

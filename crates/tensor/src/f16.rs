@@ -157,11 +157,15 @@ impl F16 {
     }
 
     /// FP16 addition: one rounding, as in a hardware FP16 adder.
+    /// Deliberately a named method, not `std::ops::Add` — call sites should
+    /// read as explicit hardware-op simulations, not arithmetic sugar.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: F16) -> F16 {
         F16::from_f32(self.to_f32() + rhs.to_f32())
     }
 
     /// FP16 multiplication: one rounding, as in a hardware FP16 multiplier.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: F16) -> F16 {
         F16::from_f32(self.to_f32() * rhs.to_f32())
     }
@@ -257,7 +261,10 @@ mod tests {
         // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties round to
         // the even mantissa (2), i.e. up.
         let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
-        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+        assert_eq!(
+            F16::from_f32(halfway2).to_f32(),
+            1.0 + 2.0 * 2.0f32.powi(-10)
+        );
     }
 
     #[test]

@@ -3,9 +3,8 @@
 //! All initializers take an explicit seed so that every experiment in the
 //! reproduction is bit-for-bit repeatable.
 
+use crate::rng::Rng64;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniform initialization over `[lo, hi)`.
 ///
@@ -14,21 +13,21 @@ use rand::{Rng, SeedableRng};
 /// Panics if `lo >= hi`.
 pub fn uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
     assert!(lo < hi, "uniform: lo must be < hi");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n: usize = dims.iter().product();
-    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range_f32(lo, hi)).collect();
     Tensor::from_vec(data, dims)
 }
 
 /// Standard-normal initialization scaled by `std`.
 pub fn normal(dims: &[usize], std: f32, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n: usize = dims.iter().product();
     // Box-Muller transform; avoids a distribution dependency.
     let mut data = Vec::with_capacity(n);
     while data.len() < n {
-        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = rng.gen_range(0.0..1.0);
+        let u1: f32 = rng.gen_range_f32(f32::EPSILON, 1.0);
+        let u2: f32 = rng.gen_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         data.push(r * theta.cos() * std);

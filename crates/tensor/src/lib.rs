@@ -49,9 +49,11 @@ pub mod network;
 pub mod norm;
 pub mod optim;
 pub mod pool;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use f16::F16;
+pub use rng::Rng64;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -502,7 +502,10 @@ mod tests {
         let before = f.eval(0.0, &x).norm_l2();
         f.apply_gradients(&grads, -0.05);
         let after = f.eval(0.0, &x).norm_l2();
-        assert!(after < before, "gradient step must reduce |f| ({before} -> {after})");
+        assert!(
+            after < before,
+            "gradient step must reduce |f| ({before} -> {after})"
+        );
     }
 
     #[test]

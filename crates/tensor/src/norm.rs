@@ -49,7 +49,10 @@ impl GroupNorm {
     ///
     /// Panics if `groups` does not divide `channels`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups must divide channels"
+        );
         GroupNorm {
             gamma: Tensor::ones(&[channels]),
             beta: Tensor::zeros(&[channels]),
@@ -251,12 +254,8 @@ mod tests {
         let (y, cache) = gn.forward(&x);
         for hi in 0..2 {
             for wi in 0..2 {
-                assert!(
-                    (y.at4(0, 0, hi, wi) - 2.0 * cache.xhat.at4(0, 0, hi, wi)).abs() < 1e-6
-                );
-                assert!(
-                    (y.at4(0, 1, hi, wi) - (cache.xhat.at4(0, 1, hi, wi) + 3.0)).abs() < 1e-6
-                );
+                assert!((y.at4(0, 0, hi, wi) - 2.0 * cache.xhat.at4(0, 0, hi, wi)).abs() < 1e-6);
+                assert!((y.at4(0, 1, hi, wi) - (cache.xhat.at4(0, 1, hi, wi) + 3.0)).abs() < 1e-6);
             }
         }
     }

@@ -187,7 +187,10 @@ mod tests {
             let g = x.clone();
             mom.step(&mut [x], &[g]);
         });
-        assert!(end_mom < end_plain, "momentum {end_mom} vs plain {end_plain}");
+        assert!(
+            end_mom < end_plain,
+            "momentum {end_mom} vs plain {end_plain}"
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! A small deterministic PRNG for the whole reproduction.
+//!
+//! The repo builds fully offline, so instead of the `rand` crate every
+//! randomized component (initializers, synthetic datasets, randomized
+//! tests) draws from this in-repo generator: a SplitMix64 seeder feeding
+//! an xorshift64* stream. Both are tiny, well-studied generators with
+//! excellent statistical behaviour for non-cryptographic use, and —
+//! crucially for the experiments — every draw is bit-for-bit reproducible
+//! from an explicit `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use enode_tensor::rng::Rng64;
+//! let mut a = Rng64::seed_from_u64(42);
+//! let mut b = Rng64::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range_f64(0.5, 2.5);
+//! assert!((0.5..2.5).contains(&x));
+//! ```
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used directly for seed expansion (e.g. deriving per-stream seeds) and
+/// internally to initialize [`Rng64`].
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xorshift64* generator (SplitMix64-seeded).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a `u64` seed. Any seed (including 0) is
+    /// valid; SplitMix64 expansion guarantees a non-zero xorshift state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            state = splitmix64(&mut s) | 1;
+        }
+        Rng64 { state }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of randomness).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` (24 mantissa bits of randomness).
+    #[inline]
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range_f64: lo must be < hi");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "gen_range_f32: lo must be < hi");
+        lo + self.gen_f32() * (hi - lo)
+    }
+
+    /// A uniform integer in `[lo, hi)` (Lemire-style widening reduction;
+    /// the tiny modulo bias of plain reduction is avoided).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "gen_range_usize: lo must be < hi");
+        let span = (hi - lo) as u64;
+        let x = self.next_u64();
+        lo + (((x as u128 * span as u128) >> 64) as u64) as usize
+    }
+
+    /// `true` with probability 1/2.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A standard-normal sample (Box–Muller, cosine branch).
+    pub fn gen_normal_f32(&mut self) -> f32 {
+        let u1 = self.gen_range_f32(f32::EPSILON, 1.0);
+        let u2 = self.gen_f32();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// A fresh generator seeded from this one (independent substream).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        let mut c = Rng64::seed_from_u64(8);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = Rng64::seed_from_u64(0);
+        // Must not get stuck at zero.
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.gen_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = Rng64::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = r.gen_range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let i = r.gen_range_usize(10, 17);
+            assert!((10..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.gen_range_usize(0, 7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn mean_and_variance_sane() {
+        let mut r = Rng64::seed_from_u64(4);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gen_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng64::seed_from_u64(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gen_normal_f32() as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_gives_independent_stream() {
+        let mut r = Rng64::seed_from_u64(6);
+        let mut f = r.fork();
+        assert_ne!(r.next_u64(), f.next_u64());
+    }
+}

@@ -195,7 +195,11 @@ impl Tensor {
 
     /// Euclidean (L2) norm over all elements.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Max-absolute-value (L∞) norm.

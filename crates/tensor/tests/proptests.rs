@@ -1,73 +1,106 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized property tests for the tensor substrate.
+//!
+//! These used to be `proptest` suites; the workspace now builds fully
+//! offline, so each property is exercised over a deterministic sweep of
+//! seeds/cases drawn from the in-repo [`enode_tensor::rng::Rng64`]
+//! generator. Failures print the offending case, so a reported seed
+//! reproduces exactly.
 
 use enode_tensor::activation::Activation;
 use enode_tensor::conv::Conv2d;
 use enode_tensor::dense::Dense;
 use enode_tensor::f16::F16;
+use enode_tensor::rng::Rng64;
 use enode_tensor::{init, Tensor};
-use proptest::prelude::*;
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    (-1.0e4f32..1.0e4).prop_filter("finite", |x| x.is_finite())
+const CASES: usize = 64;
+
+/// binary16 round-trip: converting an f16-representable value through
+/// f32 and back is the identity.
+#[test]
+fn f16_f32_f16_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x51);
+    for _ in 0..4096 {
+        let bits = rng.next_u32() as u16;
+        let x = F16::from_bits(bits);
+        if !x.is_finite() {
+            continue;
+        }
+        assert_eq!(
+            F16::from_f32(x.to_f32()).to_bits(),
+            bits,
+            "bits={bits:#06x}"
+        );
+    }
 }
 
-proptest! {
-    /// binary16 round-trip: converting an f16-representable value through
-    /// f32 and back is the identity.
-    #[test]
-    fn f16_f32_f16_roundtrip(bits in 0u16..=0xFFFF) {
-        let x = F16::from_bits(bits);
-        prop_assume!(x.is_finite());
-        prop_assert_eq!(F16::from_f32(x.to_f32()).to_bits(), bits);
-    }
-
-    /// FP16 quantization error is bounded by half an ulp (2^-11 relative)
-    /// for values in the normal range.
-    #[test]
-    fn f16_relative_error_bound(x in 1.0e-3f32..1.0e4) {
+/// FP16 quantization error is bounded by half an ulp (2^-11 relative)
+/// for values in the normal range.
+#[test]
+fn f16_relative_error_bound() {
+    let mut rng = Rng64::seed_from_u64(0x52);
+    for _ in 0..CASES {
+        let x = rng.gen_range_f32(1.0e-3, 1.0e4);
         let q = F16::from_f32(x).to_f32();
         let rel = (q - x).abs() / x;
-        prop_assert!(rel <= 2.0f32.powi(-11) * 1.0001, "x={x} q={q} rel={rel}");
+        assert!(rel <= 2.0f32.powi(-11) * 1.0001, "x={x} q={q} rel={rel}");
     }
+}
 
-    /// FP16 conversion is monotone: a <= b implies f16(a) <= f16(b).
-    #[test]
-    fn f16_monotone(a in finite_f32(), b in finite_f32()) {
+/// FP16 conversion is monotone: a <= b implies f16(a) <= f16(b).
+#[test]
+fn f16_monotone() {
+    let mut rng = Rng64::seed_from_u64(0x53);
+    for _ in 0..CASES {
+        let a = rng.gen_range_f32(-1.0e4, 1.0e4);
+        let b = rng.gen_range_f32(-1.0e4, 1.0e4);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+        assert!(
+            F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32(),
+            "lo={lo} hi={hi}"
+        );
     }
+}
 
-    /// axpy is linear: (x + k*y) computed via axpy matches elementwise math.
-    #[test]
-    fn axpy_matches_elementwise(
-        xs in prop::collection::vec(-100.0f32..100.0, 1..32),
-        k in -10.0f32..10.0,
-    ) {
-        let n = xs.len();
+/// axpy is linear: (x + k*y) computed via axpy matches elementwise math.
+#[test]
+fn axpy_matches_elementwise() {
+    let mut rng = Rng64::seed_from_u64(0x54);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 32);
+        let xs: Vec<f32> = (0..n).map(|_| rng.gen_range_f32(-100.0, 100.0)).collect();
+        let k = rng.gen_range_f32(-10.0, 10.0);
         let ys: Vec<f32> = xs.iter().map(|v| v * 0.5 + 1.0).collect();
         let mut a = Tensor::from_vec(xs.clone(), &[n]);
         let b = Tensor::from_vec(ys.clone(), &[n]);
         a.axpy(k, &b);
         for i in 0..n {
-            prop_assert!((a.data()[i] - (xs[i] + k * ys[i])).abs() < 1e-3);
+            assert!(
+                (a.data()[i] - (xs[i] + k * ys[i])).abs() < 1e-3,
+                "i={i} k={k}"
+            );
         }
     }
+}
 
-    /// The L2 norm satisfies the triangle inequality.
-    #[test]
-    fn norm_triangle_inequality(
-        xs in prop::collection::vec(-100.0f32..100.0, 4),
-        ys in prop::collection::vec(-100.0f32..100.0, 4),
-    ) {
+/// The L2 norm satisfies the triangle inequality.
+#[test]
+fn norm_triangle_inequality() {
+    let mut rng = Rng64::seed_from_u64(0x55);
+    for _ in 0..CASES {
+        let xs: Vec<f32> = (0..4).map(|_| rng.gen_range_f32(-100.0, 100.0)).collect();
+        let ys: Vec<f32> = (0..4).map(|_| rng.gen_range_f32(-100.0, 100.0)).collect();
         let a = Tensor::from_vec(xs, &[4]);
         let b = Tensor::from_vec(ys, &[4]);
-        prop_assert!((&a + &b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-3);
+        assert!((&a + &b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-3);
     }
+}
 
-    /// Convolution is linear in its input: conv(x + y) = conv(x) + conv(y)
-    /// for bias-free convolutions.
-    #[test]
-    fn conv_linear_in_input(seed in 0u64..1000) {
+/// Convolution is linear in its input: conv(x + y) = conv(x) + conv(y)
+/// for bias-free convolutions.
+#[test]
+fn conv_linear_in_input() {
+    for seed in 0..24u64 {
         let conv = Conv2d::new_seeded(2, 3, 3, seed);
         let conv = Conv2d::from_parts(conv.weight().clone(), Tensor::zeros(&[3]));
         let x = init::uniform(&[1, 2, 5, 5], -1.0, 1.0, seed + 1);
@@ -75,81 +108,94 @@ proptest! {
         let lhs = conv.forward(&(&x + &y));
         let rhs = &conv.forward(&x) + &conv.forward(&y);
         let diff = (&lhs - &rhs).norm_inf();
-        prop_assert!(diff < 1e-4, "nonlinearity {diff}");
+        assert!(diff < 1e-4, "seed={seed} nonlinearity {diff}");
     }
+}
 
-    /// Convolution adjoint identity: <conv(x), v> == <x, conv^T(v)>.
-    #[test]
-    fn conv_adjoint(seed in 0u64..500) {
+/// Convolution adjoint identity: <conv(x), v> == <x, conv^T(v)>.
+#[test]
+fn conv_adjoint() {
+    for seed in 0..24u64 {
         let conv = Conv2d::new_seeded(2, 2, 3, seed);
         let conv = Conv2d::from_parts(conv.weight().clone(), Tensor::zeros(&[2]));
         let x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, seed * 3 + 1);
         let v = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, seed * 3 + 2);
         let lhs = conv.forward(&x).dot(&v);
         let rhs = x.dot(&conv.backward_input(&v));
-        prop_assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "seed={seed}");
     }
+}
 
-    /// Dense adjoint identity: <Wx, v> == <x, W^T v>.
-    #[test]
-    fn dense_adjoint(seed in 0u64..500) {
-        let layer = Dense::from_parts(
-            init::uniform(&[6, 4], -1.0, 1.0, seed),
-            Tensor::zeros(&[6]),
-        );
+/// Dense adjoint identity: <Wx, v> == <x, W^T v>.
+#[test]
+fn dense_adjoint() {
+    for seed in 0..24u64 {
+        let layer = Dense::from_parts(init::uniform(&[6, 4], -1.0, 1.0, seed), Tensor::zeros(&[6]));
         let x = init::uniform(&[2, 4], -1.0, 1.0, seed + 7);
         let v = init::uniform(&[2, 6], -1.0, 1.0, seed + 8);
         let lhs = layer.forward(&x).dot(&v);
         let rhs = x.dot(&layer.backward_input(&v));
-        prop_assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "seed={seed}");
     }
+}
 
-    /// Pooling conservation: avg-pool preserves the mean; max-pool output
-    /// dominates avg-pool output elementwise.
-    #[test]
-    fn pooling_identities(seed in 0u64..500) {
-        use enode_tensor::pool::{avg_pool2, max_pool2};
+/// Pooling conservation: avg-pool preserves the mean; max-pool output
+/// dominates avg-pool output elementwise.
+#[test]
+fn pooling_identities() {
+    use enode_tensor::pool::{avg_pool2, max_pool2};
+    for seed in 0..16u64 {
         let x = init::uniform(&[2, 3, 8, 8], -2.0, 2.0, seed);
         let avg = avg_pool2(&x);
         let (max, _) = max_pool2(&x);
-        prop_assert!((avg.mean() - x.mean()).abs() < 1e-5);
+        assert!((avg.mean() - x.mean()).abs() < 1e-5, "seed={seed}");
         for (m, a) in max.data().iter().zip(avg.data()) {
-            prop_assert!(m >= a);
+            assert!(m >= a, "seed={seed}");
         }
     }
+}
 
-    /// Max-pool backward conserves gradient mass: every incoming gradient
-    /// lands on exactly one input.
-    #[test]
-    fn max_pool_backward_conserves(seed in 0u64..500) {
-        use enode_tensor::pool::{max_pool2, max_pool2_backward};
+/// Max-pool backward conserves gradient mass: every incoming gradient
+/// lands on exactly one input.
+#[test]
+fn max_pool_backward_conserves() {
+    use enode_tensor::pool::{max_pool2, max_pool2_backward};
+    for seed in 0..16u64 {
         let x = init::uniform(&[1, 2, 6, 6], -1.0, 1.0, seed);
         let (_, cache) = max_pool2(&x);
         let dy = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, seed + 1);
         let dx = max_pool2_backward(&dy, &cache, x.shape());
-        prop_assert!((dx.sum() - dy.sum()).abs() < 1e-4);
+        assert!((dx.sum() - dy.sum()).abs() < 1e-4, "seed={seed}");
     }
+}
 
-    /// Softmax is shift-invariant and normalized.
-    #[test]
-    fn softmax_shift_invariant(shift in -50.0f32..50.0, seed in 0u64..200) {
-        use enode_tensor::pool::softmax;
+/// Softmax is shift-invariant and normalized.
+#[test]
+fn softmax_shift_invariant() {
+    use enode_tensor::pool::softmax;
+    let mut rng = Rng64::seed_from_u64(0x56);
+    for seed in 0..16u64 {
+        let shift = rng.gen_range_f32(-50.0, 50.0);
         let x = init::uniform(&[2, 6], -3.0, 3.0, seed);
         let shifted = x.map(|v| v + shift);
         let p1 = softmax(&x);
         let p2 = softmax(&shifted);
         for (a, b) in p1.data().iter().zip(p2.data()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5, "seed={seed} shift={shift}");
         }
     }
+}
 
-    /// Activation derivatives match finite differences everywhere.
-    #[test]
-    fn activation_derivative_fd(x in -5.0f32..5.0) {
-        let eps = 1e-3;
+/// Activation derivatives match finite differences everywhere.
+#[test]
+fn activation_derivative_fd() {
+    let mut rng = Rng64::seed_from_u64(0x57);
+    let eps = 1e-3;
+    for _ in 0..CASES {
+        let x = rng.gen_range_f32(-5.0, 5.0);
         for act in [Activation::Tanh, Activation::Sigmoid, Activation::Softplus] {
             let fd = (act.eval(x + eps) - act.eval(x - eps)) / (2.0 * eps);
-            prop_assert!((fd - act.derivative(x)).abs() < 5e-3, "{act:?} at {x}");
+            assert!((fd - act.derivative(x)).abs() < 5e-3, "{act:?} at {x}");
         }
     }
 }

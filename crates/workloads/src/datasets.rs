@@ -31,7 +31,11 @@ impl Dataset {
 
     /// A classification dataset.
     pub fn classification(inputs: Tensor, labels: Vec<usize>) -> Self {
-        assert_eq!(inputs.shape()[0], labels.len(), "input/label batch mismatch");
+        assert_eq!(
+            inputs.shape()[0],
+            labels.len(),
+            "input/label batch mismatch"
+        );
         Dataset {
             inputs,
             targets: None,
@@ -76,10 +80,7 @@ impl Dataset {
                 tdims[0] = m;
                 Tensor::from_vec(t.data()[start * tlen..end * tlen].to_vec(), &tdims)
             });
-            let labels = self
-                .labels
-                .as_ref()
-                .map(|l| l[start..end].to_vec());
+            let labels = self.labels.as_ref().map(|l| l[start..end].to_vec());
             out.push(Dataset {
                 inputs,
                 targets,
@@ -109,7 +110,13 @@ pub fn trajectory_accuracy(pred: &Tensor, truth: &Tensor) -> f64 {
         .map(|(&p, &t)| ((p - t) as f64).powi(2))
         .sum::<f64>()
         / n;
-    let rms: f64 = (truth.data().iter().map(|&t| (t as f64).powi(2)).sum::<f64>() / n).sqrt();
+    let rms: f64 = (truth
+        .data()
+        .iter()
+        .map(|&t| (t as f64).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
     if rms < 1e-12 {
         return if mse < 1e-12 { 100.0 } else { 0.0 };
     }
@@ -138,9 +145,7 @@ mod tests {
         let truth = Tensor::from_vec(vec![1.0, 2.0], &[2]);
         let close = Tensor::from_vec(vec![1.05, 2.05], &[2]);
         let far = Tensor::from_vec(vec![1.5, 2.5], &[2]);
-        assert!(
-            trajectory_accuracy(&close, &truth) > trajectory_accuracy(&far, &truth)
-        );
+        assert!(trajectory_accuracy(&close, &truth) > trajectory_accuracy(&far, &truth));
     }
 
     #[test]
@@ -171,6 +176,9 @@ mod tests {
             Tensor::from_vec((100..112).map(|v| v as f32).collect(), &[4, 3]),
         );
         let batches = d.minibatches(3);
-        assert_eq!(batches[1].targets.as_ref().unwrap().data(), &[109.0, 110.0, 111.0]);
+        assert_eq!(
+            batches[1].targets.as_ref().unwrap().data(),
+            &[109.0, 110.0, 111.0]
+        );
     }
 }

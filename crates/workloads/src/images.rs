@@ -11,9 +11,8 @@
 //! natural-image semantics (see DESIGN.md).
 
 use crate::datasets::Dataset;
+use enode_tensor::rng::Rng64;
 use enode_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A synthetic image-classification task.
 #[derive(Clone, Debug)]
@@ -49,7 +48,7 @@ impl SyntheticImages {
     /// Panics if any dimension is zero.
     pub fn new(classes: usize, channels: usize, size: usize, noise: f32, seed: u64) -> Self {
         assert!(classes > 0 && channels > 0 && size > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let prototypes = (0..classes)
             .map(|_| smooth_pattern(channels, size, &mut rng))
             .collect();
@@ -69,7 +68,7 @@ impl SyntheticImages {
 
     /// Samples a batch of `n` images with labels cycling over the classes.
     pub fn batch(&self, n: usize, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut data = Vec::with_capacity(n * self.channels * self.size * self.size);
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
@@ -94,7 +93,7 @@ impl SyntheticImages {
 /// Points are sampled along two interleaved Archimedean spirals with
 /// Gaussian jitter; inputs are `[N, 2]`, labels ∈ {0, 1}.
 pub fn spirals(n: usize, noise: f32, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut data = Vec::with_capacity(n * 2);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
@@ -111,13 +110,13 @@ pub fn spirals(n: usize, noise: f32, seed: u64) -> Dataset {
 
 /// A smooth random pattern: a few random low-frequency sinusoids per
 /// channel, unit-ish amplitude.
-fn smooth_pattern(channels: usize, size: usize, rng: &mut StdRng) -> Tensor {
+fn smooth_pattern(channels: usize, size: usize, rng: &mut Rng64) -> Tensor {
     let mut data = Vec::with_capacity(channels * size * size);
     for _ in 0..channels {
-        let fx = rng.gen_range(0.5..2.5);
-        let fy = rng.gen_range(0.5..2.5);
-        let px = rng.gen_range(0.0..std::f32::consts::TAU);
-        let py = rng.gen_range(0.0..std::f32::consts::TAU);
+        let fx = rng.gen_range_f32(0.5, 2.5);
+        let fy = rng.gen_range_f32(0.5, 2.5);
+        let px = rng.gen_range_f32(0.0, std::f32::consts::TAU);
+        let py = rng.gen_range_f32(0.0, std::f32::consts::TAU);
         for y in 0..size {
             for x in 0..size {
                 let u = x as f32 / size as f32 * std::f32::consts::TAU;
@@ -129,10 +128,8 @@ fn smooth_pattern(channels: usize, size: usize, rng: &mut StdRng) -> Tensor {
     Tensor::from_vec(data, &[1, channels, size, size])
 }
 
-fn gauss(rng: &mut StdRng) -> f32 {
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+fn gauss(rng: &mut Rng64) -> f32 {
+    rng.gen_normal_f32()
 }
 
 #[cfg(test)]
@@ -172,11 +169,7 @@ mod tests {
             let mut best = (f32::INFINITY, 0usize);
             for k in 0..task.classes {
                 let proto = task.prototype(k).data();
-                let d: f32 = img
-                    .iter()
-                    .zip(proto)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum();
+                let d: f32 = img.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
                 if d < best.0 {
                     best = (d, k);
                 }

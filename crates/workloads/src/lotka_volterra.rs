@@ -5,9 +5,8 @@ use crate::datasets::Dataset;
 use enode_ode::controller::ClassicController;
 use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
 use enode_ode::tableau::ButcherTableau;
+use enode_tensor::rng::Rng64;
 use enode_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// State dimension: prey count `x` and predator count `y`.
 pub const STATE_DIM: usize = 2;
@@ -58,8 +57,8 @@ impl LotkaVolterra {
     }
 
     /// A random initial population pair away from extinction.
-    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
-        vec![rng.gen_range(0.5..3.0), rng.gen_range(0.5..3.0)]
+    pub fn random_initial(&self, rng: &mut Rng64) -> Vec<f64> {
+        vec![rng.gen_range_f64(0.5, 3.0), rng.gen_range_f64(0.5, 3.0)]
     }
 
     /// High-accuracy ground-truth integration.
@@ -68,8 +67,16 @@ impl LotkaVolterra {
         let mut ctl = ClassicController::new(tab.error_order());
         let mut opts = AdaptiveOptions::new(1e-10);
         opts.max_points = 10_000_000;
-        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
-            .expect("lotka-volterra ground truth must integrate")
+        solve_adaptive(
+            |t, y: &Vec<f64>| self.f(t, y),
+            0.0,
+            t1,
+            y0,
+            &tab,
+            &mut ctl,
+            &opts,
+        )
+        .expect("lotka-volterra ground truth must integrate")
     }
 
     /// Observes a ground-truth trajectory at the given times (each `> 0`,
@@ -93,7 +100,7 @@ impl LotkaVolterra {
     /// Builds the regression dataset: initial populations mapped to the
     /// populations at `t1`.
     pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(n * STATE_DIM);
         let mut targets = Vec::with_capacity(n * STATE_DIM);
         for _ in 0..n {
@@ -129,7 +136,11 @@ mod tests {
         let sol = lv.ground_truth(y0, 5.0);
         for p in sol.points.iter().step_by(50) {
             let v = lv.invariant(&p.y);
-            assert!((v - v0).abs() < 1e-5, "invariant drift at t={}: {v0} -> {v}", p.t);
+            assert!(
+                (v - v0).abs() < 1e-5,
+                "invariant drift at t={}: {v0} -> {v}",
+                p.t
+            );
         }
     }
 

@@ -111,7 +111,9 @@ impl ResNetProfile {
     /// activation, backward reads them and round-trips gradients.
     pub fn training_access_bytes(&self) -> u64 {
         // forward: write acts; backward: read acts, write+read grads.
-        3 * self.training_activation_bytes() + self.inference_access_bytes() + 2 * self.weight_bytes()
+        3 * self.training_activation_bytes()
+            + self.inference_access_bytes()
+            + 2 * self.weight_bytes()
     }
 
     /// Backward-pass MACs (input-gradient + weight-gradient ≈ 2× forward).

@@ -11,9 +11,8 @@ use crate::datasets::Dataset;
 use enode_ode::controller::ClassicController;
 use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
 use enode_ode::tableau::ButcherTableau;
+use enode_tensor::rng::Rng64;
 use enode_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Dimension of the planar three-body state.
 pub const STATE_DIM: usize = 12;
@@ -89,19 +88,15 @@ impl ThreeBody {
 
     /// A random initial state: bodies near a triangle with small random
     /// perturbations and near-zero total momentum.
-    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
-        let base = [
-            (1.0, 0.0),
-            (-0.5, 0.866),
-            (-0.5, -0.866),
-        ];
+    pub fn random_initial(&self, rng: &mut Rng64) -> Vec<f64> {
+        let base = [(1.0, 0.0), (-0.5, 0.866), (-0.5, -0.866)];
         let mut y = vec![0.0; STATE_DIM];
         for i in 0..3 {
-            y[2 * i] = base[i].0 + rng.gen_range(-0.1..0.1);
-            y[2 * i + 1] = base[i].1 + rng.gen_range(-0.1..0.1);
+            y[2 * i] = base[i].0 + rng.gen_range_f64(-0.1, 0.1);
+            y[2 * i + 1] = base[i].1 + rng.gen_range_f64(-0.1, 0.1);
             // Roughly circular velocities.
-            y[6 + 2 * i] = -base[i].1 * 0.5 + rng.gen_range(-0.05..0.05);
-            y[7 + 2 * i] = base[i].0 * 0.5 + rng.gen_range(-0.05..0.05);
+            y[6 + 2 * i] = -base[i].1 * 0.5 + rng.gen_range_f64(-0.05, 0.05);
+            y[7 + 2 * i] = base[i].0 * 0.5 + rng.gen_range_f64(-0.05, 0.05);
         }
         y
     }
@@ -112,14 +107,22 @@ impl ThreeBody {
         let mut ctl = ClassicController::new(tab.error_order());
         let mut opts = AdaptiveOptions::new(1e-9);
         opts.max_points = 10_000_000;
-        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
-            .expect("three-body ground truth must integrate")
+        solve_adaptive(
+            |t, y: &Vec<f64>| self.f(t, y),
+            0.0,
+            t1,
+            y0,
+            &tab,
+            &mut ctl,
+            &opts,
+        )
+        .expect("three-body ground truth must integrate")
     }
 
     /// Builds a regression dataset: `n` initial states mapped to their
     /// states at `t1` (the task the NODE learns).
     pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(n * STATE_DIM);
         let mut targets = Vec::with_capacity(n * STATE_DIM);
         for _ in 0..n {
@@ -144,20 +147,23 @@ mod tests {
         // Equilateral triangle with symmetric circular velocities: the
         // center of mass must not move.
         let tb = ThreeBody::default();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng64::seed_from_u64(0);
         let y0 = tb.random_initial(&mut rng);
         let com_x: f64 = (0..3).map(|i| y0[2 * i]).sum::<f64>() / 3.0;
         let sol = tb.ground_truth(y0, 1.0);
         let yf = sol.final_state();
         let com_x_f: f64 = (0..3).map(|i| yf[2 * i]).sum::<f64>() / 3.0;
         // Momentum is only approximately zero: allow modest drift.
-        assert!((com_x_f - com_x).abs() < 0.3, "COM drifted {com_x} -> {com_x_f}");
+        assert!(
+            (com_x_f - com_x).abs() < 0.3,
+            "COM drifted {com_x} -> {com_x_f}"
+        );
     }
 
     #[test]
     fn energy_conserved_by_ground_truth() {
         let tb = ThreeBody::default();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let y0 = tb.random_initial(&mut rng);
         let e0 = tb.energy(&y0);
         let sol = tb.ground_truth(y0, 2.0);

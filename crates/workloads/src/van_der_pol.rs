@@ -11,9 +11,8 @@ use crate::datasets::Dataset;
 use enode_ode::controller::ClassicController;
 use enode_ode::solver::{solve_adaptive, AdaptiveOptions, Solution};
 use enode_ode::tableau::ButcherTableau;
+use enode_tensor::rng::Rng64;
 use enode_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// State dimension (`x`, `ẋ`).
 pub const STATE_DIM: usize = 2;
@@ -44,8 +43,8 @@ impl VanDerPol {
     }
 
     /// A random initial state near the limit cycle.
-    pub fn random_initial(&self, rng: &mut StdRng) -> Vec<f64> {
-        vec![rng.gen_range(0.5..2.5), rng.gen_range(-1.0..1.0)]
+    pub fn random_initial(&self, rng: &mut Rng64) -> Vec<f64> {
+        vec![rng.gen_range_f64(0.5, 2.5), rng.gen_range_f64(-1.0, 1.0)]
     }
 
     /// High-accuracy ground truth.
@@ -54,13 +53,21 @@ impl VanDerPol {
         let mut ctl = ClassicController::new(tab.error_order());
         let mut opts = AdaptiveOptions::new(1e-9);
         opts.max_points = 10_000_000;
-        solve_adaptive(|t, y: &Vec<f64>| self.f(t, y), 0.0, t1, y0, &tab, &mut ctl, &opts)
-            .expect("van der pol ground truth must integrate")
+        solve_adaptive(
+            |t, y: &Vec<f64>| self.f(t, y),
+            0.0,
+            t1,
+            y0,
+            &tab,
+            &mut ctl,
+            &opts,
+        )
+        .expect("van der pol ground truth must integrate")
     }
 
     /// Flow-map regression dataset `x(0) → x(t1)`.
     pub fn dataset(&self, n: usize, t1: f64, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(n * STATE_DIM);
         let mut targets = Vec::with_capacity(n * STATE_DIM);
         for _ in 0..n {

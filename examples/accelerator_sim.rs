@@ -14,7 +14,10 @@ use enode::prelude::*;
 
 fn main() {
     // 1. Floorplans (Table I).
-    for (name, cfg) in [("Config A", HwConfig::config_a()), ("Config B", HwConfig::config_b())] {
+    for (name, cfg) in [
+        ("Config A", HwConfig::config_a()),
+        ("Config B", HwConfig::config_b()),
+    ] {
         let base = breakdown(&cfg, Design::Baseline);
         let enode = breakdown(&cfg, Design::Enode);
         println!(

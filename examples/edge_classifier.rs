@@ -42,10 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let (loss, acc) = trainer.evaluate(
-        &test.inputs,
-        &Target::Labels(test.labels.clone().unwrap()),
-    )?;
+    let (loss, acc) =
+        trainer.evaluate(&test.inputs, &Target::Labels(test.labels.clone().unwrap()))?;
     println!("held-out: loss {loss:.3}, accuracy {:.0}%", acc * 100.0);
     Ok(())
 }

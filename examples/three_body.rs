@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Three-Body: G={} masses={:?}", tb.g, tb.masses);
 
     // Ground-truth physics: energy is conserved along the trajectory.
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let mut rng = enode::tensor::rng::Rng64::seed_from_u64(3);
     let y0 = tb.random_initial(&mut rng);
     let e0 = tb.energy(&y0);
     let sol = tb.ground_truth(y0.clone(), 2.0);

@@ -6,11 +6,12 @@
 //! cycle-level simulator of the eNODE accelerator and its SIMD ASIC
 //! baseline.
 //!
-//! This facade crate re-exports the five member crates:
+//! This facade crate re-exports the six member crates:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`tensor`] | `enode-tensor` | NCHW tensors, FP16, conv/dense/norm layers with backward passes, optimizers |
+//! | [`analysis`] | `enode-analysis` | Static lints: tableau consistency, DDG schedule legality, shape/FP16 inference, hardware feasibility |
 //! | [`ode`] | `enode-ode` | Runge–Kutta tableaux, adaptive solvers, stepsize-search controllers (incl. slope-adaptive), depth-first DDG |
 //! | [`node`] | `enode-node` | NODE inference & ACA training, priority processing + early stop |
 //! | [`hw`] | `enode-hw` | eNODE/baseline/GPU simulators, DRAM, area & energy models |
@@ -41,6 +42,7 @@
 //! # Ok::<(), enode::node::inference::NodeError>(())
 //! ```
 
+pub use enode_analysis as analysis;
 pub use enode_hw as hw;
 pub use enode_node as node;
 pub use enode_ode as ode;
@@ -49,13 +51,12 @@ pub use enode_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use enode_analysis::{Diagnostic, Diagnostics, Severity};
     pub use enode_hw::config::{HwConfig, LayerDims, WorkloadRun};
     pub use enode_hw::energy::EnergyModel;
     pub use enode_hw::gpu::{simulate_gpu, GpuModel};
     pub use enode_hw::perf::{simulate_baseline, simulate_enode, SimReport};
-    pub use enode_node::inference::{
-        forward_model, ControllerKind, NodeSolveOptions, TableauKind,
-    };
+    pub use enode_node::inference::{forward_model, ControllerKind, NodeSolveOptions, TableauKind};
     pub use enode_node::model::NodeModel;
     pub use enode_node::train::{TrainReport, Trainer};
     pub use enode_ode::controller::{

@@ -23,9 +23,11 @@ fn pe_array_bit_checks_against_reference_conv() {
         let x = init::uniform(&[1, channels, hw, hw], -1.0, 1.0, seed + 7);
         let fwd_err = (&array.run(&x, Direction::Forward) - &conv.forward(&x)).norm_inf();
         assert!(fwd_err < 1e-3, "forward mismatch {fwd_err} at C={channels}");
-        let bwd_err =
-            (&array.run(&x, Direction::Backward) - &conv.backward_input(&x)).norm_inf();
-        assert!(bwd_err < 1e-3, "backward mismatch {bwd_err} at C={channels}");
+        let bwd_err = (&array.run(&x, Direction::Backward) - &conv.backward_input(&x)).norm_inf();
+        assert!(
+            bwd_err < 1e-3,
+            "backward mismatch {bwd_err} at C={channels}"
+        );
     }
 }
 
@@ -38,14 +40,19 @@ fn cycle_models_agree() {
     let analytic = cfg.stages as u64 * enode::hw::pe::f_eval_cycles(&cfg);
     let system = simulate_integrator_step(&cfg, Schedule::Packetized);
     let ratio = system.cycles as f64 / analytic as f64;
-    assert!((0.95..1.10).contains(&ratio), "system/analytic = {ratio:.3}");
+    assert!(
+        (0.95..1.10).contains(&ratio),
+        "system/analytic = {ratio:.3}"
+    );
 
     let core = CoreModel::from_config(&cfg);
-    let packets =
-        core.packets_per_row(cfg.layer.w) * cfg.layer.h as u64 * cfg.stages as u64;
+    let packets = core.packets_per_row(cfg.layer.w) * cfg.layer.h as u64 * cfg.stages as u64;
     let queue = simulate_core(&core, packets, core.service_cycles());
     let ratio2 = queue.makespan as f64 / analytic as f64;
-    assert!((0.95..1.10).contains(&ratio2), "core/analytic = {ratio2:.3}");
+    assert!(
+        (0.95..1.10).contains(&ratio2),
+        "core/analytic = {ratio2:.3}"
+    );
 }
 
 /// Table I anchors hold end-to-end through the public API.
@@ -118,7 +125,10 @@ fn buffer_scaling_laws() {
         / depthfirst::integral_state_bytes_baseline(&small) as f64;
     let enode_growth = depthfirst::integral_state_bytes_enode(&big) as f64
         / depthfirst::integral_state_bytes_enode(&small) as f64;
-    assert!((base_growth - 4.0).abs() < 0.01, "baseline growth {base_growth}");
+    assert!(
+        (base_growth - 4.0).abs() < 0.01,
+        "baseline growth {base_growth}"
+    );
     assert!(
         (enode_growth - 2.0).abs() < 0.05,
         "eNODE growth {enode_growth} should track W, not H*W"

@@ -1,0 +1,21 @@
+//! Tier-1 gate: everything the repository ships must pass every static
+//! lint — the same check `enode-lint` runs, wired into `cargo test` so a
+//! regression in any tableau, DDG schedule, paper model, or Table I
+//! configuration fails the suite.
+
+use enode::analysis::lint_everything;
+
+#[test]
+fn shipped_artifacts_pass_all_static_lints() {
+    let ds = lint_everything();
+    assert!(
+        !ds.has_errors(),
+        "static lints found errors:\n{}",
+        ds.render()
+    );
+    assert!(
+        ds.warning_count() == 0,
+        "static lints found warnings:\n{}",
+        ds.render()
+    );
+}
