@@ -16,6 +16,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --workspace (ENODE_THREADS=4)"
+ENODE_THREADS=4 cargo test -q --workspace
+
+echo "==> bench_kernels_json smoke run (--quick)"
+cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mktemp)"
+
 echo "==> enode-lint (static analysis over shipped artifacts)"
 cargo run -q --release -p enode-analysis --bin enode-lint
 

@@ -90,6 +90,10 @@ pub enum Code {
     W032HwMultiRound,
     /// Integral-state buffer demand close to the training buffer size.
     W033HwBufferHeadroom,
+    /// A parallel pool is live but the work split is degenerate (e.g.
+    /// batch 1 with per-batch-only splitting), so the run is silently
+    /// serial.
+    W034HwDegenerateParallelSplit,
 }
 
 impl Code {
@@ -120,6 +124,7 @@ impl Code {
             Code::W031HwIdleCores => "W031",
             Code::W032HwMultiRound => "W032",
             Code::W033HwBufferHeadroom => "W033",
+            Code::W034HwDegenerateParallelSplit => "W034",
         }
     }
 
@@ -159,6 +164,9 @@ impl Code {
             Code::W031HwIdleCores => "layer mapping idles cores in last round",
             Code::W032HwMultiRound => "layer mapping needs multiple rounds",
             Code::W033HwBufferHeadroom => "buffer headroom below 10%",
+            Code::W034HwDegenerateParallelSplit => {
+                "parallel pool live but work split is degenerate"
+            }
         }
     }
 }
@@ -382,6 +390,7 @@ mod tests {
             Code::W031HwIdleCores,
             Code::W032HwMultiRound,
             Code::W033HwBufferHeadroom,
+            Code::W034HwDegenerateParallelSplit,
         ];
         let mut strs: Vec<_> = codes.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

@@ -228,6 +228,29 @@ pub fn lint_hw_config(subject: &str, cfg: &HwConfig) -> Diagnostics {
     ds
 }
 
+/// W034: preflight for a pool-parallel simulation or bench run whose work
+/// split is per-batch only. With a multi-lane pool but a degenerate batch
+/// (one sample), the run executes silently serial — the caller should
+/// either widen the batch or split along another axis.
+///
+/// `batch` is the number of per-batch work items the run will split;
+/// `pool_threads` is the live pool width (pass
+/// `enode_tensor::parallel::current_threads()`).
+pub fn lint_parallel_split(subject: &str, batch: usize, pool_threads: usize) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    if pool_threads > 1 && batch <= 1 {
+        ds.push(Diagnostic::new(
+            Code::W034HwDegenerateParallelSplit,
+            subject,
+            format!(
+                "pool has {pool_threads} lanes but the batch dimension is {batch}; \
+                 per-batch splitting degenerates to a serial run"
+            ),
+        ));
+    }
+    ds
+}
+
 /// Lints both Table I design points.
 pub fn lint_paper_configs() -> Diagnostics {
     let mut ds = Diagnostics::new();
@@ -245,6 +268,25 @@ mod tests {
     fn paper_configs_are_clean() {
         let ds = lint_paper_configs();
         assert!(ds.is_empty(), "unexpected diagnostics:\n{}", ds.render());
+    }
+
+    #[test]
+    fn degenerate_parallel_split_fires_w034() {
+        let ds = lint_parallel_split("bench batch", 1, 4);
+        assert!(
+            ds.has_code(Code::W034HwDegenerateParallelSplit),
+            "{}",
+            ds.render()
+        );
+        assert_eq!(ds.error_count(), 0, "W034 is a warning, not an error");
+    }
+
+    #[test]
+    fn healthy_or_serial_split_is_clean() {
+        // Wide batch: nothing to warn about.
+        assert!(lint_parallel_split("bench batch", 8, 4).is_empty());
+        // Serial pool: a batch of 1 is expected, not a missed split.
+        assert!(lint_parallel_split("bench batch", 1, 1).is_empty());
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Emits the machine-readable kernel benchmark baseline.
+//!
+//! ```sh
+//! cargo run --release -p enode-bench --bin bench_kernels_json            # full run -> BENCH_kernels.json
+//! cargo run --release -p enode-bench --bin bench_kernels_json -- --quick /tmp/smoke.json
+//! ```
+//!
+//! See [`enode_bench::kernels_json`] for the format.
+
+use enode_bench::kernels_json::{measure, render_json, THREADS_HIGH};
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_kernels.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    eprintln!(
+        "measuring kernels at 1 and {THREADS_HIGH} threads{} ...",
+        if quick { " (quick)" } else { "" }
+    );
+    let timings = measure(quick);
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "kernel", "1 thread", "N threads", "speedup"
+    );
+    for t in &timings {
+        println!(
+            "{:<34} {:>9.1} µs {:>9.1} µs {:>7.2}x",
+            t.name,
+            t.secs_low * 1e6,
+            t.secs_high * 1e6,
+            t.speedup()
+        );
+    }
+    let json = render_json(&timings, quick);
+    std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

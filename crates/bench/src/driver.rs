@@ -2,6 +2,7 @@
 //! benchmarks under a chosen stepsize-search configuration, and collect
 //! the algorithm-level counts the figures plot.
 
+use enode_analysis::hwcheck::lint_parallel_split;
 use enode_hw::config::WorkloadRun;
 use enode_node::inference::{forward_model, NodeSolveOptions};
 use enode_node::loss::cross_entropy_logits;
@@ -9,6 +10,7 @@ use enode_node::model::NodeModel;
 use enode_node::profile::IterationProfile;
 use enode_node::train::trainer::Target;
 use enode_node::train::Trainer;
+use enode_tensor::parallel;
 use enode_tensor::Tensor;
 use enode_workloads::datasets::{trajectory_accuracy, Dataset};
 use enode_workloads::images::SyntheticImages;
@@ -170,6 +172,7 @@ pub fn run_bench(
     seed: u64,
 ) -> BenchResult {
     let (model, train, test) = bench.build(seed);
+    preflight_parallel(bench, train.inputs.shape()[0]);
     let target = match (&train.labels, &train.targets) {
         (Some(l), _) => Target::Labels(l.clone()),
         (_, Some(t)) => Target::State(t.clone()),
@@ -211,6 +214,7 @@ pub fn run_bench(
 /// used by experiments that compare controllers on identical weights.
 pub fn run_inference_only(bench: Bench, opts: &NodeSolveOptions, seed: u64) -> BenchResult {
     let (model, _, test) = bench.build(seed);
+    preflight_parallel(bench, test.inputs.shape()[0]);
     let (output, trace) = forward_model(&model, &test.inputs, opts).expect("forward failed");
     let accuracy = match (&test.labels, &test.targets) {
         (Some(labels), _) => {
@@ -228,6 +232,47 @@ pub fn run_inference_only(bench: Bench, opts: &NodeSolveOptions, seed: u64) -> B
         train_run: infer_run,
         infer_run,
     }
+}
+
+/// W034 preflight: surface a driver run whose per-batch split cannot use
+/// the live pool (see [`enode_analysis::hwcheck::lint_parallel_split`]).
+/// Warnings go to stderr so figure output on stdout stays byte-stable.
+fn preflight_parallel(bench: Bench, batch: usize) {
+    let ds = lint_parallel_split(bench.name(), batch, parallel::current_threads());
+    if !ds.is_empty() {
+        eprint!("{}", ds.render());
+    }
+}
+
+/// One unit of driver work for [`run_benches`]: a benchmark plus the
+/// configuration to run it under.
+#[derive(Clone, Debug)]
+pub struct BenchJob {
+    /// Which benchmark.
+    pub bench: Bench,
+    /// Solver/search configuration.
+    pub opts: NodeSolveOptions,
+    /// Adam steps to train for (0 = inference only on a fresh model).
+    pub train_iters: usize,
+    /// Seed for model init and datasets.
+    pub seed: u64,
+}
+
+/// Runs independent bench jobs in parallel across the workspace pool
+/// ([`enode_tensor::parallel`]), returning results in job order.
+///
+/// Each job is one coarse work item; nested kernel parallelism inside a
+/// job degrades to serial on its worker, so every job computes exactly
+/// what it computes in a serial loop — results are bit-identical for any
+/// `ENODE_THREADS`.
+pub fn run_benches(jobs: &[BenchJob]) -> Vec<BenchResult> {
+    parallel::parallel_map(jobs, |job| {
+        if job.train_iters == 0 {
+            run_inference_only(job.bench, &job.opts, job.seed)
+        } else {
+            run_bench(job.bench, &job.opts, job.train_iters, job.seed)
+        }
+    })
 }
 
 /// A reference forward state for accuracy-vs-exact comparisons: solves the

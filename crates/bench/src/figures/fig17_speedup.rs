@@ -2,34 +2,50 @@
 //! the dynamic-system benchmarks (paper: inference 1.87×/2.38×, training
 //! 1.6×/2.09× on Three-Body / Lotka–Volterra; ε=1e-6, s=3, Ĥ=10).
 
-use crate::driver::{conventional_opts, expedited_opts, run_bench, Bench};
+use crate::driver::{conventional_opts, expedited_opts, run_benches, Bench, BenchJob};
 use crate::report;
 use enode_hw::config::HwConfig;
 use enode_hw::energy::EnergyModel;
 use enode_hw::perf::{simulate_baseline, simulate_enode};
 
 /// Runs the Fig 17 speedup comparison.
+///
+/// The four (benchmark, configuration) runs are independent, so they go
+/// through the parallel [`run_benches`] driver; results come back in job
+/// order and the table prints serially, so the output is identical to the
+/// serial loop for any `ENODE_THREADS`.
 pub fn run() {
     report::banner("Fig 17", "speedup of eNODE over the baseline");
     let cfg = HwConfig::config_a();
     let energy = EnergyModel::default();
     report::header(&["benchmark", "mode", "speedup", "paper"]);
     let paper = [("Three-Body", 1.87, 1.6), ("Lotka-Volterra", 2.38, 2.09)];
+    let jobs: Vec<BenchJob> = Bench::dynamic()
+        .into_iter()
+        .flat_map(|bench| {
+            [
+                // Baseline hardware runs the conventional search.
+                BenchJob {
+                    bench,
+                    opts: conventional_opts(bench),
+                    train_iters: bench.default_train_iters(),
+                    seed: 51,
+                },
+                // eNODE runs the expedited algorithms (s=3, H=10 as in
+                // the paper).
+                BenchJob {
+                    bench,
+                    opts: expedited_opts(bench, 3, 3, Some(10)),
+                    train_iters: bench.default_train_iters(),
+                    seed: 51,
+                },
+            ]
+        })
+        .collect();
+    let mut results = run_benches(&jobs).into_iter();
     for (bench, (_, p_inf, p_tr)) in Bench::dynamic().into_iter().zip(paper) {
-        // Baseline hardware runs the conventional search.
-        let base = run_bench(
-            bench,
-            &conventional_opts(bench),
-            bench.default_train_iters(),
-            51,
-        );
-        // eNODE runs the expedited algorithms (s=3, H=10 as in the paper).
-        let ea = run_bench(
-            bench,
-            &expedited_opts(bench, 3, 3, Some(10)),
-            bench.default_train_iters(),
-            51,
-        );
+        let base = results.next().expect("one result per job");
+        let ea = results.next().expect("one result per job");
 
         let inf_base = simulate_baseline(&cfg, &base.infer_run, &energy);
         let inf_en = simulate_enode(&cfg, &ea.infer_run, &energy);

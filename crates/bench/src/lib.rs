@@ -8,5 +8,6 @@
 
 pub mod driver;
 pub mod figures;
+pub mod kernels_json;
 pub mod micro;
 pub mod report;

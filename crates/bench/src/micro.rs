@@ -39,8 +39,9 @@ impl Micro {
         }
     }
 
-    /// Times `f`, printing `name` with median/min/max per-iteration time.
-    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+    /// Calibrates the iteration count, then takes sorted per-iteration
+    /// timing samples. Returns `(sorted_seconds_per_iter, iters)`.
+    fn collect<T, F: FnMut() -> T>(&self, f: &mut F) -> (Vec<f64>, u64) {
         // Warm-up and iteration-count calibration: double until one batch
         // takes at least `min_sample_secs`.
         let mut iters = 1u64;
@@ -64,6 +65,12 @@ impl Micro {
             })
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
+        (per_iter, iters)
+    }
+
+    /// Times `f`, printing `name` with median/min/max per-iteration time.
+    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        let (per_iter, iters) = self.collect(&mut f);
         let median = per_iter[per_iter.len() / 2];
         let min = per_iter[0];
         let max = per_iter[per_iter.len() - 1];
@@ -74,6 +81,14 @@ impl Micro {
             fmt_secs(max),
             per_iter.len(),
         );
+    }
+
+    /// Times `f` like [`Micro::bench`] but returns the median seconds per
+    /// iteration instead of printing — the machine-readable path behind
+    /// `BENCH_kernels.json`.
+    pub fn time<T, F: FnMut() -> T>(&self, mut f: F) -> f64 {
+        let (per_iter, _) = self.collect(&mut f);
+        per_iter[per_iter.len() / 2]
     }
 }
 

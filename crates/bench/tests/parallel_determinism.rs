@@ -1,0 +1,36 @@
+//! Figure-run determinism: a bench run under a 4-lane pool must
+//! reproduce the serial numbers exactly, and the parallel bench driver
+//! must return the same results as a serial loop, in job order.
+
+use enode_bench::driver::{
+    expedited_opts, run_bench, run_benches, run_inference_only, Bench, BenchJob,
+};
+use enode_tensor::parallel;
+
+#[test]
+fn bench_run_under_four_threads_reproduces_serial_numbers() {
+    let opts = expedited_opts(Bench::LotkaVolterra, 3, 3, Some(10));
+    let serial = parallel::with_threads(1, || run_bench(Bench::LotkaVolterra, &opts, 2, 51));
+    let par = parallel::with_threads(4, || run_bench(Bench::LotkaVolterra, &opts, 2, 51));
+    assert_eq!(serial.trials_per_layer, par.trials_per_layer);
+    assert_eq!(serial.accuracy, par.accuracy);
+}
+
+#[test]
+fn run_benches_matches_serial_loop_in_job_order() {
+    let jobs: Vec<BenchJob> = Bench::dynamic()
+        .into_iter()
+        .map(|bench| BenchJob {
+            bench,
+            opts: expedited_opts(bench, 3, 3, Some(10)),
+            train_iters: 0,
+            seed: 51,
+        })
+        .collect();
+    let par = parallel::with_threads(4, || run_benches(&jobs));
+    for (job, p) in jobs.iter().zip(&par) {
+        let s = parallel::with_threads(1, || run_inference_only(job.bench, &job.opts, job.seed));
+        assert_eq!(s.trials_per_layer, p.trials_per_layer, "{:?}", job.bench);
+        assert_eq!(s.accuracy, p.accuracy, "{:?}", job.bench);
+    }
+}

@@ -2,10 +2,10 @@
 //! accuracy-versus-compute trade-off curve (the axis along which every
 //! eNODE algorithm knob — ε, s_acc/s_rej, Ĥ — moves a deployment).
 
-use crate::inference::{forward_model, NodeError, NodeSolveOptions};
+use crate::inference::{forward_model, ForwardTrace, NodeError, NodeSolveOptions};
 use crate::loss::cross_entropy_logits;
 use crate::model::NodeModel;
-use enode_tensor::Tensor;
+use enode_tensor::{parallel, Tensor};
 
 /// A confusion matrix for a `k`-class classifier.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +91,62 @@ impl ConfusionMatrix {
     }
 }
 
+/// Runs the NODE forward pass sample-by-sample, in parallel across the
+/// workspace pool ([`enode_tensor::parallel`]).
+///
+/// Each sample gets an independent solve — its own stepsize-search
+/// schedule, like the per-input inference an edge deployment performs —
+/// so this is *not* numerically interchangeable with calling
+/// [`forward_model`] on the whole batch, where the stepsize controller
+/// sees the batch-wide error norm. What is guaranteed: the per-sample
+/// decomposition is fixed regardless of the pool width, so the result is
+/// bit-identical for any `ENODE_THREADS`.
+///
+/// Returns the stacked outputs `[N, ...]` and one [`ForwardTrace`] per
+/// sample. On failure, reports the error of the lowest-indexed failing
+/// sample.
+///
+/// # Errors
+///
+/// Returns [`NodeError`] if any sample's forward pass fails.
+///
+/// # Panics
+///
+/// Panics if `inputs` has no samples.
+pub fn forward_model_batched(
+    model: &NodeModel,
+    inputs: &Tensor,
+    opts: &NodeSolveOptions,
+) -> Result<(Tensor, Vec<ForwardTrace>), NodeError> {
+    let n = inputs.shape()[0];
+    assert!(n > 0, "batched inference needs at least one sample");
+    let sample_len = inputs.len() / n;
+    let mut sample_shape = inputs.shape().to_vec();
+    sample_shape[0] = 1;
+    let indices: Vec<usize> = (0..n).collect();
+    let results = parallel::parallel_map(&indices, |&ni| {
+        let sample = Tensor::from_vec(
+            inputs.data()[ni * sample_len..(ni + 1) * sample_len].to_vec(),
+            &sample_shape,
+        );
+        forward_model(model, &sample, opts)
+    });
+    let mut outputs: Vec<Tensor> = Vec::with_capacity(n);
+    let mut traces: Vec<ForwardTrace> = Vec::with_capacity(n);
+    for res in results {
+        let (y, trace) = res?;
+        outputs.push(y);
+        traces.push(trace);
+    }
+    let mut out_shape = outputs[0].shape().to_vec();
+    out_shape[0] = n;
+    let mut data = Vec::with_capacity(n * outputs[0].len());
+    for y in &outputs {
+        data.extend_from_slice(y.data());
+    }
+    Ok((Tensor::from_vec(data, &out_shape), traces))
+}
+
 /// One point of an accuracy-vs-compute sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TradeoffPoint {
@@ -165,6 +221,28 @@ mod tests {
     fn unseen_class_recall_is_none() {
         let m = ConfusionMatrix::new(2);
         assert_eq!(m.recall(1), None);
+    }
+
+    #[test]
+    fn batched_inference_matches_per_sample_loop() {
+        let model = NodeModel::image_classifier(3, 1, 1, 4, 1);
+        let inputs = enode_tensor::init::uniform(&[3, 3, 6, 6], -1.0, 1.0, 9);
+        let opts = NodeSolveOptions::new(1e-3);
+        let (batched, traces) = forward_model_batched(&model, &inputs, &opts).unwrap();
+        assert_eq!(traces.len(), 3);
+        let sample_len = inputs.len() / 3;
+        for ni in 0..3 {
+            let sample = Tensor::from_vec(
+                inputs.data()[ni * sample_len..(ni + 1) * sample_len].to_vec(),
+                &[1, 3, 6, 6],
+            );
+            let (y, _) = crate::inference::forward_model(&model, &sample, &opts).unwrap();
+            assert_eq!(
+                &batched.data()[ni * y.len()..(ni + 1) * y.len()],
+                y.data(),
+                "sample {ni} differs from its standalone solve"
+            );
+        }
     }
 
     #[test]

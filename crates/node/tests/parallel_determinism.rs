@@ -1,0 +1,32 @@
+//! Thread-count determinism for batched NODE inference.
+//!
+//! `forward_model_batched` fixes its work decomposition per sample, so
+//! the stacked output must be bit-identical for any `ENODE_THREADS`.
+//! Exercised at pool widths 1, 2, and 4 with a batch of 5 (not divisible
+//! by either parallel width).
+
+use enode_node::eval::forward_model_batched;
+use enode_node::inference::NodeSolveOptions;
+use enode_node::model::NodeModel;
+use enode_tensor::{init, parallel};
+
+#[test]
+fn batched_inference_is_bit_identical_across_thread_counts() {
+    let model = NodeModel::image_classifier(3, 2, 2, 5, 17);
+    let x = init::uniform(&[5, 3, 6, 6], -1.0, 1.0, 18);
+    let opts = NodeSolveOptions::new(1e-3);
+    let solve = || forward_model_batched(&model, &x, &opts).expect("batched solve failed");
+    let (y_base, traces_base) = parallel::with_threads(1, solve);
+    for t in [2usize, 4] {
+        let (y, traces) = parallel::with_threads(t, solve);
+        assert_eq!(y_base.data(), y.data(), "output differs at {t} threads");
+        assert_eq!(traces_base.len(), traces.len());
+        for (i, (a, b)) in traces_base.iter().zip(&traces).enumerate() {
+            assert_eq!(
+                a.trials_per_layer(),
+                b.trials_per_layer(),
+                "trace {i} differs at {t} threads"
+            );
+        }
+    }
+}

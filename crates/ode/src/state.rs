@@ -29,6 +29,16 @@ pub trait StateOps: Clone {
 
     /// True when every element is finite.
     fn is_finite(&self) -> bool;
+
+    /// Overwrites `self` with `other` without reallocating, so solver
+    /// scratch states can be reused across stages and steps.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the shapes differ.
+    fn copy_from(&mut self, other: &Self) {
+        *self = other.clone();
+    }
 }
 
 impl StateOps for Vec<f64> {
@@ -60,6 +70,11 @@ impl StateOps for Vec<f64> {
     fn is_finite(&self) -> bool {
         self.iter().all(|x| x.is_finite())
     }
+
+    fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "state length mismatch");
+        self.copy_from_slice(other);
+    }
 }
 
 impl StateOps for Tensor {
@@ -86,6 +101,10 @@ impl StateOps for Tensor {
     fn is_finite(&self) -> bool {
         Tensor::is_finite(self)
     }
+
+    fn copy_from(&mut self, other: &Self) {
+        Tensor::copy_from(self, other);
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +121,8 @@ mod tests {
         assert_eq!(a, vec![3.5, 5.0]);
         assert_eq!(a.dof(), 2);
         assert!(a.is_finite());
+        a.copy_from(&b);
+        assert_eq!(a, b);
     }
 
     #[test]

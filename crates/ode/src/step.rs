@@ -62,6 +62,9 @@ pub fn rk_step<S: StateOps>(
     let mut stages: Vec<S> = Vec::with_capacity(s);
     let mut nfe = 0;
 
+    // One reusable partial-state buffer across all stages (instead of a
+    // fresh clone per stage): `p` is rebuilt from `y` by copy_from.
+    let mut scratch: Option<S> = None;
     for i in 0..s {
         if i == 0 {
             if let Some(k) = k1 {
@@ -73,13 +76,19 @@ pub fn rk_step<S: StateOps>(
         }
         // Partial state p_i = y + h * sum_{j<i} a[i][j] * k_j  (the paper's
         // p_{i,j} chain, fully accumulated).
-        let mut p = y.clone();
+        let p = match scratch.as_mut() {
+            Some(p) => {
+                p.copy_from(y);
+                p
+            }
+            None => scratch.insert(y.clone()),
+        };
         for (j, &aij) in tableau.a()[i].iter().enumerate() {
             if aij != 0.0 {
                 p.axpy(h * aij, &stages[j]);
             }
         }
-        stages.push(f(t + tableau.c()[i] * h, &p));
+        stages.push(f(t + tableau.c()[i] * h, p));
         nfe += 1;
     }
 
@@ -91,15 +100,25 @@ pub fn rk_step<S: StateOps>(
         }
     }
 
-    // e = h * sum d_i k_i.
+    // e = h * sum d_i k_i — seeded by scaling the first contributing
+    // stage rather than axpy-ing onto a zero state, saving the per-step
+    // zeros allocation. (`0.0 + x` and `x` agree bitwise except on the
+    // sign of a zero, which `==` cannot observe.)
     let error = tableau.error_weights().map(|d| {
-        let mut e = y.zeros_like();
+        let mut e: Option<S> = None;
         for (i, &di) in d.iter().enumerate() {
             if di != 0.0 {
-                e.axpy(h * di, &stages[i]);
+                match e.as_mut() {
+                    Some(e) => e.axpy(h * di, &stages[i]),
+                    None => {
+                        let mut first = stages[i].clone();
+                        first.scale_mut(h * di);
+                        e = Some(first);
+                    }
+                }
             }
         }
-        e
+        e.unwrap_or_else(|| y.zeros_like())
     });
 
     StepOutcome {

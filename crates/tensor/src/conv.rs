@@ -8,8 +8,23 @@
 //!
 //! Neural-ODE embedded networks must preserve the state shape, so the
 //! convolutions here use stride 1 and "same" zero padding.
+//!
+//! # Execution
+//!
+//! All three passes run on the workspace pool ([`crate::parallel`]),
+//! splitting across the batch dimension when it is wide enough and across
+//! output (forward, weight-grad) or input (input-grad) channels otherwise —
+//! the same two axes the eNODE PE array unrolls. im2col scratch comes from
+//! the per-thread arena ([`crate::parallel::with_scratch_f32`]), so
+//! repeated solver evaluations do not touch the allocator. Every
+//! decomposition performs the serial arithmetic in the serial order
+//! (reductions combine per-sample partials in sample order), so outputs
+//! are bit-identical for any thread count (up to the sign of zero; see
+//! DESIGN.md §8).
 
 use crate::init;
+use crate::matmul::gemm_bias;
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// A 2-D convolution layer with "same" zero padding and stride 1.
@@ -120,9 +135,10 @@ impl Conv2d {
 
     /// Forward convolution `y = W * x + b`.
     ///
-    /// Uses the im2col + matrix-multiply lowering (the standard fast path;
+    /// Uses the im2col + blocked-matmul lowering (the standard fast path;
     /// [`Conv2d::forward_reference`] keeps the direct loop nest as the
-    /// verification oracle).
+    /// verification oracle), parallel across the batch — or across output
+    /// channels when the batch underfills the pool.
     ///
     /// # Panics
     ///
@@ -135,28 +151,43 @@ impl Conv2d {
         let m = self.out_channels;
         let ckk = c * k * k;
         let hw = h * w;
-        let wmat = self.weight.data(); // [M, C*K*K] row-major already
+        let wmat = self.weight.data();
+        let bias = self.bias.data();
         let mut y = Tensor::zeros(&[n, m, h, w]);
-        let mut cols = vec![0.0f32; ckk * hw];
-        for ni in 0..n {
-            im2col(x, ni, k, &mut cols);
-            // y[m, p] = sum_q W[m, q] * cols[q, p] + b[m]
-            let ydata = y.data_mut();
-            let ybase = ni * m * hw;
-            for mi in 0..m {
-                let yrow = &mut ydata[ybase + mi * hw..ybase + (mi + 1) * hw];
-                yrow.fill(self.bias.data()[mi]);
-                let wrow = &wmat[mi * ckk..(mi + 1) * ckk];
-                for (q, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
+        let ydata = y.data_mut();
+        if n >= parallel::current_threads() || m == 1 {
+            // Batch split: each lane lowers and multiplies its own samples,
+            // with its own per-thread cols scratch.
+            parallel::parallel_for_disjoint(ydata, n, 1, |range, slab| {
+                parallel::with_scratch_f32(ckk * hw, |cols| {
+                    for (local, ni) in range.enumerate() {
+                        im2col(x, ni, k, cols);
+                        let ys = &mut slab[local * m * hw..(local + 1) * m * hw];
+                        gemm_bias(ys, wmat, bias, cols, ckk, hw);
                     }
-                    let crow = &cols[q * hw..(q + 1) * hw];
-                    for (yv, &cv) in yrow.iter_mut().zip(crow) {
-                        *yv += wv * cv;
-                    }
+                });
+            });
+        } else {
+            // Few samples: lower once per sample, split output rows. The
+            // row-split is bit-identical by the gemm kernel's contract.
+            parallel::with_scratch_f32(ckk * hw, |cols| {
+                for ni in 0..n {
+                    im2col(x, ni, k, cols);
+                    let cols_ref: &[f32] = cols;
+                    let ys = &mut ydata[ni * m * hw..(ni + 1) * m * hw];
+                    let grain = parallel::grain_for(ckk * hw);
+                    parallel::parallel_for_disjoint(ys, m, grain, |rows, yrows| {
+                        gemm_bias(
+                            yrows,
+                            &wmat[rows.start * ckk..rows.end * ckk],
+                            &bias[rows.start..rows.end],
+                            cols_ref,
+                            ckk,
+                            hw,
+                        );
+                    });
                 }
-            }
+            });
         }
         y
     }
@@ -209,45 +240,78 @@ impl Conv2d {
     /// This is convolution in the backward direction — the same pipeline as
     /// [`Conv2d::forward`] with the kernel flipped and input/output channel
     /// roles swapped, matching the eNODE unified core (§VI, Fig 9c).
+    /// Parallel across the batch, or across input channels when the batch
+    /// underfills the pool.
     pub fn backward_input(&self, dy: &Tensor) -> Tensor {
         let (n, m, h, w) = dy.shape_obj().nchw();
         assert_eq!(m, self.out_channels, "grad channel mismatch");
+        let c = self.in_channels;
+        let hw = h * w;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let dxdata = dx.data_mut();
+        if n >= parallel::current_threads() || c == 1 {
+            parallel::parallel_for_disjoint(dxdata, n, 1, |range, slab| {
+                for (local, ni) in range.enumerate() {
+                    let s = &mut slab[local * c * hw..(local + 1) * c * hw];
+                    self.backward_input_channels(dy, ni, 0..c, s);
+                }
+            });
+        } else {
+            let grain = parallel::grain_for(m * hw * self.kernel * self.kernel);
+            for ni in 0..n {
+                let slab = &mut dxdata[ni * c * hw..(ni + 1) * c * hw];
+                parallel::parallel_for_disjoint(slab, c, grain, |crange, cslab| {
+                    self.backward_input_channels(dy, ni, crange, cslab);
+                });
+            }
+        }
+        dx
+    }
+
+    /// The input-gradient loop nest for one sample's channel range,
+    /// writing into `out = dx[ni, crange, :, :]`. Shared by both parallel
+    /// decompositions so the arithmetic (and its order) is identical.
+    fn backward_input_channels(
+        &self,
+        dy: &Tensor,
+        ni: usize,
+        crange: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let (_, m, h, w) = dy.shape_obj().nchw();
         let k = self.kernel;
         let pad = (k / 2) as isize;
-        let c = self.in_channels;
-        let mut dx = Tensor::zeros(&[n, c, h, w]);
-        for ni in 0..n {
-            for ci in 0..c {
-                for mi in 0..m {
-                    for ih in 0..h {
-                        for iw in 0..w {
-                            let mut acc = 0.0f32;
-                            for kh in 0..k {
-                                for kw in 0..k {
-                                    // dx[ih,iw] accumulates dy[oh,ow]*wflip;
-                                    // oh = ih - (kh - pad) inverted:
-                                    let oh = ih as isize - (kh as isize - pad);
-                                    let ow = iw as isize - (kw as isize - pad);
-                                    if oh >= 0 && ow >= 0 && (oh as usize) < h && (ow as usize) < w
-                                    {
-                                        acc += dy.at4(ni, mi, oh as usize, ow as usize)
-                                            * self.weight.at4(mi, ci, kh, kw);
-                                    }
+        for ci in crange.clone() {
+            let base = (ci - crange.start) * h * w;
+            for mi in 0..m {
+                for ih in 0..h {
+                    for iw in 0..w {
+                        let mut acc = 0.0f32;
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                // dx[ih,iw] accumulates dy[oh,ow]*wflip;
+                                // oh = ih - (kh - pad) inverted:
+                                let oh = ih as isize - (kh as isize - pad);
+                                let ow = iw as isize - (kw as isize - pad);
+                                if oh >= 0 && ow >= 0 && (oh as usize) < h && (ow as usize) < w {
+                                    acc += dy.at4(ni, mi, oh as usize, ow as usize)
+                                        * self.weight.at4(mi, ci, kh, kw);
                                 }
                             }
-                            *dx.at4_mut(ni, ci, ih, iw) += acc;
                         }
+                        out[base + ih * w + iw] += acc;
                     }
                 }
             }
         }
-        dx
     }
 
     /// Weight and bias gradients: given the cached forward input `x` and
     /// `dy = ∂L/∂y`, returns `(dW, db)`.
     ///
     /// Uses the im2col lowering: `dW[m, q] = Σ_p dy[m, p] · cols[q, p]`.
+    /// The batch reduction combines per-sample partials in sample order (a
+    /// fixed tree), so the result does not depend on the thread count.
     pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
         let (n, c, h, w) = x.shape_obj().nchw();
         let (n2, m, h2, w2) = dy.shape_obj().nchw();
@@ -259,26 +323,87 @@ impl Conv2d {
         let hw = h * w;
         let mut dw = Tensor::zeros(&[m, c, k, k]);
         let mut db = Tensor::zeros(&[m]);
-        let mut cols = vec![0.0f32; ckk * hw];
-        for ni in 0..n {
-            im2col(x, ni, k, &mut cols);
-            let dydata = dy.data();
-            let dybase = ni * m * hw;
-            for mi in 0..m {
-                let dyrow = &dydata[dybase + mi * hw..dybase + (mi + 1) * hw];
-                db.data_mut()[mi] += dyrow.iter().sum::<f32>();
-                let dwrow = &mut dw.data_mut()[mi * ckk..(mi + 1) * ckk];
-                for (q, dwv) in dwrow.iter_mut().enumerate() {
-                    let crow = &cols[q * hw..(q + 1) * hw];
-                    let mut acc = 0.0f32;
-                    for (&g, &cv) in dyrow.iter().zip(crow) {
-                        acc += g * cv;
+        if n >= parallel::current_threads() || m == 1 {
+            // Batch split: per-sample partial (dW, db) buffers, combined
+            // serially in sample order below.
+            let psize = m * ckk + m;
+            parallel::with_scratch_f32(n * psize, |partials| {
+                parallel::parallel_for_disjoint(partials, n, 1, |range, slab| {
+                    parallel::with_scratch_f32(ckk * hw, |cols| {
+                        for (local, ni) in range.enumerate() {
+                            im2col(x, ni, k, cols);
+                            let part = &mut slab[local * psize..(local + 1) * psize];
+                            part.fill(0.0);
+                            let (dwp, dbp) = part.split_at_mut(m * ckk);
+                            accumulate_param_rows(dy, ni, cols, 0..m, dwp, dbp);
+                        }
+                    });
+                });
+                let dwd = dw.data_mut();
+                for ni in 0..n {
+                    let part = &partials[ni * psize..(ni + 1) * psize];
+                    for (v, &p) in dwd.iter_mut().zip(&part[..m * ckk]) {
+                        *v += p;
                     }
-                    *dwv += acc;
+                    for (v, &p) in db.data_mut().iter_mut().zip(&part[m * ckk..]) {
+                        *v += p;
+                    }
                 }
-            }
+            });
+        } else {
+            // Few samples: lower once per sample, split output rows (dW
+            // rows and db entries are disjoint per output channel).
+            parallel::with_scratch_f32(ckk * hw, |cols| {
+                for ni in 0..n {
+                    im2col(x, ni, k, cols);
+                    let cols_ref: &[f32] = cols;
+                    let grain = parallel::grain_for(ckk * hw);
+                    parallel::parallel_for_disjoint2(
+                        dw.data_mut(),
+                        db.data_mut(),
+                        m,
+                        grain,
+                        |mrange, dwrows, dbrows| {
+                            accumulate_param_rows(dy, ni, cols_ref, mrange, dwrows, dbrows);
+                        },
+                    );
+                }
+            });
         }
         (dw, db)
+    }
+}
+
+/// Accumulates `dW[mrange, :] += dy[ni, mrange, :] · colsᵀ` and
+/// `db[mrange] += Σ dy[ni, mrange, :]` into row slices local to `mrange`.
+/// Shared by both weight-gradient decompositions so the arithmetic (and
+/// its order) is identical.
+fn accumulate_param_rows(
+    dy: &Tensor,
+    ni: usize,
+    cols: &[f32],
+    mrange: std::ops::Range<usize>,
+    dwrows: &mut [f32],
+    dbrows: &mut [f32],
+) {
+    let (_, m, h, w) = dy.shape_obj().nchw();
+    let hw = h * w;
+    let ckk = dwrows.len() / mrange.len().max(1);
+    let dydata = dy.data();
+    let dybase = ni * m * hw;
+    for mi in mrange.clone() {
+        let local = mi - mrange.start;
+        let dyrow = &dydata[dybase + mi * hw..dybase + (mi + 1) * hw];
+        dbrows[local] += dyrow.iter().sum::<f32>();
+        let dwrow = &mut dwrows[local * ckk..(local + 1) * ckk];
+        for (q, dwv) in dwrow.iter_mut().enumerate() {
+            let crow = &cols[q * hw..(q + 1) * hw];
+            let mut acc = 0.0f32;
+            for (&g, &cv) in dyrow.iter().zip(crow) {
+                acc += g * cv;
+            }
+            *dwv += acc;
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 //! feature maps.
 
 use crate::init;
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// A dense layer `y = W x + b` operating on `[N, D]` batches.
@@ -109,16 +110,27 @@ impl Dense {
         let (n, d) = batch_dims(x);
         assert_eq!(d, self.in_features, "input feature mismatch");
         let o = self.out_features;
+        let wdata = self.weight.data();
+        let bdata = self.bias.data();
+        let xdata = x.data();
         let mut y = Tensor::zeros(&[n, o]);
-        for ni in 0..n {
-            for oi in 0..o {
-                let mut acc = self.bias.data()[oi];
-                for di in 0..d {
-                    acc += self.weight.data()[oi * d + di] * x.data()[ni * d + di];
+        // Batch rows are independent; each row performs the serial
+        // arithmetic in the serial order, so any split is bit-identical.
+        let grain = parallel::grain_for(d * o);
+        parallel::parallel_for_disjoint(y.data_mut(), n, grain, |range, rows| {
+            for (local, ni) in range.enumerate() {
+                let xrow = &xdata[ni * d..(ni + 1) * d];
+                let yrow = &mut rows[local * o..(local + 1) * o];
+                for (oi, yv) in yrow.iter_mut().enumerate() {
+                    let mut acc = bdata[oi];
+                    let wrow = &wdata[oi * d..(oi + 1) * d];
+                    for (&wv, &xv) in wrow.iter().zip(xrow) {
+                        acc += wv * xv;
+                    }
+                    *yv = acc;
                 }
-                y.data_mut()[ni * o + oi] = acc;
             }
-        }
+        });
         y
     }
 
@@ -127,37 +139,61 @@ impl Dense {
         let (n, o) = batch_dims(dy);
         assert_eq!(o, self.out_features, "grad feature mismatch");
         let d = self.in_features;
+        let wdata = self.weight.data();
+        let dydata = dy.data();
         let mut dx = Tensor::zeros(&[n, d]);
-        for ni in 0..n {
-            for di in 0..d {
-                let mut acc = 0.0;
-                for oi in 0..o {
-                    acc += self.weight.data()[oi * d + di] * dy.data()[ni * o + oi];
+        let grain = parallel::grain_for(d * o);
+        parallel::parallel_for_disjoint(dx.data_mut(), n, grain, |range, rows| {
+            for (local, ni) in range.enumerate() {
+                let dyrow = &dydata[ni * o..(ni + 1) * o];
+                let dxrow = &mut rows[local * d..(local + 1) * d];
+                for (di, dxv) in dxrow.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (oi, &g) in dyrow.iter().enumerate() {
+                        acc += wdata[oi * d + di] * g;
+                    }
+                    *dxv = acc;
                 }
-                dx.data_mut()[ni * d + di] = acc;
             }
-        }
+        });
         dx
     }
 
     /// Weight and bias gradients from the cached input and `dy`.
+    ///
+    /// Parallel across output features; each feature's batch reduction
+    /// runs in sample order, so the result is bit-identical to the serial
+    /// pass for any thread count.
     pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
         let (n, d) = batch_dims(x);
         let (n2, o) = batch_dims(dy);
         assert_eq!(n, n2, "x/dy batch mismatch");
         assert_eq!(d, self.in_features);
         assert_eq!(o, self.out_features);
+        let xdata = x.data();
+        let dydata = dy.data();
         let mut dw = Tensor::zeros(&[o, d]);
         let mut db = Tensor::zeros(&[o]);
-        for ni in 0..n {
-            for oi in 0..o {
-                let g = dy.data()[ni * o + oi];
-                db.data_mut()[oi] += g;
-                for di in 0..d {
-                    dw.data_mut()[oi * d + di] += g * x.data()[ni * d + di];
+        let grain = parallel::grain_for(n * d);
+        parallel::parallel_for_disjoint2(
+            dw.data_mut(),
+            db.data_mut(),
+            o,
+            grain,
+            |range, dwrows, dbrows| {
+                for (local, oi) in range.enumerate() {
+                    let dwrow = &mut dwrows[local * d..(local + 1) * d];
+                    for ni in 0..n {
+                        let g = dydata[ni * o + oi];
+                        dbrows[local] += g;
+                        let xrow = &xdata[ni * d..(ni + 1) * d];
+                        for (dwv, &xv) in dwrow.iter_mut().zip(xrow) {
+                            *dwv += g * xv;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         (dw, db)
     }
 }

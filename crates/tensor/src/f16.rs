@@ -300,7 +300,7 @@ mod tests {
 
     #[test]
     fn quantize_roundtrip_vector() {
-        let v = vec![0.1, -2.5, 1000.0, 3.14159];
+        let v = vec![0.1, -2.5, 1000.0, std::f32::consts::PI];
         let q = quantize_roundtrip(&v);
         for (orig, quant) in v.iter().zip(&q) {
             assert!((orig - quant).abs() / orig.abs() < 1e-3);

@@ -16,6 +16,9 @@
 //!   the Neural-ODE adjoint pass can form vector-Jacobian products with
 //!   respect to both the input state and the parameters.
 //! * Optimizers ([`optim`]) and initializers ([`init`]).
+//! * A scoped worker-pool parallel execution layer ([`parallel`]) with a
+//!   bit-identical determinism contract, and the cache-blocked matmul
+//!   kernel ([`matmul`]) behind the im2col convolution fast path.
 //!
 //! # Example
 //!
@@ -45,9 +48,11 @@ pub mod dense;
 pub mod f16;
 pub mod gradcheck;
 pub mod init;
+pub mod matmul;
 pub mod network;
 pub mod norm;
 pub mod optim;
+pub mod parallel;
 pub mod pool;
 pub mod rng;
 pub mod shape;

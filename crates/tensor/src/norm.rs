@@ -6,6 +6,7 @@
 //! NN core's pre-/post-processing unit computes "Norm and ReLU layers"
 //! (§VI); this module is that Norm.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Per-group normalization statistics cached by the forward pass and
@@ -107,107 +108,157 @@ impl GroupNorm {
         let (n, c, h, w) = x.shape_obj().nchw();
         assert_eq!(c, self.channels, "channel mismatch");
         let cg = c / self.groups;
-        let group_len = cg * h * w;
+        let hw = h * w;
+        let group_len = cg * hw;
+        let groups = self.groups;
+        let xdata = x.data();
+        let gdata = self.gamma.data();
+        let bdata = self.beta.data();
         let mut xhat = Tensor::zeros_like(x);
-        let mut inv_std = Vec::with_capacity(n * self.groups);
-        for ni in 0..n {
-            for g in 0..self.groups {
-                let mut sum = 0.0f64;
-                let mut sumsq = 0.0f64;
-                for ci in g * cg..(g + 1) * cg {
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let v = x.at4(ni, ci, hi, wi) as f64;
+        let mut inv_std = vec![0.0f32; n * groups];
+        let mut y = Tensor::zeros_like(x);
+        // Samples are independent (GroupNorm statistics never cross the
+        // batch), so split the batch; per-sample arithmetic is the serial
+        // loop verbatim — bit-identical for any thread count.
+        let grain = parallel::grain_for(4 * c * hw);
+        parallel::parallel_for_disjoint3(
+            xhat.data_mut(),
+            y.data_mut(),
+            &mut inv_std,
+            n,
+            grain,
+            |range, xh_slab, y_slab, istd_slab| {
+                for (local, ni) in range.enumerate() {
+                    let xs = &xdata[ni * c * hw..(ni + 1) * c * hw];
+                    let xh = &mut xh_slab[local * c * hw..(local + 1) * c * hw];
+                    for g in 0..groups {
+                        let slab = &xs[g * group_len..(g + 1) * group_len];
+                        let mut sum = 0.0f64;
+                        let mut sumsq = 0.0f64;
+                        for &v in slab {
+                            let v = v as f64;
                             sum += v;
                             sumsq += v * v;
                         }
+                        let mean = sum / group_len as f64;
+                        let var = (sumsq / group_len as f64 - mean * mean).max(0.0);
+                        let istd = 1.0 / (var + self.eps as f64).sqrt();
+                        istd_slab[local * groups + g] = istd as f32;
+                        for (xhv, &v) in xh[g * group_len..(g + 1) * group_len].iter_mut().zip(slab)
+                        {
+                            *xhv = ((v as f64 - mean) * istd) as f32;
+                        }
                     }
-                }
-                let mean = sum / group_len as f64;
-                let var = (sumsq / group_len as f64 - mean * mean).max(0.0);
-                let istd = 1.0 / (var + self.eps as f64).sqrt();
-                inv_std.push(istd as f32);
-                for ci in g * cg..(g + 1) * cg {
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let v = x.at4(ni, ci, hi, wi) as f64;
-                            *xhat.at4_mut(ni, ci, hi, wi) = ((v - mean) * istd) as f32;
+                    let ys = &mut y_slab[local * c * hw..(local + 1) * c * hw];
+                    for ci in 0..c {
+                        let gm = gdata[ci];
+                        let bt = bdata[ci];
+                        for (yv, &xhv) in ys[ci * hw..(ci + 1) * hw]
+                            .iter_mut()
+                            .zip(&xh[ci * hw..(ci + 1) * hw])
+                        {
+                            *yv = gm * xhv + bt;
                         }
                     }
                 }
-            }
-        }
-        let mut y = Tensor::zeros_like(x);
-        for ni in 0..n {
-            for ci in 0..c {
-                let gm = self.gamma.data()[ci];
-                let bt = self.beta.data()[ci];
-                for hi in 0..h {
-                    for wi in 0..w {
-                        *y.at4_mut(ni, ci, hi, wi) = gm * xhat.at4(ni, ci, hi, wi) + bt;
-                    }
-                }
-            }
-        }
+            },
+        );
         (y, GroupNormCache { xhat, inv_std })
     }
 
     /// Backward pass: returns `(dx, dgamma, dbeta)`.
+    ///
+    /// Parallel across samples. `dx` is disjoint per sample; the
+    /// `dgamma`/`dbeta` batch reductions combine per-sample partials in
+    /// sample order (a fixed tree), so the result is bit-identical to the
+    /// serial pass for any thread count.
     pub fn backward(&self, cache: &GroupNormCache, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
         let (n, c, h, w) = dy.shape_obj().nchw();
         assert_eq!(c, self.channels, "channel mismatch");
         let cg = c / self.groups;
-        let group_len = (cg * h * w) as f32;
+        let hw = h * w;
+        let group_len = (cg * hw) as f32;
+        let groups = self.groups;
+        let dydata = dy.data();
+        let xhdata = cache.xhat.data();
+        let gdata = self.gamma.data();
         let mut dgamma = Tensor::zeros(&[c]);
         let mut dbeta = Tensor::zeros(&[c]);
-        for ni in 0..n {
-            for ci in 0..c {
-                let mut dg = 0.0f32;
-                let mut db = 0.0f32;
-                for hi in 0..h {
-                    for wi in 0..w {
-                        let g = dy.at4(ni, ci, hi, wi);
-                        dg += g * cache.xhat.at4(ni, ci, hi, wi);
-                        db += g;
-                    }
-                }
-                dgamma.data_mut()[ci] += dg;
-                dbeta.data_mut()[ci] += db;
-            }
-        }
         let mut dx = Tensor::zeros_like(dy);
-        for ni in 0..n {
-            for g in 0..self.groups {
-                let istd = cache.inv_std[ni * self.groups + g];
-                // dxhat = dy * gamma; then the standard normalization
-                // backward: dx = istd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
-                let mut mean_dxhat = 0.0f64;
-                let mut mean_dxhat_xhat = 0.0f64;
-                for ci in g * cg..(g + 1) * cg {
-                    let gm = self.gamma.data()[ci] as f64;
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let dxh = dy.at4(ni, ci, hi, wi) as f64 * gm;
-                            mean_dxhat += dxh;
-                            mean_dxhat_xhat += dxh * cache.xhat.at4(ni, ci, hi, wi) as f64;
+        let grain = parallel::grain_for(8 * c * hw);
+        // Per-sample partial (dgamma, dbeta) rows, combined serially below.
+        parallel::with_scratch_f32(n * 2 * c, |partials| {
+            parallel::parallel_for_disjoint2(
+                dx.data_mut(),
+                partials,
+                n,
+                grain,
+                |range, dx_slab, part_slab| {
+                    for (local, ni) in range.enumerate() {
+                        let dys = &dydata[ni * c * hw..(ni + 1) * c * hw];
+                        let xhs = &xhdata[ni * c * hw..(ni + 1) * c * hw];
+                        let part = &mut part_slab[local * 2 * c..(local + 1) * 2 * c];
+                        let (dgp, dbp) = part.split_at_mut(c);
+                        for ci in 0..c {
+                            let mut dg = 0.0f32;
+                            let mut db = 0.0f32;
+                            for (&g, &xh) in dys[ci * hw..(ci + 1) * hw]
+                                .iter()
+                                .zip(&xhs[ci * hw..(ci + 1) * hw])
+                            {
+                                dg += g * xh;
+                                db += g;
+                            }
+                            dgp[ci] = dg;
+                            dbp[ci] = db;
+                        }
+                        let dxs = &mut dx_slab[local * c * hw..(local + 1) * c * hw];
+                        for g in 0..groups {
+                            let istd = cache.inv_std[ni * groups + g];
+                            // dxhat = dy * gamma; then the standard normalization
+                            // backward: dx = istd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
+                            let mut mean_dxhat = 0.0f64;
+                            let mut mean_dxhat_xhat = 0.0f64;
+                            for ci in g * cg..(g + 1) * cg {
+                                let gm = gdata[ci] as f64;
+                                for (&gy, &xh) in dys[ci * hw..(ci + 1) * hw]
+                                    .iter()
+                                    .zip(&xhs[ci * hw..(ci + 1) * hw])
+                                {
+                                    let dxh = gy as f64 * gm;
+                                    mean_dxhat += dxh;
+                                    mean_dxhat_xhat += dxh * xh as f64;
+                                }
+                            }
+                            mean_dxhat /= group_len as f64;
+                            mean_dxhat_xhat /= group_len as f64;
+                            for ci in g * cg..(g + 1) * cg {
+                                let gm = gdata[ci] as f64;
+                                for ((dxv, &gy), &xh) in dxs[ci * hw..(ci + 1) * hw]
+                                    .iter_mut()
+                                    .zip(&dys[ci * hw..(ci + 1) * hw])
+                                    .zip(&xhs[ci * hw..(ci + 1) * hw])
+                                {
+                                    let dxh = gy as f64 * gm;
+                                    *dxv = (istd as f64
+                                        * (dxh - mean_dxhat - xh as f64 * mean_dxhat_xhat))
+                                        as f32;
+                                }
+                            }
                         }
                     }
+                },
+            );
+            for ni in 0..n {
+                let part = &partials[ni * 2 * c..(ni + 1) * 2 * c];
+                for (v, &p) in dgamma.data_mut().iter_mut().zip(&part[..c]) {
+                    *v += p;
                 }
-                mean_dxhat /= group_len as f64;
-                mean_dxhat_xhat /= group_len as f64;
-                for ci in g * cg..(g + 1) * cg {
-                    let gm = self.gamma.data()[ci] as f64;
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let dxh = dy.at4(ni, ci, hi, wi) as f64 * gm;
-                            let xh = cache.xhat.at4(ni, ci, hi, wi) as f64;
-                            *dx.at4_mut(ni, ci, hi, wi) =
-                                (istd as f64 * (dxh - mean_dxhat - xh * mean_dxhat_xhat)) as f32;
-                        }
-                    }
+                for (v, &p) in dbeta.data_mut().iter_mut().zip(&part[c..]) {
+                    *v += p;
                 }
             }
-        }
+        });
         (dx, dgamma, dbeta)
     }
 }

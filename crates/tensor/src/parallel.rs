@@ -1,0 +1,718 @@
+//! A scoped worker-pool parallel execution layer.
+//!
+//! The build is fully offline (no rayon), so this module implements the
+//! small slice of a data-parallel runtime the workspace needs on plain
+//! `std::thread`: a persistent pool of workers, a blocking
+//! [`parallel_for`]-style broadcast over index ranges, disjoint-slice
+//! variants for writing shared output buffers safely, and a
+//! [`parallel_map`] for independent tasks (per-sample NODE solves,
+//! independent benches).
+//!
+//! # Thread count
+//!
+//! The global pool sizes itself from the `ENODE_THREADS` environment
+//! variable when set, otherwise from
+//! [`std::thread::available_parallelism`]. [`with_threads`] overrides the
+//! pool for the current thread's dynamic extent — the determinism tests
+//! and the benchmark harness use it to compare 1/2/4-thread runs inside
+//! one process.
+//!
+//! # Determinism contract
+//!
+//! Every helper here splits work into *contiguous chunks of a fixed item
+//! decomposition*; each item writes disjoint output and performs exactly
+//! the arithmetic the serial loop performs, in the same order. Reductions
+//! in the kernels built on top (conv weight-grad, GroupNorm parameter
+//! grads) combine per-item partials serially in item order — a fixed tree
+//! independent of the thread count. Together this makes every parallel
+//! result **bit-identical** to the serial result for any pool size,
+//! mirroring how the eNODE PE array parallelizes a conv across channels
+//! without changing the accumulation order within an output pixel.
+//!
+//! # Nesting
+//!
+//! Calls from inside a pool worker run serially on that worker (the pool
+//! is not re-entrant); only the outermost parallel region fans out. This
+//! keeps `with_threads(1)` a true serial baseline and makes nested
+//! kernel parallelism (batched inference over samples, conv inside each
+//! sample) deadlock-free by construction.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased broadcast job: `call(ctx, worker_index, worker_count)`.
+#[derive(Clone, Copy)]
+struct Job {
+    ctx: *const (),
+    call: unsafe fn(*const (), usize, usize),
+}
+
+// SAFETY: `ctx` points at a closure that outlives the broadcast (the
+// submitting thread blocks until every worker finishes) and the closure
+// is `Sync`, so sharing the pointer across worker threads is sound.
+unsafe impl Send for Job {}
+
+struct Slot {
+    epoch: u64,
+    job: Option<Job>,
+    pending: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Locks ignoring poisoning: panic state is tracked explicitly in
+/// [`Slot::panicked`], and a submitter that re-raises a worker panic
+/// while holding the submit guard must not wedge later broadcasts.
+fn lock_pool<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A persistent pool of `threads - 1` workers; the submitting thread acts
+/// as worker 0 of every broadcast.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    submit: Mutex<()>,
+    threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static OVERRIDE: std::cell::RefCell<Option<Arc<ThreadPool>>> =
+        const { std::cell::RefCell::new(None) };
+    static SCRATCH: std::cell::RefCell<Vec<Vec<f32>>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs broadcasts over `threads` lanes
+    /// (`threads - 1` spawned workers plus the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for idx in 1..threads {
+            let sh = Arc::clone(&shared);
+            let total = threads;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("enode-pool-{idx}"))
+                    .spawn(move || worker_loop(&sh, idx, total))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            shared,
+            submit: Mutex::new(()),
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Total broadcast lanes (spawned workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(lane, lanes)` once per lane, blocking until all lanes
+    /// finish. Lane 0 runs on the calling thread. Falls back to a single
+    /// serial call when the pool has one lane or when called from inside a
+    /// pool worker (the pool is not re-entrant).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic if any lane panicked.
+    pub fn broadcast<F: Fn(usize, usize) + Sync>(&self, f: &F) {
+        if self.threads <= 1 || IN_WORKER.with(|w| w.get()) {
+            f(0, 1);
+            return;
+        }
+        let _submit = lock_pool(&self.submit);
+        unsafe fn call_closure<F: Fn(usize, usize) + Sync>(
+            ctx: *const (),
+            lane: usize,
+            lanes: usize,
+        ) {
+            // SAFETY: `ctx` was produced from `&F` below and the broadcast
+            // has not completed, so the reference is live.
+            let f = unsafe { &*(ctx as *const F) };
+            f(lane, lanes);
+        }
+        {
+            let mut slot = lock_pool(&self.shared.slot);
+            slot.epoch += 1;
+            slot.job = Some(Job {
+                ctx: f as *const F as *const (),
+                call: call_closure::<F>,
+            });
+            slot.pending = self.threads - 1;
+            slot.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // Whatever happens on lane 0 (including a panic), we must not
+        // return before every worker is done with the borrowed closure.
+        struct WaitAll<'a>(&'a Shared);
+        impl Drop for WaitAll<'_> {
+            fn drop(&mut self) {
+                let mut slot = lock_pool(&self.0.slot);
+                while slot.pending > 0 {
+                    slot = self
+                        .0
+                        .done
+                        .wait(slot)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                slot.job = None;
+            }
+        }
+        // Lane 0 counts as a worker while the region runs, so a nested
+        // parallel region on the submitting thread degrades to serial
+        // instead of re-entering this non-reentrant broadcast.
+        struct Lane0<'a>(&'a std::cell::Cell<bool>);
+        impl Drop for Lane0<'_> {
+            fn drop(&mut self) {
+                self.0.set(false);
+            }
+        }
+        let panicked = {
+            let _wait = WaitAll(&self.shared);
+            IN_WORKER.with(|w| {
+                w.set(true);
+                let _lane0 = Lane0(w);
+                f(0, self.threads);
+            });
+            // _wait drops here: blocks until workers drain, then we check
+            // the panic flag under a fresh lock below.
+            drop(_wait);
+            let mut slot = lock_pool(&self.shared.slot);
+            std::mem::take(&mut slot.panicked)
+        };
+        if panicked {
+            panic!("a pool worker panicked during a parallel region");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock_pool(&self.shared.slot);
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in lock_pool(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize, lanes: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock_pool(&shared.slot);
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    break slot.job.expect("job present at new epoch");
+                }
+                slot = shared
+                    .work
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // A panicking job must not kill the worker (later broadcasts would
+        // wait forever on a dead lane): catch it, record it for the
+        // submitter to re-raise, and always decrement `pending`.
+        // SAFETY: the submitter blocks until `pending` hits zero, so the
+        // closure behind `ctx` outlives this call.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (job.call)(job.ctx, lane, lanes)
+        }))
+        .is_err();
+        let mut slot = lock_pool(&shared.slot);
+        if panicked {
+            slot.panicked = true;
+        }
+        slot.pending -= 1;
+        if slot.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Thread count requested by the environment: `ENODE_THREADS` when set to
+/// a positive integer, else [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("ENODE_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn pool_with(threads: usize) -> Arc<ThreadPool> {
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock_pool(registry);
+    Arc::clone(
+        map.entry(threads)
+            .or_insert_with(|| Arc::new(ThreadPool::new(threads))),
+    )
+}
+
+/// The pool governing parallel regions on this thread: the
+/// [`with_threads`] override when inside one, else the global
+/// [`default_threads`]-sized pool.
+pub fn current_pool() -> Arc<ThreadPool> {
+    if let Some(p) = OVERRIDE.with(|o| o.borrow().clone()) {
+        return p;
+    }
+    pool_with(default_threads())
+}
+
+/// Lane count of [`current_pool`] (1 inside a pool worker, where nested
+/// regions run serially).
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        1
+    } else {
+        current_pool().threads()
+    }
+}
+
+/// Runs `f` with every parallel region on this thread using a
+/// `threads`-lane pool (pools are cached and reused across calls). The
+/// override is thread-local and restored on exit, even on panic.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = pool_with(threads);
+    struct Restore(Option<Arc<ThreadPool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| *o.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.borrow_mut().replace(pool));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Balanced contiguous chunk `i` of `0..n` split `ways` ways: sizes differ
+/// by at most one, earlier chunks take the remainder.
+fn chunk(n: usize, ways: usize, i: usize) -> Range<usize> {
+    let base = n / ways;
+    let rem = n % ways;
+    let start = i * base + i.min(rem);
+    let end = start + base + usize::from(i < rem);
+    start..end
+}
+
+/// Number of chunks to split `n` items into, given a minimum grain per
+/// chunk and the current pool width.
+fn plan_chunks(n: usize, grain: usize) -> usize {
+    let lanes = current_threads();
+    lanes.min(n / grain.max(1)).max(1)
+}
+
+/// Runs `f` over contiguous subranges of `0..n` covering every index
+/// exactly once, in parallel across the current pool. `grain` is the
+/// minimum number of items that justifies a chunk — pass the approximate
+/// item count below which threading overhead dominates.
+///
+/// `f` must only perform disjoint work per index (use the
+/// `parallel_for_disjoint*` variants to write shared buffers).
+pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let ways = plan_chunks(n, grain);
+    if ways <= 1 {
+        f(0..n);
+        return;
+    }
+    current_pool().broadcast(&|lane, lanes| {
+        let ways = ways.min(lanes);
+        if lane < ways {
+            let r = chunk(n, ways, lane);
+            if !r.is_empty() {
+                f(r);
+            }
+        }
+    });
+}
+
+/// Suggested `grain` for items that each perform roughly `flops_per_item`
+/// scalar operations: enough items per chunk that a chunk carries at least
+/// ~16k operations, below which dispatch overhead dominates.
+pub fn grain_for(flops_per_item: usize) -> usize {
+    const MIN_CHUNK_FLOPS: usize = 16 * 1024;
+    MIN_CHUNK_FLOPS.div_ceil(flops_per_item.max(1))
+}
+
+/// A raw pointer that asserts cross-thread shareability for disjoint
+/// writes.
+struct SendPtr<T>(*mut T);
+// SAFETY: only used by the disjoint helpers below, which hand each lane a
+// non-overlapping subslice.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than a field read) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `data` into `items` equal strides and runs
+/// `f(item_range, chunk_slice)` over contiguous item chunks in parallel;
+/// `chunk_slice` is exactly `data[range.start * s .. range.end * s]` with
+/// `s = data.len() / items`.
+///
+/// # Panics
+///
+/// Panics if `items` does not evenly divide `data.len()`.
+pub fn parallel_for_disjoint<T: Send, F>(data: &mut [T], items: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    if items == 0 {
+        return;
+    }
+    assert_eq!(
+        data.len() % items,
+        0,
+        "disjoint split needs a whole stride per item"
+    );
+    let stride = data.len() / items;
+    let ptr = SendPtr(data.as_mut_ptr());
+    parallel_for(items, grain, |r| {
+        // SAFETY: chunks over `0..items` are disjoint, so the derived
+        // subslices never overlap across lanes; `ptr` outlives the region
+        // because the caller's `&mut data` borrow does.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(r.start * stride), r.len() * stride)
+        };
+        f(r, slice);
+    });
+}
+
+/// Two-buffer variant of [`parallel_for_disjoint`]: each item owns stride
+/// `a.len() / items` of `a` and `b.len() / items` of `b`.
+///
+/// # Panics
+///
+/// Panics if `items` does not evenly divide both lengths.
+pub fn parallel_for_disjoint2<A: Send, B: Send, F>(
+    a: &mut [A],
+    b: &mut [B],
+    items: usize,
+    grain: usize,
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+{
+    if items == 0 {
+        return;
+    }
+    assert_eq!(a.len() % items, 0, "disjoint split (a) needs whole strides");
+    assert_eq!(b.len() % items, 0, "disjoint split (b) needs whole strides");
+    let (sa, sb) = (a.len() / items, b.len() / items);
+    let (pa, pb) = (SendPtr(a.as_mut_ptr()), SendPtr(b.as_mut_ptr()));
+    parallel_for(items, grain, |r| {
+        // SAFETY: as in `parallel_for_disjoint`, per-lane item ranges are
+        // disjoint and both borrows outlive the region.
+        let (sl_a, sl_b) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(pa.get().add(r.start * sa), r.len() * sa),
+                std::slice::from_raw_parts_mut(pb.get().add(r.start * sb), r.len() * sb),
+            )
+        };
+        f(r, sl_a, sl_b);
+    });
+}
+
+/// Three-buffer variant of [`parallel_for_disjoint`].
+///
+/// # Panics
+///
+/// Panics if `items` does not evenly divide all three lengths.
+pub fn parallel_for_disjoint3<A: Send, B: Send, C: Send, F>(
+    a: &mut [A],
+    b: &mut [B],
+    c: &mut [C],
+    items: usize,
+    grain: usize,
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [A], &mut [B], &mut [C]) + Sync,
+{
+    if items == 0 {
+        return;
+    }
+    for (len, name) in [(a.len(), "a"), (b.len(), "b"), (c.len(), "c")] {
+        assert_eq!(
+            len % items,
+            0,
+            "disjoint split ({name}) needs whole strides"
+        );
+    }
+    let (sa, sb, sc) = (a.len() / items, b.len() / items, c.len() / items);
+    let (pa, pb, pc) = (
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+    );
+    parallel_for(items, grain, |r| {
+        // SAFETY: as in `parallel_for_disjoint`.
+        let (sl_a, sl_b, sl_c) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(pa.get().add(r.start * sa), r.len() * sa),
+                std::slice::from_raw_parts_mut(pb.get().add(r.start * sb), r.len() * sb),
+                std::slice::from_raw_parts_mut(pc.get().add(r.start * sc), r.len() * sc),
+            )
+        };
+        f(r, sl_a, sl_b, sl_c);
+    });
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+/// Each item is one unit of work (grain 1): use for coarse independent
+/// tasks such as per-sample NODE solves or whole benches.
+pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    parallel_for_disjoint(&mut out, items.len(), 1, |range, slots| {
+        for (slot, idx) in slots.iter_mut().zip(range) {
+            *slot = Some(f(&items[idx]));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every map slot filled"))
+        .collect()
+}
+
+/// Runs two closures, in parallel when the pool has idle lanes, and
+/// returns both results.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let (ma, mb) = (
+            Mutex::new((&mut ra, Some(a))),
+            Mutex::new((&mut rb, Some(b))),
+        );
+        current_pool().broadcast(&|lane, _| match lane {
+            0 => {
+                let mut g = ma.lock().unwrap();
+                let f = g.1.take().expect("lane 0 runs once");
+                *g.0 = Some(f());
+            }
+            1 => {
+                let mut g = mb.lock().unwrap();
+                let f = g.1.take().expect("lane 1 runs once");
+                *g.0 = Some(f());
+            }
+            _ => {}
+        });
+    }
+    (
+        ra.expect("join closure a ran"),
+        rb.expect("join closure b ran"),
+    )
+}
+
+/// Borrows a reusable per-thread `f32` scratch buffer of exactly `len`
+/// elements. Buffers come from a thread-local arena, so repeated kernel
+/// calls (e.g. im2col inside a solver loop) stop churning the allocator;
+/// nested checkouts on one thread get distinct buffers.
+///
+/// The buffer's contents are unspecified on entry — callers must fully
+/// overwrite what they read.
+pub fn with_scratch_f32<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    buf.resize(len, 0.0);
+    let r = f(&mut buf[..len]);
+    SCRATCH.with(|s| s.borrow_mut().push(buf));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_and_balance() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for ways in 1..=5 {
+                let mut seen = vec![0u8; n];
+                for i in 0..ways {
+                    for j in chunk(n, ways, i) {
+                        seen[j] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} ways={ways}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        for threads in [1usize, 2, 4] {
+            with_threads(threads, || {
+                let counters: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for(37, 1, |r| {
+                    for i in r {
+                        counters[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn disjoint_write_matches_serial() {
+        let serial: Vec<f32> = (0..24).map(|i| (i * i) as f32).collect();
+        for threads in [1usize, 2, 4] {
+            let mut out = vec![0.0f32; 24];
+            with_threads(threads, || {
+                parallel_for_disjoint(&mut out, 8, 1, |range, slab| {
+                    for (k, item) in range.enumerate() {
+                        for j in 0..3 {
+                            let i = item * 3 + j;
+                            slab[k * 3 + j] = (i * i) as f32;
+                        }
+                    }
+                });
+            });
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..19).collect();
+        for threads in [1usize, 3] {
+            let out = with_threads(threads, || parallel_map(&items, |&i| i * 2 + 1));
+            assert_eq!(out, (0..19).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for threads in [1usize, 2] {
+            let (a, b) = with_threads(threads, || join(|| 6 * 7, || "ok"));
+            assert_eq!((a, b), (42, "ok"));
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_serially_without_deadlock() {
+        with_threads(4, || {
+            let counters: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(8, 1, |outer| {
+                for i in outer {
+                    // Nested region: must degrade to serial on this lane.
+                    parallel_for(4, 1, |inner| {
+                        counters[i].fetch_add(inner.len(), Ordering::Relaxed);
+                    });
+                }
+            });
+            assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 4));
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                parallel_for(2, 1, |r| {
+                    if r.contains(&1) {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        // The pool must still be usable afterwards.
+        with_threads(2, || {
+            let hits = AtomicUsize::new(0);
+            parallel_for(4, 1, |r| {
+                hits.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+        });
+    }
+
+    #[test]
+    fn scratch_reuses_and_nests() {
+        with_scratch_f32(16, |a| {
+            a.fill(1.0);
+            with_scratch_f32(8, |b| {
+                b.fill(2.0);
+                assert_eq!(a.len(), 16);
+                assert_eq!(b.len(), 8);
+            });
+            assert!(a.iter().all(|&v| v == 1.0));
+        });
+        // Second checkout reuses a pooled buffer (no way to observe the
+        // allocation directly; this exercises the resize path).
+        with_scratch_f32(32, |a| assert_eq!(a.len(), 32));
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(2, || assert_eq!(current_threads(), 2));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+}

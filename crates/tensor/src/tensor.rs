@@ -110,6 +110,16 @@ impl Tensor {
         self.data
     }
 
+    /// Copies `other`'s elements into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Element at a 4-D index.
     #[inline]
     pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {

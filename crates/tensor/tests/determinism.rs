@@ -1,0 +1,136 @@
+//! Parallel-vs-serial determinism suite for the tensor kernels.
+//!
+//! The parallel layer's contract (see `DESIGN.md`) is that every kernel
+//! produces bit-identical results for any thread count. These tests run
+//! each kernel under pool widths 1, 2, and 4 via
+//! [`parallel::with_threads`] and compare the raw `f32` buffers with
+//! `assert_eq!` — no tolerances. Shapes are chosen to be awkward:
+//! batch 1 (degenerate batch split), a single output channel (degenerate
+//! channel split), and H·W = 15 (not divisible by 2 or 4), so chunk
+//! boundaries land mid-structure in every decomposition.
+
+use enode_tensor::conv::Conv2d;
+use enode_tensor::dense::Dense;
+use enode_tensor::norm::GroupNorm;
+use enode_tensor::{init, parallel, Tensor};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Runs `f` once per pool width and asserts every run's output buffers
+/// are bit-identical to the width-1 run.
+fn assert_same_bits<F: Fn() -> Vec<Tensor>>(what: &str, f: F) {
+    let baseline = parallel::with_threads(1, &f);
+    for &t in &THREADS[1..] {
+        let got = parallel::with_threads(t, &f);
+        assert_eq!(baseline.len(), got.len());
+        for (i, (b, g)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                b.data(),
+                g.data(),
+                "{what}: output {i} differs at {t} threads"
+            );
+        }
+    }
+}
+
+fn conv_cases() -> Vec<(Conv2d, Tensor, Tensor)> {
+    // (conv, x, dy) triples covering both decomposition branches:
+    //  - n >= threads (batch split) and n < threads (per-sample split),
+    //  - m = 1 (single output channel) and c = 1 (single input channel),
+    //  - H*W = 15, not divisible by 2 or 4.
+    vec![
+        (
+            Conv2d::new_seeded(3, 4, 3, 11),
+            init::uniform(&[5, 3, 5, 3], -1.0, 1.0, 12),
+            init::uniform(&[5, 4, 5, 3], -1.0, 1.0, 13),
+        ),
+        (
+            Conv2d::new_seeded(3, 4, 3, 21),
+            init::uniform(&[1, 3, 5, 3], -1.0, 1.0, 22),
+            init::uniform(&[1, 4, 5, 3], -1.0, 1.0, 23),
+        ),
+        (
+            Conv2d::new_seeded(2, 1, 3, 31),
+            init::uniform(&[2, 2, 5, 3], -1.0, 1.0, 32),
+            init::uniform(&[2, 1, 5, 3], -1.0, 1.0, 33),
+        ),
+        (
+            Conv2d::new_seeded(1, 3, 1, 41),
+            init::uniform(&[3, 1, 5, 3], -1.0, 1.0, 42),
+            init::uniform(&[3, 3, 5, 3], -1.0, 1.0, 43),
+        ),
+    ]
+}
+
+#[test]
+fn conv2d_forward_is_bit_identical_across_thread_counts() {
+    for (i, (conv, x, _)) in conv_cases().into_iter().enumerate() {
+        assert_same_bits(&format!("conv forward case {i}"), || vec![conv.forward(&x)]);
+    }
+}
+
+#[test]
+fn conv2d_backward_input_is_bit_identical_across_thread_counts() {
+    for (i, (conv, _, dy)) in conv_cases().into_iter().enumerate() {
+        assert_same_bits(&format!("conv backward_input case {i}"), || {
+            vec![conv.backward_input(&dy)]
+        });
+    }
+}
+
+#[test]
+fn conv2d_backward_params_is_bit_identical_across_thread_counts() {
+    for (i, (conv, x, dy)) in conv_cases().into_iter().enumerate() {
+        assert_same_bits(&format!("conv backward_params case {i}"), || {
+            let (dw, db) = conv.backward_params(&x, &dy);
+            vec![dw, db]
+        });
+    }
+}
+
+#[test]
+fn dense_kernels_are_bit_identical_across_thread_counts() {
+    // Batch 5 (odd, not divisible by 2 or 4) and batch 1.
+    for (i, n) in [5usize, 1].into_iter().enumerate() {
+        let dense = Dense::new_seeded(7, 3, 51);
+        let x = init::uniform(&[n, 7], -1.0, 1.0, 52);
+        let dy = init::uniform(&[n, 3], -1.0, 1.0, 53);
+        assert_same_bits(&format!("dense forward case {i}"), || {
+            vec![dense.forward(&x)]
+        });
+        assert_same_bits(&format!("dense backward_input case {i}"), || {
+            vec![dense.backward_input(&dy)]
+        });
+        assert_same_bits(&format!("dense backward_params case {i}"), || {
+            let (dw, db) = dense.backward_params(&x, &dy);
+            vec![dw, db]
+        });
+    }
+}
+
+#[test]
+fn groupnorm_is_bit_identical_across_thread_counts() {
+    // Batch 3 and batch 1, H*W = 15.
+    for (i, n) in [3usize, 1].into_iter().enumerate() {
+        let gn = GroupNorm::new(4, 2);
+        let x = init::uniform(&[n, 4, 5, 3], -2.0, 2.0, 61);
+        let dy = init::uniform(&[n, 4, 5, 3], -1.0, 1.0, 62);
+        assert_same_bits(&format!("groupnorm case {i}"), || {
+            let (y, cache) = gn.forward(&x);
+            let (dx, dgamma, dbeta) = gn.backward(&cache, &dy);
+            let istd = Tensor::from_vec(cache.inv_std.clone(), &[cache.inv_std.len()]);
+            vec![y, cache.xhat.clone(), istd, dx, dgamma, dbeta]
+        });
+    }
+}
+
+#[test]
+fn env_pool_and_override_pool_agree() {
+    // `with_threads(k, ..)` must reproduce whatever the ambient pool
+    // computes: run once on the session default pool and once pinned.
+    let conv = Conv2d::new_seeded(2, 2, 3, 71);
+    let x = init::uniform(&[4, 2, 5, 3], -1.0, 1.0, 72);
+    let ambient = conv.forward(&x);
+    let pinned = parallel::with_threads(parallel::current_threads().max(1), || conv.forward(&x));
+    assert_eq!(ambient.data(), pinned.data());
+}
