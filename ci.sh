@@ -19,10 +19,25 @@ cargo test -q --workspace
 echo "==> cargo test -q --workspace (ENODE_THREADS=4)"
 ENODE_THREADS=4 cargo test -q --workspace
 
+echo "==> sanitizer-enabled tensor suite + mutation tests (ENODE_THREADS=4)"
+ENODE_THREADS=4 cargo test -q -p enode-tensor --features sanitize
+
 echo "==> bench_kernels_json smoke run (--quick)"
 cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mktemp)"
 
 echo "==> enode-lint (static analysis over shipped artifacts)"
 cargo run -q --release -p enode-analysis --bin enode-lint
+
+echo "==> enode-lint --json (no error-severity diagnostics)"
+lint_json="$(cargo run -q --release -p enode-analysis --bin enode-lint -- --json)" || {
+  echo "enode-lint --json exited nonzero:"
+  echo "$lint_json"
+  exit 1
+}
+if echo "$lint_json" | grep -q '"severity":"error"'; then
+  echo "error-severity lint diagnostics:"
+  echo "$lint_json" | grep '"severity":"error"'
+  exit 1
+fi
 
 echo "CI OK"

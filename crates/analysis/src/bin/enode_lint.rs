@@ -1,12 +1,38 @@
 //! `enode-lint`: runs every static-analysis pass over the repository's
-//! shipped tableaux, depth-first DDG schedules, paper models, and Table I
-//! hardware configurations. Exits nonzero if any error-severity
-//! diagnostic fires, so it can gate CI.
+//! shipped tableaux, depth-first DDG schedules, paper models, Table I
+//! hardware configurations, and registered parallel kernel splits. Exits
+//! nonzero if any error-severity diagnostic fires, so it can gate CI.
+//!
+//! `--json` switches to machine-readable output: one JSON object per
+//! diagnostic per line (keys `code`, `severity`, `artifact`, `message`,
+//! `notes`), nothing else on stdout, so CI can diff lint results across
+//! PRs with line-oriented tools.
 
-use enode_analysis::{ddg, hwcheck, lint_everything, shape, tableau};
+use enode_analysis::{ddg, hwcheck, lint_everything, parallelcheck, shape, tableau};
 use enode_node::model::NodeModel;
 
 fn main() {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("enode-lint: unknown argument `{other}` (supported: --json)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = lint_everything();
+
+    if json {
+        print!("{}", all.render_json());
+        if all.has_errors() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     println!("enode-lint: static analysis of the eNODE stack\n");
 
     println!(
@@ -34,9 +60,11 @@ fn main() {
     println!("\n-- hardware configurations (Table I) --");
     print!("{}", hwcheck::lint_paper_configs().render());
 
-    // The authoritative verdict covers every model, not just the sample
+    println!("\n-- parallel kernel splits --");
+    print!("{}", parallelcheck::lint_registered_splits(4).render());
+
+    // The authoritative verdict covers every model, not just the samples
     // printed above.
-    let all = lint_everything();
     println!("\n-- total --");
     print!("{}", all.render());
 

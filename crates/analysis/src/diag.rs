@@ -15,6 +15,7 @@
 //! | `E010–E019` / `W010–W019` | DDG schedule lints ([`crate::ddg`]) |
 //! | `E020–E029` / `W020–W029` | Network shape & FP16 range lints ([`crate::shape`]) |
 //! | `E030–E039` / `W030–W039` | Hardware feasibility lints ([`crate::hwcheck`]) |
+//! | `E040–E049` / `W040–W049` | Parallel kernel-split lints ([`crate::parallelcheck`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text, emit it from the pass, and
@@ -94,6 +95,29 @@ pub enum Code {
     /// batch 1 with per-batch-only splitting), so the run is silently
     /// serial.
     W034HwDegenerateParallelSplit,
+
+    // --- parallel kernel-split lints (E040-E049 / W040-W049) ---
+    /// A split buffer's length is not a whole number of strides per item,
+    /// so the disjoint decomposition would be rejected at runtime.
+    E040ParStrideIndivisible,
+    /// A per-lane scratch arena is smaller than the bytes the
+    /// decomposition writes through it.
+    E041ParScratchUndersized,
+    /// A reduction kernel declares a non-serial partial combine, which
+    /// breaks the bit-identical determinism contract.
+    E042ParUnorderedReduction,
+    /// The split degenerates to a single chunk on a live pool despite
+    /// substantial work (generalizes W034 beyond batch-1 runs).
+    W040ParDegenerateSplit,
+    /// Per-lane partial buffers dwarf the reduced output (memory blowup
+    /// that scales with pool width).
+    W041ParPartialBlowup,
+    /// Every split buffer gives each lane less than one cache line, so
+    /// lanes ping-pong ownership of shared lines.
+    W042ParFalseSharing,
+    /// The scratch arena is provisioned far beyond what the decomposition
+    /// can touch.
+    W043ParScratchOverprovision,
 }
 
 impl Code {
@@ -125,6 +149,13 @@ impl Code {
             Code::W032HwMultiRound => "W032",
             Code::W033HwBufferHeadroom => "W033",
             Code::W034HwDegenerateParallelSplit => "W034",
+            Code::E040ParStrideIndivisible => "E040",
+            Code::E041ParScratchUndersized => "E041",
+            Code::E042ParUnorderedReduction => "E042",
+            Code::W040ParDegenerateSplit => "W040",
+            Code::W041ParPartialBlowup => "W041",
+            Code::W042ParFalseSharing => "W042",
+            Code::W043ParScratchOverprovision => "W043",
         }
     }
 
@@ -167,6 +198,13 @@ impl Code {
             Code::W034HwDegenerateParallelSplit => {
                 "parallel pool live but work split is degenerate"
             }
+            Code::E040ParStrideIndivisible => "split buffer not a whole number of strides",
+            Code::E041ParScratchUndersized => "scratch arena below the decomposition's demand",
+            Code::E042ParUnorderedReduction => "reduction combines partials in non-serial order",
+            Code::W040ParDegenerateSplit => "kernel split degenerates to one chunk",
+            Code::W041ParPartialBlowup => "per-lane partials dwarf the reduced output",
+            Code::W042ParFalseSharing => "per-lane span below one cache line",
+            Code::W043ParScratchOverprovision => "scratch arena far exceeds the demand",
         }
     }
 }
@@ -212,6 +250,53 @@ impl Diagnostic {
     pub fn severity(&self) -> Severity {
         self.code.severity()
     }
+
+    /// The finding as one JSON object (no trailing newline): stable keys
+    /// `code`, `severity`, `artifact`, `message`, `notes`, so CI can diff
+    /// lint results line-by-line across PRs.
+    pub fn to_json_line(&self) -> String {
+        let severity = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{severity}\",\"artifact\":\"{}\",\"message\":\"{}\"",
+            self.code,
+            json_escape(&self.subject),
+            json_escape(&self.message)
+        );
+        if !self.notes.is_empty() {
+            out.push_str(",\"notes\":{");
+            for (i, (k, v)) in self.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through —
+/// the repo's diagnostics are ASCII).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -310,6 +395,18 @@ impl Diagnostics {
         ));
         out
     }
+
+    /// The machine-readable report: one JSON object per finding, one per
+    /// line, in emission order. Empty collections render as an empty
+    /// string (no lines to diff).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Diagnostics {
@@ -364,6 +461,39 @@ mod tests {
     }
 
     #[test]
+    fn json_lines_have_stable_keys_and_escaping() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new(
+                Code::E040ParStrideIndivisible,
+                "conv2d \"fwd\"",
+                "len 7\nitems 2",
+            )
+            .with_note("items", 2),
+        );
+        ds.push(Diagnostic::new(
+            Code::W040ParDegenerateSplit,
+            "dense",
+            "one chunk",
+        ));
+        let json = ds.render_json();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"code\":\"E040\",\"severity\":\"error\",\
+             \"artifact\":\"conv2d \\\"fwd\\\"\",\
+             \"message\":\"len 7\\nitems 2\",\"notes\":{\"items\":\"2\"}}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"code\":\"W040\",\"severity\":\"warning\",\
+             \"artifact\":\"dense\",\"message\":\"one chunk\"}"
+        );
+        assert!(Diagnostics::new().render_json().is_empty());
+    }
+
+    #[test]
     fn all_codes_have_distinct_strings() {
         let codes = [
             Code::E001TableauRowSum,
@@ -391,6 +521,13 @@ mod tests {
             Code::W032HwMultiRound,
             Code::W033HwBufferHeadroom,
             Code::W034HwDegenerateParallelSplit,
+            Code::E040ParStrideIndivisible,
+            Code::E041ParScratchUndersized,
+            Code::E042ParUnorderedReduction,
+            Code::W040ParDegenerateSplit,
+            Code::W041ParPartialBlowup,
+            Code::W042ParFalseSharing,
+            Code::W043ParScratchOverprovision,
         ];
         let mut strs: Vec<_> = codes.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

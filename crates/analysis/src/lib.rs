@@ -15,6 +15,9 @@
 //! * [`hwcheck`] — hardware-configuration feasibility (`E030`–`E033`,
 //!   `W030`–`W033`): buffer provisioning, weight residency, DRAM and
 //!   ring-link bandwidth, layer-to-core mapping.
+//! * [`parallelcheck`] — parallel kernel-split decompositions
+//!   (`E040`–`E042`, `W040`–`W043`): stride divisibility, scratch
+//!   provisioning, reduction order, grain degeneracy, false sharing.
 //!
 //! The `enode-lint` binary runs every family over the paper's shipped
 //! tableaux, models and Table I configurations and exits nonzero if any
@@ -23,6 +26,7 @@
 pub mod ddg;
 pub mod diag;
 pub mod hwcheck;
+pub mod parallelcheck;
 pub mod shape;
 pub mod tableau;
 
@@ -67,9 +71,14 @@ fn paper_models() -> Vec<(String, NodeModel, Vec<usize>, f64)> {
     ]
 }
 
-/// Runs all four lint families over everything the repository ships: the
+/// Nominal pool width the kernel-split lints model, fixed so the results
+/// do not depend on the linting host's core count.
+const NOMINAL_POOL: usize = 4;
+
+/// Runs all five lint families over everything the repository ships: the
 /// tableau catalog, their depth-first DDGs, the paper's embedded networks,
-/// and both Table I hardware configurations.
+/// both Table I hardware configurations, and the registered parallel
+/// kernel splits.
 pub fn lint_everything() -> Diagnostics {
     let mut ds = Diagnostics::new();
     ds.extend(tableau::lint_all_tableaux());
@@ -85,6 +94,7 @@ pub fn lint_everything() -> Diagnostics {
         }
     }
     ds.extend(hwcheck::lint_paper_configs());
+    ds.extend(parallelcheck::lint_registered_splits(NOMINAL_POOL));
     ds
 }
 

@@ -266,6 +266,7 @@ pub struct BenchJob {
 /// what it computes in a serial loop — results are bit-identical for any
 /// `ENODE_THREADS`.
 pub fn run_benches(jobs: &[BenchJob]) -> Vec<BenchResult> {
+    let _kernel = enode_tensor::sanitize::kernel_scope("bench.run_benches");
     parallel::parallel_map(jobs, |job| {
         if job.train_iters == 0 {
             run_inference_only(job.bench, &job.opts, job.seed)

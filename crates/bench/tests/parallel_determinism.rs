@@ -6,6 +6,7 @@ use enode_bench::driver::{
     expedited_opts, run_bench, run_benches, run_inference_only, Bench, BenchJob,
 };
 use enode_tensor::parallel;
+use enode_tensor::sanitize::audit;
 
 #[test]
 fn bench_run_under_four_threads_reproduces_serial_numbers() {
@@ -33,4 +34,26 @@ fn run_benches_matches_serial_loop_in_job_order() {
         assert_eq!(s.trials_per_layer, p.trials_per_layer, "{:?}", job.bench);
         assert_eq!(s.accuracy, p.accuracy, "{:?}", job.bench);
     }
+}
+
+#[test]
+fn run_benches_survives_schedule_permutation_audit() {
+    // The coarse per-job fan-out replayed under permuted lane orders and
+    // adversarial grains: every cell of the audit matrix must reproduce
+    // the serial job results bit-for-bit, in job order.
+    let jobs: Vec<BenchJob> = Bench::dynamic()
+        .into_iter()
+        .map(|bench| BenchJob {
+            bench,
+            opts: expedited_opts(bench, 3, 3, Some(10)),
+            train_iters: 0,
+            seed: 51,
+        })
+        .collect();
+    audit::assert_deterministic("bench.run_benches", || {
+        run_benches(&jobs)
+            .iter()
+            .map(|r| vec![r.trials_per_layer as f32, r.accuracy as f32])
+            .collect()
+    });
 }

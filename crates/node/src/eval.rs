@@ -118,6 +118,7 @@ pub fn forward_model_batched(
     inputs: &Tensor,
     opts: &NodeSolveOptions,
 ) -> Result<(Tensor, Vec<ForwardTrace>), NodeError> {
+    let _kernel = enode_tensor::sanitize::kernel_scope("node.forward_model_batched");
     let n = inputs.shape()[0];
     assert!(n > 0, "batched inference needs at least one sample");
     let sample_len = inputs.len() / n;

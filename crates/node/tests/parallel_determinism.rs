@@ -8,6 +8,7 @@
 use enode_node::eval::forward_model_batched;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
+use enode_tensor::sanitize::audit;
 use enode_tensor::{init, parallel};
 
 #[test]
@@ -29,4 +30,20 @@ fn batched_inference_is_bit_identical_across_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn batched_inference_survives_schedule_permutation_audit() {
+    // Beyond pool widths: replay the per-sample fan-out in reversed and
+    // rotated lane orders and under adversarial grains (the full audit
+    // matrix, including the prime width 7 that the batch of 5 underfills).
+    let model = NodeModel::image_classifier(3, 2, 2, 5, 17);
+    let x = init::uniform(&[5, 3, 6, 6], -1.0, 1.0, 18);
+    let opts = NodeSolveOptions::new(1e-3);
+    audit::assert_deterministic("node.forward_model_batched", || {
+        let (y, traces) = forward_model_batched(&model, &x, &opts).expect("batched solve failed");
+        let mut out = vec![y.data().to_vec()];
+        out.push(traces.iter().map(|t| t.trials_per_layer() as f32).collect());
+        out
+    });
 }

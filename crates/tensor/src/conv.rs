@@ -25,6 +25,7 @@
 use crate::init;
 use crate::matmul::gemm_bias;
 use crate::parallel;
+use crate::sanitize;
 use crate::tensor::Tensor;
 
 /// A 2-D convolution layer with "same" zero padding and stride 1.
@@ -145,6 +146,7 @@ impl Conv2d {
     /// Panics if the input is not `[N, C, H, W]` with `C` matching
     /// [`Conv2d::in_channels`].
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        let _kernel = sanitize::kernel_scope("conv2d.forward");
         let (n, c, h, w) = x.shape_obj().nchw();
         assert_eq!(c, self.in_channels, "input channel mismatch");
         let k = self.kernel;
@@ -243,6 +245,7 @@ impl Conv2d {
     /// Parallel across the batch, or across input channels when the batch
     /// underfills the pool.
     pub fn backward_input(&self, dy: &Tensor) -> Tensor {
+        let _kernel = sanitize::kernel_scope("conv2d.backward_input");
         let (n, m, h, w) = dy.shape_obj().nchw();
         assert_eq!(m, self.out_channels, "grad channel mismatch");
         let c = self.in_channels;
@@ -313,6 +316,7 @@ impl Conv2d {
     /// The batch reduction combines per-sample partials in sample order (a
     /// fixed tree), so the result does not depend on the thread count.
     pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
+        let _kernel = sanitize::kernel_scope("conv2d.backward_params");
         let (n, c, h, w) = x.shape_obj().nchw();
         let (n2, m, h2, w2) = dy.shape_obj().nchw();
         assert_eq!((n, h, w), (n2, h2, w2), "x/dy spatial mismatch");

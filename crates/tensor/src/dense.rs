@@ -6,6 +6,7 @@
 
 use crate::init;
 use crate::parallel;
+use crate::sanitize;
 use crate::tensor::Tensor;
 
 /// A dense layer `y = W x + b` operating on `[N, D]` batches.
@@ -107,6 +108,7 @@ impl Dense {
     ///
     /// Panics if the input is not `[N, in]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        let _kernel = sanitize::kernel_scope("dense.forward");
         let (n, d) = batch_dims(x);
         assert_eq!(d, self.in_features, "input feature mismatch");
         let o = self.out_features;
@@ -136,6 +138,7 @@ impl Dense {
 
     /// Input gradient: `dx = W^T dy`.
     pub fn backward_input(&self, dy: &Tensor) -> Tensor {
+        let _kernel = sanitize::kernel_scope("dense.backward_input");
         let (n, o) = batch_dims(dy);
         assert_eq!(o, self.out_features, "grad feature mismatch");
         let d = self.in_features;
@@ -165,6 +168,7 @@ impl Dense {
     /// runs in sample order, so the result is bit-identical to the serial
     /// pass for any thread count.
     pub fn backward_params(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
+        let _kernel = sanitize::kernel_scope("dense.backward_params");
         let (n, d) = batch_dims(x);
         let (n2, o) = batch_dims(dy);
         assert_eq!(n, n2, "x/dy batch mismatch");

@@ -55,6 +55,7 @@ pub mod optim;
 pub mod parallel;
 pub mod pool;
 pub mod rng;
+pub mod sanitize;
 pub mod shape;
 pub mod tensor;
 

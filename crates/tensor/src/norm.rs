@@ -7,6 +7,7 @@
 //! (§VI); this module is that Norm.
 
 use crate::parallel;
+use crate::sanitize;
 use crate::tensor::Tensor;
 
 /// Per-group normalization statistics cached by the forward pass and
@@ -98,6 +99,22 @@ impl GroupNorm {
         (&mut self.gamma, &mut self.beta)
     }
 
+    /// Structural preflight mirroring the hardware-config pattern
+    /// ([`validate`-behind-`debug_assert!`]): the grouping invariant the
+    /// constructor establishes must still hold when a kernel consumes it.
+    /// Both passes call this behind `debug_assert!`, so a corrupted or
+    /// hand-rolled layer fails fast in debug builds instead of slicing
+    /// channel slabs with a bogus group width.
+    fn preflight_groups(&self) -> Result<(), String> {
+        if self.groups == 0 || !self.channels.is_multiple_of(self.groups) {
+            return Err(format!(
+                "GroupNorm preflight: groups ({}) must divide channels ({})",
+                self.groups, self.channels
+            ));
+        }
+        Ok(())
+    }
+
     /// Forward pass; returns the output and the cache needed by
     /// [`GroupNorm::backward`].
     ///
@@ -105,6 +122,12 @@ impl GroupNorm {
     ///
     /// Panics if the input channel count does not match.
     pub fn forward(&self, x: &Tensor) -> (Tensor, GroupNormCache) {
+        let _kernel = sanitize::kernel_scope("groupnorm.forward");
+        debug_assert!(
+            self.preflight_groups().is_ok(),
+            "{}",
+            self.preflight_groups().unwrap_err()
+        );
         let (n, c, h, w) = x.shape_obj().nchw();
         assert_eq!(c, self.channels, "channel mismatch");
         let cg = c / self.groups;
@@ -173,6 +196,12 @@ impl GroupNorm {
     /// sample order (a fixed tree), so the result is bit-identical to the
     /// serial pass for any thread count.
     pub fn backward(&self, cache: &GroupNormCache, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let _kernel = sanitize::kernel_scope("groupnorm.backward");
+        debug_assert!(
+            self.preflight_groups().is_ok(),
+            "{}",
+            self.preflight_groups().unwrap_err()
+        );
         let (n, c, h, w) = dy.shape_obj().nchw();
         assert_eq!(c, self.channels, "channel mismatch");
         let cg = c / self.groups;
@@ -267,6 +296,29 @@ impl GroupNorm {
 mod tests {
     use super::*;
     use crate::init;
+
+    #[test]
+    #[should_panic(expected = "groups must divide channels")]
+    fn constructor_rejects_non_dividing_groups() {
+        let _ = GroupNorm::new(7, 2);
+    }
+
+    // The kernel-side preflight only exists in debug builds, and only a
+    // hand-rolled struct (bypassing `new`) can violate the invariant.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "GroupNorm preflight: groups (2) must divide channels (7)")]
+    fn forward_preflight_catches_corrupted_grouping() {
+        let gn = GroupNorm {
+            gamma: Tensor::ones(&[7]),
+            beta: Tensor::zeros(&[7]),
+            channels: 7,
+            groups: 2,
+            eps: 1e-5,
+        };
+        let x = Tensor::ones(&[1, 7, 2, 2]);
+        let _ = gn.forward(&x);
+    }
 
     #[test]
     fn output_is_normalized() {

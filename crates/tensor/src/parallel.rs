@@ -36,7 +36,22 @@
 //! keeps `with_threads(1)` a true serial baseline and makes nested
 //! kernel parallelism (batched inference over samples, conv inside each
 //! sample) deadlock-free by construction.
+//!
+//! # Sanitizing and auditing
+//!
+//! Every helper here is instrumented for [`crate::sanitize`]: under the
+//! `sanitize` cargo feature, each parallel region registers shadow
+//! regions for the buffers it splits and each lane claims its byte range
+//! before writing, so overlaps, double-claims, out-of-region writes, and
+//! coverage gaps fail fast with lane indices and kernel labels. Two
+//! always-available hooks support the schedule-permutation determinism
+//! audit: [`with_schedule`] replays every broadcast serially in a
+//! permuted lane order, and [`with_grain_override`] substitutes an
+//! adversarial grain into every decomposition. Both are thread-local
+//! overrides that cost one cell read per parallel *region* (not per
+//! item), so the default path is unaffected.
 
+use crate::sanitize;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -88,6 +103,69 @@ thread_local! {
     static OVERRIDE: std::cell::RefCell<Option<Arc<ThreadPool>>> =
         const { std::cell::RefCell::new(None) };
     static SCRATCH: std::cell::RefCell<Vec<Vec<f32>>> = const { std::cell::RefCell::new(Vec::new()) };
+    static SCHEDULE: std::cell::Cell<Option<Schedule>> = const { std::cell::Cell::new(None) };
+    static GRAIN: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// A lane execution order for the determinism audit: how a
+/// [`with_schedule`] replay permutes the lanes of every broadcast.
+///
+/// Under the determinism contract (see the module docs) the result of a
+/// parallel region must not depend on which lane runs first, so replaying
+/// a kernel under any of these orders must be bit-identical to the live
+/// pool. The audit harness ([`crate::sanitize::audit`]) uses that to
+/// flush out schedule-dependent reductions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Lanes in ascending order (the serial replay of the live pool).
+    Forward,
+    /// Lanes in descending order.
+    Reverse,
+    /// Lanes rotated left by `k`: `k, k+1, …, 0, …, k-1`.
+    Rotate(usize),
+}
+
+impl Schedule {
+    /// The lane visit order for a `lanes`-wide broadcast.
+    pub fn order(self, lanes: usize) -> Vec<usize> {
+        match self {
+            Schedule::Forward => (0..lanes).collect(),
+            Schedule::Reverse => (0..lanes).rev().collect(),
+            Schedule::Rotate(k) => (0..lanes).map(|i| (i + k) % lanes.max(1)).collect(),
+        }
+    }
+}
+
+/// Runs `f` with every broadcast on this thread replayed *serially* in
+/// the schedule's lane order instead of fanning out to the pool. The
+/// decomposition (chunk count and ranges) is exactly what the live pool
+/// would use, so any observable difference is a violation of the
+/// determinism contract. The override is thread-local and restored on
+/// exit, even on panic.
+pub fn with_schedule<R>(schedule: Schedule, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Schedule>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCHEDULE.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SCHEDULE.with(|s| s.replace(Some(schedule))));
+    f()
+}
+
+/// Runs `f` with every decomposition on this thread using `grain` instead
+/// of the kernel's own grain: `1` forces maximal splitting, `usize::MAX`
+/// forces a single serial chunk. Audit-only; thread-local and restored on
+/// exit, even on panic.
+pub fn with_grain_override<R>(grain: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            GRAIN.with(|g| g.set(self.0));
+        }
+    }
+    let _restore = Restore(GRAIN.with(|g| g.replace(Some(grain))));
+    f()
 }
 
 impl ThreadPool {
@@ -145,6 +223,25 @@ impl ThreadPool {
     pub fn broadcast<F: Fn(usize, usize) + Sync>(&self, f: &F) {
         if self.threads <= 1 || IN_WORKER.with(|w| w.get()) {
             f(0, 1);
+            return;
+        }
+        if let Some(schedule) = SCHEDULE.with(|s| s.get()) {
+            // Audit replay: run every lane serially on this thread in the
+            // permuted order. IN_WORKER is set so nested regions degrade
+            // to serial exactly as they would on a real pool worker.
+            struct Reset<'a>(&'a std::cell::Cell<bool>);
+            impl Drop for Reset<'_> {
+                fn drop(&mut self) {
+                    self.0.set(false);
+                }
+            }
+            IN_WORKER.with(|w| {
+                w.set(true);
+                let _reset = Reset(w);
+                for lane in schedule.order(self.threads) {
+                    f(lane, self.threads);
+                }
+            });
             return;
         }
         let _submit = lock_pool(&self.submit);
@@ -345,10 +442,40 @@ fn chunk(n: usize, ways: usize, i: usize) -> Range<usize> {
 }
 
 /// Number of chunks to split `n` items into, given a minimum grain per
-/// chunk and the current pool width.
+/// chunk and the current pool width. A live [`with_grain_override`]
+/// replaces `grain`.
 fn plan_chunks(n: usize, grain: usize) -> usize {
+    let grain = GRAIN.with(|g| g.get()).unwrap_or(grain);
     let lanes = current_threads();
     lanes.min(n / grain.max(1)).max(1)
+}
+
+/// [`parallel_for`] with the executing lane index exposed — the internal
+/// backbone that lets the disjoint helpers attribute shadow-memory claims
+/// to the lane that makes them. The index decomposition itself is claimed
+/// against an `"indices"` shadow region, so a chunking bug that visited
+/// an index twice (or never) fails fast under the `sanitize` feature.
+fn parallel_for_lanes<F: Fn(Range<usize>, usize) + Sync>(n: usize, grain: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let shadow = sanitize::region_enter("indices", n);
+    let ways = plan_chunks(n, grain);
+    if ways <= 1 {
+        sanitize::claim(&shadow, 0, 0..n);
+        f(0..n, 0);
+        return;
+    }
+    current_pool().broadcast(&|lane, lanes| {
+        let ways = ways.min(lanes);
+        if lane < ways {
+            let r = chunk(n, ways, lane);
+            if !r.is_empty() {
+                sanitize::claim(&shadow, lane, r.clone());
+                f(r, lane);
+            }
+        }
+    });
 }
 
 /// Runs `f` over contiguous subranges of `0..n` covering every index
@@ -359,23 +486,7 @@ fn plan_chunks(n: usize, grain: usize) -> usize {
 /// `f` must only perform disjoint work per index (use the
 /// `parallel_for_disjoint*` variants to write shared buffers).
 pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, f: F) {
-    if n == 0 {
-        return;
-    }
-    let ways = plan_chunks(n, grain);
-    if ways <= 1 {
-        f(0..n);
-        return;
-    }
-    current_pool().broadcast(&|lane, lanes| {
-        let ways = ways.min(lanes);
-        if lane < ways {
-            let r = chunk(n, ways, lane);
-            if !r.is_empty() {
-                f(r);
-            }
-        }
-    });
+    parallel_for_lanes(n, grain, |r, _lane| f(r));
 }
 
 /// Suggested `grain` for items that each perform roughly `flops_per_item`
@@ -402,6 +513,27 @@ impl<T> SendPtr<T> {
     }
 }
 
+/// Shared preflight for every disjoint-split variant: the grain must be
+/// positive and each buffer must split into a whole stride per item. The
+/// assert names the offending buffer (`data`, or `a`/`b`/`c` for the
+/// multi-buffer variants) so the report points at the actual argument.
+fn validate_disjoint(bufs: &[(usize, &str)], items: usize, grain: usize) {
+    assert!(
+        grain > 0,
+        "disjoint split needs a positive grain (got 0 for {items} items)"
+    );
+    if items == 0 {
+        return;
+    }
+    for &(len, name) in bufs {
+        assert!(
+            len.is_multiple_of(items),
+            "disjoint split: buffer `{name}` (len {len}) is not a whole \
+             number of strides for {items} items"
+        );
+    }
+}
+
 /// Splits `data` into `items` equal strides and runs
 /// `f(item_range, chunk_slice)` over contiguous item chunks in parallel;
 /// `chunk_slice` is exactly `data[range.start * s .. range.end * s]` with
@@ -409,22 +541,26 @@ impl<T> SendPtr<T> {
 ///
 /// # Panics
 ///
-/// Panics if `items` does not evenly divide `data.len()`.
+/// Panics if `grain` is zero or `items` does not evenly divide
+/// `data.len()`.
 pub fn parallel_for_disjoint<T: Send, F>(data: &mut [T], items: usize, grain: usize, f: F)
 where
     F: Fn(Range<usize>, &mut [T]) + Sync,
 {
+    validate_disjoint(&[(data.len(), "data")], items, grain);
     if items == 0 {
         return;
     }
-    assert_eq!(
-        data.len() % items,
-        0,
-        "disjoint split needs a whole stride per item"
-    );
     let stride = data.len() / items;
+    let bytes = std::mem::size_of::<T>();
     let ptr = SendPtr(data.as_mut_ptr());
-    parallel_for(items, grain, |r| {
+    let shadow = sanitize::region_enter("data", std::mem::size_of_val(data));
+    parallel_for_lanes(items, grain, |r, lane| {
+        sanitize::claim(
+            &shadow,
+            lane,
+            r.start * stride * bytes..r.end * stride * bytes,
+        );
         // SAFETY: chunks over `0..items` are disjoint, so the derived
         // subslices never overlap across lanes; `ptr` outlives the region
         // because the caller's `&mut data` borrow does.
@@ -440,7 +576,8 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `items` does not evenly divide both lengths.
+/// Panics if `grain` is zero or `items` does not evenly divide both
+/// lengths.
 pub fn parallel_for_disjoint2<A: Send, B: Send, F>(
     a: &mut [A],
     b: &mut [B],
@@ -450,14 +587,18 @@ pub fn parallel_for_disjoint2<A: Send, B: Send, F>(
 ) where
     F: Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
 {
+    validate_disjoint(&[(a.len(), "a"), (b.len(), "b")], items, grain);
     if items == 0 {
         return;
     }
-    assert_eq!(a.len() % items, 0, "disjoint split (a) needs whole strides");
-    assert_eq!(b.len() % items, 0, "disjoint split (b) needs whole strides");
     let (sa, sb) = (a.len() / items, b.len() / items);
+    let (ba, bb) = (std::mem::size_of::<A>(), std::mem::size_of::<B>());
     let (pa, pb) = (SendPtr(a.as_mut_ptr()), SendPtr(b.as_mut_ptr()));
-    parallel_for(items, grain, |r| {
+    let shadow_a = sanitize::region_enter("a", std::mem::size_of_val(a));
+    let shadow_b = sanitize::region_enter("b", std::mem::size_of_val(b));
+    parallel_for_lanes(items, grain, |r, lane| {
+        sanitize::claim(&shadow_a, lane, r.start * sa * ba..r.end * sa * ba);
+        sanitize::claim(&shadow_b, lane, r.start * sb * bb..r.end * sb * bb);
         // SAFETY: as in `parallel_for_disjoint`, per-lane item ranges are
         // disjoint and both borrows outlive the region.
         let (sl_a, sl_b) = unsafe {
@@ -474,7 +615,8 @@ pub fn parallel_for_disjoint2<A: Send, B: Send, F>(
 ///
 /// # Panics
 ///
-/// Panics if `items` does not evenly divide all three lengths.
+/// Panics if `grain` is zero or `items` does not evenly divide all three
+/// lengths.
 pub fn parallel_for_disjoint3<A: Send, B: Send, C: Send, F>(
     a: &mut [A],
     b: &mut [B],
@@ -485,23 +627,32 @@ pub fn parallel_for_disjoint3<A: Send, B: Send, C: Send, F>(
 ) where
     F: Fn(Range<usize>, &mut [A], &mut [B], &mut [C]) + Sync,
 {
+    validate_disjoint(
+        &[(a.len(), "a"), (b.len(), "b"), (c.len(), "c")],
+        items,
+        grain,
+    );
     if items == 0 {
         return;
     }
-    for (len, name) in [(a.len(), "a"), (b.len(), "b"), (c.len(), "c")] {
-        assert_eq!(
-            len % items,
-            0,
-            "disjoint split ({name}) needs whole strides"
-        );
-    }
     let (sa, sb, sc) = (a.len() / items, b.len() / items, c.len() / items);
+    let (ba, bb, bc) = (
+        std::mem::size_of::<A>(),
+        std::mem::size_of::<B>(),
+        std::mem::size_of::<C>(),
+    );
     let (pa, pb, pc) = (
         SendPtr(a.as_mut_ptr()),
         SendPtr(b.as_mut_ptr()),
         SendPtr(c.as_mut_ptr()),
     );
-    parallel_for(items, grain, |r| {
+    let shadow_a = sanitize::region_enter("a", std::mem::size_of_val(a));
+    let shadow_b = sanitize::region_enter("b", std::mem::size_of_val(b));
+    let shadow_c = sanitize::region_enter("c", std::mem::size_of_val(c));
+    parallel_for_lanes(items, grain, |r, lane| {
+        sanitize::claim(&shadow_a, lane, r.start * sa * ba..r.end * sa * ba);
+        sanitize::claim(&shadow_b, lane, r.start * sb * bb..r.end * sb * bb);
+        sanitize::claim(&shadow_c, lane, r.start * sc * bc..r.end * sc * bc);
         // SAFETY: as in `parallel_for_disjoint`.
         let (sl_a, sl_b, sl_c) = unsafe {
             (
@@ -575,7 +726,11 @@ pub fn join<RA: Send, RB: Send>(
 pub fn with_scratch_f32<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
     buf.resize(len, 0.0);
-    let r = f(&mut buf[..len]);
+    let r = {
+        let slice = &mut buf[..len];
+        let _guard = sanitize::scratch_guard(slice.as_ptr() as usize, len * 4);
+        f(slice)
+    };
     SCRATCH.with(|s| s.borrow_mut().push(buf));
     r
 }
@@ -686,6 +841,115 @@ mod tests {
                 hits.fetch_add(r.len(), Ordering::Relaxed);
             });
             assert_eq!(hits.load(Ordering::Relaxed), 4);
+        });
+    }
+
+    #[test]
+    fn disjoint2_panicking_lane_does_not_poison_the_pool() {
+        let mut a = vec![0.0f32; 12];
+        let mut b = vec![0u32; 6];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_threads(4, || {
+                parallel_for_disjoint2(&mut a, &mut b, 6, 1, |r, _, _| {
+                    if r.contains(&4) {
+                        panic!("boom2");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        with_threads(4, || {
+            parallel_for_disjoint2(&mut a, &mut b, 6, 1, |r, sa, sb| {
+                sa.fill(r.start as f32);
+                sb.fill(r.start as u32);
+            });
+        });
+        assert_eq!(b[5], 5);
+    }
+
+    #[test]
+    fn disjoint3_panicking_lane_does_not_poison_the_pool() {
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 4];
+        let mut c = vec![0u8; 12];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_threads(4, || {
+                parallel_for_disjoint3(&mut a, &mut b, &mut c, 4, 1, |r, _, _, _| {
+                    if r.contains(&2) {
+                        panic!("boom3");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        with_threads(4, || {
+            parallel_for_disjoint3(&mut a, &mut b, &mut c, 4, 1, |r, _, sb, _| {
+                sb.fill(1.0 + r.start as f32);
+            });
+        });
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer `b` (len 7) is not a whole number of strides")]
+    fn disjoint2_names_the_offending_buffer() {
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 7];
+        parallel_for_disjoint2(&mut a, &mut b, 4, 1, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer `c` (len 5) is not a whole number of strides")]
+    fn disjoint3_names_the_offending_buffer() {
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 5];
+        parallel_for_disjoint3(&mut a, &mut b, &mut c, 4, 1, |_, _, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "positive grain")]
+    fn disjoint_rejects_zero_grain() {
+        let mut a = vec![0.0f32; 8];
+        parallel_for_disjoint(&mut a, 4, 0, |_, _| {});
+    }
+
+    #[test]
+    fn schedule_replay_covers_every_index_in_permuted_order() {
+        with_threads(4, || {
+            for schedule in [Schedule::Forward, Schedule::Reverse, Schedule::Rotate(2)] {
+                with_schedule(schedule, || {
+                    let hits: Vec<AtomicUsize> = (0..11).map(|_| AtomicUsize::new(0)).collect();
+                    parallel_for(11, 1, |r| {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn grain_override_forces_the_requested_chunking() {
+        with_threads(4, || {
+            // usize::MAX forces one serial chunk even for large n.
+            with_grain_override(usize::MAX, || {
+                let regions = AtomicUsize::new(0);
+                parallel_for(100, 1, |_r| {
+                    regions.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(regions.load(Ordering::Relaxed), 1);
+            });
+            // grain 1 allows the full pool width.
+            with_grain_override(1, || {
+                let regions = AtomicUsize::new(0);
+                parallel_for(100, usize::MAX, |_r| {
+                    regions.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(regions.load(Ordering::Relaxed), 4);
+            });
         });
     }
 

@@ -1,0 +1,210 @@
+//! Shadow-memory sanitizer tests — only meaningful with the `sanitize`
+//! feature (`cargo test -p enode-tensor --features sanitize`).
+//!
+//! Covers the three seeded mutations the ISSUE demands the sanitizer
+//! catch (overlapping output tile, off-by-one stride leaving a coverage
+//! gap, out-of-region overshoot), double-claims, scratch-arena aliasing,
+//! panic safety (a panicking lane must leak neither pool health nor
+//! shadow-map claims), and an end-to-end clean pass over the shipped
+//! kernels under a 4-wide pool.
+#![cfg(feature = "sanitize")]
+
+use enode_tensor::conv::Conv2d;
+use enode_tensor::dense::Dense;
+use enode_tensor::norm::GroupNorm;
+use enode_tensor::{init, parallel, sanitize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// The shadow map is global process state; serialize the tests in this
+/// binary so `active_regions()`/`active_scratch()` assertions never see
+/// another test's live regions. Lock ignoring poisoning — several tests
+/// panic on purpose while holding it.
+static SHADOW_TESTS: Mutex<()> = Mutex::new(());
+
+fn serial<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = SHADOW_TESTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    f()
+}
+
+/// Runs `f`, expecting it to panic with a message containing `needle`.
+fn expect_panic_containing(needle: &str, f: impl FnOnce()) {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("expected a sanitizer panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains(needle),
+        "sanitizer panic did not mention `{needle}`: {msg}"
+    );
+}
+
+#[test]
+fn seeded_overlapping_tile_is_detected() {
+    serial(|| {
+        // A buggy decomposition whose tiles are one stride too wide:
+        // lane i claims [i*s, (i+1)*s + s), so adjacent tiles overlap.
+        expect_panic_containing("overlapping write", || {
+            let _k = sanitize::kernel_scope("mutation.overlapping_tile");
+            let stride = 8;
+            let region = sanitize::region_enter("y", 4 * stride);
+            sanitize::claim(&region, 0, 0..2 * stride);
+            sanitize::claim(&region, 1, stride..3 * stride);
+        });
+        assert_eq!(
+            sanitize::active_regions(),
+            0,
+            "claims leaked past the panic"
+        );
+    });
+}
+
+#[test]
+fn seeded_off_by_one_stride_is_detected() {
+    serial(|| {
+        // Stride computed one element short: the claims tile 0..36 of a
+        // 40-byte region, so the region exit finds a trailing gap.
+        expect_panic_containing("coverage gap", || {
+            let _k = sanitize::kernel_scope("mutation.short_stride");
+            let (items, stride, short) = (4usize, 10usize, 9usize);
+            let region = sanitize::region_enter("y", items * stride);
+            for lane in 0..items {
+                sanitize::claim(&region, lane, lane * short..(lane + 1) * short);
+            }
+            // Claims are individually in-bounds and disjoint; the bug is
+            // only visible when the region closes.
+        });
+        assert_eq!(sanitize::active_regions(), 0);
+    });
+}
+
+#[test]
+fn seeded_overshooting_stride_is_detected() {
+    serial(|| {
+        // Stride computed one element long: the last tile runs past the
+        // buffer — the exact bug behind a wrong `data.len() / items`.
+        expect_panic_containing("out-of-region write", || {
+            let _k = sanitize::kernel_scope("mutation.long_stride");
+            let (items, stride, long) = (4usize, 10usize, 11usize);
+            let region = sanitize::region_enter("y", items * stride);
+            for lane in 0..items {
+                sanitize::claim(&region, lane, lane * long..(lane + 1) * long);
+            }
+        });
+        assert_eq!(sanitize::active_regions(), 0);
+    });
+}
+
+#[test]
+fn double_claim_is_detected_and_names_both_lanes() {
+    serial(|| {
+        expect_panic_containing("double-claim", || {
+            let region = sanitize::region_enter("y", 16);
+            sanitize::claim(&region, 0, 0..8);
+            sanitize::claim(&region, 3, 0..8);
+        });
+    });
+}
+
+#[test]
+fn sanitizer_reports_name_the_kernel_scope() {
+    serial(|| {
+        expect_panic_containing("kernel `mutation.labeled`", || {
+            let _k = sanitize::kernel_scope("mutation.labeled");
+            let region = sanitize::region_enter("y", 16);
+            sanitize::claim(&region, 0, 0..12);
+            sanitize::claim(&region, 1, 8..16);
+        });
+    });
+}
+
+#[test]
+fn aliasing_scratch_checkouts_are_detected() {
+    serial(|| {
+        expect_panic_containing("scratch arenas alias", || {
+            let _a = sanitize::scratch_guard(0x1000, 64);
+            let _b = sanitize::scratch_guard(0x1020, 64);
+        });
+        assert_eq!(
+            sanitize::active_scratch(),
+            0,
+            "guards leaked past the panic"
+        );
+    });
+}
+
+#[test]
+fn panicking_lane_leaks_no_claims_and_pool_survives() {
+    serial(|| {
+        parallel::with_threads(4, || {
+            let mut a = vec![0.0f32; 16];
+            let mut b = vec![0.0f32; 8];
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                parallel::parallel_for_disjoint2(&mut a, &mut b, 8, 1, |r, _, _| {
+                    if r.contains(&5) {
+                        panic!("lane bug");
+                    }
+                });
+            }))
+            .expect_err("the lane panic must propagate");
+            // A panic on the submitting lane carries the original payload;
+            // one on a worker is re-raised by the pool with its own
+            // message. Either way it must surface.
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(
+                msg == "lane bug" || msg.contains("pool worker panicked"),
+                "unexpected payload: {msg}"
+            );
+            // No shadow regions or scratch checkouts may survive the
+            // unwind...
+            assert_eq!(sanitize::active_regions(), 0);
+            assert_eq!(sanitize::active_scratch(), 0);
+            // ...and the pool and shadow map must both still work.
+            let mut c = vec![0.0f32; 12];
+            parallel::parallel_for_disjoint3(&mut a, &mut b, &mut c, 4, 1, |r, sa, _, _| {
+                sa[0] = r.start as f32;
+            });
+            assert_eq!(a[0], 0.0);
+        });
+    });
+}
+
+#[test]
+fn shipped_kernels_run_clean_under_the_sanitizer() {
+    serial(|| {
+        parallel::with_threads(4, || {
+            let conv = Conv2d::new_seeded(3, 4, 3, 11);
+            let x = init::uniform(&[6, 3, 5, 3], -1.0, 1.0, 12);
+            let dy = init::uniform(&[6, 4, 5, 3], -1.0, 1.0, 13);
+            let _ = conv.forward(&x);
+            let _ = conv.backward_input(&dy);
+            let _ = conv.backward_params(&x, &dy);
+
+            // Small batch: the row/channel splits instead.
+            let xs = init::uniform(&[2, 3, 5, 3], -1.0, 1.0, 14);
+            let dys = init::uniform(&[2, 4, 5, 3], -1.0, 1.0, 15);
+            let _ = conv.forward(&xs);
+            let _ = conv.backward_input(&dys);
+            let _ = conv.backward_params(&xs, &dys);
+
+            let dense = Dense::new_seeded(7, 5, 51);
+            let dx = init::uniform(&[9, 7], -1.0, 1.0, 52);
+            let ddy = init::uniform(&[9, 5], -1.0, 1.0, 53);
+            let _ = dense.forward(&dx);
+            let _ = dense.backward_input(&ddy);
+            let _ = dense.backward_params(&dx, &ddy);
+
+            let gn = GroupNorm::new(4, 2);
+            let gx = init::uniform(&[5, 4, 5, 3], -2.0, 2.0, 61);
+            let gdy = init::uniform(&[5, 4, 5, 3], -1.0, 1.0, 62);
+            let (_, cache) = gn.forward(&gx);
+            let _ = gn.backward(&cache, &gdy);
+        });
+        assert_eq!(sanitize::active_regions(), 0);
+        assert_eq!(sanitize::active_scratch(), 0);
+    });
+}
