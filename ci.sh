@@ -25,6 +25,9 @@ ENODE_THREADS=4 cargo test -q -p enode-tensor --features sanitize
 echo "==> bench_kernels_json smoke run (--quick)"
 cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mktemp)"
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-Dwarnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> enode-lint (static analysis over shipped artifacts)"
 cargo run -q --release -p enode-analysis --bin enode-lint
 

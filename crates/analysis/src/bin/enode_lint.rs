@@ -1,5 +1,5 @@
 //! `enode-lint`: runs every static-analysis pass over the repository's
-//! shipped tableaux, depth-first DDG schedules, paper models, Table I
+//! shipped tableaux, depth-first DDG schedules, paper pipelines, Table I
 //! hardware configurations, and registered parallel kernel splits. Exits
 //! nonzero if any error-severity diagnostic fires, so it can gate CI.
 //!
@@ -7,17 +7,46 @@
 //! diagnostic per line (keys `code`, `severity`, `artifact`, `message`,
 //! `notes`), nothing else on stdout, so CI can diff lint results across
 //! PRs with line-oriented tools.
+//!
+//! `--explain <CODE>` prints the rustc-style long description of one lint
+//! code; `--emit-lints-md` prints the generated `docs/LINTS.md`.
 
-use enode_analysis::{ddg, hwcheck, lint_everything, parallelcheck, shape, tableau};
-use enode_node::model::NodeModel;
+use enode_analysis::{
+    consistency, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck, precision,
+    registry, shape, tableau,
+};
 
 fn main() {
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--emit-lints-md" => {
+                print!("{}", registry::render_lints_md());
+                return;
+            }
+            "--explain" => {
+                let Some(code_str) = args.next() else {
+                    eprintln!("enode-lint: --explain needs a lint code (e.g. E050)");
+                    std::process::exit(2);
+                };
+                match registry::parse_code(&code_str) {
+                    Some(code) => {
+                        print!("{}", registry::explain(code));
+                        return;
+                    }
+                    None => {
+                        eprintln!("enode-lint: unknown lint code `{code_str}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("enode-lint: unknown argument `{other}` (supported: --json)");
+                eprintln!(
+                    "enode-lint: unknown argument `{other}` \
+                     (supported: --json, --explain <CODE>, --emit-lints-md)"
+                );
                 std::process::exit(2);
             }
         }
@@ -44,18 +73,34 @@ fn main() {
     println!("\n-- depth-first DDG schedules --");
     print!("{}", ddg::lint_all_ddgs().render());
 
+    let pipelines = paper_pipelines();
+
     println!("\n-- embedded-network shapes and FP16 range --");
-    let m = NodeModel::dynamic_system(12, 32, 2, 5);
-    let mut sample = enode_analysis::Diagnostics::new();
-    for (l, layer) in m.layers().iter().enumerate() {
-        sample.extend(shape::lint_network(
-            &format!("three_body layer {l}"),
+    let sample = &pipelines[0];
+    let mut ds = enode_analysis::Diagnostics::new();
+    for (l, layer) in sample.model.layers().iter().enumerate() {
+        ds.extend(shape::lint_network(
+            &format!("{} layer {l}", sample.name),
             layer,
-            &[1, 12],
-            4.0,
+            &sample.state_shape,
+            sample.input_bound,
         ));
     }
-    print!("{}", sample.render());
+    print!("{}", ds.render());
+
+    println!("\n-- FP16 precision over the solver schedule --");
+    let mut ds = enode_analysis::Diagnostics::new();
+    for artifact in &pipelines {
+        ds.extend(precision::lint_precision(artifact));
+    }
+    print!("{}", ds.render());
+
+    println!("\n-- cross-artifact consistency --");
+    let mut ds = enode_analysis::Diagnostics::new();
+    for artifact in &pipelines {
+        ds.extend(consistency::lint_consistency(artifact));
+    }
+    print!("{}", ds.render());
 
     println!("\n-- hardware configurations (Table I) --");
     print!("{}", hwcheck::lint_paper_configs().render());
@@ -63,8 +108,8 @@ fn main() {
     println!("\n-- parallel kernel splits --");
     print!("{}", parallelcheck::lint_registered_splits(4).render());
 
-    // The authoritative verdict covers every model, not just the samples
-    // printed above.
+    // The authoritative verdict covers every pipeline, not just the
+    // samples printed above.
     println!("\n-- total --");
     print!("{}", all.render());
 

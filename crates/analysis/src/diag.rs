@@ -16,10 +16,14 @@
 //! | `E020–E029` / `W020–W029` | Network shape & FP16 range lints ([`crate::shape`]) |
 //! | `E030–E039` / `W030–W039` | Hardware feasibility lints ([`crate::hwcheck`]) |
 //! | `E040–E049` / `W040–W049` | Parallel kernel-split lints ([`crate::parallelcheck`]) |
+//! | `E050–E059` / `W050–W059` | FP16 precision lints ([`crate::precision`]) |
+//! | `E060–E069` / `W060–W069` | Cross-artifact consistency lints ([`crate::consistency`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
-//! [`Code`] variant with its `summary()` text, emit it from the pass, and
-//! add a negative test that triggers it on a deliberately broken input.
+//! [`Code`] variant with its `summary()` text and `as_str()` mapping,
+//! append it to [`Code::ALL`], give it an explanation in
+//! [`crate::registry`], emit it from the pass, and add a negative test
+//! that triggers it on a deliberately broken input.
 
 use std::fmt;
 
@@ -118,6 +122,51 @@ pub enum Code {
     /// The scratch arena is provisioned far beyond what the decomposition
     /// can touch.
     W043ParScratchOverprovision,
+
+    // --- FP16 precision lints (E050-E059 / W050-W059) ---
+    /// A network op's worst-case output magnitude exceeds `f16::MAX`
+    /// somewhere in the unrolled solver schedule.
+    E050PrecOpOverflow,
+    /// An RK combine (stage input, solution, or error estimate) can
+    /// exceed `f16::MAX`.
+    E051PrecCombineOverflow,
+    /// A trainable parameter tensor contains NaN or infinity.
+    E052PrecNonFiniteParam,
+    /// A GroupNorm group has ≤ 1 element, so its variance is identically
+    /// zero and normalization is degenerate.
+    E053PrecDegenerateGroupNorm,
+    /// An FP16 ACA checkpoint stores a state whose worst-case magnitude
+    /// exceeds `f16::MAX`.
+    E054PrecCheckpointOverflow,
+    /// The solver tolerance is below the FP16 subnormal threshold, so the
+    /// error estimate flushes to zero before the controller sees it.
+    E055PrecToleranceSubnormal,
+    /// Adjoint recomputation from a checkpoint amplifies the replayed
+    /// state past `f16::MAX`.
+    E056PrecAdjointReplayOverflow,
+    /// The solver tolerance is within 16x of the FP16 subnormal
+    /// threshold.
+    W050PrecToleranceNearSubnormal,
+    /// FP16 rounding noise in the embedded error estimate is a
+    /// significant fraction of the tolerance (catastrophic cancellation).
+    W051PrecCancellation,
+    /// Accumulated per-step FP16 rounding error exceeds the solver's
+    /// error budget.
+    W052PrecErrorBudget,
+    /// FP16 checkpoint quantization error, amplified over the recompute
+    /// interval, is a significant fraction of the tolerance.
+    W053PrecAdjointQuantization,
+
+    // --- cross-artifact consistency lints (E060-E069 / W060-W069) ---
+    /// The layer-to-core mapping assumes resident weights but the actual
+    /// layer footprints exceed the weight buffer (total or per core).
+    E060XArtMapResidency,
+    /// The ACA checkpoint plan's working set exceeds the on-chip training
+    /// buffer.
+    E061XArtAcaBuffer,
+    /// The stepsize-controller bounds are inconsistent with the solver
+    /// schedule or the tableau's embedded order.
+    E062XArtControllerBounds,
 }
 
 impl Code {
@@ -156,8 +205,73 @@ impl Code {
             Code::W041ParPartialBlowup => "W041",
             Code::W042ParFalseSharing => "W042",
             Code::W043ParScratchOverprovision => "W043",
+            Code::E050PrecOpOverflow => "E050",
+            Code::E051PrecCombineOverflow => "E051",
+            Code::E052PrecNonFiniteParam => "E052",
+            Code::E053PrecDegenerateGroupNorm => "E053",
+            Code::E054PrecCheckpointOverflow => "E054",
+            Code::E055PrecToleranceSubnormal => "E055",
+            Code::E056PrecAdjointReplayOverflow => "E056",
+            Code::W050PrecToleranceNearSubnormal => "W050",
+            Code::W051PrecCancellation => "W051",
+            Code::W052PrecErrorBudget => "W052",
+            Code::W053PrecAdjointQuantization => "W053",
+            Code::E060XArtMapResidency => "E060",
+            Code::E061XArtAcaBuffer => "E061",
+            Code::E062XArtControllerBounds => "E062",
         }
     }
+
+    /// Every code the crate can emit, in code order. New codes must be
+    /// appended here (a registry test enforces it).
+    pub const ALL: [Code; 46] = [
+        Code::E001TableauRowSum,
+        Code::E002TableauNotExplicit,
+        Code::E003TableauOrderCondition,
+        Code::E004TableauEmbeddedOrder,
+        Code::E005TableauErrorWeights,
+        Code::E006TableauShape,
+        Code::W001TableauFsalFlag,
+        Code::W002TableauOrderGap,
+        Code::E010DdgCycle,
+        Code::E011DdgIllegalEdge,
+        Code::E012DdgLivenessExceedsBuffer,
+        Code::W010DdgPartialLifetime,
+        Code::E020ShapeMismatch,
+        Code::E021ShapeNotPreserved,
+        Code::E022Fp16Overflow,
+        Code::W020Fp16NearOverflow,
+        Code::E030HwConfigInvalid,
+        Code::E031HwTrainingBufferTooSmall,
+        Code::E032HwWeightsNotResident,
+        Code::E033HwDramBandwidth,
+        Code::W030HwLinkBandwidth,
+        Code::W031HwIdleCores,
+        Code::W032HwMultiRound,
+        Code::W033HwBufferHeadroom,
+        Code::W034HwDegenerateParallelSplit,
+        Code::E040ParStrideIndivisible,
+        Code::E041ParScratchUndersized,
+        Code::E042ParUnorderedReduction,
+        Code::W040ParDegenerateSplit,
+        Code::W041ParPartialBlowup,
+        Code::W042ParFalseSharing,
+        Code::W043ParScratchOverprovision,
+        Code::E050PrecOpOverflow,
+        Code::E051PrecCombineOverflow,
+        Code::E052PrecNonFiniteParam,
+        Code::E053PrecDegenerateGroupNorm,
+        Code::E054PrecCheckpointOverflow,
+        Code::E055PrecToleranceSubnormal,
+        Code::E056PrecAdjointReplayOverflow,
+        Code::W050PrecToleranceNearSubnormal,
+        Code::W051PrecCancellation,
+        Code::W052PrecErrorBudget,
+        Code::W053PrecAdjointQuantization,
+        Code::E060XArtMapResidency,
+        Code::E061XArtAcaBuffer,
+        Code::E062XArtControllerBounds,
+    ];
 
     /// The severity implied by the code's letter.
     pub fn severity(&self) -> Severity {
@@ -205,6 +319,20 @@ impl Code {
             Code::W041ParPartialBlowup => "per-lane partials dwarf the reduced output",
             Code::W042ParFalseSharing => "per-lane span below one cache line",
             Code::W043ParScratchOverprovision => "scratch arena far exceeds the demand",
+            Code::E050PrecOpOverflow => "op output can overflow f16 in the solver schedule",
+            Code::E051PrecCombineOverflow => "RK combine can overflow f16",
+            Code::E052PrecNonFiniteParam => "parameter tensor contains NaN or infinity",
+            Code::E053PrecDegenerateGroupNorm => "GroupNorm group has no variance to normalize",
+            Code::E054PrecCheckpointOverflow => "fp16 checkpoint stores an overflowing state",
+            Code::E055PrecToleranceSubnormal => "tolerance below the fp16 subnormal threshold",
+            Code::E056PrecAdjointReplayOverflow => "adjoint replay amplifies state past f16::MAX",
+            Code::W050PrecToleranceNearSubnormal => "tolerance within 16x of fp16 subnormals",
+            Code::W051PrecCancellation => "fp16 rounding noise rivals the error estimate",
+            Code::W052PrecErrorBudget => "fp16 rounding exceeds the solver error budget",
+            Code::W053PrecAdjointQuantization => "checkpoint quantization rivals the tolerance",
+            Code::E060XArtMapResidency => "mapping assumes residency the weights exceed",
+            Code::E061XArtAcaBuffer => "ACA working set exceeds the training buffer",
+            Code::E062XArtControllerBounds => "controller bounds inconsistent with schedule",
         }
     }
 }
@@ -377,6 +505,22 @@ impl Diagnostics {
         self.items.iter().any(|d| d.code == code)
     }
 
+    /// Sorts findings by `(code, artifact, message)` and drops exact
+    /// duplicates of that triple, so a full lint run is byte-identical
+    /// regardless of pass registration order and passes that observe the
+    /// same defect at the same location report it once.
+    pub fn sort_and_dedup(&mut self) {
+        self.items.sort_by(|a, b| {
+            (a.code.as_str(), &a.subject, &a.message).cmp(&(
+                b.code.as_str(),
+                &b.subject,
+                &b.message,
+            ))
+        });
+        self.items
+            .dedup_by(|a, b| a.code == b.code && a.subject == b.subject && a.message == b.message);
+    }
+
     /// The rendered multi-line text report (one block per finding plus a
     /// summary line). Empty collections render as a single OK line.
     pub fn render(&self) -> String {
@@ -495,46 +639,56 @@ mod tests {
 
     #[test]
     fn all_codes_have_distinct_strings() {
-        let codes = [
-            Code::E001TableauRowSum,
-            Code::E002TableauNotExplicit,
-            Code::E003TableauOrderCondition,
-            Code::E004TableauEmbeddedOrder,
-            Code::E005TableauErrorWeights,
-            Code::E006TableauShape,
-            Code::W001TableauFsalFlag,
-            Code::W002TableauOrderGap,
-            Code::E010DdgCycle,
-            Code::E011DdgIllegalEdge,
-            Code::E012DdgLivenessExceedsBuffer,
-            Code::W010DdgPartialLifetime,
-            Code::E020ShapeMismatch,
-            Code::E021ShapeNotPreserved,
-            Code::E022Fp16Overflow,
-            Code::W020Fp16NearOverflow,
-            Code::E030HwConfigInvalid,
-            Code::E031HwTrainingBufferTooSmall,
-            Code::E032HwWeightsNotResident,
-            Code::E033HwDramBandwidth,
-            Code::W030HwLinkBandwidth,
-            Code::W031HwIdleCores,
-            Code::W032HwMultiRound,
-            Code::W033HwBufferHeadroom,
-            Code::W034HwDegenerateParallelSplit,
-            Code::E040ParStrideIndivisible,
-            Code::E041ParScratchUndersized,
-            Code::E042ParUnorderedReduction,
-            Code::W040ParDegenerateSplit,
-            Code::W041ParPartialBlowup,
-            Code::W042ParFalseSharing,
-            Code::W043ParScratchOverprovision,
-        ];
-        let mut strs: Vec<_> = codes.iter().map(|c| c.as_str()).collect();
+        let mut strs: Vec<_> = Code::ALL.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();
         strs.dedup();
-        assert_eq!(strs.len(), codes.len());
-        for c in codes {
+        assert_eq!(strs.len(), Code::ALL.len());
+        for c in Code::ALL {
             assert!(!c.summary().is_empty());
+            assert!(matches!(c.as_str().as_bytes()[0], b'E' | b'W'));
         }
+    }
+
+    #[test]
+    fn all_is_grouped_by_family() {
+        // Within each family prefix (E0x / W0x of the same decade) the
+        // numeric part must be increasing, so codes stay discoverable.
+        let mut last: std::collections::HashMap<(u8, char), u32> = std::collections::HashMap::new();
+        for c in Code::ALL {
+            let s = c.as_str();
+            let decade = s.as_bytes()[2] - b'0';
+            let letter = s.chars().next().unwrap();
+            let num: u32 = s[1..].parse().unwrap();
+            if let Some(prev) = last.insert((decade, letter), num) {
+                assert!(prev < num, "{s} out of order within its family");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_and_dedup_orders_and_collapses() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(Code::E022Fp16Overflow, "b", "m2"));
+        ds.push(Diagnostic::new(Code::E020ShapeMismatch, "b", "m1"));
+        ds.push(Diagnostic::new(Code::E020ShapeMismatch, "a", "m1"));
+        // Exact duplicate (same code, subject, message) -> collapsed.
+        ds.push(Diagnostic::new(Code::E020ShapeMismatch, "a", "m1").with_note("k", 1));
+        // Same code+subject, different message -> kept.
+        ds.push(Diagnostic::new(Code::E020ShapeMismatch, "a", "m0"));
+        ds.sort_and_dedup();
+        let got: Vec<(&str, &str, &str)> = ds
+            .items()
+            .iter()
+            .map(|d| (d.code.as_str(), d.subject.as_str(), d.message.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("E020", "a", "m0"),
+                ("E020", "a", "m1"),
+                ("E020", "b", "m1"),
+                ("E022", "b", "m2"),
+            ]
+        );
     }
 }

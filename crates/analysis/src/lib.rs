@@ -1,7 +1,11 @@
 //! Static analysis for the eNODE stack.
 //!
-//! Four lint families over the repository's core data structures, each
-//! reporting [`Diagnostic`]s with stable codes:
+//! The crate is built around a small abstract-interpretation framework:
+//! [`ir`] lowers a whole pipeline artifact (model, solver schedule, ACA
+//! checkpoint plan, hardware mapping) into one typed dataflow program
+//! graph, and [`engine`] runs lattice-valued passes over it to a worklist
+//! fixpoint. Seven lint families report [`Diagnostic`]s with stable
+//! codes:
 //!
 //! * [`tableau`] — Butcher-tableau consistency (`E001`–`E006`,
 //!   `W001`–`W002`): row sums, explicitness, order conditions through
@@ -11,62 +15,93 @@
 //!   one-row-lag retirement bound.
 //! * [`shape`] — embedded-network shapes and FP16 range (`E020`–`E022`,
 //!   `W020`): NCHW shape inference and worst-case interval propagation
-//!   against `F16::MAX`.
+//!   against `F16::MAX`, run as forward passes on the engine.
 //! * [`hwcheck`] — hardware-configuration feasibility (`E030`–`E033`,
 //!   `W030`–`W033`): buffer provisioning, weight residency, DRAM and
 //!   ring-link bandwidth, layer-to-core mapping.
 //! * [`parallelcheck`] — parallel kernel-split decompositions
 //!   (`E040`–`E042`, `W040`–`W043`): stride divisibility, scratch
 //!   provisioning, reduction order, grain degeneracy, false sharing.
+//! * [`precision`] — FP16 range and rounding-error accumulation across
+//!   the unrolled solver schedule (`E050`–`E056`, `W050`–`W053`).
+//! * [`consistency`] — cross-artifact agreement between the model, the
+//!   solver plan, and the hardware configuration (`E060`–`E062`).
+//!
+//! [`registry`] carries a rustc-style long explanation for every code
+//! (`enode-lint --explain CODE`, `docs/LINTS.md`).
 //!
 //! The `enode-lint` binary runs every family over the paper's shipped
-//! tableaux, models and Table I configurations and exits nonzero if any
-//! error-severity diagnostic fires.
+//! tableaux, pipelines and Table I configurations and exits nonzero if
+//! any error-severity diagnostic fires.
 
+pub mod consistency;
 pub mod ddg;
 pub mod diag;
+pub mod engine;
 pub mod hwcheck;
+pub mod ir;
 pub mod parallelcheck;
+pub mod precision;
+pub mod registry;
 pub mod shape;
 pub mod tableau;
 
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
+pub use ir::PipelineArtifact;
 
+use enode_hw::config::HwConfig;
+use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
 
-/// The paper's representative embedded networks, with the state shape and
-/// worst-case input magnitude each is linted against.
-fn paper_models() -> Vec<(String, NodeModel, Vec<usize>, f64)> {
+/// The paper's representative pipeline artifacts: each bundles a model
+/// with the state shape and worst-case input magnitude it is linted
+/// against, its solver plan, and (for the edge-inference workloads) the
+/// Table I hardware configuration it is mapped onto.
+///
+/// `van_der_pol` is the FP16-datapath exemplar: it stores solver state in
+/// binary16 at a loose tolerance, exercising the full `E05x` rounding
+/// model on an artifact that must stay clean.
+pub fn paper_pipelines() -> Vec<PipelineArtifact> {
     vec![
-        (
-            "three_body dynamic_system(12, 32, 2)".into(),
+        PipelineArtifact::new(
+            "three_body dynamic_system(12, 32, 2)",
             NodeModel::dynamic_system(12, 32, 2, 5),
             vec![1, 12],
             4.0,
+            NodeSolveOptions::new(1e-6),
+            None,
         ),
-        (
-            "lotka_volterra dynamic_system(2, 24, 2)".into(),
+        PipelineArtifact::new(
+            "lotka_volterra dynamic_system(2, 24, 2)",
             NodeModel::dynamic_system(2, 24, 2, 7),
             vec![1, 2],
             4.0,
+            NodeSolveOptions::new(1e-6),
+            None,
         ),
-        (
-            "van_der_pol dynamic_system(2, 16, 2)".into(),
+        PipelineArtifact::new(
+            "van_der_pol dynamic_system(2, 16, 2)",
             NodeModel::dynamic_system(2, 16, 2, 42),
             vec![1, 2],
             4.0,
+            NodeSolveOptions::new(1e-2).with_fp16_storage(),
+            None,
         ),
-        (
-            "edge image_classifier(4 ch, 2 conv)".into(),
+        PipelineArtifact::new(
+            "edge image_classifier(4 ch, 2 conv)",
             NodeModel::image_classifier(4, 2, 2, 10, 9),
             vec![1, 4, 16, 16],
             1.0,
+            NodeSolveOptions::new(1e-6),
+            Some(HwConfig::config_a()),
         ),
-        (
-            "normed image_classifier(8 ch, 4 conv)".into(),
+        PipelineArtifact::new(
+            "normed image_classifier(8 ch, 4 conv)",
             NodeModel::image_classifier_normed(8, 4, 2, 10, 4, 11),
             vec![1, 8, 16, 16],
             1.0,
+            NodeSolveOptions::new(1e-6),
+            Some(HwConfig::config_b()),
         ),
     ]
 }
@@ -75,26 +110,32 @@ fn paper_models() -> Vec<(String, NodeModel, Vec<usize>, f64)> {
 /// do not depend on the linting host's core count.
 const NOMINAL_POOL: usize = 4;
 
-/// Runs all five lint families over everything the repository ships: the
-/// tableau catalog, their depth-first DDGs, the paper's embedded networks,
-/// both Table I hardware configurations, and the registered parallel
-/// kernel splits.
+/// Runs all lint families over everything the repository ships: the
+/// tableau catalog, their depth-first DDGs, the paper's pipelines (shape,
+/// precision and consistency passes), both Table I hardware
+/// configurations, and the registered parallel kernel splits.
+///
+/// The result is sorted by `(code, artifact, message)` and deduplicated,
+/// so the report is byte-identical regardless of pass registration order.
 pub fn lint_everything() -> Diagnostics {
     let mut ds = Diagnostics::new();
     ds.extend(tableau::lint_all_tableaux());
     ds.extend(ddg::lint_all_ddgs());
-    for (name, model, shape, bound) in paper_models() {
-        for (l, layer) in model.layers().iter().enumerate() {
+    for artifact in paper_pipelines() {
+        for (l, layer) in artifact.model.layers().iter().enumerate() {
             ds.extend(shape::lint_network(
-                &format!("{name} layer {l}"),
+                &format!("{} layer {l}", artifact.name),
                 layer,
-                &shape,
-                bound,
+                &artifact.state_shape,
+                artifact.input_bound,
             ));
         }
+        ds.extend(precision::lint_precision(&artifact));
+        ds.extend(consistency::lint_consistency(&artifact));
     }
     ds.extend(hwcheck::lint_paper_configs());
     ds.extend(parallelcheck::lint_registered_splits(NOMINAL_POOL));
+    ds.sort_and_dedup();
     ds
 }
 
@@ -110,5 +151,22 @@ mod tests {
             "shipped artifacts must lint clean:\n{}",
             ds.render()
         );
+    }
+
+    #[test]
+    fn lint_everything_is_sorted() {
+        // Even on a clean run this must hold; check with a seeded defect.
+        let mut ds = lint_everything();
+        ds.push(Diagnostic::new(Code::E001TableauRowSum, "zz", "late"));
+        ds.push(Diagnostic::new(Code::E001TableauRowSum, "aa", "early"));
+        ds.sort_and_dedup();
+        let keys: Vec<_> = ds
+            .items()
+            .iter()
+            .map(|d| (d.code.as_str(), d.subject.clone(), d.message.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -1,0 +1,372 @@
+//! The lint-code registry: one rustc-style long explanation per stable
+//! [`Code`], feeding both `enode-lint --explain <CODE>` and the generated
+//! `docs/LINTS.md` table.
+//!
+//! A test enforces that every code in [`Code::ALL`] has a non-empty
+//! explanation, so a new lint cannot ship undocumented.
+
+use crate::diag::{Code, Severity};
+
+/// Parses the textual form of a code (e.g. `"E050"`, case-insensitive)
+/// back to the [`Code`] variant, or `None` for unknown codes.
+pub fn parse_code(s: &str) -> Option<Code> {
+    let want = s.to_ascii_uppercase();
+    Code::ALL.into_iter().find(|c| c.as_str() == want)
+}
+
+/// The long, rustc-style explanation of what the lint checks, why it
+/// matters for the eNODE co-design, and what typically fixes it.
+pub fn explanation(code: Code) -> &'static str {
+    match code {
+        Code::E001TableauRowSum => {
+            "Each Butcher-tableau row must satisfy the node condition Σ_j a_ij = c_i: stage i \
+             evaluates f at time t + c_i·h, and the stage input is built from the a-row. A \
+             mismatch means the stage samples f at a time inconsistent with its input, silently \
+             destroying the method's order. Fix the offending a-row or c entry."
+        }
+        Code::E002TableauNotExplicit => {
+            "The a matrix must be strictly lower triangular for an explicit Runge–Kutta method: \
+             stage i may only consume stages 0..i. A nonzero entry on or above the diagonal \
+             makes the stage system implicit, which the eNODE integrator (and hardware schedule) \
+             cannot execute."
+        }
+        Code::E003TableauOrderCondition => {
+            "A polynomial order condition (checked through order 4) fails for the tableau's \
+             claimed order. The method will converge at a lower rate than advertised, and the \
+             stepsize controller — which scales steps assuming the claimed order — will pick \
+             wrong steps. Correct the coefficients or lower the claimed order."
+        }
+        Code::E004TableauEmbeddedOrder => {
+            "The embedded (error-estimating) weights b̂ fail their claimed order conditions. The \
+             error estimate e = h·Σ(b_i − b̂_i)k_i then misjudges the local error and adaptive \
+             stepping accepts steps it should reject (or vice versa)."
+        }
+        Code::E005TableauErrorWeights => {
+            "The error weights d = b − b̂ of an adaptive pair must sum to ~0 (both weight rows \
+             sum to 1). A nonzero sum means d contains a zeroth-order term: the error estimate \
+             no longer vanishes for constant solutions."
+        }
+        Code::E006TableauShape => {
+            "The tableau's stage counts disagree: c, the a-rows, and b must all describe the \
+             same number of stages, with a-row i holding exactly i coefficients. A structural \
+             mismatch cannot be scheduled at all."
+        }
+        Code::W001TableauFsalFlag => {
+            "The FSAL (first-same-as-last) flag disagrees with the coefficients: FSAL requires \
+             the last a-row to equal b, so the last stage of one step can be reused as the \
+             first stage of the next. A wrong flag costs one f evaluation per step (or reuses a \
+             stale stage)."
+        }
+        Code::W002TableauOrderGap => {
+            "The gap between the advancing order and the embedded order is not 1. Production \
+             pairs use a gap of exactly 1; larger gaps make the error estimate much cruder than \
+             the solution, and a gap of 0 gives no estimate headroom at all."
+        }
+        Code::E010DdgCycle => {
+            "The data-dependence graph of the solver schedule contains a cycle, so no execution \
+             order exists. This indicates a malformed stage dependency (e.g. a stage consuming \
+             its own output)."
+        }
+        Code::E011DdgIllegalEdge => {
+            "A DDG edge does not go strictly deeper in the wave-pipeline order. The depth-first \
+             schedule the hardware executes requires producers to finish strictly before \
+             consumers in pipeline depth; an illegal edge breaks the wavefront invariant."
+        }
+        Code::E012DdgLivenessExceedsBuffer => {
+            "Peak simultaneous liveness in the depth-first schedule exceeds the state-buffer \
+             rows the hardware provisions. The schedule would overflow on-chip memory at \
+             runtime; either deepen the buffer or re-stage the schedule."
+        }
+        Code::W010DdgPartialLifetime => {
+            "A partial state outlives the one-row-lag retirement bound the depth-first analysis \
+             assumes. The schedule still fits, but the liveness model under which the buffers \
+             were sized no longer matches the schedule's actual behavior."
+        }
+        Code::E020ShapeMismatch => {
+            "Symbolic NCHW shape inference failed: an op in the embedded network rejects the \
+             shape its predecessor produces (wrong rank, channel count, feature count, or a \
+             kernel larger than its input). The network cannot execute on any input of the \
+             declared state shape."
+        }
+        Code::E021ShapeNotPreserved => {
+            "The embedded network f maps the state shape to a different shape. dh/dt = f(t, h) \
+             requires f to be an endomap of the state space — the integrator adds h·f(h) to h, \
+             which is undefined across shapes. Adjust the final layer to restore the input \
+             shape."
+        }
+        Code::E022Fp16Overflow => {
+            "Interval propagation proves some intermediate value of the network can exceed \
+             f16::MAX (65504) for inputs within the declared magnitude bound. On the FP16 \
+             datapath this saturates to infinity. Rescale weights, add a saturating activation, \
+             or normalize earlier."
+        }
+        Code::W020Fp16NearOverflow => {
+            "The worst-case intermediate magnitude is within 2x of f16::MAX. No overflow is \
+             proven, but the bound is worst-case over the declared input magnitude only — \
+             training drift or a larger input range could push it over."
+        }
+        Code::E030HwConfigInvalid => {
+            "A structural field of the hardware configuration is zero or inconsistent (layer \
+             dims, core count, clock, buffer sizes). The analytical model cannot evaluate such \
+             a configuration."
+        }
+        Code::E031HwTrainingBufferTooSmall => {
+            "The on-chip training-state buffer is smaller than the peak live bytes of the \
+             depth-first training schedule, so intermediate states would spill to DRAM — \
+             exactly the traffic the eNODE buffer exists to eliminate."
+        }
+        Code::E032HwWeightsNotResident => {
+            "The embedded network's weights exceed the weight buffer, so each ring loop \
+             re-fetches the overflow from DRAM. Function reuse across stages and steps — the \
+             core of eNODE's energy story — assumes resident weights."
+        }
+        Code::E033HwDramBandwidth => {
+            "The configuration's DRAM bandwidth is below the streaming demand of the workload \
+             (input/output activations at the target rate). The accelerator would stall on \
+             memory regardless of compute throughput."
+        }
+        Code::W030HwLinkBandwidth => {
+            "The ring link bandwidth is below the inter-core activation traffic of the layer \
+             mapping. Cores will stall on the ring; the paper provisions 1 GB/s per link for \
+             full 4-core utilization."
+        }
+        Code::W031HwIdleCores => {
+            "The layer-to-core mapping leaves cores idle in the last time-multiplexing round \
+             (layers % cores != 0). Utilization drops proportionally; consider splitting wide \
+             layers across the idle cores."
+        }
+        Code::W032HwMultiRound => {
+            "The mapping needs multiple time-multiplexing rounds per ring loop (more layers \
+             than cores), so per-round weight swaps occur on every integrator step. Latency \
+             and energy scale with the round count."
+        }
+        Code::W033HwBufferHeadroom => {
+            "The integral-state buffer demand is within 10% of the training buffer capacity. \
+             The configuration works for the nominal workload but has no headroom for deeper \
+             integration or larger states."
+        }
+        Code::W034HwDegenerateParallelSplit => {
+            "A parallel worker pool is live but the work decomposition is degenerate (e.g. \
+             batch size 1 with per-batch splitting), so execution is silently serial while \
+             paying the pool's coordination overhead."
+        }
+        Code::E040ParStrideIndivisible => {
+            "A buffer registered for parallel splitting is not a whole number of per-item \
+             strides, so the disjoint chunk decomposition would misalign item boundaries and \
+             be rejected at runtime. Fix the declared stride or the buffer length."
+        }
+        Code::E041ParScratchUndersized => {
+            "A per-lane scratch arena is smaller than the bytes the kernel decomposition \
+             writes through it; lanes would overrun the arena at runtime."
+        }
+        Code::E042ParUnorderedReduction => {
+            "A reduction kernel declares a non-serial partial combine. Floating-point addition \
+             is not associative: combining partials in pool-dependent order breaks the \
+             repository's bit-identical determinism contract. Combine partials in lane order."
+        }
+        Code::W040ParDegenerateSplit => {
+            "The kernel split degenerates to a single chunk on a live pool despite substantial \
+             work, so the kernel runs serially while the pool idles. Usually the split axis is \
+             too coarse for the problem shape."
+        }
+        Code::W041ParPartialBlowup => {
+            "Per-lane partial buffers are much larger than the reduced output; memory scales \
+             with pool width. Consider tree reduction or smaller partials."
+        }
+        Code::W042ParFalseSharing => {
+            "Every split gives each lane less than one cache line of output, so lanes \
+             ping-pong ownership of shared lines and the parallel run can be slower than \
+             serial. Coarsen the split."
+        }
+        Code::W043ParScratchOverprovision => {
+            "The scratch arena is provisioned far beyond what the decomposition can touch; \
+             on-chip memory is wasted that the training buffer could use."
+        }
+        Code::E050PrecOpOverflow => {
+            "Range propagation through the unrolled solver schedule proves a network op's \
+             output can exceed f16::MAX. Unlike E022 (one network in isolation), this bound \
+             accounts for state growth across RK stages and accepted steps: a network that is \
+             safe on the raw input can still overflow after the solution combine feeds it \
+             back. Rescale weights or shorten the integration span."
+        }
+        Code::E051PrecCombineOverflow => {
+            "An RK combine — a stage input y + hΣa_ij·k_j, the solution y + hΣb_i·k_i, or the \
+             embedded error estimate — can exceed f16::MAX even though each operand fits. \
+             Large stepsizes multiply stage magnitudes before the sum; shrink default_dt or \
+             the stage magnitudes."
+        }
+        Code::E052PrecNonFiniteParam => {
+            "A trainable parameter tensor contains NaN or infinity, usually the residue of a \
+             diverged training run. Every range and error bound downstream of the op is \
+             meaningless, and inference will produce non-finite outputs. Reinitialize or \
+             reload the parameters."
+        }
+        Code::E053PrecDegenerateGroupNorm => {
+            "A GroupNorm group contains ≤ 1 element for the declared state shape, so its \
+             variance is identically zero: normalization divides by the epsilon floor and the \
+             op degenerates to a constant gain with an undefined gradient direction. Reduce \
+             the group count or enlarge the spatial extent."
+        }
+        Code::E054PrecCheckpointOverflow => {
+            "An FP16 ACA checkpoint stores a state whose worst-case magnitude exceeds \
+             f16::MAX. The forward pass may survive (wide accumulators), but the checkpoint \
+             write saturates to infinity and the adjoint replay restarts from garbage."
+        }
+        Code::E055PrecToleranceSubnormal => {
+            "The solver tolerance is below the FP16 subnormal threshold (2⁻¹⁴ ≈ 6.1e-5). With \
+             binary16 state the embedded error estimate flushes to zero before the controller \
+             compares it against the tolerance, so step acceptance becomes vacuous: every step \
+             is accepted regardless of error. Loosen the tolerance or keep FP32 state."
+        }
+        Code::E056PrecAdjointReplayOverflow => {
+            "Replaying a checkpoint interval amplifies the stored state's worst-case magnitude \
+             past f16::MAX — the interval's growth factor (1 + h·Σ|b_i|)^steps applied to the \
+             checkpoint pushes it over. Shorten the checkpoint stride."
+        }
+        Code::W050PrecToleranceNearSubnormal => {
+            "The solver tolerance is within 16x of the FP16 subnormal threshold. Error \
+             estimates near the tolerance lose most of their significand to gradual underflow, \
+             making accept/reject decisions noisy."
+        }
+        Code::W051PrecCancellation => {
+            "The embedded error estimate is a difference of nearly equal sums, so its operands' \
+             FP16 rounding noise (half-ulp of the stage magnitudes) is a significant fraction \
+             (> 10%) of the tolerance. The controller is then steering on rounding noise as \
+             much as on truncation error."
+        }
+        Code::W052PrecErrorBudget => {
+            "FP16 rounding injected across a single accepted step (one rounding per stored \
+             value, amplified by each op's gain) exceeds 10x the solver tolerance. The \
+             controller budgets ~tolerance of truncation error per step; rounding of this \
+             size dominates the budget and the reported accuracy is fictitious."
+        }
+        Code::W053PrecAdjointQuantization => {
+            "The FP16 quantization error of an ACA checkpoint, amplified over its multi-step \
+             recompute interval, is a significant fraction (> 10%) of the tolerance. Replayed \
+             states then differ measurably from the forward pass, biasing the adjoint \
+             gradients. Shorten the stride or store checkpoints in FP32."
+        }
+        Code::E060XArtMapResidency => {
+            "The layer-to-core mapping assumes weights stay resident, but the model's actual \
+             per-layer footprints exceed the weight buffer — in total, or on one core under \
+             the round-robin placement. E032 checks the HwConfig's nominal dims; this check \
+             uses the real model, so the two artifacts can disagree only here."
+        }
+        Code::E061XArtAcaBuffer => {
+            "The ACA checkpoint plan's working set — live checkpoints plus the per-interval \
+             replay caches the backward pass demands — exceeds the on-chip training buffer. \
+             The checkpoint stride in the solver options and the buffer in the HwConfig were \
+             chosen independently; this lint is where they must agree. Increase the stride \
+             (fewer checkpoints, more recompute) or provision a larger buffer."
+        }
+        Code::E062XArtControllerBounds => {
+            "The stepsize-controller bounds are unsatisfiable against the solver schedule: \
+             dt_min is not below the nominal stepsize, the shrink factor is outside (0, 1), \
+             or the rejection-trial budget cannot walk the stepsize from default_dt down to \
+             dt_min. The search would either never terminate or give up before reaching its \
+             own lower bound."
+        }
+    }
+}
+
+/// The full `--explain` text for one code: header line, summary, and the
+/// long explanation.
+pub fn explain(code: Code) -> String {
+    let kind = match code.severity() {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    format!(
+        "{} ({kind}): {}\n\n{}\n",
+        code.as_str(),
+        code.summary(),
+        explanation(code)
+    )
+}
+
+/// Renders the generated `docs/LINTS.md`: one table row per code plus the
+/// long explanations, in code order. `enode-lint --emit-lints-md` prints
+/// this; a golden test keeps the checked-in file in sync.
+pub fn render_lints_md() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Lint codes\n\n\
+         <!-- Generated by `enode-lint --emit-lints-md`. Do not edit by hand. -->\n\n\
+         Every diagnostic the `enode-analysis` crate emits carries one of the stable\n\
+         codes below. `E` codes are errors (`enode-lint` exits nonzero), `W` codes are\n\
+         warnings. Run `enode-lint --explain <CODE>` for the same text offline.\n\n\
+         | Code | Severity | Summary |\n|---|---|---|\n",
+    );
+    for code in Code::ALL {
+        let kind = match code.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "| [{0}](#{1}) | {kind} | {2} |\n",
+            code.as_str(),
+            code.as_str().to_ascii_lowercase(),
+            code.summary()
+        ));
+    }
+    out.push('\n');
+    for code in Code::ALL {
+        out.push_str(&format!(
+            "## {}\n\n*{}*\n\n{}\n\n",
+            code.as_str(),
+            code.summary(),
+            explanation(code)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_has_an_explanation() {
+        for code in Code::ALL {
+            assert!(
+                explanation(code).len() > 80,
+                "{} needs a real explanation",
+                code.as_str()
+            );
+            let text = explain(code);
+            assert!(text.starts_with(code.as_str()), "{text}");
+            assert!(text.contains(code.summary()));
+        }
+    }
+
+    #[test]
+    fn parse_code_roundtrips_and_rejects_unknown() {
+        for code in Code::ALL {
+            assert_eq!(parse_code(code.as_str()), Some(code));
+            assert_eq!(parse_code(&code.as_str().to_ascii_lowercase()), Some(code));
+        }
+        assert_eq!(parse_code("E999"), None);
+        assert_eq!(parse_code(""), None);
+        assert_eq!(parse_code("bogus"), None);
+    }
+
+    #[test]
+    fn lints_md_lists_every_code() {
+        let md = render_lints_md();
+        for code in Code::ALL {
+            assert!(md.contains(&format!("## {}", code.as_str())));
+        }
+    }
+
+    #[test]
+    fn checked_in_lints_md_is_current() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/LINTS.md");
+        let on_disk = std::fs::read_to_string(path)
+            .expect("docs/LINTS.md missing; run `enode-lint --emit-lints-md > docs/LINTS.md`");
+        assert_eq!(
+            on_disk,
+            render_lints_md(),
+            "docs/LINTS.md is stale; regenerate with `enode-lint --emit-lints-md > docs/LINTS.md`"
+        );
+    }
+}

@@ -2,7 +2,11 @@
 //!
 //! Codes: `E020`–`E022`, `W020`.
 //!
-//! Two static analyses over an embedded-NN [`Network`]:
+//! Two static analyses over an embedded-NN [`Network`], both run as
+//! forward passes on the fixpoint engine ([`crate::engine`]) over the
+//! linear chain graph [`crate::ir::network_chain`] builds (this family
+//! predates the engine; the codes and messages are unchanged by the
+//! port):
 //!
 //! 1. **NCHW shape inference** — threads a symbolic shape through the op
 //!    chain and reports the first op that rejects its input (`E020`), then
@@ -15,82 +19,163 @@
 //!    (`W020`), the failure mode the paper's FP16 datapath must avoid.
 
 use crate::diag::{Code, Diagnostic, Diagnostics};
-use enode_tensor::activation::Activation;
+use crate::engine::{run_to_fixpoint, DataflowGraph, Lattice, Pass};
+use crate::ir::{network_chain, op_output_bound, op_output_shape, NodeKind, ProgramGraph};
 use enode_tensor::f16::F16;
-use enode_tensor::network::{Network, Op};
+use enode_tensor::network::Network;
 
-/// Magnitude bound assumed for the ODE time `t` appended by `ConcatTime`
-/// (the paper integrates over `t ∈ [0, 1]`).
-const TIME_BOUND: f64 = 1.0;
+/// Abstract shape of one chain node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ShapeVal {
+    /// Not reached yet.
+    Bottom,
+    /// A concrete inferred shape.
+    Shape(Vec<usize>),
+    /// Inference failed at op `op_index`; absorbs everything downstream.
+    Reject { op_index: usize, reason: String },
+}
 
-/// Shape inference for one op. `Ok(out_shape)` or `Err(reason)`.
-fn infer_op_shape(op: &Op, shape: &[usize]) -> Result<Vec<usize>, String> {
-    match op {
-        Op::Conv2d(c) => {
-            if shape.len() != 4 {
-                return Err(format!(
-                    "Conv2d needs rank-4 NCHW input, got rank {}",
-                    shape.len()
-                ));
-            }
-            if shape[1] != c.in_channels() {
-                return Err(format!(
-                    "Conv2d expects {} input channels, got {}",
-                    c.in_channels(),
-                    shape[1]
-                ));
-            }
-            if shape[2] < c.kernel() || shape[3] < c.kernel() {
-                return Err(format!(
-                    "Conv2d kernel {} does not fit {}x{} input",
-                    c.kernel(),
-                    shape[2],
-                    shape[3]
-                ));
-            }
-            Ok(vec![shape[0], c.out_channels(), shape[2], shape[3]])
-        }
-        Op::Dense(d) => {
-            if shape.len() != 2 {
-                return Err(format!(
-                    "Dense needs rank-2 input, got rank {}",
-                    shape.len()
-                ));
-            }
-            if shape[1] != d.in_features() {
-                return Err(format!(
-                    "Dense expects {} input features, got {}",
-                    d.in_features(),
-                    shape[1]
-                ));
-            }
-            Ok(vec![shape[0], d.out_features()])
-        }
-        Op::Activation(_) => Ok(shape.to_vec()),
-        Op::GroupNorm(g) => {
-            if shape.len() != 4 {
-                return Err(format!(
-                    "GroupNorm needs rank-4 NCHW input, got rank {}",
-                    shape.len()
-                ));
-            }
-            if shape[1] != g.channels() {
-                return Err(format!(
-                    "GroupNorm expects {} channels, got {}",
-                    g.channels(),
-                    shape[1]
-                ));
-            }
-            Ok(shape.to_vec())
-        }
-        Op::ConcatTime => match shape.len() {
-            4 => Ok(vec![shape[0], shape[1] + 1, shape[2], shape[3]]),
-            2 => Ok(vec![shape[0], shape[1] + 1]),
-            r => Err(format!(
-                "ConcatTime supports rank 2 or 4 inputs, got rank {r}"
-            )),
-        },
+impl Lattice for ShapeVal {
+    fn bottom() -> Self {
+        ShapeVal::Bottom
     }
+    fn join_from(&mut self, other: &Self) -> bool {
+        match (&*self, other) {
+            (_, ShapeVal::Bottom) => false,
+            (ShapeVal::Bottom, _) => {
+                *self = other.clone();
+                true
+            }
+            // A rejection dominates any inferred shape.
+            (ShapeVal::Shape(_), ShapeVal::Reject { .. }) => {
+                *self = other.clone();
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Forward shape-inference pass over a [`network_chain`] graph.
+struct ShapePass<'a> {
+    net: &'a Network,
+    input_shape: &'a [usize],
+}
+
+impl Pass<ProgramGraph> for ShapePass<'_> {
+    type Value = ShapeVal;
+    fn transfer(&self, graph: &ProgramGraph, node: usize, deps: &[ShapeVal]) -> ShapeVal {
+        match &graph.node(node).kind {
+            NodeKind::StateInput { .. } => ShapeVal::Shape(self.input_shape.to_vec()),
+            NodeKind::NetOp { op_index, .. } => match deps.first() {
+                Some(ShapeVal::Shape(s)) => match op_output_shape(&self.net.ops()[*op_index], s) {
+                    Ok(out) => ShapeVal::Shape(out),
+                    Err(reason) => ShapeVal::Reject {
+                        op_index: *op_index,
+                        reason,
+                    },
+                },
+                Some(r @ ShapeVal::Reject { .. }) => r.clone(),
+                _ => ShapeVal::Bottom,
+            },
+            _ => ShapeVal::Bottom,
+        }
+    }
+}
+
+/// Abstract magnitude of one chain node: the node's own worst-case bound
+/// plus the running maximum over the whole prefix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct BoundVal {
+    reached: bool,
+    bound: f64,
+    worst: f64,
+}
+
+impl Lattice for BoundVal {
+    fn bottom() -> Self {
+        BoundVal {
+            reached: false,
+            bound: 0.0,
+            worst: 0.0,
+        }
+    }
+    fn join_from(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        if other.reached && !self.reached {
+            self.reached = true;
+            changed = true;
+        }
+        if other.bound > self.bound {
+            self.bound = other.bound;
+            changed = true;
+        }
+        if other.worst > self.worst {
+            self.worst = other.worst;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Forward FP16 range pass; needs the per-op input shapes the shape pass
+/// inferred (GroupNorm's bound depends on the group size).
+struct BoundPass<'a> {
+    net: &'a Network,
+    op_in_shapes: &'a [Vec<usize>],
+    input_bound: f64,
+}
+
+impl Pass<ProgramGraph> for BoundPass<'_> {
+    type Value = BoundVal;
+    fn transfer(&self, graph: &ProgramGraph, node: usize, deps: &[BoundVal]) -> BoundVal {
+        match &graph.node(node).kind {
+            NodeKind::StateInput { .. } => BoundVal {
+                reached: true,
+                bound: self.input_bound,
+                worst: self.input_bound,
+            },
+            NodeKind::NetOp { op_index, .. } => match deps.first() {
+                Some(d) if d.reached => {
+                    let bound = op_output_bound(
+                        &self.net.ops()[*op_index],
+                        &self.op_in_shapes[*op_index],
+                        d.bound,
+                    );
+                    BoundVal {
+                        reached: true,
+                        bound,
+                        worst: d.worst.max(bound),
+                    }
+                }
+                _ => BoundVal::bottom(),
+            },
+            _ => BoundVal::bottom(),
+        }
+    }
+}
+
+/// Runs the shape pass and returns every op's *input* shape, or the first
+/// op index + reason that rejected.
+fn infer_chain(net: &Network, input_shape: &[usize]) -> Result<Vec<Vec<usize>>, (usize, String)> {
+    let graph = network_chain(net.ops().len());
+    let fx = run_to_fixpoint(&graph, &ShapePass { net, input_shape });
+    // Node i+1 is op i; its input shape is node i's value.
+    let mut in_shapes = Vec::with_capacity(net.ops().len());
+    for id in 0..graph.num_nodes() {
+        match &fx.values[id] {
+            ShapeVal::Shape(s) => {
+                if id < net.ops().len() {
+                    in_shapes.push(s.clone());
+                }
+            }
+            ShapeVal::Reject { op_index, reason } => {
+                return Err((*op_index, reason.clone()));
+            }
+            ShapeVal::Bottom => unreachable!("chain nodes are all reachable"),
+        }
+    }
+    Ok(in_shapes)
 }
 
 /// Infers the output shape of a network on `input_shape`, or the first
@@ -99,69 +184,12 @@ pub fn infer_output_shape(
     net: &Network,
     input_shape: &[usize],
 ) -> Result<Vec<usize>, (usize, String)> {
-    let mut shape = input_shape.to_vec();
-    for (idx, op) in net.ops().iter().enumerate() {
-        shape = infer_op_shape(op, &shape).map_err(|e| (idx, e))?;
-    }
-    Ok(shape)
-}
-
-/// Worst-case output magnitude of one op given an input magnitude bound.
-fn propagate_bound(op: &Op, shape: &[usize], bound: f64) -> f64 {
-    match op {
-        Op::Conv2d(c) => {
-            // |y_o| ≤ Σ_{c,k,k} |w[o,·]|·bound + |b[o]|, worst output channel.
-            let w = c.weight();
-            let per_out = w.len() / c.out_channels();
-            (0..c.out_channels())
-                .map(|o| {
-                    let wsum: f64 = w.data()[o * per_out..(o + 1) * per_out]
-                        .iter()
-                        .map(|x| x.abs() as f64)
-                        .sum();
-                    wsum * bound + c.bias().data()[o].abs() as f64
-                })
-                .fold(0.0, f64::max)
-        }
-        Op::Dense(d) => {
-            let w = d.weight();
-            let per_out = d.in_features();
-            (0..d.out_features())
-                .map(|o| {
-                    let wsum: f64 = w.data()[o * per_out..(o + 1) * per_out]
-                        .iter()
-                        .map(|x| x.abs() as f64)
-                        .sum();
-                    wsum * bound + d.bias().data()[o].abs() as f64
-                })
-                .fold(0.0, f64::max)
-        }
-        Op::Activation(a) => match a {
-            Activation::Relu => bound,
-            Activation::Tanh | Activation::Sigmoid => 1.0,
-            // softplus(x) ≤ max(x, 0) + ln 2.
-            Activation::Softplus => bound + std::f64::consts::LN_2,
-        },
-        Op::GroupNorm(g) => {
-            // |x̂| ≤ √(N−1) for a group of N elements (extreme: one element
-            // carries all the variance), so |y| ≤ max|γ|·√(N−1) + max|β|.
-            let group_elems = (g.channels() / g.groups()) * shape[2] * shape[3];
-            let xhat_bound = ((group_elems.saturating_sub(1)) as f64).sqrt();
-            let gmax = g
-                .gamma()
-                .data()
-                .iter()
-                .map(|x| x.abs() as f64)
-                .fold(0.0, f64::max);
-            let bmax = g
-                .beta()
-                .data()
-                .iter()
-                .map(|x| x.abs() as f64)
-                .fold(0.0, f64::max);
-            gmax * xhat_bound + bmax
-        }
-        Op::ConcatTime => bound.max(TIME_BOUND),
+    let graph = network_chain(net.ops().len());
+    let fx = run_to_fixpoint(&graph, &ShapePass { net, input_shape });
+    match &fx.values[graph.num_nodes() - 1] {
+        ShapeVal::Shape(s) => Ok(s.clone()),
+        ShapeVal::Reject { op_index, reason } => Err((*op_index, reason.clone())),
+        ShapeVal::Bottom => unreachable!("chain nodes are all reachable"),
     }
 }
 
@@ -169,15 +197,18 @@ fn propagate_bound(op: &Op, shape: &[usize], bound: f64) -> f64 {
 /// intermediate's running maximum) for inputs bounded by `input_bound`.
 /// Returns `None` when shape inference fails.
 pub fn fp16_worst_case(net: &Network, input_shape: &[usize], input_bound: f64) -> Option<f64> {
-    let mut shape = input_shape.to_vec();
-    let mut bound = input_bound;
-    let mut worst = input_bound;
-    for op in net.ops() {
-        bound = propagate_bound(op, &shape, bound);
-        worst = worst.max(bound);
-        shape = infer_op_shape(op, &shape).ok()?;
-    }
-    Some(worst)
+    let op_in_shapes = infer_chain(net, input_shape).ok()?;
+    let graph = network_chain(net.ops().len());
+    let fx = run_to_fixpoint(
+        &graph,
+        &BoundPass {
+            net,
+            op_in_shapes: &op_in_shapes,
+            input_bound,
+        },
+    );
+    let last = fx.values[graph.num_nodes() - 1];
+    last.reached.then_some(last.worst)
 }
 
 /// Runs the shape and FP16-range lints on one network.
@@ -257,6 +288,7 @@ mod tests {
     use super::*;
     use enode_tensor::conv::Conv2d;
     use enode_tensor::dense::Dense;
+    use enode_tensor::network::Op;
     use enode_tensor::norm::GroupNorm;
     use enode_tensor::Tensor;
 

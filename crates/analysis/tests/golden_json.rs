@@ -1,0 +1,227 @@
+//! Golden-file test: pins the `enode-lint --json` line format (code,
+//! severity, artifact, message, notes) byte-for-byte against a checked-in
+//! corpus, so the JSON output is a stable machine interface and the E02x
+//! shape lints — re-hosted on the fixpoint engine — are provably
+//! message-compatible with their pre-engine wording.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p enode-analysis --test golden_json
+//! ```
+
+use enode_analysis::consistency::lint_consistency;
+use enode_analysis::precision::lint_precision;
+use enode_analysis::shape::lint_network;
+use enode_analysis::{lint_everything, PipelineArtifact};
+use enode_hw::config::HwConfig;
+use enode_node::inference::NodeSolveOptions;
+use enode_node::model::NodeModel;
+use enode_tensor::conv::Conv2d;
+use enode_tensor::dense::Dense;
+use enode_tensor::network::{Network, Op};
+use enode_tensor::norm::GroupNorm;
+use enode_tensor::Tensor;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_json.golden");
+
+fn scalar_dense(w: f32) -> Network {
+    Network::new(vec![Op::dense(Dense::from_parts(
+        Tensor::from_vec(vec![w], &[1, 1]),
+        Tensor::zeros(&[1]),
+    ))])
+}
+
+/// Every fixture is deterministic (seeded weights or explicit parts), so
+/// the rendered corpus is reproducible down to the formatted floats.
+fn corpus() -> String {
+    let mut out = String::new();
+    let mut section = |name: &str, json: String| {
+        out.push_str("## ");
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&json);
+        out.push('\n');
+    };
+
+    // The shipped artifacts are the empty baseline: no JSON lines at all.
+    section("shipped artifacts", lint_everything().render_json());
+
+    // E020: channel mismatch, caught by the op that rejects its input.
+    section(
+        "E020 channel mismatch",
+        lint_network(
+            "golden/bad_channels",
+            &Network::new(vec![Op::conv2d(Conv2d::new_seeded(3, 8, 3, 1))]),
+            &[1, 4, 8, 8],
+            1.0,
+        )
+        .render_json(),
+    );
+
+    // E020: rank mismatch (dense op on an NCHW state).
+    section(
+        "E020 rank mismatch",
+        lint_network(
+            "golden/bad_rank",
+            &Network::new(vec![Op::dense(Dense::new_seeded(4, 4, 2))]),
+            &[1, 4, 8, 8],
+            1.0,
+        )
+        .render_json(),
+    );
+
+    // E021: f is not an endomap of the state space.
+    section(
+        "E021 shape not preserved",
+        lint_network(
+            "golden/grows_state",
+            &Network::new(vec![Op::dense(Dense::new_seeded(2, 5, 3))]),
+            &[1, 2],
+            1.0,
+        )
+        .render_json(),
+    );
+
+    // E022 / W020: FP16 range, with hand-checkable worst cases
+    // (|w|*bound = 4e4*2 = 80000 > 65504; 3.3e4*1 is within 2x).
+    section(
+        "E022 fp16 overflow",
+        lint_network("golden/overflows", &scalar_dense(4.0e4), &[1, 1], 2.0).render_json(),
+    );
+    section(
+        "W020 fp16 near overflow",
+        lint_network("golden/near_limit", &scalar_dense(3.3e4), &[1, 1], 1.0).render_json(),
+    );
+
+    // E050 + E053: precision family over a lowered pipeline.
+    let mut gn = GroupNorm::new(4, 2);
+    for g in gn.gamma_mut().data_mut() {
+        *g = 1.0e4;
+    }
+    section(
+        "E050 groupnorm gain overflow",
+        lint_precision(&PipelineArtifact::new(
+            "golden/hot_groupnorm",
+            NodeModel::new(
+                vec![Network::new(vec![
+                    Op::conv2d(Conv2d::new_seeded(4, 4, 3, 9)),
+                    Op::group_norm(gn),
+                ])],
+                (0.0, 1.0),
+            ),
+            vec![1, 4, 16, 16],
+            1.0,
+            NodeSolveOptions::new(1e-2).with_fp16_storage(),
+            None,
+        ))
+        .render_json(),
+    );
+
+    // E055 + W051 + W052: fp16 state at an unreachable tolerance.
+    section(
+        "E055 subnormal tolerance",
+        lint_precision(&PipelineArtifact::new(
+            "golden/tight_tolerance",
+            NodeModel::dynamic_system(2, 16, 2, 42),
+            vec![1, 2],
+            4.0,
+            NodeSolveOptions::new(1e-6).with_fp16_storage(),
+            None,
+        ))
+        .render_json(),
+    );
+
+    // E060 + E061 + E062: one starved hardware config trips all three
+    // cross-artifact checks at once.
+    let mut cfg = HwConfig::config_a();
+    cfg.weight_buffer_bytes = 512;
+    cfg.training_buffer_bytes = 1024;
+    let mut starved = PipelineArtifact::new(
+        "golden/starved_hw",
+        NodeModel::image_classifier(4, 2, 2, 10, 9),
+        vec![1, 4, 16, 16],
+        1.0,
+        NodeSolveOptions::new(1e-6),
+        Some(cfg),
+    );
+    starved.solver.dt_min = 0.5;
+    section(
+        "E060-E062 starved hardware",
+        lint_consistency(&starved).render_json(),
+    );
+
+    out
+}
+
+#[test]
+fn json_output_matches_golden_corpus() {
+    let rendered = corpus();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/lint_json.golden missing; run with BLESS_GOLDEN=1 to create");
+    assert_eq!(
+        rendered, golden,
+        "lint --json output drifted from the golden corpus; if the change \
+         is intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+/// The E02x wording predates the fixpoint engine; these exact strings are
+/// the compatibility contract for the port (golden drift in *other*
+/// families is re-blessable, these messages are not).
+#[test]
+fn e02x_messages_are_byte_stable() {
+    let ds = lint_network(
+        "golden/bad_channels",
+        &Network::new(vec![Op::conv2d(Conv2d::new_seeded(3, 8, 3, 1))]),
+        &[1, 4, 8, 8],
+        1.0,
+    );
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E020\",\"severity\":\"error\",\"artifact\":\"golden/bad_channels\",\
+         \"message\":\"op 0 rejects its input: Conv2d expects 3 input channels, got 4\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+
+    let ds = lint_network(
+        "golden/grows_state",
+        &Network::new(vec![Op::dense(Dense::new_seeded(2, 5, 3))]),
+        &[1, 2],
+        1.0,
+    );
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E021\",\"severity\":\"error\",\"artifact\":\"golden/grows_state\",\
+         \"message\":\"f maps [1, 2] to [1, 5]; dh/dt needs matching shapes\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+
+    let ds = lint_network("golden/overflows", &scalar_dense(4.0e4), &[1, 1], 2.0);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E022\",\"severity\":\"error\",\"artifact\":\"golden/overflows\",\
+         \"message\":\"worst-case magnitude 80000.0 exceeds F16::MAX = 65504\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+
+    let ds = lint_network("golden/near_limit", &scalar_dense(3.3e4), &[1, 1], 1.0);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"W020\",\"severity\":\"warning\",\"artifact\":\"golden/near_limit\",\
+         \"message\":\"worst-case magnitude 33000.0 is within 2x of F16::MAX\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+}

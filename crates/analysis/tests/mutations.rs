@@ -1,0 +1,214 @@
+//! Mutation seeds: each test takes a shipped-style artifact, injects one
+//! specific defect, and asserts the *exact* lint code fires — and that
+//! unrelated codes stay silent. Together with
+//! `lint_everything`'s clean-run test this pins the discrimination of the
+//! `E05x`/`E06x` families: the lints catch the planted defect without
+//! drowning it in collateral noise.
+
+use enode_analysis::consistency::lint_consistency;
+use enode_analysis::diag::{Code, Severity};
+use enode_analysis::precision::lint_precision;
+use enode_analysis::{lint_everything, PipelineArtifact};
+use enode_hw::config::HwConfig;
+use enode_node::inference::NodeSolveOptions;
+use enode_node::model::NodeModel;
+use enode_tensor::conv::Conv2d;
+use enode_tensor::dense::Dense;
+use enode_tensor::network::{Network, Op};
+use enode_tensor::norm::GroupNorm;
+use enode_tensor::Tensor;
+
+/// The shipped edge-inference pipeline with a (possibly mutated) Table I
+/// hardware configuration.
+fn image_artifact(cfg: HwConfig) -> PipelineArtifact {
+    PipelineArtifact::new(
+        "edge image_classifier(4 ch, 2 conv)",
+        NodeModel::image_classifier(4, 2, 2, 10, 9),
+        vec![1, 4, 16, 16],
+        1.0,
+        NodeSolveOptions::new(1e-6),
+        Some(cfg),
+    )
+}
+
+#[test]
+fn baseline_shipped_artifacts_are_error_clean() {
+    // The mutation tests below only mean something if the unmutated
+    // pipelines pass: every code asserted here must be absent from the
+    // full shipped-artifact run.
+    let ds = lint_everything();
+    assert!(
+        !ds.items().iter().any(|d| d.severity() == Severity::Error),
+        "shipped artifacts must lint error-clean:\n{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn oversized_groupnorm_gain_overflows_fp16_e050() {
+    // Mutation: inflate a GroupNorm gain to 1e4. The normalized value is
+    // bounded by sqrt(N-1) ~ 22.6 for the 512-element groups here, so the
+    // op's worst-case output is ~2.3e5 — past F16::MAX.
+    let mut gn = GroupNorm::new(4, 2);
+    for g in gn.gamma_mut().data_mut() {
+        *g = 1.0e4;
+    }
+    let net = Network::new(vec![
+        Op::conv2d(Conv2d::new_seeded(4, 4, 3, 9)),
+        Op::group_norm(gn),
+    ]);
+    let artifact = PipelineArtifact::new(
+        "mutated groupnorm gain",
+        NodeModel::new(vec![net], (0.0, 1.0)),
+        vec![1, 4, 16, 16],
+        1.0,
+        NodeSolveOptions::new(1e-6).with_fp16_storage(),
+        None,
+    );
+    let ds = lint_precision(&artifact);
+    assert!(ds.has_code(Code::E050PrecOpOverflow), "{}", ds.render());
+    // The defect is in the op, not the parameters or the group geometry.
+    assert!(!ds.has_code(Code::E052PrecNonFiniteParam));
+    assert!(!ds.has_code(Code::E053PrecDegenerateGroupNorm));
+}
+
+#[test]
+fn stage_combine_overflow_fires_e051_without_e050() {
+    // Every op output stays inside f16 range (tanh caps at 1, the dense
+    // row sum is 6e4 < 65504), but the RK combine p1 = y + h*a10*k0 with
+    // h = 20 crosses F16::MAX. Only the combine code may fire.
+    let dense = Dense::from_parts(Tensor::from_vec(vec![6.0e4], &[1, 1]), Tensor::zeros(&[1]));
+    let net = Network::new(vec![Op::tanh(), Op::dense(dense)]);
+    let artifact = PipelineArtifact::new(
+        "mutated combine overflow",
+        NodeModel::new(vec![net], (0.0, 20.0)),
+        vec![1, 1],
+        4.0,
+        NodeSolveOptions::new(1e-2).with_default_dt(20.0),
+        None,
+    );
+    let ds = lint_precision(&artifact);
+    assert!(
+        ds.has_code(Code::E051PrecCombineOverflow),
+        "{}",
+        ds.render()
+    );
+    assert!(!ds.has_code(Code::E050PrecOpOverflow), "{}", ds.render());
+}
+
+#[test]
+fn nan_parameter_fires_e052_and_suppresses_range_pass() {
+    let dense = Dense::from_parts(
+        Tensor::from_vec(vec![f32::NAN], &[1, 1]),
+        Tensor::zeros(&[1]),
+    );
+    let net = Network::new(vec![Op::dense(dense)]);
+    let artifact = PipelineArtifact::new(
+        "mutated nan weight",
+        NodeModel::new(vec![net], (0.0, 1.0)),
+        vec![1, 1],
+        1.0,
+        NodeSolveOptions::new(1e-2).with_fp16_storage(),
+        None,
+    );
+    let ds = lint_precision(&artifact);
+    assert!(ds.has_code(Code::E052PrecNonFiniteParam), "{}", ds.render());
+    // A NaN bound would poison every downstream magnitude; the range pass
+    // must bail rather than emit nonsense overflow reports.
+    assert!(!ds.has_code(Code::E050PrecOpOverflow));
+    assert!(!ds.has_code(Code::E051PrecCombineOverflow));
+}
+
+#[test]
+fn single_element_groups_fire_e053() {
+    // GroupNorm(2, 2) over a [1, 2, 1, 1] state: one element per group,
+    // zero variance to normalize by.
+    let net = Network::new(vec![Op::group_norm(GroupNorm::new(2, 2))]);
+    let artifact = PipelineArtifact::new(
+        "mutated degenerate groups",
+        NodeModel::new(vec![net], (0.0, 1.0)),
+        vec![1, 2, 1, 1],
+        1.0,
+        NodeSolveOptions::new(1e-2),
+        None,
+    );
+    let ds = lint_precision(&artifact);
+    assert!(
+        ds.has_code(Code::E053PrecDegenerateGroupNorm),
+        "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn overflowing_state_fires_checkpoint_and_replay_codes() {
+    // An input bound already past F16::MAX: the fp16 ACA checkpoint that
+    // stores it (E054) and the replay that re-expands it (E056) both
+    // fail, independently of the (also overflowing) op outputs.
+    let net = Network::new(vec![Op::relu()]);
+    let artifact = PipelineArtifact::new(
+        "mutated checkpoint overflow",
+        NodeModel::new(vec![net], (0.0, 1.0)),
+        vec![1, 2],
+        7.0e4,
+        NodeSolveOptions::new(1e-2).with_fp16_storage(),
+        None,
+    );
+    let ds = lint_precision(&artifact);
+    assert!(
+        ds.has_code(Code::E054PrecCheckpointOverflow),
+        "{}",
+        ds.render()
+    );
+    assert!(
+        ds.has_code(Code::E056PrecAdjointReplayOverflow),
+        "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn mapping_exceeding_sram_residency_fires_e060() {
+    // Mutation: shrink the per-core weight SRAM to 512 bytes; the conv
+    // stacks mapped onto each core can no longer stay resident.
+    let mut cfg = HwConfig::config_a();
+    cfg.weight_buffer_bytes = 512;
+    let ds = lint_consistency(&image_artifact(cfg));
+    assert!(ds.has_code(Code::E060XArtMapResidency), "{}", ds.render());
+    assert!(!ds.has_code(Code::E061XArtAcaBuffer), "{}", ds.render());
+}
+
+#[test]
+fn undersized_aca_checkpoint_buffer_fires_e061() {
+    // Mutation: shrink the training buffer to 1 KiB; the checkpoint set
+    // plus one recompute interval's activation cache cannot fit.
+    let mut cfg = HwConfig::config_a();
+    cfg.training_buffer_bytes = 1024;
+    let ds = lint_consistency(&image_artifact(cfg));
+    assert!(ds.has_code(Code::E061XArtAcaBuffer), "{}", ds.render());
+    assert!(!ds.has_code(Code::E060XArtMapResidency), "{}", ds.render());
+}
+
+#[test]
+fn controller_bound_mutations_fire_e062() {
+    // dt_min raised past the nominal stepsize: the controller can never
+    // shrink below its own starting point.
+    let mut inverted = image_artifact(HwConfig::config_a());
+    inverted.solver.dt_min = 0.5;
+    let ds = lint_consistency(&inverted);
+    assert!(
+        ds.has_code(Code::E062XArtControllerBounds),
+        "{}",
+        ds.render()
+    );
+
+    // Trial budget too small to ever walk from default_dt down to dt_min.
+    let mut starved = image_artifact(HwConfig::config_a());
+    starved.solver.max_trials_per_point = 4;
+    let ds = lint_consistency(&starved);
+    assert!(
+        ds.has_code(Code::E062XArtControllerBounds),
+        "{}",
+        ds.render()
+    );
+}

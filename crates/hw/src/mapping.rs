@@ -60,6 +60,24 @@ pub fn split_channels(channels: usize, cores: usize) -> Vec<std::ops::Range<usiz
     out
 }
 
+/// Per-core weight bytes under the [`map_layers`] placement: slot `c` is
+/// the sum of `layer_bytes[l]` over every layer `l` mapped to core `c`.
+/// Static analyses use this to check that each core's share of the
+/// weights fits its slice of the weight buffer.
+///
+/// # Panics
+///
+/// Panics (via [`map_layers`]) if `layer_bytes` is empty or `cores` is
+/// zero.
+pub fn per_core_weight_bytes(layer_bytes: &[u64], cores: usize) -> Vec<u64> {
+    let mapping = map_layers(layer_bytes.len(), cores);
+    let mut out = vec![0u64; cores];
+    for (l, &bytes) in layer_bytes.iter().enumerate() {
+        out[mapping.core_of_layer[l]] += bytes;
+    }
+    out
+}
+
 /// Whether every layer's weights stay resident in the weight buffer across
 /// ring loops (function reuse requires it; otherwise each loop reloads
 /// from DRAM).
@@ -117,6 +135,15 @@ mod tests {
         let lens: Vec<usize> = parts.iter().map(|r| r.len()).collect();
         assert_eq!(lens.iter().sum::<usize>(), 10);
         assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn per_core_bytes_follow_the_mapping() {
+        // 6 layers on 4 cores: cores 0 and 1 host two layers each.
+        let bytes = [10, 20, 30, 40, 50, 60];
+        let per_core = per_core_weight_bytes(&bytes, 4);
+        assert_eq!(per_core, vec![10 + 50, 20 + 60, 30, 40]);
+        assert_eq!(per_core.iter().sum::<u64>(), bytes.iter().sum::<u64>());
     }
 
     #[test]

@@ -327,6 +327,22 @@ pub fn forward_layer(
     opts: &NodeSolveOptions,
 ) -> Result<(Tensor, LayerTrace), NodeError> {
     let tableau = opts.tableau_kind.tableau();
+    // Preflights mirroring the static lints (E062, E055): a violated
+    // bound here means the artifact was never run through `enode-lint`.
+    debug_assert!(
+        opts.dt_min < opts.default_dt,
+        "dt_min {} must be below default_dt {} (lint E062)",
+        opts.dt_min,
+        opts.default_dt
+    );
+    // Runtime floor: the smallest positive f16 subnormal (2^-24). The
+    // static E055 lint is stricter (it flags the degraded-precision
+    // subnormal range too); below 2^-24 the comparison is simply void.
+    debug_assert!(
+        !opts.fp16_storage || opts.tolerance >= (-24.0f64).exp2(),
+        "tolerance {} is unrepresentable in f16 state (lint E055)",
+        opts.tolerance
+    );
     let mut controller = opts.controller.build(&tableau, opts.default_dt);
     let (t0, t1) = t_span;
     debug_assert!(

@@ -98,6 +98,16 @@ impl Trainer {
             x.data().iter().all(|v| v.is_finite()),
             "training batch contains NaN/Inf"
         );
+        // Preflight mirroring lint E052: a non-finite parameter poisons
+        // the whole trajectory and every gradient behind it.
+        debug_assert!(
+            self.model
+                .layers()
+                .iter()
+                .flat_map(|net| net.ops())
+                .all(|op| op.params_finite()),
+            "model parameters contain NaN/Inf (lint E052)"
+        );
         let (output, trace) = forward_model(&self.model, x, &self.opts)?;
 
         // Loss + gradient at the model output.

@@ -414,6 +414,22 @@ impl ButcherTableau {
         self.fsal
     }
 
+    /// `Σ_i |b_i|` — the worst-case amplification the solution combine
+    /// `y + h Σ b_i k_i` applies to stage magnitudes (used by the static
+    /// FP16 range analysis).
+    pub fn abs_b_sum(&self) -> f64 {
+        self.b.iter().map(|x| x.abs()).sum()
+    }
+
+    /// `Σ_i |d_i|` over the error weights, or `0` for fixed-step methods
+    /// — the worst-case magnitude scale of the embedded error estimate.
+    pub fn abs_error_weight_sum(&self) -> f64 {
+        self.err
+            .as_deref()
+            .map(|d| d.iter().map(|x| x.abs()).sum())
+            .unwrap_or(0.0)
+    }
+
     /// Function evaluations per step, accounting for FSAL reuse on
     /// steady-state accepted steps.
     pub fn nfe_per_step(&self) -> usize {
@@ -498,6 +514,18 @@ mod tests {
         assert_eq!(ButcherTableau::rk23_bogacki_shampine().error_order(), 2);
         assert_eq!(ButcherTableau::rkf45().error_order(), 4);
         assert_eq!(ButcherTableau::rk4().error_order(), 3);
+    }
+
+    #[test]
+    fn abs_weight_sums() {
+        // rk23's b weights are all nonnegative and sum to 1.
+        let t = ButcherTableau::rk23_bogacki_shampine();
+        assert!((t.abs_b_sum() - 1.0).abs() < 1e-12);
+        // Its error weights d = b - b̂: Σ|d| ≈ |−5/72| + |1/12| + |1/9| + |−1/8|.
+        let expected = 5.0 / 72.0 + 1.0 / 12.0 + 1.0 / 9.0 + 1.0 / 8.0;
+        assert!((t.abs_error_weight_sum() - expected).abs() < 1e-12);
+        // Fixed-step methods have no error estimate to scale.
+        assert_eq!(ButcherTableau::rk4().abs_error_weight_sum(), 0.0);
     }
 
     #[test]

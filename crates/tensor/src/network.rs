@@ -61,6 +61,20 @@ impl Op {
             Op::Activation(_) | Op::ConcatTime => 0,
         }
     }
+
+    /// `true` when every trainable parameter of this op is finite (no
+    /// NaN/Inf). Parameterless ops are trivially finite.
+    pub fn params_finite(&self) -> bool {
+        let tensors: [&Tensor; 2] = match self {
+            Op::Conv2d(c) => [c.weight(), c.bias()],
+            Op::Dense(d) => [d.weight(), d.bias()],
+            Op::GroupNorm(g) => [g.gamma(), g.beta()],
+            Op::Activation(_) | Op::ConcatTime => return true,
+        };
+        tensors
+            .iter()
+            .all(|t| t.data().iter().all(|v| v.is_finite()))
+    }
 }
 
 /// Cache produced by one op's forward pass.
