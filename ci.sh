@@ -22,8 +22,14 @@ ENODE_THREADS=4 cargo test -q --workspace
 echo "==> sanitizer-enabled tensor suite + mutation tests (ENODE_THREADS=4)"
 ENODE_THREADS=4 cargo test -q -p enode-tensor --features sanitize
 
+echo "==> serving runtime suite under a 4-lane pool (batcher determinism audit)"
+ENODE_THREADS=4 cargo test -q -p enode-serve
+
 echo "==> bench_kernels_json smoke run (--quick)"
 cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mktemp)"
+
+echo "==> serve_bench smoke run (--smoke: JSON validated, p99 fields present)"
+cargo run -q --release -p enode-bench --bin serve_bench -- --smoke >/dev/null
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-Dwarnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

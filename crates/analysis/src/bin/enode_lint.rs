@@ -13,7 +13,7 @@
 
 use enode_analysis::{
     consistency, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck, precision,
-    registry, shape, tableau,
+    registry, servecheck, shape, tableau,
 };
 
 fn main() {
@@ -107,6 +107,9 @@ fn main() {
 
     println!("\n-- parallel kernel splits --");
     print!("{}", parallelcheck::lint_registered_splits(4).render());
+
+    println!("\n-- serving policies --");
+    print!("{}", servecheck::lint_shipped_policies().render());
 
     // The authoritative verdict covers every pipeline, not just the
     // samples printed above.

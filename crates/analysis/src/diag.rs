@@ -18,6 +18,7 @@
 //! | `E040–E049` / `W040–W049` | Parallel kernel-split lints ([`crate::parallelcheck`]) |
 //! | `E050–E059` / `W050–W059` | FP16 precision lints ([`crate::precision`]) |
 //! | `E060–E069` / `W060–W069` | Cross-artifact consistency lints ([`crate::consistency`]) |
+//! | `E070–E079` / `W070–W079` | Serving-policy lints ([`crate::servecheck`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text and `as_str()` mapping,
@@ -167,6 +168,26 @@ pub enum Code {
     /// The stepsize-controller bounds are inconsistent with the solver
     /// schedule or the tableau's embedded order.
     E062XArtControllerBounds,
+
+    // --- serving-policy lints (E070-E079 / W070-W079) ---
+    /// Batch window plus worst-case service time exceeds the tightest
+    /// admitted deadline: a worst-case request cannot survive the batcher.
+    E070ServeWindowDeadline,
+    /// A request admitted at the back of a full queue is guaranteed to
+    /// miss its deadline before dispatch: admission control admits work
+    /// the policy can only shed.
+    E071ServeQueueStarvation,
+    /// The degradation ladder is not ordered cheapest-last: a later tier
+    /// is not strictly coarser / no more expensive than its predecessor,
+    /// or tier 0 is not full quality.
+    E072ServeTierOrdering,
+    /// The declared design load exceeds the policy's service capacity,
+    /// so shedding is the steady state, not an overload response.
+    W070ServeDesignOverload,
+    /// A degradation tier is unreachable (its slack threshold is not
+    /// strictly below its predecessor's) or the ladder leaves a slack
+    /// band uncovered (last tier's threshold is nonzero).
+    W071ServeUnreachableTier,
 }
 
 impl Code {
@@ -219,12 +240,17 @@ impl Code {
             Code::E060XArtMapResidency => "E060",
             Code::E061XArtAcaBuffer => "E061",
             Code::E062XArtControllerBounds => "E062",
+            Code::E070ServeWindowDeadline => "E070",
+            Code::E071ServeQueueStarvation => "E071",
+            Code::E072ServeTierOrdering => "E072",
+            Code::W070ServeDesignOverload => "W070",
+            Code::W071ServeUnreachableTier => "W071",
         }
     }
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 46] = [
+    pub const ALL: [Code; 51] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -271,6 +297,11 @@ impl Code {
         Code::E060XArtMapResidency,
         Code::E061XArtAcaBuffer,
         Code::E062XArtControllerBounds,
+        Code::E070ServeWindowDeadline,
+        Code::E071ServeQueueStarvation,
+        Code::E072ServeTierOrdering,
+        Code::W070ServeDesignOverload,
+        Code::W071ServeUnreachableTier,
     ];
 
     /// The severity implied by the code's letter.
@@ -333,6 +364,11 @@ impl Code {
             Code::E060XArtMapResidency => "mapping assumes residency the weights exceed",
             Code::E061XArtAcaBuffer => "ACA working set exceeds the training buffer",
             Code::E062XArtControllerBounds => "controller bounds inconsistent with schedule",
+            Code::E070ServeWindowDeadline => "batch window leaves no room for the deadline",
+            Code::E071ServeQueueStarvation => "full-queue tail wait exceeds the deadline",
+            Code::E072ServeTierOrdering => "degradation tiers are not ordered cheapest-last",
+            Code::W070ServeDesignOverload => "design load exceeds the service capacity",
+            Code::W071ServeUnreachableTier => "tier unreachable or slack band uncovered",
         }
     }
 }

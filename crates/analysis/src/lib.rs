@@ -26,6 +26,9 @@
 //!   the unrolled solver schedule (`E050`–`E056`, `W050`–`W053`).
 //! * [`consistency`] — cross-artifact agreement between the model, the
 //!   solver plan, and the hardware configuration (`E060`–`E062`).
+//! * [`servecheck`] — serving-policy feasibility (`E070`–`E072`,
+//!   `W070`–`W071`): batch-window vs deadline arithmetic, full-queue
+//!   starvation, degradation-ladder ordering.
 //!
 //! [`registry`] carries a rustc-style long explanation for every code
 //! (`enode-lint --explain CODE`, `docs/LINTS.md`).
@@ -43,6 +46,7 @@ pub mod ir;
 pub mod parallelcheck;
 pub mod precision;
 pub mod registry;
+pub mod servecheck;
 pub mod shape;
 pub mod tableau;
 
@@ -113,7 +117,8 @@ const NOMINAL_POOL: usize = 4;
 /// Runs all lint families over everything the repository ships: the
 /// tableau catalog, their depth-first DDGs, the paper's pipelines (shape,
 /// precision and consistency passes), both Table I hardware
-/// configurations, and the registered parallel kernel splits.
+/// configurations, the registered parallel kernel splits, and the
+/// shipped serving policies.
 ///
 /// The result is sorted by `(code, artifact, message)` and deduplicated,
 /// so the report is byte-identical regardless of pass registration order.
@@ -135,6 +140,7 @@ pub fn lint_everything() -> Diagnostics {
     }
     ds.extend(hwcheck::lint_paper_configs());
     ds.extend(parallelcheck::lint_registered_splits(NOMINAL_POOL));
+    ds.extend(servecheck::lint_shipped_policies());
     ds.sort_and_dedup();
     ds
 }

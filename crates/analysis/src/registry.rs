@@ -266,6 +266,45 @@ pub fn explanation(code: Code) -> &'static str {
              dt_min. The search would either never terminate or give up before reaching its \
              own lower bound."
         }
+        Code::E070ServeWindowDeadline => {
+            "The serving policy's batch window plus its worst-case service estimate exceeds the \
+             tightest deadline the policy admits. The dynamic batcher may hold an underfull \
+             batch for the full window before the solve even starts, so a worst-case request \
+             admitted at the deadline floor is shed (or force-degraded) by construction — not \
+             by load. Shrink the batch window, cut the service estimate (cheaper tiers, smaller \
+             max_batch), or raise the deadline floor."
+        }
+        Code::E071ServeQueueStarvation => {
+            "A request admitted into the last slot of a full ingress queue waits behind \
+             ceil(capacity / max_batch) batch services before it can dispatch. If that tail \
+             wait alone reaches the tightest admitted deadline, the queue's deep end is dead on \
+             arrival: admission control accepts work the deadline shedder is guaranteed to \
+             throw away, wasting queue memory and hiding overload from the caller (who sees \
+             accepted-then-shed instead of an immediate QueueFull). Shrink the queue so \
+             backpressure surfaces at the door, or speed up service."
+        }
+        Code::E072ServeTierOrdering => {
+            "The degradation ladder is not ordered cheapest-last. Tier 0 must serve at the \
+             request's own tolerance (scale 1.0), and every later tier must be strictly coarser \
+             (larger tolerance scale) with a trial budget no larger than its predecessor's. A \
+             mis-ordered ladder inverts the policy's promise: thin-slack requests get *more* \
+             expensive solves exactly when there is no time for them."
+        }
+        Code::W070ServeDesignOverload => {
+            "The policy's declared design load exceeds its peak service rate (max_batch served \
+             every est_service). Under sustained load at the declared rate the queue fills and \
+             stays full, so shedding and QueueFull rejections become the steady state rather \
+             than an overload response. Either the design rate is aspirational (lower it) or \
+             the deployment needs more capacity (bigger batches, cheaper tiers, more workers)."
+        }
+        Code::W071ServeUnreachableTier => {
+            "Tier selection walks the ladder and picks the first tier whose slack threshold \
+             fits, so a tier whose min_slack is not strictly below its predecessor's can never \
+             be chosen — it is dead configuration. Separately, a last tier with a nonzero \
+             threshold leaves the thinnest-slack requests to the fall-through default (cheapest \
+             tier) rather than a deliberately designed one. Make thresholds strictly decreasing \
+             and end the ladder at zero slack."
+        }
     }
 }
 

@@ -1,0 +1,315 @@
+//! Serving-policy lints (`E070`–`E072`, `W070`–`W071`): static
+//! feasibility checks over [`enode_serve::ServeConfig`] deployments.
+//!
+//! A serving policy couples runtime knobs (queue bound, batch window,
+//! degradation ladder) with a *design envelope* (offered load, worst-case
+//! service estimate, tightest admitted deadline). The runtime enforces
+//! none of the envelope — it just sheds what misses — so an infeasible
+//! policy fails silently in production as a high shed rate. These lints
+//! prove the arithmetic before anything runs:
+//!
+//! * **E070** — a worst-case request admitted at the tightest deadline
+//!   must survive `batch_window + est_service`; otherwise the batcher
+//!   itself guarantees deadline misses.
+//! * **E071** — a request admitted at the back of a *full* queue waits
+//!   `ceil(capacity / max_batch) · est_service` before dispatch; if that
+//!   alone reaches the tightest deadline, admission control is admitting
+//!   work the policy can only shed.
+//! * **E072** — the degradation ladder must be ordered cheapest-last:
+//!   tier 0 at full quality, every later tier strictly coarser and with
+//!   a trial budget no larger than its predecessor's. A mis-ordered
+//!   ladder makes "degrade" mean "pay more".
+//! * **W070** — the declared design load exceeds the policy's peak
+//!   service rate `max_batch / est_service`; shedding becomes the steady
+//!   state rather than an overload response.
+//! * **W071** — a tier whose slack threshold is not strictly below its
+//!   predecessor's can never be selected, and a last tier with a nonzero
+//!   threshold leaves the thinnest-slack requests relying on the
+//!   fall-through default rather than a designed tier.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use enode_serve::ServeConfig;
+
+/// Lints one serving policy against its own design envelope.
+pub fn lint_config(policy: &ServeConfig) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let subject = format!("serve policy {}", policy.name);
+
+    // E072 / W071: ladder integrity first — an empty or mis-ordered
+    // ladder makes the deadline arithmetic below moot.
+    if policy.tiers.is_empty() {
+        ds.push(Diagnostic::new(
+            Code::E072ServeTierOrdering,
+            &subject,
+            "degradation ladder is empty: no tier can serve any request",
+        ));
+        return ds;
+    }
+    let t0 = &policy.tiers[0];
+    if t0.tolerance_scale != 1.0 {
+        ds.push(
+            Diagnostic::new(
+                Code::E072ServeTierOrdering,
+                &subject,
+                format!(
+                    "tier 0 scales the tolerance by {} — the top tier must serve \
+                     at the request's own accuracy (scale 1.0)",
+                    t0.tolerance_scale
+                ),
+            )
+            .with_note("tier0_tolerance_scale", t0.tolerance_scale),
+        );
+    }
+    for (i, pair) in policy.tiers.windows(2).enumerate() {
+        let (prev, next) = (&pair[0], &pair[1]);
+        if next.tolerance_scale <= prev.tolerance_scale || next.max_trials > prev.max_trials {
+            ds.push(
+                Diagnostic::new(
+                    Code::E072ServeTierOrdering,
+                    &subject,
+                    format!(
+                        "tier {} is not strictly cheaper than tier {i}: degrading \
+                         must coarsen the tolerance and never raise the trial budget",
+                        i + 1
+                    ),
+                )
+                .with_note("prev_tolerance_scale", prev.tolerance_scale)
+                .with_note("next_tolerance_scale", next.tolerance_scale)
+                .with_note("prev_max_trials", prev.max_trials)
+                .with_note("next_max_trials", next.max_trials),
+            );
+        }
+        if next.min_slack_us >= prev.min_slack_us {
+            ds.push(
+                Diagnostic::new(
+                    Code::W071ServeUnreachableTier,
+                    &subject,
+                    format!(
+                        "tier {} is unreachable: its slack threshold ({}µs) is not \
+                         strictly below tier {i}'s ({}µs), so selection always stops earlier",
+                        i + 1,
+                        next.min_slack_us,
+                        prev.min_slack_us
+                    ),
+                )
+                .with_note("tier", i + 1)
+                .with_note("min_slack_us", next.min_slack_us),
+            );
+        }
+    }
+    if let Some(last) = policy.tiers.last() {
+        if last.min_slack_us > 0 {
+            ds.push(
+                Diagnostic::new(
+                    Code::W071ServeUnreachableTier,
+                    &subject,
+                    format!(
+                        "the cheapest tier still demands {}µs of slack: requests below \
+                         it are served only by the fall-through default, not a designed tier",
+                        last.min_slack_us
+                    ),
+                )
+                .with_note("last_tier_min_slack_us", last.min_slack_us),
+            );
+        }
+    }
+
+    // E070: the batcher may hold a request for the full window before the
+    // worst-case service even starts.
+    let worst_path_us = policy.batch_window_us.saturating_add(policy.est_service_us);
+    if worst_path_us > policy.min_deadline_us {
+        ds.push(
+            Diagnostic::new(
+                Code::E070ServeWindowDeadline,
+                &subject,
+                format!(
+                    "batch window {}µs + worst-case service {}µs = {}µs exceeds the \
+                     tightest admitted deadline {}µs: a worst-case request is shed by design",
+                    policy.batch_window_us,
+                    policy.est_service_us,
+                    worst_path_us,
+                    policy.min_deadline_us
+                ),
+            )
+            .with_note("batch_window_us", policy.batch_window_us)
+            .with_note("est_service_us", policy.est_service_us)
+            .with_note("min_deadline_us", policy.min_deadline_us),
+        );
+    }
+
+    // E071: tail wait of a full queue. A request admitted into the last
+    // slot sits behind ceil(capacity / max_batch) batch services.
+    if policy.max_batch > 0 {
+        let backlog_batches = policy.queue_capacity.div_ceil(policy.max_batch) as u64;
+        let tail_wait_us = backlog_batches.saturating_mul(policy.est_service_us);
+        if tail_wait_us >= policy.min_deadline_us {
+            ds.push(
+                Diagnostic::new(
+                    Code::E071ServeQueueStarvation,
+                    &subject,
+                    format!(
+                        "a full queue ({} requests, {} batches) takes {}µs to drain, \
+                         at or beyond the tightest deadline {}µs: the tail of the queue \
+                         is admitted only to be shed — shrink the queue or the service time",
+                        policy.queue_capacity,
+                        backlog_batches,
+                        tail_wait_us,
+                        policy.min_deadline_us
+                    ),
+                )
+                .with_note("queue_capacity", policy.queue_capacity)
+                .with_note("backlog_batches", backlog_batches)
+                .with_note("tail_wait_us", tail_wait_us)
+                .with_note("min_deadline_us", policy.min_deadline_us),
+            );
+        }
+    }
+
+    // W070: sustained offered load vs peak service rate.
+    if policy.est_service_us > 0 && policy.design_rate_rps > 0.0 {
+        let capacity_rps = policy.max_batch as f64 * 1.0e6 / policy.est_service_us as f64;
+        if policy.design_rate_rps > capacity_rps {
+            ds.push(
+                Diagnostic::new(
+                    Code::W070ServeDesignOverload,
+                    &subject,
+                    format!(
+                        "design load {:.1} req/s exceeds the peak service rate {:.1} req/s \
+                         (batch {} every {}µs): shedding is the steady state at the declared load",
+                        policy.design_rate_rps,
+                        capacity_rps,
+                        policy.max_batch,
+                        policy.est_service_us
+                    ),
+                )
+                .with_note("design_rate_rps", policy.design_rate_rps)
+                .with_note("capacity_rps", format!("{capacity_rps:.1}")),
+            );
+        }
+    }
+
+    ds
+}
+
+/// Lints every policy the repository ships
+/// ([`enode_serve::ServeConfig::shipped`]); all must be clean.
+pub fn lint_shipped_policies() -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    for policy in ServeConfig::shipped() {
+        ds.extend(lint_config(&policy));
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode_node::inference::TableauKind;
+    use enode_serve::TierSpec;
+
+    fn clean() -> ServeConfig {
+        ServeConfig::edge_default()
+    }
+
+    #[test]
+    fn shipped_policies_are_clean() {
+        let ds = lint_shipped_policies();
+        assert!(ds.is_empty(), "shipped policies must lint clean:\n{ds}");
+    }
+
+    #[test]
+    fn window_deadline_infeasibility_fires_e070() {
+        let mut p = clean();
+        p.batch_window_us = 40_000; // window + 15ms service > 50ms deadline
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E070ServeWindowDeadline), "{ds}");
+        assert_eq!(ds.error_count(), 1);
+    }
+
+    #[test]
+    fn full_queue_tail_starvation_fires_e071() {
+        let mut p = clean();
+        p.queue_capacity = 64; // 8 batches x 15ms = 120ms >= 50ms deadline
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E071ServeQueueStarvation), "{ds}");
+        assert_eq!(ds.error_count(), 1);
+    }
+
+    #[test]
+    fn misordered_ladder_fires_e072() {
+        // A "degraded" tier that tightens the tolerance.
+        let mut p = clean();
+        p.tiers[1].tolerance_scale = 0.5;
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E072ServeTierOrdering), "{ds}");
+
+        // A degraded tier that raises the trial budget.
+        let mut p = clean();
+        p.tiers[2].max_trials = 128;
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E072ServeTierOrdering), "{ds}");
+
+        // Tier 0 not at full quality.
+        let mut p = clean();
+        p.tiers[0].tolerance_scale = 4.0;
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E072ServeTierOrdering), "{ds}");
+    }
+
+    #[test]
+    fn empty_ladder_is_e072() {
+        let mut p = clean();
+        p.tiers.clear();
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::E072ServeTierOrdering), "{ds}");
+        assert_eq!(ds.len(), 1, "empty ladder short-circuits further checks");
+    }
+
+    #[test]
+    fn design_overload_fires_w070_as_warning() {
+        let mut p = clean();
+        p.design_rate_rps = 10_000.0; // capacity is ~533 req/s
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::W070ServeDesignOverload), "{ds}");
+        assert_eq!(ds.error_count(), 0, "W070 must not fail the run");
+        assert_eq!(ds.warning_count(), 1);
+    }
+
+    #[test]
+    fn unreachable_tier_and_uncovered_band_fire_w071() {
+        // Tier 2's threshold not strictly below tier 1's -> unreachable.
+        let mut p = clean();
+        p.tiers[2].min_slack_us = p.tiers[1].min_slack_us;
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::W071ServeUnreachableTier), "{ds}");
+
+        // Last tier demanding slack leaves the thin-slack band uncovered.
+        let mut p = clean();
+        p.tiers[2].min_slack_us = 500;
+        let ds = lint_config(&p);
+        assert!(ds.has_code(Code::W071ServeUnreachableTier), "{ds}");
+        assert_eq!(ds.error_count(), 0);
+    }
+
+    #[test]
+    fn single_tier_policy_can_be_clean() {
+        let p = ServeConfig {
+            name: "single_tier",
+            queue_capacity: 4,
+            max_batch: 4,
+            batch_window_us: 1_000,
+            tiers: vec![TierSpec {
+                tolerance_scale: 1.0,
+                max_trials: 32,
+                tableau: TableauKind::Rk23,
+                min_slack_us: 0,
+            }],
+            workers: 1,
+            design_rate_rps: 50.0,
+            est_service_us: 5_000,
+            min_deadline_us: 20_000,
+        };
+        let ds = lint_config(&p);
+        assert!(ds.is_empty(), "{ds}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Emits the machine-readable serving benchmark baseline.
+//!
+//! ```sh
+//! cargo run --release -p enode-bench --bin serve_bench              # full sweep -> BENCH_serve.json
+//! cargo run --release -p enode-bench --bin serve_bench -- --quick /tmp/serve.json
+//! cargo run --release -p enode-bench --bin serve_bench -- --smoke  # CI: validate only, write nothing
+//! ```
+//!
+//! The sweep is a deterministic discrete-event simulation (virtual clock,
+//! fixed cost-model lanes): a rerun with the same seed reproduces every
+//! row bit-for-bit; only `host_cpus` / `enode_threads_default` are host
+//! metadata. See [`enode_bench::serve_json`] for the format.
+
+use enode_bench::report;
+use enode_bench::serve_json::{render_json, sweep_shipped, validate};
+
+fn main() {
+    let mut quick = false;
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--smoke" => {
+                smoke = true;
+                quick = true;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    eprintln!(
+        "sweeping offered load x batch window over shipped policies{} ...",
+        if quick { " (quick)" } else { "" }
+    );
+    let sweeps = sweep_shipped(quick);
+
+    report::header(&[
+        "policy",
+        "deadline_us",
+        "rps",
+        "window_us",
+        "completed",
+        "shed",
+        "rejected",
+        "degraded",
+        "p50_us",
+        "p99_us",
+        "mean_batch",
+    ]);
+    for sw in &sweeps {
+        for r in &sw.rows {
+            let m = &r.metrics;
+            report::row(&[
+                sw.policy.name,
+                &sw.deadline_us.to_string(),
+                &format!("{:.0}", r.offered_rps),
+                &r.batch_window_us.to_string(),
+                &m.completed.to_string(),
+                &m.shed.to_string(),
+                &m.rejected_full.to_string(),
+                &m.degraded.to_string(),
+                &m.latency_p50_us.to_string(),
+                &m.latency_p99_us.to_string(),
+                &format!("{:.2}", m.mean_batch),
+            ]);
+        }
+    }
+
+    let json = render_json(&sweeps, quick);
+    if let Err(e) = validate(&json) {
+        eprintln!("serve_bench: emitted document failed validation: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        eprintln!("smoke OK: JSON well-formed, p50/p95/p99 and outcome fields present");
+        return;
+    }
+    std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -36,6 +36,7 @@
 
 use crate::driver::{expedited_opts, run_inference_only, Bench};
 use crate::micro::Micro;
+use crate::report::{host_cpus, json_escape};
 use enode_node::eval::forward_model_batched;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
@@ -165,14 +166,11 @@ pub fn measure(quick: bool) -> Vec<KernelTiming> {
 
 /// Renders the timings as the committed `BENCH_kernels.json` document.
 pub fn render_json(timings: &[KernelTiming], quick: bool) -> String {
-    let host_cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"enode-bench-kernels/v1\",\n");
     s.push_str("  \"threads_low\": 1,\n");
     s.push_str(&format!("  \"threads_high\": {THREADS_HIGH},\n"));
-    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
     s.push_str(&format!(
         "  \"enode_threads_default\": {},\n",
         parallel::default_threads()
@@ -182,7 +180,7 @@ pub fn render_json(timings: &[KernelTiming], quick: bool) -> String {
     for (i, t) in timings.iter().enumerate() {
         s.push_str(&format!(
             "    {{ \"name\": \"{}\", \"secs_low\": {:.6e}, \"secs_high\": {:.6e}, \"speedup\": {:.3} }}{}\n",
-            t.name,
+            json_escape(t.name),
             t.secs_low,
             t.secs_high,
             t.speedup(),

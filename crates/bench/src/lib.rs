@@ -11,3 +11,4 @@ pub mod figures;
 pub mod kernels_json;
 pub mod micro;
 pub mod report;
+pub mod serve_json;

@@ -1,4 +1,6 @@
-//! Console table formatting shared by the experiment harnesses.
+//! Console table formatting and JSON-emission helpers shared by the
+//! experiment harnesses and the machine-readable baselines
+//! (`BENCH_kernels.json`, `BENCH_serve.json`).
 
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
@@ -39,4 +41,50 @@ pub fn ratio(v: f64) -> String {
 /// Formats bytes as MB.
 pub fn mb(bytes: f64) -> String {
     format!("{:.2} MB", bytes / (1024.0 * 1024.0))
+}
+
+/// `available_parallelism()` of the emitting host (1 when unknown).
+///
+/// Every committed benchmark JSON carries this so consumers can read
+/// speedups and latency numbers relative to the host that produced them —
+/// it is the one field expected to differ across machines.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t"), "x\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn host_cpus_is_positive() {
+        assert!(host_cpus() >= 1);
+    }
 }

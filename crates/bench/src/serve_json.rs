@@ -1,0 +1,399 @@
+//! The machine-readable serving benchmark baseline (`BENCH_serve.json`).
+//!
+//! Sweeps offered load × batch window over every shipped serving policy
+//! using the deterministic discrete-event simulation in
+//! [`enode_serve::loadgen`]: batches really run through the solver (true
+//! outputs and NFE counts), but service time is charged by a fixed
+//! [`CostModel`] with an explicit lane count, so a rerun with the same
+//! seed produces the same bytes on any host — only `host_cpus` and
+//! `enode_threads_default` are host metadata and may differ.
+//!
+//! # JSON format (`schema: "enode-bench-serve/v1"`)
+//!
+//! ```json
+//! {
+//!   "schema": "enode-bench-serve/v1",
+//!   "lanes": 4,                    // CostModel lanes (fixed, not host-derived)
+//!   "host_cpus": 1,                // available_parallelism() on the host
+//!   "enode_threads_default": 1,    // pool width this host would default to
+//!   "quick": false,                // true when run with the reduced grid (CI smoke)
+//!   "seed": 24301,                 // master seed for arrivals and inputs
+//!   "cost_model": { "per_nfe_us": 20.0, "dispatch_overhead_us": 150, "lanes": 4 },
+//!   "rows": [
+//!     {
+//!       "policy": "edge_default",  // ServeConfig name
+//!       "offered_rps": 200.0,      // open-loop offered load
+//!       "batch_window_us": 2000,   // batch window this cell ran with
+//!       "deadline_us": 50000,      // relative deadline on every request
+//!       "offered": 400,            // requests offered (admitted + rejected)
+//!       "makespan_us": 1234,       // virtual time of the last event
+//!       "tier_counts": [380,15,5], // completed requests per degradation tier
+//!       "metrics": {               // drained MetricsSnapshot: the identity
+//!         "submitted": 400,        //   submitted == completed+shed+failed+cancelled
+//!         "completed": 400,        //   holds exactly
+//!         "degraded": 20, "shed": 0, "rejected_full": 0, "failed": 0,
+//!         "cancelled": 0, "batches": 58,
+//!         "latency_p50_us": 4096,  // bucket upper bounds (powers of two)
+//!         "latency_p95_us": 8192, "latency_p99_us": 8192,
+//!         "latency_mean_us": 3512.625, "mean_batch": 6.897
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Latency percentiles are *simulated virtual-clock* latencies under the
+//! cost model, not wall time: they characterise the queueing and batching
+//! policy, not the emitting host's CPU.
+
+use crate::report::{host_cpus, json_escape};
+use enode_node::inference::NodeSolveOptions;
+use enode_node::model::NodeModel;
+use enode_serve::loadgen::sweep;
+use enode_serve::{CostModel, LoadSpec, RunResult, ServeConfig};
+use enode_tensor::parallel;
+
+/// Lane count the cost model charges batches against. Fixed (rather than
+/// host-derived) so the committed JSON is byte-identical across hosts.
+pub const LANES: usize = 4;
+
+/// Master seed for arrival jitter and request inputs.
+pub const SEED: u64 = 24301;
+
+/// The fixed service-time model every sweep cell runs under. 20 µs per
+/// function evaluation models an edge-class core (a dim-2 solve lands
+/// around 2–4 ms), which puts the top of the rate grid past saturation so
+/// the sweep actually exercises shedding, degradation and backpressure.
+pub fn cost_model() -> CostModel {
+    CostModel {
+        per_nfe_us: 20.0,
+        dispatch_overhead_us: 150,
+        lanes: LANES,
+    }
+}
+
+/// The model every request solves: the van-der-Pol-sized dynamic system
+/// (2 state dims, hidden width 16), cheap enough to sweep thousands of
+/// requests yet exercising the adaptive stepsize search.
+pub fn bench_model() -> NodeModel {
+    NodeModel::dynamic_system(2, 16, 2, 42)
+}
+
+/// One (policy, deadline) slice of the sweep grid.
+#[derive(Clone, Debug)]
+pub struct PolicySweep {
+    /// The swept policy (its `batch_window_us` is overridden per row).
+    pub policy: ServeConfig,
+    /// Relative deadline stamped on every request. The full sweep runs
+    /// each policy at two deadlines: its design floor (`min_deadline_us`,
+    /// where lints E070/E071 prove nothing can be shed) and a tight 40%
+    /// of that floor — clients violating the envelope, which is what
+    /// forces the degradation ladder and load shedding to actually fire.
+    pub deadline_us: u64,
+    /// One result per (batch window, offered load) cell.
+    pub rows: Vec<RunResult>,
+}
+
+/// Runs the full sweep over every shipped policy. `quick` shrinks the
+/// grid and the request count (the CI smoke configuration).
+pub fn sweep_shipped(quick: bool) -> Vec<PolicySweep> {
+    let model = bench_model();
+    let opts = NodeSolveOptions::new(1e-4);
+    let cost = cost_model();
+    let (requests, rates, windows): (usize, Vec<f64>, Vec<u64>) = if quick {
+        (40, vec![200.0], vec![0, 2_000])
+    } else {
+        (
+            400,
+            vec![50.0, 200.0, 800.0, 2_400.0, 8_000.0],
+            vec![0, 2_000, 8_000],
+        )
+    };
+    let mut out = Vec::new();
+    for policy in ServeConfig::shipped() {
+        let floor = policy.min_deadline_us;
+        let deadlines = if quick {
+            vec![floor]
+        } else {
+            vec![floor, floor * 2 / 5]
+        };
+        for deadline_us in deadlines {
+            let mut spec = LoadSpec::open_loop(requests, rates[0], deadline_us);
+            spec.seed = SEED;
+            let rows = sweep(&model, &opts, &policy, &rates, &windows, &spec, &cost);
+            out.push(PolicySweep {
+                policy: policy.clone(),
+                deadline_us,
+                rows,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the sweeps as the committed `BENCH_serve.json` document.
+pub fn render_json(sweeps: &[PolicySweep], quick: bool) -> String {
+    let cost = cost_model();
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"enode-bench-serve/v1\",\n");
+    s.push_str(&format!("  \"lanes\": {LANES},\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!(
+        "  \"enode_threads_default\": {},\n",
+        parallel::default_threads()
+    ));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!(
+        "  \"cost_model\": {{ \"per_nfe_us\": {:.1}, \"dispatch_overhead_us\": {}, \"lanes\": {} }},\n",
+        cost.per_nfe_us, cost.dispatch_overhead_us, cost.lanes
+    ));
+    s.push_str("  \"rows\": [\n");
+    let total: usize = sweeps.iter().map(|p| p.rows.len()).sum();
+    let mut emitted = 0usize;
+    for sw in sweeps {
+        for r in &sw.rows {
+            emitted += 1;
+            let tiers = r
+                .tier_counts
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            s.push_str(&format!(
+                "    {{ \"policy\": \"{}\", \"offered_rps\": {:.1}, \"batch_window_us\": {}, \
+                 \"deadline_us\": {}, \"offered\": {}, \"makespan_us\": {}, \
+                 \"tier_counts\": [{}], \"metrics\": {} }}{}\n",
+                json_escape(sw.policy.name),
+                r.offered_rps,
+                r.batch_window_us,
+                sw.deadline_us,
+                r.offered,
+                r.makespan_us,
+                tiers,
+                r.metrics.to_json(),
+                if emitted < total { "," } else { "" }
+            ));
+        }
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Validates an emitted document: well-formed JSON and every field the
+/// acceptance tracking reads is present. The `serve_bench` binary runs
+/// this on its own output (and `--smoke` gates CI on it).
+pub fn validate(json: &str) -> Result<(), String> {
+    validate_json(json)?;
+    for field in [
+        "\"schema\": \"enode-bench-serve/v1\"",
+        "\"latency_p50_us\"",
+        "\"latency_p95_us\"",
+        "\"latency_p99_us\"",
+        "\"mean_batch\"",
+        "\"shed\"",
+        "\"degraded\"",
+        "\"completed\"",
+        "\"tier_counts\"",
+        "\"host_cpus\"",
+    ] {
+        if !json.contains(field) {
+            return Err(format!("missing required field {field}"));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal JSON well-formedness checker (no external deps): accepts
+/// exactly one value — object, array, string, number, `true`, `false`,
+/// `null` — with nothing but whitespace after it.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at offset {}", self.i)
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => self.i += 2, // escape: skip the escaped byte too
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        while matches!(
+            self.b.get(self.i),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap_or("");
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("malformed literal"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\": [1, 2.5e-3, \"x\\\"y\"], \"b\": null}").is_ok());
+        assert!(validate_json("  true  ").is_ok());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{\"a\": 1} extra").is_err());
+        assert!(validate_json("[1, 2,]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("1.2.3").is_err());
+    }
+
+    #[test]
+    fn quick_sweep_emits_a_valid_document() {
+        let sweeps = sweep_shipped(true);
+        // 2 policies × 1 rate × 2 windows.
+        assert_eq!(sweeps.len(), 2);
+        assert!(sweeps.iter().all(|p| p.rows.len() == 2));
+        assert!(sweeps
+            .iter()
+            .flat_map(|p| &p.rows)
+            .all(|r| r.metrics.reconciles()));
+        let json = render_json(&sweeps, true);
+        validate(&json).expect("emitted document must validate");
+        assert!(json.contains("\"policy\": \"edge_default\""));
+        assert!(json.contains("\"policy\": \"streaming_keyword\""));
+        assert!(json.contains("\"quick\": true"));
+    }
+
+    #[test]
+    fn quick_sweep_is_deterministic() {
+        let a = sweep_shipped(true);
+        let b = sweep_shipped(true);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.rows, y.rows,
+                "{}: rerun must be bit-identical",
+                x.policy.name
+            );
+        }
+    }
+
+    #[test]
+    fn validate_flags_missing_fields() {
+        let err = validate("{\"schema\": \"enode-bench-serve/v1\"}").unwrap_err();
+        assert!(err.contains("missing required field"));
+    }
+}

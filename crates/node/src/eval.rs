@@ -2,7 +2,7 @@
 //! accuracy-versus-compute trade-off curve (the axis along which every
 //! eNODE algorithm knob — ε, s_acc/s_rej, Ĥ — moves a deployment).
 
-use crate::inference::{forward_model, ForwardTrace, NodeError, NodeSolveOptions};
+use crate::inference::{forward_model, ForwardTrace, NodeError, NodeSolveOptions, SolveOverride};
 use crate::loss::cross_entropy_logits;
 use crate::model::NodeModel;
 use enode_tensor::{parallel, Tensor};
@@ -118,7 +118,30 @@ pub fn forward_model_batched(
     inputs: &Tensor,
     opts: &NodeSolveOptions,
 ) -> Result<(Tensor, Vec<ForwardTrace>), NodeError> {
+    forward_model_batched_with(model, inputs, opts, SolveOverride::NONE)
+}
+
+/// [`forward_model_batched`] with a per-call [`SolveOverride`]: the
+/// serving runtime's degradation tiers re-dispatch the *same* model at a
+/// coarser tolerance, smaller trial budget, or cheaper integrator without
+/// rebuilding it. `SolveOverride::NONE` is exactly the plain entry point.
+///
+/// # Errors
+///
+/// Returns [`NodeError`] if any sample's forward pass fails.
+///
+/// # Panics
+///
+/// Panics if `inputs` has no samples or the override carries an invalid
+/// tolerance or trial budget.
+pub fn forward_model_batched_with(
+    model: &NodeModel,
+    inputs: &Tensor,
+    opts: &NodeSolveOptions,
+    ovr: SolveOverride,
+) -> Result<(Tensor, Vec<ForwardTrace>), NodeError> {
     let _kernel = enode_tensor::sanitize::kernel_scope("node.forward_model_batched");
+    let opts = &ovr.apply(opts);
     let n = inputs.shape()[0];
     assert!(n > 0, "batched inference needs at least one sample");
     let sample_len = inputs.len() / n;
@@ -244,6 +267,48 @@ mod tests {
                 "sample {ni} differs from its standalone solve"
             );
         }
+    }
+
+    #[test]
+    fn override_none_is_identity_and_fields_apply() {
+        let model = NodeModel::dynamic_system(2, 8, 1, 3);
+        let inputs = enode_tensor::init::uniform(&[2, 2], -1.0, 1.0, 4);
+        let opts = NodeSolveOptions::new(1e-5);
+        let (y_plain, t_plain) = forward_model_batched(&model, &inputs, &opts).unwrap();
+        let (y_none, t_none) =
+            forward_model_batched_with(&model, &inputs, &opts, SolveOverride::NONE).unwrap();
+        assert_eq!(y_plain.data(), y_none.data());
+        assert_eq!(t_plain.len(), t_none.len());
+
+        // A coarser tolerance override must match re-building the options.
+        let ovr = SolveOverride {
+            tolerance: Some(1e-2),
+            max_trials: Some(16),
+            tableau: Some(crate::inference::TableauKind::HeunEuler),
+        };
+        let (y_ovr, t_ovr) = forward_model_batched_with(&model, &inputs, &opts, ovr).unwrap();
+        let mut rebuilt =
+            NodeSolveOptions::new(1e-2).with_tableau(crate::inference::TableauKind::HeunEuler);
+        rebuilt.max_trials_per_point = 16;
+        let (y_reb, t_reb) = forward_model_batched(&model, &inputs, &rebuilt).unwrap();
+        assert_eq!(y_ovr.data(), y_reb.data());
+        assert_eq!(
+            t_ovr[0].total_stats().nfe,
+            t_reb[0].total_stats().nfe,
+            "override must be equivalent to rebuilt options"
+        );
+        // The coarse tier is actually cheaper than the strict solve.
+        assert!(t_ovr[0].total_stats().nfe < t_plain[0].total_stats().nfe);
+    }
+
+    #[test]
+    #[should_panic(expected = "override tolerance must be positive")]
+    fn override_rejects_nonpositive_tolerance() {
+        let ovr = SolveOverride {
+            tolerance: Some(0.0),
+            ..SolveOverride::NONE
+        };
+        ovr.apply(&NodeSolveOptions::new(1e-3));
     }
 
     #[test]

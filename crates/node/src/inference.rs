@@ -150,6 +150,60 @@ impl TableauKind {
     }
 }
 
+/// A per-call override of the solver knobs a serving runtime trades
+/// against deadline headroom: tolerance, trial budget, and integrator.
+///
+/// `None` fields keep the base [`NodeSolveOptions`] value, so the same
+/// model (and the same options it was tuned with) can be re-dispatched at
+/// a cheaper solver configuration — a degradation tier — without being
+/// rebuilt. [`apply`](SolveOverride::apply) materializes the effective
+/// options.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveOverride {
+    /// Replacement error tolerance ε.
+    pub tolerance: Option<f64>,
+    /// Replacement trial budget per evaluation point.
+    pub max_trials: Option<usize>,
+    /// Replacement integrator.
+    pub tableau: Option<TableauKind>,
+}
+
+impl SolveOverride {
+    /// The identity override: every field keeps the base value.
+    pub const NONE: SolveOverride = SolveOverride {
+        tolerance: None,
+        max_trials: None,
+        tableau: None,
+    };
+
+    /// `true` when no field overrides anything.
+    pub fn is_none(&self) -> bool {
+        *self == SolveOverride::NONE
+    }
+
+    /// The effective options: `base` with every `Some` field replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an overriding tolerance is not positive or an overriding
+    /// trial budget is zero.
+    pub fn apply(&self, base: &NodeSolveOptions) -> NodeSolveOptions {
+        let mut opts = *base;
+        if let Some(tol) = self.tolerance {
+            assert!(tol > 0.0, "override tolerance must be positive");
+            opts.tolerance = tol;
+        }
+        if let Some(trials) = self.max_trials {
+            assert!(trials > 0, "override trial budget must be positive");
+            opts.max_trials_per_point = trials;
+        }
+        if let Some(tableau) = self.tableau {
+            opts.tableau_kind = tableau;
+        }
+        opts
+    }
+}
+
 impl NodeSolveOptions {
     /// Defaults matching the paper's experimental setup: RK23, conventional
     /// search with shrink 0.5, initial stepsize 0.1, no priority.

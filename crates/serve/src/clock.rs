@@ -1,0 +1,120 @@
+//! The serving runtime's time source.
+//!
+//! Every timestamp in the serve layer — submit times, deadlines, batch
+//! windows, completion times — is a `u64` microsecond count in the domain
+//! of one [`Clock`]. Two implementations share that domain:
+//!
+//! * [`Clock::wall`] reads a monotonic [`std::time::Instant`] anchored at
+//!   server start — the deployment configuration.
+//! * [`Clock::virtual_at`] reads a shared atomic the *caller* advances —
+//!   the deterministic configuration the batcher tests and the load-test
+//!   harness use. Time moves only when the test (or the discrete-event
+//!   simulation) says so, which is what makes deadline decisions, tier
+//!   selection, and every latency in `BENCH_serve.json` bit-reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A microsecond clock: wall (monotonic) or virtual (caller-driven).
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Monotonic wall time, as microseconds since the anchor.
+    Wall(Instant),
+    /// Virtual time: the shared counter is the current microsecond.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock anchored at "now" (time 0 is this call).
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// A virtual clock starting at `start_us`. Clones share the counter,
+    /// so a test can keep one handle and hand the other to the server.
+    pub fn virtual_at(start_us: u64) -> Self {
+        Clock::Virtual(Arc::new(AtomicU64::new(start_us)))
+    }
+
+    /// The current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Wall(anchor) => anchor.elapsed().as_micros() as u64,
+            Clock::Virtual(t) => t.load(Ordering::SeqCst),
+        }
+    }
+
+    /// `true` for a virtual clock (the runtime must not block on wall
+    /// timeouts that virtual time will never satisfy).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// Advances a virtual clock by `delta_us` and returns the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall clock — only simulated time can be advanced.
+    pub fn advance_us(&self, delta_us: u64) -> u64 {
+        match self {
+            Clock::Wall(_) => panic!("cannot advance a wall clock"),
+            Clock::Virtual(t) => t.fetch_add(delta_us, Ordering::SeqCst) + delta_us,
+        }
+    }
+
+    /// Sets a virtual clock to an absolute time. Time must not move
+    /// backwards (deadline bookkeeping assumes monotonicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall clock, or if `now_us` is in the past.
+    pub fn set_us(&self, now_us: u64) {
+        match self {
+            Clock::Wall(_) => panic!("cannot set a wall clock"),
+            Clock::Virtual(t) => {
+                let prev = t.swap(now_us, Ordering::SeqCst);
+                assert!(
+                    prev <= now_us,
+                    "virtual clock moved backwards: {prev} -> {now_us}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_caller_driven() {
+        let c = Clock::virtual_at(100);
+        assert!(c.is_virtual());
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.advance_us(50), 150);
+        assert_eq!(c.now_us(), 150);
+        c.set_us(400);
+        assert_eq!(c.now_us(), 400);
+        // Clones share the counter.
+        let d = c.clone();
+        d.advance_us(1);
+        assert_eq!(c.now_us(), 401);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn virtual_clock_rejects_rewind() {
+        let c = Clock::virtual_at(10);
+        c.set_us(5);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = Clock::wall();
+        assert!(!c.is_virtual());
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,48 @@
+//! `enode-serve`: a deadline-aware inference serving runtime for Neural
+//! ODE models.
+//!
+//! The eNODE paper's premise is that edge Neural-ODE inference lives or
+//! dies on latency and energy; this crate supplies the *serving* layer a
+//! deployment needs on top of the solver stack: a bounded ingress queue
+//! with explicit admission control, a dynamic batcher that coalesces
+//! compatible requests, deadline-based load shedding, and graceful
+//! degradation to cheaper solver configurations (coarser tolerance,
+//! smaller trial budget, lower-order tableau) when slack runs thin —
+//! exactly the accuracy-for-compute knob the adaptive stepsize search
+//! exposes.
+//!
+//! # Module map
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`clock`] | Wall vs virtual (caller-driven) microsecond time |
+//! | [`request`] | [`Request`], [`Response`], [`Rejected`], [`Ticket`] |
+//! | [`policies`] | [`ServeConfig`]: batching knobs + degradation ladder |
+//! | [`server`] | The queue/batcher/worker runtime |
+//! | [`metrics`] | Atomic counters + latency/batch histograms |
+//! | [`loadgen`] | Deterministic open/closed-loop load simulation |
+//!
+//! # Determinism
+//!
+//! Batched dispatch runs each sample's solve independently (see
+//! [`enode_node::eval::forward_model_batched_with`]), so a response's
+//! bits depend only on `(input, tolerance class, tier)` — never on batch
+//! composition, worker count, or arrival interleaving. Combined with the
+//! virtual [`Clock`] (deadline and tier decisions at simulated instants)
+//! and the NFE-based cost model in [`loadgen`], the whole serving stack
+//! is replayable bit-for-bit; the batcher determinism tests and
+//! `BENCH_serve.json` both lean on this.
+
+pub mod clock;
+pub mod loadgen;
+pub mod metrics;
+pub mod policies;
+pub mod request;
+pub mod server;
+
+pub use clock::Clock;
+pub use loadgen::{Arrivals, CostModel, LoadSpec, RunResult};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use policies::{ServeConfig, TierSpec};
+pub use request::{Priority, Rejected, Request, Response, ServeResult, Ticket, ToleranceClass};
+pub use server::{PreparedBatch, Server, SolvedBatch};

@@ -1,0 +1,239 @@
+//! Serving policies: the statically-lintable description of a deployment.
+//!
+//! A [`ServeConfig`] bundles everything the runtime needs (queue bound,
+//! batching knobs, degradation ladder) with the *design envelope* the
+//! deployment promises (offered load, worst-case service estimate,
+//! tightest admitted deadline). The envelope fields do not steer the
+//! runtime — they exist so `analysis::servecheck` can prove, before
+//! anything runs, that the policy is feasible: that a worst-case request
+//! can survive the batch window (E070), that the queue cannot starve at
+//! the declared load (E071), and that the degradation ladder really gets
+//! cheaper tier by tier (E072).
+
+use crate::request::ToleranceClass;
+use enode_node::inference::{SolveOverride, TableauKind};
+
+/// One rung of the degradation ladder.
+///
+/// Tier 0 must be the full-quality configuration (`tolerance_scale`
+/// 1.0); each later tier must be strictly cheaper (lint E072). At
+/// dispatch the server picks the first tier whose `min_slack_us` fits
+/// the request's remaining deadline slack, falling through to the
+/// cheapest tier rather than rejecting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierSpec {
+    /// Multiplier on the request class's base tolerance (≥ 1.0; larger
+    /// means coarser and cheaper).
+    pub tolerance_scale: f64,
+    /// Trial budget per evaluation point at this tier.
+    pub max_trials: usize,
+    /// Integrator at this tier (cheaper tiers use lower-order pairs).
+    pub tableau: TableauKind,
+    /// Minimum deadline slack (µs) a request needs to be served here.
+    pub min_slack_us: u64,
+}
+
+impl TierSpec {
+    /// The per-call solver override this tier dispatches with.
+    pub fn solve_override(&self, class: ToleranceClass) -> SolveOverride {
+        SolveOverride {
+            tolerance: Some(class.tolerance() * self.tolerance_scale),
+            max_trials: Some(self.max_trials),
+            tableau: Some(self.tableau),
+        }
+    }
+}
+
+/// A complete serving policy (runtime knobs + design envelope).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Policy name (lint subject, bench row label).
+    pub name: &'static str,
+    /// Bounded ingress queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Largest batch the dynamic batcher coalesces.
+    pub max_batch: usize,
+    /// How long (µs) the batcher holds an underfull batch open, measured
+    /// from the head request's admission.
+    pub batch_window_us: u64,
+    /// The degradation ladder, tier 0 first. Never empty.
+    pub tiers: Vec<TierSpec>,
+    /// Worker threads pulling batches (0 = externally pumped, the
+    /// discrete-event simulation mode).
+    pub workers: usize,
+    /// Design envelope: offered load the deployment promises to absorb
+    /// (requests/s).
+    pub design_rate_rps: f64,
+    /// Design envelope: worst-case tier-0 service time per batch (µs).
+    pub est_service_us: u64,
+    /// Design envelope: the tightest relative deadline admitted (µs).
+    pub min_deadline_us: u64,
+}
+
+impl ServeConfig {
+    /// The default edge-inference policy: small queue, batches of 8, a
+    /// 2 ms window, and a three-tier ladder (RK23 strict budget → RK23
+    /// coarse → Heun–Euler coarse, the low-order fallback).
+    pub fn edge_default() -> Self {
+        ServeConfig {
+            name: "edge_default",
+            // 2 full batches of backlog drain in 30ms, inside the 50ms
+            // deadline floor (lint E071 proves this).
+            queue_capacity: 16,
+            max_batch: 8,
+            batch_window_us: 2_000,
+            tiers: vec![
+                TierSpec {
+                    tolerance_scale: 1.0,
+                    max_trials: 64,
+                    tableau: TableauKind::Rk23,
+                    min_slack_us: 20_000,
+                },
+                TierSpec {
+                    tolerance_scale: 16.0,
+                    max_trials: 32,
+                    tableau: TableauKind::Rk23,
+                    min_slack_us: 8_000,
+                },
+                TierSpec {
+                    tolerance_scale: 256.0,
+                    max_trials: 16,
+                    tableau: TableauKind::HeunEuler,
+                    min_slack_us: 0,
+                },
+            ],
+            workers: 1,
+            design_rate_rps: 200.0,
+            est_service_us: 15_000,
+            min_deadline_us: 50_000,
+        }
+    }
+
+    /// The always-on streaming policy (keyword-spotting style): tight
+    /// deadlines, zero batch window (latency over throughput), two tiers.
+    pub fn streaming_keyword() -> Self {
+        ServeConfig {
+            name: "streaming_keyword",
+            // 2 batches of backlog drain in 8ms, inside the 12ms floor.
+            queue_capacity: 8,
+            max_batch: 4,
+            batch_window_us: 0,
+            tiers: vec![
+                TierSpec {
+                    tolerance_scale: 1.0,
+                    max_trials: 48,
+                    tableau: TableauKind::Rk23,
+                    min_slack_us: 4_000,
+                },
+                TierSpec {
+                    tolerance_scale: 64.0,
+                    max_trials: 12,
+                    tableau: TableauKind::HeunEuler,
+                    min_slack_us: 0,
+                },
+            ],
+            workers: 1,
+            design_rate_rps: 100.0,
+            est_service_us: 4_000,
+            min_deadline_us: 12_000,
+        }
+    }
+
+    /// Every policy the repository ships (the set `analysis::servecheck`
+    /// lints and `serve-bench` sweeps).
+    pub fn shipped() -> Vec<ServeConfig> {
+        vec![
+            ServeConfig::edge_default(),
+            ServeConfig::streaming_keyword(),
+        ]
+    }
+
+    /// Selects the degradation tier for a request with `slack_us` of
+    /// deadline headroom: the first tier whose `min_slack_us` fits, else
+    /// the cheapest tier (graceful degradation instead of rejection).
+    pub fn tier_for_slack(&self, slack_us: u64) -> usize {
+        self.tiers
+            .iter()
+            .position(|t| t.min_slack_us <= slack_us)
+            .unwrap_or(self.tiers.len() - 1)
+    }
+
+    /// Structural validation (the runtime constructor calls this; the
+    /// deeper feasibility checks live in `analysis::servecheck`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ladder, a zero queue/batch bound, or a tier 0
+    /// that is not full quality.
+    pub fn validate(&self) {
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        assert!(self.max_batch > 0, "max batch must be positive");
+        assert!(!self.tiers.is_empty(), "need at least one serving tier");
+        assert!(
+            self.tiers[0].tolerance_scale == 1.0,
+            "tier 0 must serve at the request's own tolerance (scale 1.0)"
+        );
+        for (i, t) in self.tiers.iter().enumerate() {
+            assert!(
+                t.tolerance_scale >= 1.0 && t.tolerance_scale.is_finite(),
+                "tier {i}: tolerance scale must be finite and >= 1.0"
+            );
+            assert!(t.max_trials > 0, "tier {i}: trial budget must be positive");
+        }
+        // Mirrors lint E072: each tier strictly cheaper than the last.
+        debug_assert!(
+            self.tiers
+                .windows(2)
+                .all(|w| w[1].tolerance_scale > w[0].tolerance_scale
+                    && w[1].max_trials <= w[0].max_trials),
+            "degradation tiers must get strictly cheaper (lint E072)"
+        );
+        // Mirrors lint E070: a worst-case request must survive the window.
+        debug_assert!(
+            self.batch_window_us + self.est_service_us <= self.min_deadline_us,
+            "batch window {}µs + service {}µs exceeds the tightest deadline {}µs (lint E070)",
+            self.batch_window_us,
+            self.est_service_us,
+            self.min_deadline_us
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_policies_validate() {
+        for p in ServeConfig::shipped() {
+            p.validate();
+            assert!(p.tiers.len() >= 2, "{}: need a degradation ladder", p.name);
+        }
+    }
+
+    #[test]
+    fn tier_selection_degrades_with_slack() {
+        let p = ServeConfig::edge_default();
+        assert_eq!(p.tier_for_slack(1_000_000), 0);
+        assert_eq!(p.tier_for_slack(10_000), 1);
+        assert_eq!(p.tier_for_slack(1_000), 2);
+        assert_eq!(p.tier_for_slack(0), 2);
+    }
+
+    #[test]
+    fn tier_override_scales_the_class_tolerance() {
+        let p = ServeConfig::edge_default();
+        let ovr = p.tiers[1].solve_override(ToleranceClass::Standard);
+        assert_eq!(ovr.tolerance, Some(1e-4 * 16.0));
+        assert_eq!(ovr.max_trials, Some(32));
+        assert_eq!(ovr.tableau, Some(TableauKind::Rk23));
+    }
+
+    #[test]
+    #[should_panic(expected = "tier 0 must serve")]
+    fn validate_rejects_degraded_tier0() {
+        let mut p = ServeConfig::edge_default();
+        p.tiers[0].tolerance_scale = 2.0;
+        p.validate();
+    }
+}
