@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo clippy --all-targets --features sanitize (enode-tensor) -- -D warnings"
+cargo clippy -p enode-tensor --all-targets --features sanitize -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -21,6 +24,9 @@ ENODE_THREADS=4 cargo test -q --workspace
 
 echo "==> sanitizer-enabled tensor suite + mutation tests (ENODE_THREADS=4)"
 ENODE_THREADS=4 cargo test -q -p enode-tensor --features sanitize
+
+echo "==> analysis mutation suite (planted defects must fire their exact codes)"
+cargo test -q -p enode-analysis --test mutations
 
 echo "==> serving runtime suite under a 4-lane pool (batcher determinism audit)"
 ENODE_THREADS=4 cargo test -q -p enode-serve
@@ -46,6 +52,11 @@ lint_json="$(cargo run -q --release -p enode-analysis --bin enode-lint -- --json
 if echo "$lint_json" | grep -q '"severity":"error"'; then
   echo "error-severity lint diagnostics:"
   echo "$lint_json" | grep '"severity":"error"'
+  exit 1
+fi
+if echo "$lint_json" | grep -q '"code":"E08'; then
+  echo "affine access proofs failed (E08x) on registered kernel summaries:"
+  echo "$lint_json" | grep '"code":"E08'
   exit 1
 fi
 

@@ -12,8 +12,8 @@
 //! code; `--emit-lints-md` prints the generated `docs/LINTS.md`.
 
 use enode_analysis::{
-    consistency, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck, precision,
-    registry, servecheck, shape, tableau,
+    affine, consistency, cost, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck,
+    precision, registry, servecheck, shape, tableau,
 };
 
 fn main() {
@@ -110,6 +110,15 @@ fn main() {
 
     println!("\n-- serving policies --");
     print!("{}", servecheck::lint_shipped_policies().render());
+
+    println!(
+        "\n-- affine access proofs ({} summaries) --",
+        affine::registered_summaries().len()
+    );
+    print!("{}", affine::lint_registered_summaries().render());
+
+    println!("\n-- static roofline cost model --");
+    print!("{}", cost::lint_shipped_baseline().render());
 
     // The authoritative verdict covers every pipeline, not just the
     // samples printed above.

@@ -1,0 +1,416 @@
+//! Static roofline cost model (`W084`/`W085`): predicts serial-vs-parallel
+//! benefit for each registered kernel split from its affine access summary
+//! and cross-checks the prediction against the committed
+//! `BENCH_kernels.json` measurements.
+//!
+//! # Model
+//!
+//! The classic two-term roofline, specialized to the edge pool:
+//!
+//! ```text
+//! t_serial   = flops / P            + bytes / BW
+//! t_parallel = flops / (P · E)      + bytes / BW + t_dispatch
+//! ```
+//!
+//! where `P` is peak scalar flops of one lane, `BW` the shared memory
+//! bandwidth (memory traffic does not scale with lanes), `E = min(lanes,
+//! host_cpus)` the *effective* parallelism, and `t_dispatch` the fixed
+//! cost of waking the pool. `flops` comes straight from the summary;
+//! `bytes` is the sum of the proven access footprints from
+//! [`crate::affine`] (a broadcast read is fetched once, not per item).
+//!
+//! # Lints
+//!
+//! * **W084** — the committed measurement deviates from the prediction by
+//!   more than [`DEVIATION_TOLERANCE`]×: the baseline is stale, the
+//!   summary's flops/footprint is wrong, or the kernel hits an effect the
+//!   roofline cannot see. Both directions count.
+//! * **W085** — the baseline host had fewer physical cores than the
+//!   bench's high thread count, the model predicts `< 1×` for that
+//!   degenerate host, and the measurement agrees: the committed
+//!   `host_cpus: 1` caveat, machine-checked instead of hand-waved.
+//!
+//! The pass is deterministic: it reasons about the *committed* baseline
+//! (its recorded `host_cpus`), never the machine running the lint.
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use enode_tensor::access::KernelAccessSummary;
+
+/// The committed kernel-bench baseline at the repo root.
+pub const SHIPPED_BASELINE: &str = include_str!("../../../BENCH_kernels.json");
+
+/// Measured-vs-predicted speedup ratio (either direction) above which
+/// `W084` fires. Generous on purpose: the roofline is a planning model,
+/// not a simulator, and single-run wall-clock has real variance.
+pub const DEVIATION_TOLERANCE: f64 = 4.0;
+
+/// Machine constants for one edge lane. Round numbers on purpose — the
+/// model predicts *ratios*, which are insensitive to the absolute scale.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineModel {
+    /// Peak sustained scalar f32 flops of a single lane.
+    pub peak_flops_per_lane: f64,
+    /// Shared memory bandwidth in bytes/s (does not scale with lanes).
+    pub mem_bw_bytes_per_s: f64,
+    /// Fixed cost of dispatching work to the pool, in seconds.
+    pub dispatch_overhead_s: f64,
+}
+
+impl RooflineModel {
+    /// The nominal edge-class host the serving stack targets.
+    pub const EDGE: RooflineModel = RooflineModel {
+        peak_flops_per_lane: 2.0e9,
+        mem_bw_bytes_per_s: 1.0e10,
+        dispatch_overhead_s: 5.0e-6,
+    };
+}
+
+/// Static cost of one kernel invocation under a [`RooflineModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct CostEstimate {
+    /// Total scalar operations (`items × flops_per_item`).
+    pub flops: f64,
+    /// Total bytes moved, from the access footprints.
+    pub bytes: f64,
+    /// `flops / bytes` — the roofline's x-axis.
+    pub arithmetic_intensity: f64,
+    /// Predicted serial wall-clock in seconds.
+    pub serial_secs: f64,
+}
+
+/// Bytes moved per invocation: each access's footprint times the
+/// region's element width. A broadcast read (`stride_per_item == 0`)
+/// streams its set once; every other access is per-item. Thread-local
+/// scratch stays in cache and is not counted.
+pub fn bytes_moved(s: &KernelAccessSummary) -> f64 {
+    let mut bytes = 0.0f64;
+    for a in &s.accesses {
+        let elem_bytes = s.region(a.region).map_or(4, |r| r.elem_bytes) as f64;
+        let elems = if a.stride_per_item == 0 {
+            a.count
+        } else {
+            s.items * a.count
+        } as f64;
+        bytes += elems * elem_bytes;
+    }
+    bytes
+}
+
+/// Computes the static cost of one summary.
+pub fn cost_of(model: &RooflineModel, s: &KernelAccessSummary) -> CostEstimate {
+    let flops = (s.items * s.flops_per_item) as f64;
+    let bytes = bytes_moved(s);
+    CostEstimate {
+        flops,
+        bytes,
+        arithmetic_intensity: flops / bytes.max(1.0),
+        serial_secs: flops / model.peak_flops_per_lane + bytes / model.mem_bw_bytes_per_s,
+    }
+}
+
+/// Predicted `t_serial / t_parallel` for `lanes` software threads on a
+/// host with `host_cpus` physical cores.
+pub fn predicted_speedup(
+    model: &RooflineModel,
+    s: &KernelAccessSummary,
+    lanes: usize,
+    host_cpus: usize,
+) -> f64 {
+    let c = cost_of(model, s);
+    let eff = lanes.min(host_cpus).max(1) as f64;
+    let t_serial = c.serial_secs;
+    let t_parallel = c.flops / (model.peak_flops_per_lane * eff)
+        + c.bytes / model.mem_bw_bytes_per_s
+        + model.dispatch_overhead_s;
+    t_serial / t_parallel
+}
+
+/// One measured kernel row from `BENCH_kernels.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasuredKernel {
+    /// Bench row name, e.g. `"conv2d_forward_b8"`.
+    pub name: String,
+    /// Measured `secs_low / secs_high` speedup.
+    pub speedup: f64,
+}
+
+/// The fields of the committed baseline the cost pass consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchBaseline {
+    /// Physical cores of the machine that produced the baseline.
+    pub host_cpus: usize,
+    /// Thread count of the `secs_high` measurements.
+    pub threads_high: usize,
+    /// Measured kernel rows, in file order.
+    pub kernels: Vec<MeasuredKernel>,
+}
+
+fn field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)?;
+    let rest = &line[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    Some(rest)
+}
+
+fn field_usize(line: &str, key: &str) -> Option<usize> {
+    let rest = field_after(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = field_after(line, key)?;
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = field_after(line, key)?.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parses the subset of `enode-bench-kernels/v1` the cost pass needs.
+/// Hand-rolled line scanner (the schema is flat and machine-written by
+/// `bench_kernels_json`); returns `None` on a schema mismatch or if a
+/// required field is missing.
+pub fn parse_baseline(json: &str) -> Option<BenchBaseline> {
+    let mut schema_ok = false;
+    let mut host_cpus = None;
+    let mut threads_high = None;
+    let mut kernels = Vec::new();
+    for line in json.lines() {
+        if let Some(s) = field_str(line, "schema") {
+            schema_ok = s.starts_with("enode-bench-kernels/");
+        }
+        if let Some(v) = field_usize(line, "host_cpus") {
+            host_cpus = Some(v);
+        }
+        if let Some(v) = field_usize(line, "threads_high") {
+            threads_high = Some(v);
+        }
+        if let (Some(name), Some(speedup)) = (field_str(line, "name"), field_f64(line, "speedup")) {
+            kernels.push(MeasuredKernel {
+                name: name.to_string(),
+                speedup,
+            });
+        }
+    }
+    if !schema_ok || kernels.is_empty() {
+        return None;
+    }
+    Some(BenchBaseline {
+        host_cpus: host_cpus?,
+        threads_high: threads_high?,
+        kernels,
+    })
+}
+
+/// Affine summaries at the *bench* shapes (which differ from the
+/// representative lint shapes in [`crate::affine::registered_summaries`]),
+/// keyed by the bench row each one predicts. Rows with no summary
+/// (serial preprocessing, the bare solver step) are deliberately absent.
+pub fn bench_shape_summaries() -> Vec<(&'static str, KernelAccessSummary)> {
+    use enode_tensor::{conv, dense, norm};
+    // Bench stage: conv2d 8->8 channels, 3x3, 16x16 maps, batch 8;
+    // dense 64->64 at batch 64; groupnorm 8 ch / 4 groups at batch 8.
+    let (n, c, m, k, hw) = (8usize, 8usize, 8usize, 3usize, 256usize);
+    vec![
+        (
+            "conv2d_forward_b8",
+            conv::forward_batch_access(n, c, m, k, hw),
+        ),
+        (
+            "conv2d_backward_input_b8",
+            conv::backward_input_batch_access(n, c, m, k, hw),
+        ),
+        (
+            "conv2d_backward_params_b8",
+            conv::backward_params_batch_access(n, c, m, k, hw),
+        ),
+        ("dense_forward_b64", dense::forward_access(64, 64, 64)),
+        ("groupnorm_forward_b8", norm::forward_access(8, 8, 4, 256)),
+        (
+            "node_batched_inference_b8",
+            enode_node::eval::batched_access(8),
+        ),
+        (
+            "run_bench_lv_inference",
+            KernelAccessSummary::coarse_fanout("bench.run_benches", 3, 1 << 24, 512),
+        ),
+    ]
+}
+
+/// Cross-checks a parsed baseline against the model: `W084` on
+/// measured-vs-predicted deviation, `W085` when the model agrees the
+/// split cannot win on the (core-starved) measurement host.
+pub fn cross_check(model: &RooflineModel, baseline: &BenchBaseline) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let summaries = bench_shape_summaries();
+    for (row, s) in &summaries {
+        let Some(measured) = baseline.kernels.iter().find(|k| k.name == *row) else {
+            continue;
+        };
+        let predicted = predicted_speedup(model, s, baseline.threads_high, baseline.host_cpus);
+        let m = measured.speedup;
+        let ratio = (predicted / m).max(m / predicted);
+        if ratio > DEVIATION_TOLERANCE {
+            ds.push(
+                Diagnostic::new(
+                    Code::W084CostModelDeviation,
+                    *row,
+                    format!(
+                        "measured parallel speedup {m:.3}x deviates from the roofline \
+                         prediction {predicted:.3}x by {ratio:.1}x (tolerance {:.1}x)",
+                        DEVIATION_TOLERANCE
+                    ),
+                )
+                .with_note("kernel", s.kernel),
+            );
+        } else if baseline.host_cpus < baseline.threads_high && predicted < 1.0 && m < 1.0 {
+            ds.push(
+                Diagnostic::new(
+                    Code::W085CostFutileSplit,
+                    *row,
+                    format!(
+                        "roofline agrees with the measured {m:.3}x slowdown: the baseline \
+                         host has {} core(s) for {} bench threads, so the split cannot \
+                         amortize its dispatch overhead there (machine-checked host_cpus \
+                         caveat, not a kernel defect)",
+                        baseline.host_cpus, baseline.threads_high
+                    ),
+                )
+                .with_note("kernel", s.kernel),
+            );
+        }
+    }
+    ds
+}
+
+/// Lints the committed `BENCH_kernels.json` under the edge model — the
+/// entry point `lint_everything` and `enode-lint` use.
+pub fn lint_shipped_baseline() -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    match parse_baseline(SHIPPED_BASELINE) {
+        Some(b) => ds.extend(cross_check(&RooflineModel::EDGE, &b)),
+        None => ds.push(Diagnostic::new(
+            Code::W084CostModelDeviation,
+            "BENCH_kernels.json",
+            "committed baseline does not parse as enode-bench-kernels/v1; the roofline \
+             cross-check cannot run",
+        )),
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_baseline_parses() {
+        let b = parse_baseline(SHIPPED_BASELINE).expect("committed baseline must parse");
+        assert_eq!(b.host_cpus, 1);
+        assert_eq!(b.threads_high, 4);
+        assert_eq!(b.kernels.len(), 9);
+        assert_eq!(b.kernels[0].name, "conv2d_forward_b8");
+        assert!((b.kernels[0].speedup - 0.791).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_baseline("").is_none());
+        assert!(parse_baseline("{\"schema\": \"other/v1\"}").is_none());
+        // Schema line alone, no kernel rows.
+        assert!(parse_baseline("{\"schema\": \"enode-bench-kernels/v1\"}").is_none());
+    }
+
+    #[test]
+    fn speedup_scales_with_effective_cores() {
+        // A heavy kernel: near-linear on 4 real cores, below 1x when the
+        // host has a single core (dispatch overhead with no parallelism).
+        let s = bench_shape_summaries()
+            .into_iter()
+            .find(|(n, _)| *n == "conv2d_forward_b8")
+            .unwrap()
+            .1;
+        let four = predicted_speedup(&RooflineModel::EDGE, &s, 4, 4);
+        let one = predicted_speedup(&RooflineModel::EDGE, &s, 4, 1);
+        assert!(four > 2.0, "4-core prediction {four}");
+        assert!(one < 1.0, "1-core prediction {one}");
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_flops_over_bytes() {
+        let s = KernelAccessSummary::coarse_fanout("x", 4, 1000, 8);
+        let c = cost_of(&RooflineModel::EDGE, &s);
+        assert!((c.flops - 4000.0).abs() < 1e-9);
+        assert!((c.bytes - 32.0).abs() < 1e-9);
+        assert!((c.arithmetic_intensity - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shipped_baseline_yields_exactly_the_five_host_caveat_warnings() {
+        // The committed baseline was captured on a 1-core container; the
+        // model must machine-check that caveat for every slowed-down row
+        // with a summary, and raise no deviation warnings.
+        let ds = lint_shipped_baseline();
+        assert_eq!(ds.error_count(), 0, "{}", ds.render());
+        assert!(
+            !ds.has_code(Code::W084CostModelDeviation),
+            "{}",
+            ds.render()
+        );
+        let subjects: Vec<&str> = ds.items().iter().map(|d| d.subject.as_str()).collect();
+        assert_eq!(
+            subjects,
+            vec![
+                "conv2d_forward_b8",
+                "conv2d_backward_params_b8",
+                "dense_forward_b64",
+                "groupnorm_forward_b8",
+                "run_bench_lv_inference",
+            ],
+            "{}",
+            ds.render()
+        );
+        assert!(ds
+            .items()
+            .iter()
+            .all(|d| d.code == Code::W085CostFutileSplit));
+    }
+
+    #[test]
+    fn inflated_measurement_is_w084() {
+        // A 40x claim on a 4-core host: the model tops out near linear,
+        // so the deviation gate must trip.
+        let b = BenchBaseline {
+            host_cpus: 4,
+            threads_high: 4,
+            kernels: vec![MeasuredKernel {
+                name: "conv2d_forward_b8".to_string(),
+                speedup: 40.0,
+            }],
+        };
+        let ds = cross_check(&RooflineModel::EDGE, &b);
+        assert!(ds.has_code(Code::W084CostModelDeviation), "{}", ds.render());
+        assert!(!ds.has_code(Code::W085CostFutileSplit), "{}", ds.render());
+    }
+
+    #[test]
+    fn multi_core_baseline_raises_no_futile_split() {
+        // Same measurements, but captured on a real 4-core host: the
+        // host_cpus caveat no longer applies (sub-1x there would be a
+        // genuine finding, surfaced as deviation once it crosses the
+        // tolerance — not silently excused).
+        let mut b = parse_baseline(SHIPPED_BASELINE).unwrap();
+        b.host_cpus = 4;
+        let ds = cross_check(&RooflineModel::EDGE, &b);
+        assert!(!ds.has_code(Code::W085CostFutileSplit), "{}", ds.render());
+    }
+}

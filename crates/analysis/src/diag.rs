@@ -19,6 +19,7 @@
 //! | `E050–E059` / `W050–W059` | FP16 precision lints ([`crate::precision`]) |
 //! | `E060–E069` / `W060–W069` | Cross-artifact consistency lints ([`crate::consistency`]) |
 //! | `E070–E079` / `W070–W079` | Serving-policy lints ([`crate::servecheck`]) |
+//! | `E080–E089` / `W080–W089` | Affine access & roofline cost lints ([`crate::affine`], [`crate::cost`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text and `as_str()` mapping,
@@ -188,6 +189,30 @@ pub enum Code {
     /// strictly below its predecessor's) or the ladder leaves a slack
     /// band uncovered (last tier's threshold is nonzero).
     W071ServeUnreachableTier,
+
+    // --- affine access & roofline cost lints (E080-E089 / W080-W089) ---
+    /// The affine prover cannot show two lanes' write sets disjoint:
+    /// per-item writes collide across items, two write accesses to the
+    /// same region have overlapping footprints, or a read of a written
+    /// region cannot be proven lane-local (a cross-lane race).
+    E080AffineLaneOverlap,
+    /// The union of lane write sets does not cover the output region
+    /// exactly: a gap with no declared slack, a write spilling past the
+    /// region end, or an access naming an undeclared region.
+    E081AffineCoverage,
+    /// A scratch arena is carved out of a live output region and its
+    /// range intersects lane writes (scratch must never alias outputs).
+    E082AffineScratchAlias,
+    /// Lane writes undercover the region by exactly the declared
+    /// intentional slack — legal, but worth a visible record.
+    W080AffineCoverageSlack,
+    /// A measured kernel speedup in `BENCH_kernels.json` deviates from
+    /// the static roofline prediction beyond the model tolerance.
+    W084CostModelDeviation,
+    /// The roofline model predicts no parallel benefit for a split on
+    /// the bench host (lanes exceed host cpus or the kernel is
+    /// memory-bound), and the tracked bench already measures < 1x.
+    W085CostFutileSplit,
 }
 
 impl Code {
@@ -245,12 +270,18 @@ impl Code {
             Code::E072ServeTierOrdering => "E072",
             Code::W070ServeDesignOverload => "W070",
             Code::W071ServeUnreachableTier => "W071",
+            Code::E080AffineLaneOverlap => "E080",
+            Code::E081AffineCoverage => "E081",
+            Code::E082AffineScratchAlias => "E082",
+            Code::W080AffineCoverageSlack => "W080",
+            Code::W084CostModelDeviation => "W084",
+            Code::W085CostFutileSplit => "W085",
         }
     }
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 51] = [
+    pub const ALL: [Code; 57] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -302,6 +333,12 @@ impl Code {
         Code::E072ServeTierOrdering,
         Code::W070ServeDesignOverload,
         Code::W071ServeUnreachableTier,
+        Code::E080AffineLaneOverlap,
+        Code::E081AffineCoverage,
+        Code::E082AffineScratchAlias,
+        Code::W080AffineCoverageSlack,
+        Code::W084CostModelDeviation,
+        Code::W085CostFutileSplit,
     ];
 
     /// The severity implied by the code's letter.
@@ -369,6 +406,12 @@ impl Code {
             Code::E072ServeTierOrdering => "degradation tiers are not ordered cheapest-last",
             Code::W070ServeDesignOverload => "design load exceeds the service capacity",
             Code::W071ServeUnreachableTier => "tier unreachable or slack band uncovered",
+            Code::E080AffineLaneOverlap => "lane write-sets cannot be proven disjoint",
+            Code::E081AffineCoverage => "lane writes do not cover the region exactly",
+            Code::E082AffineScratchAlias => "scratch arena aliases a live output",
+            Code::W080AffineCoverageSlack => "coverage gap matches the declared slack",
+            Code::W084CostModelDeviation => "measured speedup deviates from the roofline",
+            Code::W085CostFutileSplit => "roofline predicts no parallel benefit on this host",
         }
     }
 }

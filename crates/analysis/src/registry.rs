@@ -305,6 +305,53 @@ pub fn explanation(code: Code) -> &'static str {
              tier) rather than a deliberately designed one. Make thresholds strictly decreasing \
              and end the ladder at zero slack."
         }
+        Code::E080AffineLaneOverlap => {
+            "The kernel's affine access summary admits two items whose write sets intersect, so \
+             some lane assignment makes two threads store to the same element — a data race the \
+             runtime sanitizer could only catch on schedules it happens to execute. The prover \
+             checks stride congruence (gcd of item stride and element stride) across the whole \
+             thread-count × grain envelope at once; fix the item stride or per-item extent so \
+             consecutive items cannot reach each other's elements, or restructure the split so \
+             each item owns a private slice."
+        }
+        Code::E081AffineCoverage => {
+            "Lane writes proven disjoint do not tile the declared output region exactly: either \
+             the union spills past the region's element count (out-of-bounds store), or counting \
+             shows a gap the region does not declare as intentional slack, meaning some output \
+             elements are never produced and the consumer reads stale or uninitialized data. \
+             Adjust the per-item extent so items × count equals the region size, or declare the \
+             deliberate remainder via slack_elems to downgrade this to W080."
+        }
+        Code::E082AffineScratchAlias => {
+            "A scratch buffer is carved out of a region the kernel is still writing (or out of a \
+             live output), so lane-private temporaries and final results share storage: whichever \
+             lane flushes last silently corrupts the other's data. Thread-local arenas from the \
+             parallel layer's checkout API are disjoint by construction — route the temporary \
+             through an arena, or carve from a region the split provably never writes."
+        }
+        Code::W080AffineCoverageSlack => {
+            "Lane writes are pairwise disjoint and in-bounds but leave a gap exactly equal to \
+             the region's declared slack_elems, an intentional under-fill (padding tails, \
+             alignment rounding). This is advisory: the prover has verified the gap matches the \
+             declaration, but consumers must not read the slack elements. Shrink the region or \
+             the declaration if the slack is unintentional."
+        }
+        Code::W084CostModelDeviation => {
+            "The static roofline model (peak flops per lane, memory bandwidth, dispatch \
+             overhead, bytes from the proven access footprints) predicts a parallel speedup \
+             that disagrees with the committed BENCH_kernels.json measurement by more than the \
+             tolerance ratio. Either the measurement is stale (re-run the bench and commit), \
+             the summary's flops or footprint is wrong, or the kernel hits an effect the \
+             roofline cannot see (cache thrash, false sharing) worth investigating."
+        }
+        Code::W085CostFutileSplit => {
+            "Arithmetic intensity says this split cannot pay for its dispatch overhead on the \
+             measurement host: the committed baseline was captured with fewer physical cores \
+             than the bench's high thread count, and the measured parallel speedup is below \
+             1×. This machine-checks the host_cpus caveat in BENCH_kernels.json — the slowdown \
+             is a property of the 1-core container, not a kernel defect. Re-measure on a \
+             multi-core host before drawing scheduling conclusions."
+        }
     }
 }
 

@@ -8,10 +8,14 @@
 use enode_analysis::consistency::lint_consistency;
 use enode_analysis::diag::{Code, Severity};
 use enode_analysis::precision::lint_precision;
-use enode_analysis::{lint_everything, PipelineArtifact};
+use enode_analysis::{affine, cost, lint_everything, servecheck, PipelineArtifact};
 use enode_hw::config::HwConfig;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
+use enode_serve::ServeConfig;
+use enode_tensor::access::{
+    AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, ScratchSource, StridedAccess,
+};
 use enode_tensor::conv::Conv2d;
 use enode_tensor::dense::Dense;
 use enode_tensor::network::{Network, Op};
@@ -208,6 +212,178 @@ fn controller_bound_mutations_fire_e062() {
     let ds = lint_consistency(&starved);
     assert!(
         ds.has_code(Code::E062XArtControllerBounds),
+        "{}",
+        ds.render()
+    );
+}
+
+/// A healthy 8-item tile split (64 elements per tile) for the affine
+/// mutation seeds below: each mutation breaks exactly one obligation.
+fn tile_split() -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "mutated.tile_split",
+        items: 8,
+        grain: 1,
+        flops_per_item: 32 * 1024,
+        regions: vec![RegionDecl::output("y", 8 * 64)],
+        accesses: vec![StridedAccess::contiguous("y", AccessKind::Write, 64)],
+        scratch: vec![],
+    }
+}
+
+#[test]
+fn affine_baseline_tile_split_proves_clean() {
+    let ds = affine::lint_summary(&tile_split());
+    assert!(ds.is_empty(), "{}", ds.render());
+}
+
+#[test]
+fn off_by_one_stride_fires_e080_statically() {
+    // Mutation: each tile writes one element too many, reaching into the
+    // next item's tile. The congruence check (d0 = 1, m0 = 64 <= count-1)
+    // catches the collision without running any schedule.
+    let mut s = tile_split();
+    s.accesses[0].count = 65;
+    let ds = affine::lint_summary(&s);
+    assert!(ds.has_code(Code::E080AffineLaneOverlap), "{}", ds.render());
+    assert!(
+        !ds.has_code(Code::E082AffineScratchAlias),
+        "{}",
+        ds.render()
+    );
+    // The brute-force oracle agrees the defect is real at some envelope
+    // point (two lanes, one item each per chunk).
+    let bf = affine::brute_force_region(&s, "y", 2, 1);
+    assert!(bf.overlap);
+}
+
+#[test]
+fn overlapping_tiles_fire_e080_statically() {
+    // Mutation: a second write access shifted half a tile — classic
+    // overlapping-tile decomposition bug.
+    let mut s = tile_split();
+    s.accesses.push(StridedAccess {
+        region: "y",
+        kind: AccessKind::Write,
+        offset: 32,
+        stride_per_item: 64,
+        elem_stride: 1,
+        count: 32,
+    });
+    let ds = affine::lint_summary(&s);
+    assert!(ds.has_code(Code::E080AffineLaneOverlap), "{}", ds.render());
+    assert!(!ds.has_code(Code::E081AffineCoverage), "{}", ds.render());
+}
+
+#[test]
+fn coverage_gap_fires_e081_not_e080() {
+    // Mutation: each tile writes one element too few. The writes stay
+    // disjoint — only the counting obligation fails.
+    let mut s = tile_split();
+    s.accesses[0].count = 63;
+    let ds = affine::lint_summary(&s);
+    assert!(ds.has_code(Code::E081AffineCoverage), "{}", ds.render());
+    assert!(!ds.has_code(Code::E080AffineLaneOverlap), "{}", ds.render());
+    let bf = affine::brute_force_region(&s, "y", 4, 1);
+    assert_eq!(bf.uncovered, 8);
+}
+
+#[test]
+fn declared_slack_downgrades_gap_to_w080() {
+    // Same under-fill, but the region declares the 8-element tail as
+    // intentional slack: advisory only, no error.
+    let mut s = tile_split();
+    s.accesses[0].count = 63;
+    s.regions[0].elems = 8 * 63 + 8;
+    s.regions[0].slack_elems = 8;
+    let ds = affine::lint_summary(&s);
+    assert!(
+        ds.has_code(Code::W080AffineCoverageSlack),
+        "{}",
+        ds.render()
+    );
+    assert_eq!(ds.error_count(), 0, "{}", ds.render());
+}
+
+#[test]
+fn scratch_carved_from_output_fires_e082() {
+    // Mutation: the scratch tile is carved out of the live output instead
+    // of a thread-local arena.
+    let mut s = tile_split();
+    s.scratch.push(ScratchDecl {
+        name: "tile",
+        elems: 16,
+        source: ScratchSource::SubsliceOf {
+            region: "y",
+            offset_elems: 0,
+        },
+    });
+    let ds = affine::lint_summary(&s);
+    assert!(ds.has_code(Code::E082AffineScratchAlias), "{}", ds.render());
+    assert!(!ds.has_code(Code::E080AffineLaneOverlap), "{}", ds.render());
+}
+
+#[test]
+fn fabricated_bench_speedup_fires_w084() {
+    // Mutation: a 40x speedup claim on a 4-core host. The roofline tops
+    // out near linear, so the deviation gate must trip — through the real
+    // parser, not a hand-built struct.
+    let json = r#"{
+  "schema": "enode-bench-kernels/v1",
+  "threads_high": 4,
+  "host_cpus": 4,
+  "kernels": [
+    { "name": "conv2d_forward_b8", "secs_low": 1.0e-3, "secs_high": 2.5e-5, "speedup": 40.0 }
+  ]
+}"#;
+    let b = cost::parse_baseline(json).expect("crafted baseline must parse");
+    let ds = cost::cross_check(&cost::RooflineModel::EDGE, &b);
+    assert!(ds.has_code(Code::W084CostModelDeviation), "{}", ds.render());
+    assert!(!ds.has_code(Code::W085CostFutileSplit), "{}", ds.render());
+}
+
+#[test]
+fn shrunken_ingress_queue_fires_e071() {
+    // Mutation: grow the ingress queue 4x; a request admitted at the deep
+    // end now waits past the tightest deadline before it can dispatch.
+    let mut p = ServeConfig::edge_default();
+    p.queue_capacity = 64;
+    let ds = servecheck::lint_config(&p);
+    assert!(
+        ds.has_code(Code::E071ServeQueueStarvation),
+        "{}",
+        ds.render()
+    );
+    assert!(
+        !ds.has_code(Code::E070ServeWindowDeadline),
+        "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn inverted_degradation_ladder_fires_e072() {
+    // Mutation: the second tier loosens less than the first — the walk
+    // can never reach it.
+    let mut p = ServeConfig::edge_default();
+    p.tiers[1].tolerance_scale = 0.5;
+    let ds = servecheck::lint_config(&p);
+    assert!(ds.has_code(Code::E072ServeTierOrdering), "{}", ds.render());
+    assert!(
+        !ds.has_code(Code::E071ServeQueueStarvation),
+        "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn infeasible_design_load_fires_w070() {
+    // Mutation: a design rate no single worker pool can sustain.
+    let mut p = ServeConfig::edge_default();
+    p.design_rate_rps = 10_000.0;
+    let ds = servecheck::lint_config(&p);
+    assert!(
+        ds.has_code(Code::W070ServeDesignOverload),
         "{}",
         ds.render()
     );

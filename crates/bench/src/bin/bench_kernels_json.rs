@@ -5,9 +5,19 @@
 //! cargo run --release -p enode-bench --bin bench_kernels_json -- --quick /tmp/smoke.json
 //! ```
 //!
+//! Besides the measured table, each row with a registered affine summary
+//! gets the static roofline prediction for this host
+//! ([`enode_analysis::cost`]), and the fresh measurements are
+//! cross-checked against the model the same way `enode-lint` checks the
+//! committed baseline — a deviation prints a `W084`-style warning before
+//! the JSON is written. On a core-starved host the single-core caveat is
+//! printed as an explicit warning row.
+//!
 //! See [`enode_bench::kernels_json`] for the format.
 
+use enode_analysis::cost::{self, BenchBaseline, MeasuredKernel, RooflineModel};
 use enode_bench::kernels_json::{measure, render_json, THREADS_HIGH};
+use enode_bench::report;
 
 fn main() {
     let mut quick = false;
@@ -24,19 +34,48 @@ fn main() {
         if quick { " (quick)" } else { "" }
     );
     let timings = measure(quick);
+    let host = report::host_cpus();
+    let summaries = cost::bench_shape_summaries();
     println!(
-        "{:<34} {:>12} {:>12} {:>8}",
-        "kernel", "1 thread", "N threads", "speedup"
+        "{:<34} {:>12} {:>12} {:>8} {:>9}",
+        "kernel", "1 thread", "N threads", "speedup", "roofline"
     );
     for t in &timings {
+        let predicted = summaries
+            .iter()
+            .find(|(name, _)| *name == t.name)
+            .map(|(_, s)| cost::predicted_speedup(&RooflineModel::EDGE, s, THREADS_HIGH, host));
         println!(
-            "{:<34} {:>9.1} µs {:>9.1} µs {:>7.2}x",
+            "{:<34} {:>9.1} µs {:>9.1} µs {:>7.2}x {:>8}",
             t.name,
             t.secs_low * 1e6,
             t.secs_high * 1e6,
-            t.speedup()
+            t.speedup(),
+            predicted.map_or_else(|| "-".to_string(), |p| format!("{p:.2}x")),
         );
     }
+    if let Some(caveat) = report::host_caveat(THREADS_HIGH) {
+        println!("{caveat}");
+    }
+
+    // The same cross-check `enode-lint` runs on the committed baseline,
+    // applied to the numbers just measured.
+    let fresh = BenchBaseline {
+        host_cpus: host,
+        threads_high: THREADS_HIGH,
+        kernels: timings
+            .iter()
+            .map(|t| MeasuredKernel {
+                name: t.name.to_string(),
+                speedup: t.speedup(),
+            })
+            .collect(),
+    };
+    let ds = cost::cross_check(&RooflineModel::EDGE, &fresh);
+    if !ds.is_empty() {
+        eprint!("{}", ds.render());
+    }
+
     let json = render_json(&timings, quick);
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");

@@ -73,6 +73,9 @@ fn main() {
     }
     if smoke {
         eprintln!("smoke OK: JSON well-formed, p50/p95/p99 and outcome fields present");
+        if let Some(caveat) = report::host_caveat(enode_bench::kernels_json::THREADS_HIGH) {
+            eprintln!("{caveat}");
+        }
         return;
     }
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");

@@ -54,6 +54,22 @@ pub fn host_cpus() -> usize {
         .unwrap_or(1)
 }
 
+/// The single-core measurement caveat shared by every bench emitter:
+/// `Some(warning row)` when the host cannot actually run `threads_high`
+/// lanes in parallel (so parallel timings lose to serial by construction),
+/// `None` on a capable host. The `W085` lint machine-checks the same
+/// caveat against the committed `BENCH_kernels.json`.
+pub fn host_caveat(threads_high: usize) -> Option<String> {
+    let cpus = host_cpus();
+    (cpus < threads_high).then(|| {
+        format!(
+            "warning: host has {cpus} cpu(s) for {threads_high} bench threads; \
+             parallel timings cannot beat serial here (lint W085 machine-checks \
+             this caveat against the committed baseline)"
+        )
+    })
+}
+
 /// Escapes a string for embedding inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -86,5 +102,14 @@ mod tests {
     #[test]
     fn host_cpus_is_positive() {
         assert!(host_cpus() >= 1);
+    }
+
+    #[test]
+    fn host_caveat_only_fires_on_starved_hosts() {
+        // One bench thread can never starve the host; an absurd demand
+        // always does, and the row names the machine-checking lint.
+        assert!(host_caveat(1).is_none());
+        let row = host_caveat(usize::MAX).expect("usize::MAX threads must starve any host");
+        assert!(row.contains("W085"), "{row}");
     }
 }

@@ -171,6 +171,19 @@ pub fn forward_model_batched_with(
     Ok((Tensor::from_vec(data, &out_shape), traces))
 }
 
+/// Affine access summary of the per-sample fan-out in
+/// [`forward_model_batched`]: one solve per item via `parallel_map`,
+/// each writing its own result slot (the coarse one-slot-per-item
+/// shape; the per-solve tensor arithmetic is internal to the item).
+pub fn batched_access(n: usize) -> enode_tensor::access::KernelAccessSummary {
+    enode_tensor::access::KernelAccessSummary::coarse_fanout(
+        "node.forward_model_batched",
+        n,
+        1 << 20,
+        64,
+    )
+}
+
 /// One point of an accuracy-vs-compute sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TradeoffPoint {

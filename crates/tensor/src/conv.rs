@@ -449,6 +449,211 @@ fn im2col(x: &Tensor, ni: usize, k: usize, cols: &mut [f32]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Affine access summaries (one per `parallel_for_disjoint*` call above)
+// ---------------------------------------------------------------------------
+
+use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, StridedAccess};
+
+/// Access summary of the batch split in [`Conv2d::forward`]: item `ni`
+/// writes `y[ni, :, :, :]`, reads `x[ni, :, :, :]`, and every item reads
+/// the resident weights and bias; im2col scratch is a per-thread arena.
+pub fn forward_batch_access(
+    n: usize,
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+) -> KernelAccessSummary {
+    let ckk = c * k * k;
+    KernelAccessSummary {
+        kernel: "conv2d.forward (batch split)",
+        items: n,
+        grain: 1,
+        flops_per_item: m * ckk * hw,
+        regions: vec![
+            RegionDecl::output("y", n * m * hw),
+            RegionDecl::input("x", n * c * hw),
+            RegionDecl::input("w", m * ckk),
+            RegionDecl::input("bias", m),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("y", AccessKind::Write, m * hw),
+            StridedAccess::contiguous("x", AccessKind::Read, c * hw),
+            StridedAccess::broadcast_read("w", m * ckk),
+            StridedAccess::broadcast_read("bias", m),
+        ],
+        scratch: vec![ScratchDecl::arena("cols", ckk * hw)],
+    }
+}
+
+/// Access summary of the row split in [`Conv2d::forward`] (batch
+/// underfills the pool): item `mi` writes one sample's output row
+/// `ys[mi·hw ..]` and reads its own weight row; the shared im2col
+/// columns are a broadcast read.
+pub fn forward_rows_access(c: usize, m: usize, k: usize, hw: usize) -> KernelAccessSummary {
+    let ckk = c * k * k;
+    KernelAccessSummary {
+        kernel: "conv2d.forward (row split)",
+        items: m,
+        grain: parallel::grain_for(ckk * hw),
+        flops_per_item: ckk * hw,
+        regions: vec![
+            RegionDecl::output("ys", m * hw),
+            RegionDecl::input("w", m * ckk),
+            RegionDecl::input("bias", m),
+            RegionDecl::input("cols", ckk * hw),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("ys", AccessKind::Write, hw),
+            StridedAccess::contiguous("w", AccessKind::Read, ckk),
+            StridedAccess {
+                region: "bias",
+                kind: AccessKind::Read,
+                offset: 0,
+                stride_per_item: 1,
+                elem_stride: 1,
+                count: 1,
+            },
+            StridedAccess::broadcast_read("cols", ckk * hw),
+        ],
+        scratch: vec![ScratchDecl::arena("cols", ckk * hw)],
+    }
+}
+
+/// Access summary of the batch split in [`Conv2d::backward_input`]:
+/// item `ni` writes `dx[ni, :, :, :]` and reads `dy[ni, :, :, :]` plus
+/// the resident (flipped) weights.
+pub fn backward_input_batch_access(
+    n: usize,
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "conv2d.backward_input (batch split)",
+        items: n,
+        grain: 1,
+        flops_per_item: c * k * k * m * hw,
+        regions: vec![
+            RegionDecl::output("dx", n * c * hw),
+            RegionDecl::input("dy", n * m * hw),
+            RegionDecl::input("w", m * c * k * k),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dx", AccessKind::Write, c * hw),
+            StridedAccess::contiguous("dy", AccessKind::Read, m * hw),
+            StridedAccess::broadcast_read("w", m * c * k * k),
+        ],
+        scratch: vec![],
+    }
+}
+
+/// Access summary of the channel split in [`Conv2d::backward_input`]
+/// (batch underfills the pool): item `ci` writes one sample's channel
+/// plane `dxs[ci·hw ..]`; `dy` and the weights are shared reads (the
+/// weight column walk per channel is modeled as a broadcast).
+pub fn backward_input_channels_access(
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "conv2d.backward_input (channel split)",
+        items: c,
+        grain: parallel::grain_for(m * hw * k * k),
+        flops_per_item: m * hw * k * k,
+        regions: vec![
+            RegionDecl::output("dxs", c * hw),
+            RegionDecl::input("dys", m * hw),
+            RegionDecl::input("w", m * c * k * k),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dxs", AccessKind::Write, hw),
+            StridedAccess::broadcast_read("dys", m * hw),
+            StridedAccess::broadcast_read("w", m * c * k * k),
+        ],
+        scratch: vec![],
+    }
+}
+
+/// Access summary of the batch split in [`Conv2d::backward_params`]:
+/// item `ni` writes its own `(dW, db)` partial stride of the scratch
+/// partials buffer; the serial sample-order fold happens after the join
+/// and is outside the parallel phase.
+pub fn backward_params_batch_access(
+    n: usize,
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+) -> KernelAccessSummary {
+    let ckk = c * k * k;
+    let psize = m * ckk + m;
+    KernelAccessSummary {
+        kernel: "conv2d.backward_params (batch split)",
+        items: n,
+        grain: 1,
+        flops_per_item: m * ckk * hw,
+        regions: vec![
+            RegionDecl::partials("partials", n * psize),
+            RegionDecl::input("x", n * c * hw),
+            RegionDecl::input("dy", n * m * hw),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("partials", AccessKind::Write, psize),
+            StridedAccess::contiguous("x", AccessKind::Read, c * hw),
+            StridedAccess::contiguous("dy", AccessKind::Read, m * hw),
+        ],
+        scratch: vec![
+            ScratchDecl::arena("partials", n * psize),
+            ScratchDecl::arena("cols", ckk * hw),
+        ],
+    }
+}
+
+/// Access summary of the row split in [`Conv2d::backward_params`]
+/// (batch underfills the pool): item `mi` owns `dW[mi, :]` and `db[mi]`
+/// (a `parallel_for_disjoint2` over both), accumulating one sample per
+/// parallel region; `dy` and the shared im2col columns are broadcasts.
+pub fn backward_params_rows_access(
+    n: usize,
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+) -> KernelAccessSummary {
+    let ckk = c * k * k;
+    KernelAccessSummary {
+        kernel: "conv2d.backward_params (row split)",
+        items: m,
+        grain: parallel::grain_for(ckk * hw),
+        flops_per_item: ckk * hw,
+        regions: vec![
+            RegionDecl::output("dw", m * ckk),
+            RegionDecl::output("db", m),
+            RegionDecl::input("dy", n * m * hw),
+            RegionDecl::input("cols", ckk * hw),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dw", AccessKind::Write, ckk),
+            StridedAccess {
+                region: "db",
+                kind: AccessKind::Write,
+                offset: 0,
+                stride_per_item: 1,
+                elem_stride: 1,
+                count: 1,
+            },
+            StridedAccess::broadcast_read("dy", n * m * hw),
+            StridedAccess::broadcast_read("cols", ckk * hw),
+        ],
+        scratch: vec![ScratchDecl::arena("cols", ckk * hw)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,102 @@ fn batch_dims(x: &Tensor) -> (usize, usize) {
     (x.shape()[0], x.shape()[1])
 }
 
+// ---------------------------------------------------------------------------
+// Affine access summaries (one per `parallel_for_disjoint*` call above)
+// ---------------------------------------------------------------------------
+
+use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, StridedAccess};
+
+/// Access summary of the batch split in [`Dense::forward`]: item `ni`
+/// writes `y[ni, :]` and reads `x[ni, :]`; weights and bias are resident
+/// broadcast reads.
+pub fn forward_access(n: usize, d: usize, o: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "dense.forward",
+        items: n,
+        grain: parallel::grain_for(d * o),
+        flops_per_item: d * o,
+        regions: vec![
+            RegionDecl::output("y", n * o),
+            RegionDecl::input("x", n * d),
+            RegionDecl::input("w", o * d),
+            RegionDecl::input("bias", o),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("y", AccessKind::Write, o),
+            StridedAccess::contiguous("x", AccessKind::Read, d),
+            StridedAccess::broadcast_read("w", o * d),
+            StridedAccess::broadcast_read("bias", o),
+        ],
+        scratch: vec![],
+    }
+}
+
+/// Access summary of the batch split in [`Dense::backward_input`]: item
+/// `ni` writes `dx[ni, :]` and reads `dy[ni, :]` plus the resident
+/// transposed weights.
+pub fn backward_input_access(n: usize, d: usize, o: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "dense.backward_input",
+        items: n,
+        grain: parallel::grain_for(d * o),
+        flops_per_item: d * o,
+        regions: vec![
+            RegionDecl::output("dx", n * d),
+            RegionDecl::input("dy", n * o),
+            RegionDecl::input("w", o * d),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dx", AccessKind::Write, d),
+            StridedAccess::contiguous("dy", AccessKind::Read, o),
+            StridedAccess::broadcast_read("w", o * d),
+        ],
+        scratch: vec![],
+    }
+}
+
+/// Access summary of the output-feature split in
+/// [`Dense::backward_params`]: item `oi` owns `dW[oi, :]` and `db[oi]`
+/// (a `parallel_for_disjoint2`), reading the whole batch of `x` and the
+/// interleaved column `dy[:, oi]` — a genuinely strided read (stride 1
+/// per item, element stride `o`), which the prover's congruence rule
+/// handles without enumeration.
+pub fn backward_params_access(n: usize, d: usize, o: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "dense.backward_params",
+        items: o,
+        grain: parallel::grain_for(n * d),
+        flops_per_item: n * d,
+        regions: vec![
+            RegionDecl::output("dw", o * d),
+            RegionDecl::output("db", o),
+            RegionDecl::input("x", n * d),
+            RegionDecl::input("dy", n * o),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dw", AccessKind::Write, d),
+            StridedAccess {
+                region: "db",
+                kind: AccessKind::Write,
+                offset: 0,
+                stride_per_item: 1,
+                elem_stride: 1,
+                count: 1,
+            },
+            StridedAccess::broadcast_read("x", n * d),
+            StridedAccess {
+                region: "dy",
+                kind: AccessKind::Read,
+                offset: 0,
+                stride_per_item: 1,
+                elem_stride: o,
+                count: n,
+            },
+        ],
+        scratch: vec![],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,9 @@
 //! * A scoped worker-pool parallel execution layer ([`parallel`]) with a
 //!   bit-identical determinism contract, and the cache-blocked matmul
 //!   kernel ([`matmul`]) behind the im2col convolution fast path.
+//! * Affine access summaries ([`access`]) registered beside every
+//!   parallel kernel, giving the static prover in `enode-analysis` a
+//!   symbolic description of each split's per-lane read/write sets.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 //! assert_eq!(dtheta.len(), f.param_count());
 //! ```
 
+pub mod access;
 pub mod activation;
 pub mod conv;
 pub mod dense;

@@ -292,6 +292,72 @@ impl GroupNorm {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Affine access summaries (one per `parallel_for_disjoint*` call above)
+// ---------------------------------------------------------------------------
+
+use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, StridedAccess};
+
+/// Access summary of the batch split in [`GroupNorm::forward`]: item
+/// `ni` writes its own stride of `xhat`, `y`, and `inv_std` (a
+/// `parallel_for_disjoint3`) and reads `x[ni, :, :, :]`; the affine
+/// parameters are resident broadcast reads.
+pub fn forward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "groupnorm.forward",
+        items: n,
+        grain: parallel::grain_for(4 * c * hw),
+        flops_per_item: 4 * c * hw,
+        regions: vec![
+            RegionDecl::output("xhat", n * c * hw),
+            RegionDecl::output("y", n * c * hw),
+            RegionDecl::output("inv_std", n * groups),
+            RegionDecl::input("x", n * c * hw),
+            RegionDecl::input("gamma", c),
+            RegionDecl::input("beta", c),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("xhat", AccessKind::Write, c * hw),
+            StridedAccess::contiguous("y", AccessKind::Write, c * hw),
+            StridedAccess::contiguous("inv_std", AccessKind::Write, groups),
+            StridedAccess::contiguous("x", AccessKind::Read, c * hw),
+            StridedAccess::broadcast_read("gamma", c),
+            StridedAccess::broadcast_read("beta", c),
+        ],
+        scratch: vec![],
+    }
+}
+
+/// Access summary of the batch split in [`GroupNorm::backward`]: item
+/// `ni` writes its stride of `dx` and its `(dgamma, dbeta)` partial row
+/// (a `parallel_for_disjoint2` whose second buffer is the scratch
+/// partials arena, folded serially in sample order after the join).
+pub fn backward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        kernel: "groupnorm.backward",
+        items: n,
+        grain: parallel::grain_for(8 * c * hw),
+        flops_per_item: 8 * c * hw,
+        regions: vec![
+            RegionDecl::output("dx", n * c * hw),
+            RegionDecl::partials("partials", n * 2 * c),
+            RegionDecl::input("dy", n * c * hw),
+            RegionDecl::input("xhat", n * c * hw),
+            RegionDecl::input("inv_std", n * groups),
+            RegionDecl::input("gamma", c),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("dx", AccessKind::Write, c * hw),
+            StridedAccess::contiguous("partials", AccessKind::Write, 2 * c),
+            StridedAccess::contiguous("dy", AccessKind::Read, c * hw),
+            StridedAccess::contiguous("xhat", AccessKind::Read, c * hw),
+            StridedAccess::contiguous("inv_std", AccessKind::Read, groups),
+            StridedAccess::broadcast_read("gamma", c),
+        ],
+        scratch: vec![ScratchDecl::arena("partials", n * 2 * c)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! regression in any tableau, DDG schedule, paper model, or Table I
 //! configuration fails the suite.
 
-use enode::analysis::lint_everything;
+use enode::analysis::{lint_everything, Code};
 
 #[test]
 fn shipped_artifacts_pass_all_static_lints() {
@@ -13,9 +13,14 @@ fn shipped_artifacts_pass_all_static_lints() {
         "static lints found errors:\n{}",
         ds.render()
     );
+    // The only tolerated warnings are the W085 host-caveat advisories the
+    // roofline pass raises *by design* against the committed 1-core bench
+    // baseline (see `analysis::cost`); anything else is a regression.
     assert!(
-        ds.warning_count() == 0,
-        "static lints found warnings:\n{}",
+        ds.items()
+            .iter()
+            .all(|d| d.code == Code::W085CostFutileSplit),
+        "static lints found unexpected warnings:\n{}",
         ds.render()
     );
 }
