@@ -484,6 +484,7 @@ pub fn registered_summaries() -> Vec<KernelAccessSummary> {
     // conv2d at the edge image-classifier stage: 4->4 channels, 3x3
     // kernels, 16x16 maps, batch 10 (mirrors `parallelcheck`).
     let (n, c, m, k, hw) = (10usize, 4usize, 4usize, 3usize, 256usize);
+    let (ch, cw) = (16usize, 16usize);
     // Dense at the three-body dynamic-system stage: batch 16, 12->32.
     let (dn, dd, dout) = (16usize, 12usize, 32usize);
     // GroupNorm at the normed image-classifier stage: 8 ch, 4 groups.
@@ -491,8 +492,9 @@ pub fn registered_summaries() -> Vec<KernelAccessSummary> {
     // gemm_bias row split at the schedule-audit shape.
     let (gm_rows, gm_q, gm_p) = (9usize, 6usize, 15usize);
     vec![
-        conv::forward_batch_access(n, c, m, k, hw),
-        conv::forward_rows_access(c, m, k, hw),
+        conv::forward_batch_access(n, c, m, k, ch, cw),
+        conv::fused_forward_access(n, c, m, k, ch, cw),
+        conv::forward_rows_access(c, m, k, ch, cw),
         conv::backward_input_batch_access(n, c, m, k, hw),
         conv::backward_input_channels_access(c, m, k, hw),
         conv::backward_params_batch_access(n, c, m, k, hw),
@@ -625,6 +627,7 @@ mod tests {
         let summaries = registered_summaries();
         for kernel in [
             "conv2d.forward (batch split)",
+            "conv2d.fused_forward (batch split)",
             "conv2d.forward (row split)",
             "conv2d.backward_input (batch split)",
             "conv2d.backward_input (channel split)",

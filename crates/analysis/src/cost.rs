@@ -44,6 +44,20 @@ pub const SHIPPED_BASELINE: &str = include_str!("../../../BENCH_kernels.json");
 /// not a simulator, and single-run wall-clock has real variance.
 pub const DEVIATION_TOLERANCE: f64 = 4.0;
 
+/// Minimum single-thread `speedup_vs_referent` the microkernel rewrite
+/// must hold on its acceptance-tracked rows; a committed baseline below
+/// this is a perf regression surfaced as `W084` on ingest.
+pub const REFERENT_MIN_SPEEDUP: f64 = 2.0;
+
+/// The bench rows whose serial-referent column the ingest cross-check
+/// enforces at [`REFERENT_MIN_SPEEDUP`] (the microkernel acceptance set).
+pub const REFERENT_TRACKED_ROWS: [&str; 4] = [
+    "conv2d_forward_b8",
+    "dense_forward_b64",
+    "groupnorm_forward_b8",
+    "node_batched_inference_b8",
+];
+
 /// Machine constants for one edge lane. Round numbers on purpose — the
 /// model predicts *ratios*, which are insensitive to the absolute scale.
 #[derive(Clone, Copy, Debug)]
@@ -110,12 +124,21 @@ pub fn cost_of(model: &RooflineModel, s: &KernelAccessSummary) -> CostEstimate {
 
 /// Predicted `t_serial / t_parallel` for `lanes` software threads on a
 /// host with `host_cpus` physical cores.
+///
+/// A summary whose grain is `usize::MAX` records a split the planner's
+/// work-size floor keeps serial ([`crate::parallelcheck`], `W044`): the
+/// parallel run executes the serial code path with no dispatch, so the
+/// model predicts exactly 1× rather than the sub-1× a forced split would
+/// score.
 pub fn predicted_speedup(
     model: &RooflineModel,
     s: &KernelAccessSummary,
     lanes: usize,
     host_cpus: usize,
 ) -> f64 {
+    if s.grain == usize::MAX {
+        return 1.0;
+    }
     let c = cost_of(model, s);
     let eff = lanes.min(host_cpus).max(1) as f64;
     let t_serial = c.serial_secs;
@@ -132,6 +155,9 @@ pub struct MeasuredKernel {
     pub name: String,
     /// Measured `secs_low / secs_high` speedup.
     pub speedup: f64,
+    /// Measured single-thread speedup over the pinned pre-microkernel
+    /// serial referent (`secs_referent / secs_low`, schema v2 rows only).
+    pub speedup_vs_referent: Option<f64>,
 }
 
 /// The fields of the committed baseline the cost pass consumes.
@@ -175,7 +201,8 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-/// Parses the subset of `enode-bench-kernels/v1` the cost pass needs.
+/// Parses the subset of `enode-bench-kernels/v1`/`v2` the cost pass
+/// needs (v2 adds the optional per-row serial-referent columns).
 /// Hand-rolled line scanner (the schema is flat and machine-written by
 /// `bench_kernels_json`); returns `None` on a schema mismatch or if a
 /// required field is missing.
@@ -198,6 +225,7 @@ pub fn parse_baseline(json: &str) -> Option<BenchBaseline> {
             kernels.push(MeasuredKernel {
                 name: name.to_string(),
                 speedup,
+                speedup_vs_referent: field_f64(line, "speedup_vs_referent"),
             });
         }
     }
@@ -223,7 +251,7 @@ pub fn bench_shape_summaries() -> Vec<(&'static str, KernelAccessSummary)> {
     vec![
         (
             "conv2d_forward_b8",
-            conv::forward_batch_access(n, c, m, k, hw),
+            conv::forward_batch_access(n, c, m, k, 16, 16),
         ),
         (
             "conv2d_backward_input_b8",
@@ -251,6 +279,26 @@ pub fn bench_shape_summaries() -> Vec<(&'static str, KernelAccessSummary)> {
 /// split cannot win on the (core-starved) measurement host.
 pub fn cross_check(model: &RooflineModel, baseline: &BenchBaseline) -> Diagnostics {
     let mut ds = Diagnostics::new();
+    // Serial-referent ingest gate: the acceptance-tracked rows must hold
+    // their single-thread win over the pinned pre-microkernel kernels.
+    for k in &baseline.kernels {
+        if !REFERENT_TRACKED_ROWS.contains(&k.name.as_str()) {
+            continue;
+        }
+        if let Some(v) = k.speedup_vs_referent {
+            if v < REFERENT_MIN_SPEEDUP {
+                ds.push(Diagnostic::new(
+                    Code::W084CostModelDeviation,
+                    k.name.clone(),
+                    format!(
+                        "single-thread speedup vs the pinned serial referent is {v:.3}x, \
+                         below the {REFERENT_MIN_SPEEDUP:.1}x the microkernel rewrite \
+                         commits to; the kernel (or the committed baseline) has regressed"
+                    ),
+                ));
+            }
+        }
+    }
     let summaries = bench_shape_summaries();
     for (row, s) in &summaries {
         let Some(measured) = baseline.kernels.iter().find(|k| k.name == *row) else {
@@ -301,8 +349,8 @@ pub fn lint_shipped_baseline() -> Diagnostics {
         None => ds.push(Diagnostic::new(
             Code::W084CostModelDeviation,
             "BENCH_kernels.json",
-            "committed baseline does not parse as enode-bench-kernels/v1; the roofline \
-             cross-check cannot run",
+            "committed baseline does not parse as enode-bench-kernels/v1 or v2; the \
+             roofline cross-check cannot run",
         )),
     }
     ds
@@ -319,7 +367,7 @@ mod tests {
         assert_eq!(b.threads_high, 4);
         assert_eq!(b.kernels.len(), 9);
         assert_eq!(b.kernels[0].name, "conv2d_forward_b8");
-        assert!((b.kernels[0].speedup - 0.791).abs() < 1e-9);
+        assert!((b.kernels[0].speedup - 0.950).abs() < 1e-9);
     }
 
     #[test]
@@ -355,10 +403,13 @@ mod tests {
     }
 
     #[test]
-    fn shipped_baseline_yields_exactly_the_five_host_caveat_warnings() {
+    fn shipped_baseline_yields_exactly_the_host_caveat_warnings() {
         // The committed baseline was captured on a 1-core container; the
         // model must machine-check that caveat for every slowed-down row
-        // with a summary, and raise no deviation warnings.
+        // with a summary, and raise no deviation warnings. Rows that now
+        // beat 1x even on the starved host (dense, groupnorm, node — the
+        // SIMD single-thread rewrites made the serial leg fast enough that
+        // dispatch noise dominates) carry no caveat.
         let ds = lint_shipped_baseline();
         assert_eq!(ds.error_count(), 0, "{}", ds.render());
         assert!(
@@ -371,9 +422,8 @@ mod tests {
             subjects,
             vec![
                 "conv2d_forward_b8",
+                "conv2d_backward_input_b8",
                 "conv2d_backward_params_b8",
-                "dense_forward_b64",
-                "groupnorm_forward_b8",
                 "run_bench_lv_inference",
             ],
             "{}",
@@ -395,11 +445,58 @@ mod tests {
             kernels: vec![MeasuredKernel {
                 name: "conv2d_forward_b8".to_string(),
                 speedup: 40.0,
+                speedup_vs_referent: None,
             }],
         };
         let ds = cross_check(&RooflineModel::EDGE, &b);
         assert!(ds.has_code(Code::W084CostModelDeviation), "{}", ds.render());
         assert!(!ds.has_code(Code::W085CostFutileSplit), "{}", ds.render());
+    }
+
+    #[test]
+    fn referent_regression_is_w084_on_ingest() {
+        // A tracked row whose single-thread win over the pinned serial
+        // referent fell below 2x must trip the ingest gate; untracked
+        // rows and rows without the column stay silent.
+        let b = BenchBaseline {
+            host_cpus: 1,
+            threads_high: 4,
+            kernels: vec![
+                MeasuredKernel {
+                    name: "dense_forward_b64".to_string(),
+                    speedup: 1.0,
+                    speedup_vs_referent: Some(1.4),
+                },
+                MeasuredKernel {
+                    name: "rkf45_fixed_solve_50steps".to_string(),
+                    speedup: 1.0,
+                    speedup_vs_referent: Some(0.5),
+                },
+            ],
+        };
+        let ds = cross_check(&RooflineModel::EDGE, &b);
+        let w084: Vec<&str> = ds
+            .items()
+            .iter()
+            .filter(|d| d.code == Code::W084CostModelDeviation)
+            .map(|d| d.subject.as_str())
+            .collect();
+        assert_eq!(w084, ["dense_forward_b64"], "{}", ds.render());
+    }
+
+    #[test]
+    fn floor_serial_summary_predicts_exactly_one() {
+        // Grain usize::MAX records a floor-serial split: the parallel run
+        // is the serial code path, so the model must predict 1.0x, not
+        // the sub-1x of a forced dispatch.
+        let s = bench_shape_summaries()
+            .into_iter()
+            .find(|(n, _)| *n == "groupnorm_forward_b8")
+            .unwrap()
+            .1;
+        assert_eq!(s.grain, usize::MAX, "bench-shape groupnorm is floor-serial");
+        let p = predicted_speedup(&RooflineModel::EDGE, &s, 4, 4);
+        assert!((p - 1.0).abs() < 1e-12, "predicted {p}");
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub enum Code {
     /// The scratch arena is provisioned far beyond what the decomposition
     /// can touch.
     W043ParScratchOverprovision,
+    /// The split planner's work-size floor (`grain_for_sized`) kept a
+    /// kernel serial on a live pool because its total work cannot amortize
+    /// one dispatch — deliberate, but recorded so small-shape serial runs
+    /// are visible rather than silent.
+    W044ParSerialFloorEngaged,
 
     // --- FP16 precision lints (E050-E059 / W050-W059) ---
     /// A network op's worst-case output magnitude exceeds `f16::MAX`
@@ -251,6 +256,7 @@ impl Code {
             Code::W041ParPartialBlowup => "W041",
             Code::W042ParFalseSharing => "W042",
             Code::W043ParScratchOverprovision => "W043",
+            Code::W044ParSerialFloorEngaged => "W044",
             Code::E050PrecOpOverflow => "E050",
             Code::E051PrecCombineOverflow => "E051",
             Code::E052PrecNonFiniteParam => "E052",
@@ -281,7 +287,7 @@ impl Code {
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 57] = [
+    pub const ALL: [Code; 58] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -314,6 +320,7 @@ impl Code {
         Code::W041ParPartialBlowup,
         Code::W042ParFalseSharing,
         Code::W043ParScratchOverprovision,
+        Code::W044ParSerialFloorEngaged,
         Code::E050PrecOpOverflow,
         Code::E051PrecCombineOverflow,
         Code::E052PrecNonFiniteParam,
@@ -387,6 +394,7 @@ impl Code {
             Code::W041ParPartialBlowup => "per-lane partials dwarf the reduced output",
             Code::W042ParFalseSharing => "per-lane span below one cache line",
             Code::W043ParScratchOverprovision => "scratch arena far exceeds the demand",
+            Code::W044ParSerialFloorEngaged => "work-size floor keeps the kernel serial",
             Code::E050PrecOpOverflow => "op output can overflow f16 in the solver schedule",
             Code::E051PrecCombineOverflow => "RK combine can overflow f16",
             Code::E052PrecNonFiniteParam => "parameter tensor contains NaN or infinity",

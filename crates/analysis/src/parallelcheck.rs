@@ -36,9 +36,26 @@ const CACHE_LINE: usize = 64;
 /// Mirror of `enode_tensor::parallel::grain_for`'s work floor.
 const MIN_CHUNK_FLOPS: usize = 16 * 1024;
 
+/// Mirror of `enode_tensor::parallel::SERIAL_FLOOR_FLOPS`: total work
+/// below which `grain_for_sized` forces a serial plan (the split planner's
+/// per-dispatch overhead amortization floor). A cross-crate test pins the
+/// two constants together.
+pub const SERIAL_FLOOR_FLOPS: usize = 32 * 5 * 2_000;
+
 /// Mirror of `enode_tensor::parallel::grain_for`.
 pub fn grain_for(flops_per_item: usize) -> usize {
     MIN_CHUNK_FLOPS.div_ceil(flops_per_item.max(1))
+}
+
+/// Mirror of `enode_tensor::parallel::grain_for_sized`: the work-size
+/// aware grain used by kernels whose total work can fall below the
+/// dispatch-amortization floor.
+pub fn grain_for_sized(items: usize, flops_per_item: usize) -> usize {
+    if items.saturating_mul(flops_per_item) < SERIAL_FLOOR_FLOPS {
+        usize::MAX
+    } else {
+        grain_for(flops_per_item)
+    }
 }
 
 /// Mirror of `enode_tensor::parallel::plan_chunks` for a given pool width.
@@ -179,27 +196,48 @@ pub fn lint_kernel_split(split: &KernelSplit, pool: usize) -> Diagnostics {
     }
 
     let chunks = plan_chunks(pool, items, split.grain);
-    if pool > 1
-        && items > 1
-        && chunks == 1
-        && items.saturating_mul(split.flops_per_item) >= 2 * MIN_CHUNK_FLOPS
-    {
-        ds.push(
-            Diagnostic::new(
-                Code::W040ParDegenerateSplit,
-                split.kernel,
-                format!(
-                    "{} items at grain {} plan a single chunk on a {pool}-lane pool \
-                     despite ~{} flops of work",
-                    items,
-                    split.grain,
-                    items * split.flops_per_item
-                ),
-            )
-            .with_note("items", items)
-            .with_note("grain", split.grain)
-            .with_note("pool", pool),
-        );
+    let total_work = items.saturating_mul(split.flops_per_item);
+    // A grain of usize::MAX with total work under the serial floor is the
+    // split planner deliberately staying serial (grain_for_sized): note it
+    // as W044 so the decision is visible, and suppress W040 — the "single
+    // chunk despite substantial work" warning would misread a deliberate
+    // floor as a planning bug.
+    let floor_serial = split.grain == usize::MAX && total_work < SERIAL_FLOOR_FLOPS;
+    if pool > 1 && items > 1 && chunks == 1 {
+        if floor_serial {
+            ds.push(
+                Diagnostic::new(
+                    Code::W044ParSerialFloorEngaged,
+                    split.kernel,
+                    format!(
+                        "{items} items × ~{} flops is below the {SERIAL_FLOOR_FLOPS}-flop \
+                         dispatch floor; the planner runs this kernel serial on the \
+                         {pool}-lane pool",
+                        split.flops_per_item
+                    ),
+                )
+                .with_note("items", items)
+                .with_note("flops_per_item", split.flops_per_item)
+                .with_note("pool", pool),
+            );
+        } else if total_work >= 2 * MIN_CHUNK_FLOPS {
+            ds.push(
+                Diagnostic::new(
+                    Code::W040ParDegenerateSplit,
+                    split.kernel,
+                    format!(
+                        "{} items at grain {} plan a single chunk on a {pool}-lane pool \
+                         despite ~{} flops of work",
+                        items,
+                        split.grain,
+                        items * split.flops_per_item
+                    ),
+                )
+                .with_note("items", items)
+                .with_note("grain", split.grain)
+                .with_note("pool", pool),
+            );
+        }
     }
 
     // False sharing: only meaningful when the split actually produces
@@ -241,6 +279,9 @@ pub fn registered_splits() -> Vec<KernelSplit> {
     // kernels, 16x16 maps, batch 10.
     let (n, c, m, k, hw) = (10usize, 4usize, 4usize, 3usize, 256usize);
     let ckk = c * k * k;
+    // Direct-conv scratch (mirror of `enode_tensor::conv`): one
+    // zero-padded input plane [C][H+2][W+2] per lane.
+    let xpad = c * (16 + 2) * (16 + 2);
     splits.push(KernelSplit {
         kernel: "conv2d.forward (batch split)",
         items: n,
@@ -251,7 +292,7 @@ pub fn registered_splits() -> Vec<KernelSplit> {
             len: n * m * hw,
             elem_bytes: 4,
         }],
-        scratch_f32: Some((ckk * hw, ckk * hw)),
+        scratch_f32: Some((xpad, xpad)),
         reduction: None,
     });
     splits.push(KernelSplit {
@@ -264,7 +305,25 @@ pub fn registered_splits() -> Vec<KernelSplit> {
             len: m * hw,
             elem_bytes: 4,
         }],
-        scratch_f32: Some((ckk * hw, ckk * hw)),
+        scratch_f32: Some((xpad, xpad)),
+        reduction: None,
+    });
+    // Fused conv→GroupNorm→activation epilogue at the same conv stage
+    // (2 groups over m channels): conv flops plus 5/channel-element of
+    // normalization and 1 of activation; the per-lane conv output stays
+    // in the arena alongside the padded plane.
+    let fused_flops = m * ckk * hw + 5 * m * hw + m * hw;
+    splits.push(KernelSplit {
+        kernel: "conv2d.fused_forward (batch split)",
+        items: n,
+        grain: grain_for_sized(n, fused_flops),
+        flops_per_item: fused_flops,
+        buffers: vec![SplitBuffer {
+            name: "data",
+            len: n * m * hw,
+            elem_bytes: 4,
+        }],
+        scratch_f32: Some((xpad + m * hw, xpad + m * hw)),
         reduction: None,
     });
     splits.push(KernelSplit {
@@ -316,6 +375,7 @@ pub fn registered_splits() -> Vec<KernelSplit> {
         items: m,
         grain: grain_for(ckk * hw),
         flops_per_item: ckk * hw,
+        // Backward passes keep the plain (unpacked) im2col buffer.
         buffers: vec![
             SplitBuffer {
                 name: "a",
@@ -337,14 +397,19 @@ pub fn registered_splits() -> Vec<KernelSplit> {
     splits.push(KernelSplit {
         kernel: "dense.forward",
         items: dn,
-        grain: grain_for(dd * dout),
+        // 16 samples × 384 flops is far below the dispatch floor: the
+        // planner stays serial (W044 notes this at the registered shape).
+        grain: grain_for_sized(dn, dd * dout),
         flops_per_item: dd * dout,
         buffers: vec![SplitBuffer {
             name: "data",
             len: dn * dout,
             elem_bytes: 4,
         }],
-        scratch_f32: None,
+        scratch_f32: Some((
+            dout.div_ceil(8) * 8 * dd + dn.div_ceil(4) * 4 * dd,
+            dout.div_ceil(8) * 8 * dd + dn.div_ceil(4) * 4 * dd,
+        )),
         reduction: None,
     });
     splits.push(KernelSplit {
@@ -387,8 +452,12 @@ pub fn registered_splits() -> Vec<KernelSplit> {
     splits.push(KernelSplit {
         kernel: "groupnorm.forward",
         items: gn_n,
-        grain: grain_for(4 * gc * ghw),
+        // 10 samples × 8 192 flops is below the dispatch floor — this is
+        // the kernel that measured 0.61× under threads before the floor.
+        grain: grain_for_sized(gn_n, 4 * gc * ghw),
         flops_per_item: 4 * gc * ghw,
+        // y plus the two per-(sample, group) f64 moment vectors (x̂ is no
+        // longer materialized by the forward pass).
         buffers: vec![
             SplitBuffer {
                 name: "a",
@@ -397,13 +466,13 @@ pub fn registered_splits() -> Vec<KernelSplit> {
             },
             SplitBuffer {
                 name: "b",
-                len: gn_n * gc * ghw,
-                elem_bytes: 4,
+                len: gn_n * gg,
+                elem_bytes: 8,
             },
             SplitBuffer {
                 name: "c",
                 len: gn_n * gg,
-                elem_bytes: 4,
+                elem_bytes: 8,
             },
         ],
         scratch_f32: None,
@@ -616,10 +685,72 @@ mod tests {
 
     #[test]
     fn shipped_registry_is_clean_on_a_nominal_pool() {
+        // The only expected diagnostics are W044 serial-floor notes on the
+        // two kernels whose registered shapes fall below the dispatch
+        // floor (dense.forward, groupnorm.forward) — and only when the
+        // modeled pool could actually have split them.
         for pool in [1usize, 2, 4, 8] {
             let ds = lint_registered_splits(pool);
-            assert!(ds.is_empty(), "pool {pool}:\n{}", ds.render());
+            let unexpected: Vec<_> = ds
+                .items()
+                .iter()
+                .filter(|d| d.code != Code::W044ParSerialFloorEngaged)
+                .collect();
+            assert!(unexpected.is_empty(), "pool {pool}:\n{}", ds.render());
+            let floored: Vec<&str> = ds
+                .items()
+                .iter()
+                .filter(|d| d.code == Code::W044ParSerialFloorEngaged)
+                .map(|d| d.subject.as_str())
+                .collect();
+            if pool == 1 {
+                assert!(floored.is_empty(), "serial pool never notes the floor");
+            } else {
+                assert_eq!(floored, ["dense.forward", "groupnorm.forward"]);
+            }
         }
+    }
+
+    #[test]
+    fn serial_floor_constants_match_tensor_crate() {
+        assert_eq!(
+            SERIAL_FLOOR_FLOPS,
+            enode_tensor::parallel::SERIAL_FLOOR_FLOPS,
+            "parallelcheck's floor mirror drifted from the live planner"
+        );
+        for (items, flops) in [(10usize, 100usize), (16, 384), (10, 8192), (10, 43_008)] {
+            assert_eq!(
+                grain_for_sized(items, flops),
+                enode_tensor::parallel::grain_for_sized(items, flops),
+                "grain_for_sized mirror drifted at ({items}, {flops})"
+            );
+        }
+    }
+
+    #[test]
+    fn floor_engaged_fires_w044_and_suppresses_w040() {
+        let mut s = good();
+        // 8 items × 8 192 flops = 65 536: enough for W040's substantial-work
+        // bar but below the 320 000-flop serial floor.
+        s.flops_per_item = 8 * 1024;
+        s.grain = usize::MAX;
+        let ds = lint_kernel_split(&s, 4);
+        assert!(
+            ds.has_code(Code::W044ParSerialFloorEngaged),
+            "{}",
+            ds.render()
+        );
+        assert!(
+            !ds.has_code(Code::W040ParDegenerateSplit),
+            "floor-engaged plans must not double-report as W040:\n{}",
+            ds.render()
+        );
+        // Above the floor, the same usize::MAX grain is a genuine
+        // degenerate split again.
+        s.flops_per_item = 64 * 1024;
+        let ds = lint_kernel_split(&s, 4);
+        assert!(ds.has_code(Code::W040ParDegenerateSplit), "{}", ds.render());
+        assert!(!ds.has_code(Code::W044ParSerialFloorEngaged));
     }
 
     #[test]
@@ -627,6 +758,7 @@ mod tests {
         let names: Vec<&str> = registered_splits().iter().map(|s| s.kernel).collect();
         for prefix in [
             "conv2d.forward",
+            "conv2d.fused_forward",
             "conv2d.backward_input",
             "conv2d.backward_params",
             "dense.forward",

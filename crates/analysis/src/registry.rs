@@ -145,6 +145,16 @@ pub fn explanation(code: Code) -> &'static str {
              The configuration works for the nominal workload but has no headroom for deeper \
              integration or larger states."
         }
+        Code::W044ParSerialFloorEngaged => {
+            "The split planner's work-size floor decided the whole kernel invocation is too \
+             small to amortize chunk dispatch, so it runs serially on one lane even though a \
+             worker pool is live. This is the deliberate fix for kernels (GroupNorm at bench \
+             shapes, small dense layers) that were measurably *slower* parallel than serial: \
+             below SERIAL_FLOOR_FLOPS of total work, coordination overhead exceeds the compute \
+             being distributed. The lint records the decision so a shape change that crosses \
+             the floor is visible, rather than a silent slow path. No action is needed unless \
+             the shape has grown — then re-check the floor constant against a fresh bench."
+        }
         Code::W034HwDegenerateParallelSplit => {
             "A parallel worker pool is live but the work decomposition is degenerate (e.g. \
              batch size 1 with per-batch splitting), so execution is silently serial while \

@@ -322,6 +322,7 @@ fn e08x_messages_are_byte_stable() {
         kernels: vec![cost::MeasuredKernel {
             name: "conv2d_forward_b8".to_string(),
             speedup: 40.0,
+            speedup_vs_referent: None,
         }],
     };
     let ds = cost::cross_check(&cost::RooflineModel::EDGE, &fabricated);

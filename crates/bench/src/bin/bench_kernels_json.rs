@@ -37,8 +37,8 @@ fn main() {
     let host = report::host_cpus();
     let summaries = cost::bench_shape_summaries();
     println!(
-        "{:<34} {:>12} {:>12} {:>8} {:>9}",
-        "kernel", "1 thread", "N threads", "speedup", "roofline"
+        "{:<34} {:>12} {:>12} {:>8} {:>9} {:>12} {:>9}",
+        "kernel", "1 thread", "N threads", "speedup", "roofline", "referent", "vs ref"
     );
     for t in &timings {
         let predicted = summaries
@@ -46,12 +46,16 @@ fn main() {
             .find(|(name, _)| *name == t.name)
             .map(|(_, s)| cost::predicted_speedup(&RooflineModel::EDGE, s, THREADS_HIGH, host));
         println!(
-            "{:<34} {:>9.1} µs {:>9.1} µs {:>7.2}x {:>8}",
+            "{:<34} {:>9.1} µs {:>9.1} µs {:>7.2}x {:>8} {:>9} {:>8}",
             t.name,
             t.secs_low * 1e6,
             t.secs_high * 1e6,
             t.speedup(),
             predicted.map_or_else(|| "-".to_string(), |p| format!("{p:.2}x")),
+            t.secs_referent
+                .map_or_else(|| "-".to_string(), |r| format!("{:.1} µs", r * 1e6)),
+            t.speedup_vs_referent()
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.2}x")),
         );
     }
     if let Some(caveat) = report::host_caveat(THREADS_HIGH) {
@@ -68,6 +72,7 @@ fn main() {
             .map(|t| MeasuredKernel {
                 name: t.name.to_string(),
                 speedup: t.speedup(),
+                speedup_vs_referent: t.speedup_vs_referent(),
             })
             .collect(),
     };
@@ -79,4 +84,23 @@ fn main() {
     let json = render_json(&timings, quick);
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");
+
+    // Regression gate: every rewritten kernel must at least match its
+    // pinned pre-microkernel serial referent on this host. CI runs the
+    // quick mode and fails the build on a single-thread regression.
+    let mut regressed = false;
+    for t in &timings {
+        if let Some(v) = t.speedup_vs_referent() {
+            if v < 1.0 {
+                eprintln!(
+                    "REGRESSION: {} is {v:.2}x vs the pinned serial referent (< 1.0x)",
+                    t.name
+                );
+                regressed = true;
+            }
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
 }

@@ -5,14 +5,14 @@
 //! fixed-step RKF45 solve, batched NODE inference, and one `run_bench`
 //! inference — at 1 thread and at [`THREADS_HIGH`] threads, plus the
 //! pre-PR serial conv forward as a regression referent. The emitted JSON
-//! starts the workspace's tracked perf trajectory: future PRs re-run the
-//! emitter and compare.
+//! tracks the workspace's perf trajectory: future PRs re-run the emitter
+//! and compare.
 //!
-//! # JSON format (`schema: "enode-bench-kernels/v1"`)
+//! # JSON format (`schema: "enode-bench-kernels/v2"`)
 //!
 //! ```json
 //! {
-//!   "schema": "enode-bench-kernels/v1",
+//!   "schema": "enode-bench-kernels/v2",
 //!   "threads_low": 1,              // lane count of the serial runs
 //!   "threads_high": 4,             // lane count of the parallel runs
 //!   "host_cpus": 1,                // available_parallelism() on the host
@@ -23,19 +23,28 @@
 //!       "name": "conv2d_forward_b8",
 //!       "secs_low": 1.2e-4,        // median secs/iter at threads_low
 //!       "secs_high": 6.1e-5,       // median secs/iter at threads_high
-//!       "speedup": 1.97            // secs_low / secs_high
+//!       "speedup": 1.97,           // secs_low / secs_high
+//!       "secs_referent": 3.1e-4,   // pinned pre-microkernel serial kernel, 1 thread
+//!       "speedup_vs_referent": 2.58 // secs_referent / secs_low (old vs new, same host)
 //!     }
 //!   ]
 //! }
 //! ```
 //!
-//! Speedups are honest measurements on the emitting host: on a single-CPU
-//! host the high-thread runs cannot beat the serial runs no matter how the
-//! work is split, which is why `host_cpus` is part of the record —
-//! consumers must read speedups relative to it.
+//! The two referent fields appear only on rows with a frozen pre-rewrite
+//! implementation in [`crate::referent`]; `speedup_vs_referent` is the
+//! single-thread old-over-new ratio the microkernel acceptance tracks
+//! (≥ 2× on the target kernels), measured in the same process as the live
+//! timings so host noise cancels.
+//!
+//! Parallel speedups are honest measurements on the emitting host: on a
+//! single-CPU host the high-thread runs cannot beat the serial runs no
+//! matter how the work is split, which is why `host_cpus` is part of the
+//! record — consumers must read speedups relative to it.
 
 use crate::driver::{expedited_opts, run_inference_only, Bench};
 use crate::micro::Micro;
+use crate::referent;
 use crate::report::{host_cpus, json_escape};
 use enode_node::eval::forward_model_batched;
 use enode_node::inference::NodeSolveOptions;
@@ -60,12 +69,22 @@ pub struct KernelTiming {
     pub secs_low: f64,
     /// Median seconds/iteration with a [`THREADS_HIGH`]-lane pool.
     pub secs_high: f64,
+    /// Median seconds/iteration of the frozen pre-microkernel serial
+    /// implementation ([`crate::referent`]) with a 1-lane pool, for rows
+    /// that have one.
+    pub secs_referent: Option<f64>,
 }
 
 impl KernelTiming {
     /// Serial-over-parallel wall-time ratio.
     pub fn speedup(&self) -> f64 {
         self.secs_low / self.secs_high
+    }
+
+    /// Old-over-new single-thread ratio against the pinned serial
+    /// referent (> 1 means the rewrite is faster).
+    pub fn speedup_vs_referent(&self) -> Option<f64> {
+        self.secs_referent.map(|r| r / self.secs_low)
     }
 }
 
@@ -89,85 +108,136 @@ pub fn measure(quick: bool) -> Vec<KernelTiming> {
         (lo, hi)
     };
     let mut out = Vec::new();
-    let mut push = |name: &'static str, f: &mut dyn FnMut()| {
-        let (secs_low, secs_high) = time_pair(f);
-        out.push(KernelTiming {
-            name,
-            secs_low,
-            secs_high,
-        });
-    };
+    let mut push_vs =
+        |name: &'static str, f: &mut dyn FnMut(), referent: Option<&mut dyn FnMut()>| {
+            let (secs_low, secs_high) = time_pair(f);
+            let secs_referent = referent.map(|rf| parallel::with_threads(1, || m.time(|| rf())));
+            out.push(KernelTiming {
+                name,
+                secs_low,
+                secs_high,
+                secs_referent,
+            });
+        };
 
     // Conv kernels on a batch of 8 (the acceptance-tracked shape).
     let conv = Conv2d::new_seeded(8, 8, 3, 1);
     let x = init::uniform(&[8, 8, 16, 16], -1.0, 1.0, 2);
     let dy = init::uniform(&[8, 8, 16, 16], -1.0, 1.0, 3);
-    push("conv2d_forward_b8", &mut || {
-        std::hint::black_box(conv.forward(&x));
-    });
-    push("conv2d_forward_b8_prepr_serial", &mut || {
-        std::hint::black_box(legacy_conv_forward(&conv, &x));
-    });
-    push("conv2d_backward_input_b8", &mut || {
-        std::hint::black_box(conv.backward_input(&dy));
-    });
-    push("conv2d_backward_params_b8", &mut || {
-        std::hint::black_box(conv.backward_params(&x, &dy));
-    });
+    let mut ref_cols = Vec::new();
+    push_vs(
+        "conv2d_forward_b8",
+        &mut || {
+            std::hint::black_box(conv.forward(&x));
+        },
+        Some(&mut || {
+            std::hint::black_box(referent::conv2d_forward_ref(&conv, &x, &mut ref_cols));
+        }),
+    );
+    push_vs(
+        "conv2d_forward_b8_prepr_serial",
+        &mut || {
+            let mut cols = Vec::new();
+            std::hint::black_box(referent::conv2d_forward_ref(&conv, &x, &mut cols));
+        },
+        None,
+    );
+    push_vs(
+        "conv2d_backward_input_b8",
+        &mut || {
+            std::hint::black_box(conv.backward_input(&dy));
+        },
+        None,
+    );
+    push_vs(
+        "conv2d_backward_params_b8",
+        &mut || {
+            std::hint::black_box(conv.backward_params(&x, &dy));
+        },
+        None,
+    );
 
     // Dense and GroupNorm.
     let dense = Dense::new_seeded(64, 64, 4);
     let xd = init::uniform(&[64, 64], -1.0, 1.0, 5);
-    push("dense_forward_b64", &mut || {
-        std::hint::black_box(dense.forward(&xd));
-    });
+    push_vs(
+        "dense_forward_b64",
+        &mut || {
+            std::hint::black_box(dense.forward(&xd));
+        },
+        Some(&mut || {
+            std::hint::black_box(referent::dense_forward_ref(&dense, &xd));
+        }),
+    );
     let gn = GroupNorm::new(8, 4);
-    push("groupnorm_forward_b8", &mut || {
-        std::hint::black_box(gn.forward(&x));
-    });
+    push_vs(
+        "groupnorm_forward_b8",
+        &mut || {
+            std::hint::black_box(gn.forward(&x));
+        },
+        Some(&mut || {
+            std::hint::black_box(referent::groupnorm_forward_ref(&gn, &x));
+        }),
+    );
 
     // One fixed-step RKF45 solve of dy/dt = -y on a batched tensor state.
     let y0 = init::uniform(&[8, 64], -1.0, 1.0, 6);
     let tab = ButcherTableau::rkf45();
-    push("rkf45_fixed_solve_50steps", &mut || {
-        let sol = solve_fixed(
-            |_t, y: &Tensor| {
-                let mut dy = y.clone();
-                dy.scale_mut(-1.0);
-                dy
-            },
-            0.0,
-            1.0,
-            y0.clone(),
-            &tab,
-            50,
-        );
-        std::hint::black_box(sol);
-    });
+    push_vs(
+        "rkf45_fixed_solve_50steps",
+        &mut || {
+            let sol = solve_fixed(
+                |_t, y: &Tensor| {
+                    let mut dy = y.clone();
+                    dy.scale_mut(-1.0);
+                    dy
+                },
+                0.0,
+                1.0,
+                y0.clone(),
+                &tab,
+                50,
+            );
+            std::hint::black_box(sol);
+        },
+        None,
+    );
 
     // Batched NODE inference: per-sample solves across the pool.
     let model = NodeModel::image_classifier(4, 2, 2, 10, 7);
     let xi = init::uniform(&[8, 4, 8, 8], -1.0, 1.0, 8);
     let opts = NodeSolveOptions::new(1e-3);
-    push("node_batched_inference_b8", &mut || {
-        std::hint::black_box(forward_model_batched(&model, &xi, &opts).expect("inference failed"));
-    });
+    push_vs(
+        "node_batched_inference_b8",
+        &mut || {
+            std::hint::black_box(
+                forward_model_batched(&model, &xi, &opts).expect("inference failed"),
+            );
+        },
+        Some(&mut || {
+            std::hint::black_box(referent::node_inference_ref(&model, &xi, 1e-3));
+        }),
+    );
 
     // One driver-level inference run (the paper's Lotka-Volterra bench).
-    push("run_bench_lv_inference", &mut || {
-        std::hint::black_box(run_inference_only(
-            Bench::LotkaVolterra,
-            &expedited_opts(Bench::LotkaVolterra, 3, 3, Some(10)),
-            51,
-        ));
-    });
+    push_vs(
+        "run_bench_lv_inference",
+        &mut || {
+            std::hint::black_box(run_inference_only(
+                Bench::LotkaVolterra,
+                &expedited_opts(Bench::LotkaVolterra, 3, 3, Some(10)),
+                51,
+            ));
+        },
+        None,
+    );
     out
 }
 
 /// Renders the timings as the committed `BENCH_kernels.json` document.
 pub fn render_json(timings: &[KernelTiming], quick: bool) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"schema\": \"enode-bench-kernels/v1\",\n");
+    s.push_str("  \"schema\": \"enode-bench-kernels/v2\",\n");
     s.push_str("  \"threads_low\": 1,\n");
     s.push_str(&format!("  \"threads_high\": {THREADS_HIGH},\n"));
     s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
@@ -178,8 +248,14 @@ pub fn render_json(timings: &[KernelTiming], quick: bool) -> String {
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"kernels\": [\n");
     for (i, t) in timings.iter().enumerate() {
+        let referent = match (t.secs_referent, t.speedup_vs_referent()) {
+            (Some(r), Some(v)) => {
+                format!(", \"secs_referent\": {r:.6e}, \"speedup_vs_referent\": {v:.3}")
+            }
+            _ => String::new(),
+        };
         s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"secs_low\": {:.6e}, \"secs_high\": {:.6e}, \"speedup\": {:.3} }}{}\n",
+            "    {{ \"name\": \"{}\", \"secs_low\": {:.6e}, \"secs_high\": {:.6e}, \"speedup\": {:.3}{referent} }}{}\n",
             json_escape(t.name),
             t.secs_low,
             t.secs_high,
@@ -191,89 +267,9 @@ pub fn render_json(timings: &[KernelTiming], quick: bool) -> String {
     s
 }
 
-/// The pre-PR serial conv forward (per-call `vec!` scratch, unblocked
-/// row-times-column multiply), kept verbatim as the regression referent
-/// for the `conv2d_forward_b8_prepr_serial` entry.
-fn legacy_conv_forward(conv: &Conv2d, x: &Tensor) -> Tensor {
-    let (n, c, h, w) = x.shape_obj().nchw();
-    assert_eq!(c, conv.in_channels(), "input channel mismatch");
-    let k = conv.kernel();
-    let m = conv.out_channels();
-    let ckk = c * k * k;
-    let hw = h * w;
-    let wmat = conv.weight().data();
-    let mut y = Tensor::zeros(&[n, m, h, w]);
-    let mut cols = vec![0.0f32; ckk * hw];
-    for ni in 0..n {
-        legacy_im2col(x, ni, k, &mut cols);
-        let ydata = y.data_mut();
-        let ybase = ni * m * hw;
-        for mi in 0..m {
-            let yrow = &mut ydata[ybase + mi * hw..ybase + (mi + 1) * hw];
-            yrow.fill(conv.bias().data()[mi]);
-            let wrow = &wmat[mi * ckk..(mi + 1) * ckk];
-            for (q, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let crow = &cols[q * hw..(q + 1) * hw];
-                for (yv, &cv) in yrow.iter_mut().zip(crow) {
-                    *yv += wv * cv;
-                }
-            }
-        }
-    }
-    y
-}
-
-fn legacy_im2col(x: &Tensor, ni: usize, k: usize, cols: &mut [f32]) {
-    let (_, c, h, w) = x.shape_obj().nchw();
-    let pad = (k / 2) as isize;
-    let hw = h * w;
-    let xdata = x.data();
-    for ci in 0..c {
-        let xbase = (ni * c + ci) * hw;
-        for kh in 0..k {
-            let dh = kh as isize - pad;
-            for kw in 0..k {
-                let dw_ = kw as isize - pad;
-                let q = (ci * k + kh) * k + kw;
-                let out = &mut cols[q * hw..(q + 1) * hw];
-                for oh in 0..h {
-                    let ih = oh as isize + dh;
-                    let orow = &mut out[oh * w..(oh + 1) * w];
-                    if ih < 0 || ih >= h as isize {
-                        orow.fill(0.0);
-                        continue;
-                    }
-                    let xrow = &xdata[xbase + ih as usize * w..xbase + (ih as usize + 1) * w];
-                    for (ow, ov) in orow.iter_mut().enumerate() {
-                        let iw = ow as isize + dw_;
-                        *ov = if iw >= 0 && (iw as usize) < w {
-                            xrow[iw as usize]
-                        } else {
-                            0.0
-                        };
-                    }
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn legacy_forward_matches_current_within_rounding() {
-        let conv = Conv2d::new_seeded(3, 5, 3, 9);
-        let x = init::uniform(&[2, 3, 6, 6], -1.0, 1.0, 10);
-        let new = conv.forward(&x);
-        let old = legacy_conv_forward(&conv, &x);
-        let diff = (&new - &old).norm_inf();
-        assert!(diff < 1e-4, "legacy referent deviates by {diff}");
-    }
 
     #[test]
     fn json_shape_is_wellformed() {
@@ -282,19 +278,41 @@ mod tests {
                 name: "a",
                 secs_low: 2.0e-3,
                 secs_high: 1.0e-3,
+                secs_referent: Some(4.0e-3),
             },
             KernelTiming {
                 name: "b",
                 secs_low: 1.0e-3,
                 secs_high: 1.0e-3,
+                secs_referent: None,
             },
         ];
         let json = render_json(&timings, true);
-        assert!(json.contains("\"schema\": \"enode-bench-kernels/v1\""));
+        assert!(json.contains("\"schema\": \"enode-bench-kernels/v2\""));
         assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"secs_referent\": 4.000000e-3"));
+        assert!(json.contains("\"speedup_vs_referent\": 2.000"));
         assert!(json.contains("\"quick\": true"));
+        // The referent fields appear only on the row that has one.
+        assert_eq!(json.matches("speedup_vs_referent").count(), 1);
         // Exactly one trailing comma between the two kernel entries.
         assert_eq!(json.matches("} }").count(), 0);
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn referent_speedup_is_old_over_new() {
+        let t = KernelTiming {
+            name: "x",
+            secs_low: 1.0e-3,
+            secs_high: 5.0e-4,
+            secs_referent: Some(3.0e-3),
+        };
+        assert!((t.speedup_vs_referent().unwrap() - 3.0).abs() < 1e-12);
+        let t = KernelTiming {
+            secs_referent: None,
+            ..t
+        };
+        assert_eq!(t.speedup_vs_referent(), None);
     }
 }

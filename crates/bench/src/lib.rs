@@ -10,5 +10,6 @@ pub mod driver;
 pub mod figures;
 pub mod kernels_json;
 pub mod micro;
+pub mod referent;
 pub mod report;
 pub mod serve_json;

@@ -10,7 +10,7 @@ use enode_ode::controller::{
     TrialDecision,
 };
 use enode_ode::state::StateOps;
-use enode_ode::step::rk_step;
+use enode_ode::step::{rk_step_with, StepScratch};
 use enode_ode::tableau::ButcherTableau;
 use enode_tensor::network::Network;
 use enode_tensor::Tensor;
@@ -420,6 +420,10 @@ pub fn forward_layer(
     let mut stats = LayerStats::default();
     let mut dt_hint: Option<f64> = None;
     let mut fsal: Option<Tensor> = None;
+    // One buffer pool across the layer's whole stepsize search: rejected
+    // trials and spent stages are full feature-map tensors, and recycling
+    // them keeps the search loop allocation-free at steady state.
+    let mut scratch = StepScratch::new();
 
     while t < t1 - 1e-12 {
         if checkpoints.len() > opts.max_points {
@@ -440,7 +444,7 @@ pub fn forward_layer(
                 return Err(NodeError::StepsizeUnderflow { layer: 0 });
             }
             let mut eval = |tt: f64, yy: &Tensor| f.eval(tt as f32, yy);
-            let out = rk_step(&tableau, &mut eval, t, dt, &y, k1.clone());
+            let out = rk_step_with(&tableau, &mut eval, t, dt, &y, k1.clone(), &mut scratch);
             stats.nfe += out.nfe;
             if !out.y_next.is_finite() {
                 return Err(NodeError::NonFiniteState { layer: 0 });
@@ -473,14 +477,20 @@ pub fn forward_layer(
             match controller.on_trial(dt, ratio) {
                 TrialDecision::Accept { dt_next_hint } => {
                     t += dt;
-                    y = out.y_next;
+                    let prev_y = std::mem::replace(&mut y, out.y_next);
+                    scratch.recycle([prev_y]);
+                    scratch.recycle(out.error);
                     if opts.fp16_storage {
                         for v in y.data_mut() {
                             *v = enode_tensor::F16::from_f32(*v).to_f32();
                         }
                     }
                     if tableau.is_fsal() {
-                        fsal = out.stages.into_iter().last();
+                        let mut stages = out.stages;
+                        fsal = stages.pop();
+                        scratch.recycle(stages);
+                    } else {
+                        scratch.recycle(out.stages);
                     }
                     steps.push(StepRecord {
                         t0: t - dt,
@@ -501,6 +511,9 @@ pub fn forward_layer(
                 }
                 TrialDecision::Reject { dt_retry } => {
                     stats.rejected += 1;
+                    scratch.recycle([out.y_next]);
+                    scratch.recycle(out.error);
+                    scratch.recycle(out.stages);
                     if dt_retry < opts.dt_min {
                         return Err(NodeError::StepsizeUnderflow { layer: 0 });
                     }

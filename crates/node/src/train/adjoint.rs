@@ -60,7 +60,9 @@ fn cache_bytes(caches: &[OpCache]) -> u64 {
             OpCache::Conv { x } | OpCache::Dense { x } | OpCache::Activation { x } => {
                 x.storage_bytes(2) as u64
             }
-            OpCache::GroupNorm(g) => (g.xhat.storage_bytes(2) + g.inv_std.len() * 2) as u64,
+            OpCache::GroupNorm { x, cache } => {
+                (x.storage_bytes(2) + (cache.mean.len() + cache.inv_std.len()) * 8) as u64
+            }
             OpCache::ConcatTime { .. } => 0,
         })
         .sum()

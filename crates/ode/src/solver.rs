@@ -3,7 +3,7 @@
 
 use crate::controller::{StepController, TrialDecision};
 use crate::state::StateOps;
-use crate::step::rk_step;
+use crate::step::{rk_step_with, StepScratch};
 use crate::tableau::ButcherTableau;
 use std::error::Error;
 use std::fmt;
@@ -237,15 +237,23 @@ pub fn solve_fixed<S: StateOps>(
     let mut t = t0;
     let mut nfe = 0;
     let mut fsal: Option<S> = None;
+    // One buffer pool for the whole solve: spent stages and superseded
+    // states feed the next step's temporaries instead of the allocator.
+    let mut scratch = StepScratch::new();
     for _ in 0..n_steps {
-        let out = rk_step(tableau, &mut f, t, h.abs(), &y, fsal.take());
+        let out = rk_step_with(tableau, &mut f, t, h.abs(), &y, fsal.take(), &mut scratch);
         nfe += out.nfe;
-        y = out.y_next;
+        let prev_y = std::mem::replace(&mut y, out.y_next);
+        scratch.recycle([prev_y]);
+        scratch.recycle(out.error);
         let dy = if tableau.is_fsal() {
-            let last = out.stages.into_iter().last();
+            let mut stages = out.stages;
+            let last = stages.pop();
+            scratch.recycle(stages);
             fsal = last.clone();
             last
         } else {
+            scratch.recycle(out.stages);
             None
         };
         t += h;
@@ -301,6 +309,10 @@ pub fn solve_adaptive<S: StateOps>(
     let mut stats = SolveStats::default();
     let mut dt_hint: Option<f64> = None;
     let mut fsal: Option<S> = None;
+    // One buffer pool for the whole solve: rejected trials' states feed
+    // the retries instead of the allocator — the stepsize search is the
+    // solver's hot loop and used to clone the full state every trial.
+    let mut scratch = StepScratch::new();
 
     while t < t1 - 1e-12 {
         if points.len() >= opts.max_points {
@@ -319,7 +331,7 @@ pub fn solve_adaptive<S: StateOps>(
             }
             // A truncated-to-remaining step invalidates the FSAL stage only
             // if dt changed vs the step it came from; recompute when absent.
-            let out = rk_step(tableau, &mut f, t, dt, &y, fsal.take());
+            let out = rk_step_with(tableau, &mut f, t, dt, &y, fsal.take(), &mut scratch);
             stats.nfe += out.nfe;
             if !out.y_next.is_finite() {
                 return Err(SolveError::NonFiniteState);
@@ -330,12 +342,17 @@ pub fn solve_adaptive<S: StateOps>(
                 TrialDecision::Accept { dt_next_hint } => {
                     stats.accepted += 1;
                     t += dt;
-                    y = out.y_next;
+                    let prev_y = std::mem::replace(&mut y, out.y_next);
+                    scratch.recycle([prev_y]);
+                    scratch.recycle(out.error);
                     let dy = if tableau.is_fsal() {
-                        let last = out.stages.into_iter().last();
+                        let mut stages = out.stages;
+                        let last = stages.pop();
+                        scratch.recycle(stages);
                         fsal = last.clone();
                         last
                     } else {
+                        scratch.recycle(out.stages);
                         None
                     };
                     points.push(EvalPoint {
@@ -351,6 +368,9 @@ pub fn solve_adaptive<S: StateOps>(
                 }
                 TrialDecision::Reject { dt_retry } => {
                     stats.rejected += 1;
+                    scratch.recycle([out.y_next]);
+                    scratch.recycle(out.error);
+                    scratch.recycle(out.stages);
                     dt = dt_retry.max(opts.dt_min);
                     if dt <= opts.dt_min && dt_retry < opts.dt_min {
                         return Err(SolveError::StepsizeUnderflow);

@@ -14,16 +14,20 @@
 //! All three passes run on the workspace pool ([`crate::parallel`]),
 //! splitting across the batch dimension when it is wide enough and across
 //! output (forward, weight-grad) or input (input-grad) channels otherwise —
-//! the same two axes the eNODE PE array unrolls. im2col scratch comes from
-//! the per-thread arena ([`crate::parallel::with_scratch_f32`]), so
-//! repeated solver evaluations do not touch the allocator. Every
-//! decomposition performs the serial arithmetic in the serial order
-//! (reductions combine per-sample partials in sample order), so outputs
-//! are bit-identical for any thread count (up to the sign of zero; see
-//! DESIGN.md §8).
+//! the same two axes the eNODE PE array unrolls. The forward pass is a
+//! direct register-blocked convolution over a zero-padded arena copy of
+//! each sample (`pad_sample` / `conv_direct_rows`, with an AVX body
+//! behind `crate::simd`); the weight-gradient pass keeps the im2col
+//! lowering. All kernel scratch comes from the per-thread arena
+//! ([`crate::parallel::with_scratch_f32`]), so repeated solver
+//! evaluations do not touch the allocator. Every decomposition performs
+//! the serial arithmetic in the serial order (reductions combine
+//! per-sample partials in sample order), so outputs are bit-identical
+//! for any thread count (up to the sign of zero; see DESIGN.md §8).
 
+use crate::activation::Activation;
 use crate::init;
-use crate::matmul::gemm_bias;
+use crate::norm::GroupNorm;
 use crate::parallel;
 use crate::sanitize;
 use crate::tensor::Tensor;
@@ -136,10 +140,16 @@ impl Conv2d {
 
     /// Forward convolution `y = W * x + b`.
     ///
-    /// Uses the im2col + blocked-matmul lowering (the standard fast path;
-    /// [`Conv2d::forward_reference`] keeps the direct loop nest as the
-    /// verification oracle), parallel across the batch — or across output
-    /// channels when the batch underfills the pool.
+    /// Uses a direct register-blocked convolution over a zero-padded copy
+    /// of each sample (`conv_direct_rows`): the padded plane lives in
+    /// per-thread arena scratch and stays L1-resident, so no im2col matrix
+    /// is ever materialized. Parallel across the batch — or across output
+    /// channels when the batch underfills the pool. Per output element the
+    /// accumulation is `bias` then `+= w·x` over taps in `(c, kh, kw)`
+    /// order — the exact chain of the im2col + gemm lowering (padding taps
+    /// contribute the identical `+ w·0.0` adds), so the result is bitwise
+    /// equal to [`crate::matmul::gemm_bias`] over im2col columns and independent
+    /// of the split.
     ///
     /// # Panics
     ///
@@ -153,44 +163,120 @@ impl Conv2d {
         let m = self.out_channels;
         let ckk = c * k * k;
         let hw = h * w;
+        let pad = k / 2;
+        let xpad_len = c * (h + 2 * pad) * (w + 2 * pad);
         let wmat = self.weight.data();
         let bias = self.bias.data();
         let mut y = Tensor::zeros(&[n, m, h, w]);
         let ydata = y.data_mut();
         if n >= parallel::current_threads() || m == 1 {
-            // Batch split: each lane lowers and multiplies its own samples,
-            // with its own per-thread cols scratch.
+            // Batch split: each lane pads its own samples into per-thread
+            // arena scratch and runs the direct kernel over all output
+            // channels.
             parallel::parallel_for_disjoint(ydata, n, 1, |range, slab| {
-                parallel::with_scratch_f32(ckk * hw, |cols| {
+                parallel::with_scratch_f32(xpad_len, |xpad| {
                     for (local, ni) in range.enumerate() {
-                        im2col(x, ni, k, cols);
+                        pad_sample(x, ni, pad, xpad);
                         let ys = &mut slab[local * m * hw..(local + 1) * m * hw];
-                        gemm_bias(ys, wmat, bias, cols, ckk, hw);
+                        conv_direct_rows(xpad, wmat, bias, 0..m, ys, h, w, c, k);
                     }
                 });
             });
         } else {
-            // Few samples: lower once per sample, split output rows. The
-            // row-split is bit-identical by the gemm kernel's contract.
-            parallel::with_scratch_f32(ckk * hw, |cols| {
+            // Few samples: pad once per sample, split output channels; the
+            // padded plane is a shared read. The split is bit-identical by
+            // the kernel's per-element reduction-order contract.
+            parallel::with_scratch_f32(xpad_len, |xpad| {
                 for ni in 0..n {
-                    im2col(x, ni, k, cols);
-                    let cols_ref: &[f32] = cols;
+                    pad_sample(x, ni, pad, xpad);
+                    let xpad_ref: &[f32] = xpad;
                     let ys = &mut ydata[ni * m * hw..(ni + 1) * m * hw];
                     let grain = parallel::grain_for(ckk * hw);
                     parallel::parallel_for_disjoint(ys, m, grain, |rows, yrows| {
-                        gemm_bias(
-                            yrows,
-                            &wmat[rows.start * ckk..rows.end * ckk],
-                            &bias[rows.start..rows.end],
-                            cols_ref,
-                            ckk,
-                            hw,
-                        );
+                        conv_direct_rows(xpad_ref, wmat, bias, rows, yrows, h, w, c, k);
                     });
                 }
             });
         }
+        y
+    }
+
+    /// Fused conv→GroupNorm→activation forward: one batch-split kernel
+    /// whose per-sample pipeline is zero-pad → direct register-blocked
+    /// conv into arena scratch → normalize+scale+activate streamed into
+    /// the output. The intermediate conv map never round-trips an NCHW
+    /// tensor — it lives only in the per-thread arena — which is the
+    /// eNODE-style producer/consumer fusion of the NN core's
+    /// conv → norm → activation dataflow.
+    ///
+    /// Bit-compatibility: the result equals the unfused
+    /// `act(gn.forward(conv.forward(x)))` composition bit-for-bit, because
+    /// each stage runs the identical kernel arithmetic on identical
+    /// per-sample inputs (the conv is the same `conv_direct_rows`
+    /// kernel, and the normalize epilogue shares `GroupNorm`'s statistics
+    /// helper). The batch split is bit-identical across thread counts like
+    /// every other kernel here (each sample's chain is serial).
+    ///
+    /// Tiny batches run serial automatically: the grain comes from
+    /// [`parallel::grain_for_sized`], so below the work floor the split
+    /// planner collapses to one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with `C` matching
+    /// [`Conv2d::in_channels`], or if `gn`'s channel count differs from
+    /// [`Conv2d::out_channels`].
+    pub fn forward_fused(
+        &self,
+        x: &Tensor,
+        gn: Option<&GroupNorm>,
+        act: Option<Activation>,
+    ) -> Tensor {
+        let _kernel = sanitize::kernel_scope("conv2d.fused_forward");
+        let (n, c, h, w) = x.shape_obj().nchw();
+        assert_eq!(c, self.in_channels, "input channel mismatch");
+        let k = self.kernel;
+        let m = self.out_channels;
+        if let Some(g) = gn {
+            assert_eq!(
+                g.channels(),
+                m,
+                "GroupNorm channels must match conv output channels"
+            );
+        }
+        let hw = h * w;
+        let pad = k / 2;
+        let xpad_len = c * (h + 2 * pad) * (w + 2 * pad);
+        let wmat = self.weight.data();
+        let bias = self.bias.data();
+        let mut y = Tensor::zeros(&[n, m, h, w]);
+        let ydata = y.data_mut();
+        let flops = fused_flops_per_item(c, m, k, hw, gn.is_some(), act.is_some());
+        let grain = parallel::grain_for_sized(n, flops);
+        parallel::parallel_for_disjoint(ydata, n, grain, |range, slab| {
+            parallel::with_scratch_f32(xpad_len, |xpad| {
+                for (local, ni) in range.enumerate() {
+                    pad_sample(x, ni, pad, xpad);
+                    let ys = &mut slab[local * m * hw..(local + 1) * m * hw];
+                    match gn {
+                        Some(g) => {
+                            // The conv output exists only in arena
+                            // scratch; the epilogue streams it into `y`.
+                            parallel::with_scratch_f32(m * hw, |tmp| {
+                                conv_direct_rows(xpad, wmat, bias, 0..m, tmp, h, w, c, k);
+                                g.normalize_into(tmp, ys, hw, act);
+                            });
+                        }
+                        None => {
+                            conv_direct_rows(xpad, wmat, bias, 0..m, ys, h, w, c, k);
+                            if let Some(a) = act {
+                                a.apply_slice(ys);
+                            }
+                        }
+                    }
+                }
+            });
+        });
         y
     }
 
@@ -449,23 +535,257 @@ fn im2col(x: &Tensor, ni: usize, k: usize, cols: &mut [f32]) {
     }
 }
 
+/// Zero-pads sample `ni` of `x` into `dst = [C][H+2·pad][W+2·pad]`.
+/// The whole plane is cleared first (arena scratch is reused dirty), then
+/// each input row is one contiguous copy into the interior.
+fn pad_sample(x: &Tensor, ni: usize, pad: usize, dst: &mut [f32]) {
+    let (_, c, h, w) = x.shape_obj().nchw();
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    debug_assert_eq!(dst.len(), c * ph * pw);
+    dst.fill(0.0);
+    let xdata = x.data();
+    for ci in 0..c {
+        let xch = &xdata[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+        let dch = &mut dst[ci * ph * pw..(ci + 1) * ph * pw];
+        for ih in 0..h {
+            let base = (ih + pad) * pw + pad;
+            dch[base..base + w].copy_from_slice(&xch[ih * w..(ih + 1) * w]);
+        }
+    }
+}
+
+/// Direct "same"-padding convolution of one zero-padded sample
+/// (`xpad = [C][H+2·pad][W+2·pad]`, see [`pad_sample`]) over the output-
+/// channel range `mrange`, writing `out = y[ni, mrange, :, :]`.
+///
+/// Per output element the chain is `bias` then `+= w·x` over taps in
+/// ascending `(c, kh, kw)` order. That is exactly the im2col + gemm
+/// lowering's per-element chain — a padding tap here multiplies an
+/// explicit zero from the padded border, where im2col would have stored
+/// the same zero in the column matrix — so the result is bitwise equal
+/// to [`crate::matmul::gemm_bias`] over im2col columns, independent of
+/// both the split and the SIMD dispatch below.
+#[allow(clippy::too_many_arguments)] // geometry of one padded sample, passed flat
+fn conv_direct_rows(
+    xpad: &[f32],
+    wmat: &[f32],
+    bias: &[f32],
+    mrange: std::ops::Range<usize>,
+    out: &mut [f32],
+    h: usize,
+    w: usize,
+    c: usize,
+    k: usize,
+) {
+    let pad = k / 2;
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    debug_assert_eq!(xpad.len(), c * ph * pw);
+    debug_assert_eq!(out.len(), mrange.len() * h * w);
+    #[cfg(target_arch = "x86_64")]
+    if w.is_multiple_of(8) && crate::simd::avx() {
+        // SAFETY: AVX is present (runtime check); the slice bounds are
+        // asserted above and the kernel stays inside them.
+        unsafe { conv_direct_rows_avx(xpad, wmat, bias, mrange, out, h, w, c, k) };
+        return;
+    }
+    conv_direct_rows_portable(xpad, wmat, bias, mrange, out, h, w, c, k);
+}
+
+/// Portable body of [`conv_direct_rows`]: per output row, initialize to
+/// bias and sweep taps in `(c, kh, kw)` order, each tap a contiguous
+/// row-by-row multiply-accumulate the autovectorizer handles.
+#[allow(clippy::too_many_arguments)] // geometry of one padded sample, passed flat
+fn conv_direct_rows_portable(
+    xpad: &[f32],
+    wmat: &[f32],
+    bias: &[f32],
+    mrange: std::ops::Range<usize>,
+    out: &mut [f32],
+    h: usize,
+    w: usize,
+    c: usize,
+    k: usize,
+) {
+    let pad = k / 2;
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    let ckk = c * k * k;
+    for (local, mi) in mrange.enumerate() {
+        let wrow = &wmat[mi * ckk..(mi + 1) * ckk];
+        let b = bias[mi];
+        for oh in 0..h {
+            let orow = &mut out[(local * h + oh) * w..(local * h + oh + 1) * w];
+            orow.fill(b);
+            for ci in 0..c {
+                for kh in 0..k {
+                    let xrow = &xpad[ci * ph * pw + (oh + kh) * pw..][..pw];
+                    for kw in 0..k {
+                        let tap = wrow[(ci * k + kh) * k + kw];
+                        for (ov, &xv) in orow.iter_mut().zip(&xrow[kw..kw + w]) {
+                            *ov += tap * xv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX body of [`conv_direct_rows`] (`w % 8 == 0`): the output plane is
+/// tiled into 8-wide blocks, processed four at a time so four independent
+/// accumulator chains hide the vector-add latency. Each lane still runs
+/// the scalar chain — bias, then mul+add per tap in `(c, kh, kw)` order,
+/// never FMA — so the result is bitwise identical to the portable body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)] // geometry of one padded sample, passed flat
+unsafe fn conv_direct_rows_avx(
+    xpad: &[f32],
+    wmat: &[f32],
+    bias: &[f32],
+    mrange: std::ops::Range<usize>,
+    out: &mut [f32],
+    h: usize,
+    w: usize,
+    c: usize,
+    k: usize,
+) {
+    use std::arch::x86_64::*;
+    let pad = k / 2;
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    let phpw = ph * pw;
+    let ckk = c * k * k;
+    let wblocks = w / 8; // caller guarantees w % 8 == 0
+    let blocks = h * wblocks;
+    let xp = xpad.as_ptr();
+    for (local, mi) in mrange.enumerate() {
+        let wrow = wmat.as_ptr().add(mi * ckk);
+        let b8 = _mm256_broadcast_ss(&bias[mi]);
+        let oplane = out.as_mut_ptr().add(local * h * w);
+        let mut j = 0;
+        while j + 4 <= blocks {
+            // Padded-plane offset of each block's lane 0 (kh = kw = 0).
+            let mut off = [0usize; 4];
+            for (t, o) in off.iter_mut().enumerate() {
+                let bj = j + t;
+                *o = (bj / wblocks) * pw + (bj % wblocks) * 8;
+            }
+            let mut acc0 = b8;
+            let mut acc1 = b8;
+            let mut acc2 = b8;
+            let mut acc3 = b8;
+            let mut q = wrow;
+            for ci in 0..c {
+                let xc = xp.add(ci * phpw);
+                for kh in 0..k {
+                    let xr = xc.add(kh * pw);
+                    for kw in 0..k {
+                        let tap = _mm256_broadcast_ss(&*q);
+                        q = q.add(1);
+                        let xrk = xr.add(kw);
+                        acc0 = _mm256_add_ps(
+                            acc0,
+                            _mm256_mul_ps(tap, _mm256_loadu_ps(xrk.add(off[0]))),
+                        );
+                        acc1 = _mm256_add_ps(
+                            acc1,
+                            _mm256_mul_ps(tap, _mm256_loadu_ps(xrk.add(off[1]))),
+                        );
+                        acc2 = _mm256_add_ps(
+                            acc2,
+                            _mm256_mul_ps(tap, _mm256_loadu_ps(xrk.add(off[2]))),
+                        );
+                        acc3 = _mm256_add_ps(
+                            acc3,
+                            _mm256_mul_ps(tap, _mm256_loadu_ps(xrk.add(off[3]))),
+                        );
+                    }
+                }
+            }
+            // Blocks tile the row-major plane exactly, so block j's
+            // output starts at element j·8.
+            _mm256_storeu_ps(oplane.add(j * 8), acc0);
+            _mm256_storeu_ps(oplane.add((j + 1) * 8), acc1);
+            _mm256_storeu_ps(oplane.add((j + 2) * 8), acc2);
+            _mm256_storeu_ps(oplane.add((j + 3) * 8), acc3);
+            j += 4;
+        }
+        while j < blocks {
+            let off = (j / wblocks) * pw + (j % wblocks) * 8;
+            let mut acc = b8;
+            let mut q = wrow;
+            for ci in 0..c {
+                let xc = xp.add(ci * phpw);
+                for kh in 0..k {
+                    let xr = xc.add(kh * pw + off);
+                    for kw in 0..k {
+                        let tap = _mm256_broadcast_ss(&*q);
+                        q = q.add(1);
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(tap, _mm256_loadu_ps(xr.add(kw))));
+                    }
+                }
+            }
+            _mm256_storeu_ps(oplane.add(j * 8), acc);
+            j += 1;
+        }
+    }
+}
+
+/// Per-item (per-sample) flop estimate of the fused
+/// conv→GroupNorm→activation kernel. Shared by the live grain computation
+/// in [`Conv2d::forward_fused`] and the registered access summary, so the
+/// registry-parity test sees identical planning inputs.
+pub fn fused_flops_per_item(
+    c: usize,
+    m: usize,
+    k: usize,
+    hw: usize,
+    with_gn: bool,
+    with_act: bool,
+) -> usize {
+    let mut flops = m * c * k * k * hw;
+    if with_gn {
+        // Two accumulates per element for the moments, one normalize
+        // multiply-add, one affine multiply-add.
+        flops += 5 * m * hw;
+    }
+    if with_act {
+        flops += m * hw;
+    }
+    flops
+}
+
 // ---------------------------------------------------------------------------
 // Affine access summaries (one per `parallel_for_disjoint*` call above)
 // ---------------------------------------------------------------------------
 
 use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, StridedAccess};
 
+/// Per-sample padded-plane scratch of the direct conv kernel
+/// (`[C][H+2·pad][W+2·pad]`). Shared by the live kernels and the access
+/// summaries below so the registry describes the real allocation.
+pub fn padded_plane_len(c: usize, k: usize, h: usize, w: usize) -> usize {
+    let pad = k / 2;
+    c * (h + 2 * pad) * (w + 2 * pad)
+}
+
 /// Access summary of the batch split in [`Conv2d::forward`]: item `ni`
 /// writes `y[ni, :, :, :]`, reads `x[ni, :, :, :]`, and every item reads
-/// the resident weights and bias; im2col scratch is a per-thread arena.
+/// the resident weights and bias; the zero-padded input plane is a
+/// per-thread arena.
 pub fn forward_batch_access(
     n: usize,
     c: usize,
     m: usize,
     k: usize,
-    hw: usize,
+    h: usize,
+    w: usize,
 ) -> KernelAccessSummary {
     let ckk = c * k * k;
+    let hw = h * w;
     KernelAccessSummary {
         kernel: "conv2d.forward (batch split)",
         items: n,
@@ -483,16 +803,68 @@ pub fn forward_batch_access(
             StridedAccess::broadcast_read("w", m * ckk),
             StridedAccess::broadcast_read("bias", m),
         ],
-        scratch: vec![ScratchDecl::arena("cols", ckk * hw)],
+        scratch: vec![ScratchDecl::arena("xpad", padded_plane_len(c, k, h, w))],
+    }
+}
+
+/// Access summary of the batch split in [`Conv2d::forward_fused`]
+/// (conv→GroupNorm→activation, the shape the NODE embedded networks
+/// execute): item `ni` writes `y[ni, :, :, :]`, reads `x[ni, :, :, :]`
+/// and the resident weights/bias/γ/β; the conv output panel exists only
+/// in per-thread arena scratch.
+pub fn fused_forward_access(
+    n: usize,
+    c: usize,
+    m: usize,
+    k: usize,
+    h: usize,
+    w: usize,
+) -> KernelAccessSummary {
+    let ckk = c * k * k;
+    let hw = h * w;
+    let flops = fused_flops_per_item(c, m, k, hw, true, true);
+    KernelAccessSummary {
+        kernel: "conv2d.fused_forward (batch split)",
+        items: n,
+        grain: parallel::grain_for_sized(n, flops),
+        flops_per_item: flops,
+        regions: vec![
+            RegionDecl::output("y", n * m * hw),
+            RegionDecl::input("x", n * c * hw),
+            RegionDecl::input("w", m * ckk),
+            RegionDecl::input("bias", m),
+            RegionDecl::input("gamma", m),
+            RegionDecl::input("beta", m),
+        ],
+        accesses: vec![
+            StridedAccess::contiguous("y", AccessKind::Write, m * hw),
+            StridedAccess::contiguous("x", AccessKind::Read, c * hw),
+            StridedAccess::broadcast_read("w", m * ckk),
+            StridedAccess::broadcast_read("bias", m),
+            StridedAccess::broadcast_read("gamma", m),
+            StridedAccess::broadcast_read("beta", m),
+        ],
+        scratch: vec![
+            ScratchDecl::arena("xpad", padded_plane_len(c, k, h, w)),
+            ScratchDecl::arena("conv_out", m * hw),
+        ],
     }
 }
 
 /// Access summary of the row split in [`Conv2d::forward`] (batch
 /// underfills the pool): item `mi` writes one sample's output row
-/// `ys[mi·hw ..]` and reads its own weight row; the shared im2col
-/// columns are a broadcast read.
-pub fn forward_rows_access(c: usize, m: usize, k: usize, hw: usize) -> KernelAccessSummary {
+/// `ys[mi·hw ..]` and reads its own weight row; the shared zero-padded
+/// input plane is a broadcast read (padded serially before the split).
+pub fn forward_rows_access(
+    c: usize,
+    m: usize,
+    k: usize,
+    h: usize,
+    w: usize,
+) -> KernelAccessSummary {
     let ckk = c * k * k;
+    let hw = h * w;
+    let xpad_len = padded_plane_len(c, k, h, w);
     KernelAccessSummary {
         kernel: "conv2d.forward (row split)",
         items: m,
@@ -502,7 +874,7 @@ pub fn forward_rows_access(c: usize, m: usize, k: usize, hw: usize) -> KernelAcc
             RegionDecl::output("ys", m * hw),
             RegionDecl::input("w", m * ckk),
             RegionDecl::input("bias", m),
-            RegionDecl::input("cols", ckk * hw),
+            RegionDecl::input("xpad", xpad_len),
         ],
         accesses: vec![
             StridedAccess::contiguous("ys", AccessKind::Write, hw),
@@ -515,9 +887,9 @@ pub fn forward_rows_access(c: usize, m: usize, k: usize, hw: usize) -> KernelAcc
                 elem_stride: 1,
                 count: 1,
             },
-            StridedAccess::broadcast_read("cols", ckk * hw),
+            StridedAccess::broadcast_read("xpad", xpad_len),
         ],
-        scratch: vec![ScratchDecl::arena("cols", ckk * hw)],
+        scratch: vec![ScratchDecl::arena("xpad", xpad_len)],
     }
 }
 
@@ -763,6 +1135,102 @@ mod tests {
             let diff = (&fast - &slow).norm_inf();
             assert!(diff < 1e-4, "im2col deviates by {diff} for c={c} m={m}");
         }
+    }
+
+    #[test]
+    fn direct_forward_matches_im2col_gemm_bitwise() {
+        // The direct padded kernel must reproduce the im2col + packed-gemm
+        // lowering bit-for-bit: same per-element tap chain, with padding
+        // taps as explicit `w·0` adds.
+        use crate::matmul::gemm_bias;
+        for (c, m, hh, ww, k, seed) in [
+            (3usize, 5usize, 6usize, 7usize, 3usize, 1u64),
+            (8, 8, 4, 4, 3, 2),
+            (4, 4, 8, 8, 3, 3),
+            (2, 3, 5, 16, 5, 4),
+        ] {
+            let mut conv = Conv2d::new_seeded(c, m, k, seed);
+            conv.bias_mut()
+                .data_mut()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, b)| *b = (i as f32 - 1.0) * 0.3);
+            let x = init::uniform(&[2, c, hh, ww], -1.0, 1.0, seed + 40);
+            let y = conv.forward(&x);
+            let ckk = c * k * k;
+            let hw = hh * ww;
+            let mut cols = vec![0.0f32; ckk * hw];
+            for ni in 0..2 {
+                im2col(&x, ni, k, &mut cols);
+                let mut yref = vec![0.0f32; m * hw];
+                gemm_bias(
+                    &mut yref,
+                    conv.weight().data(),
+                    conv.bias().data(),
+                    &cols,
+                    ckk,
+                    hw,
+                );
+                assert_eq!(
+                    &y.data()[ni * m * hw..(ni + 1) * m * hw],
+                    &yref[..],
+                    "ni={ni} w={ww} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_conv_avx_and_portable_agree_bitwise() {
+        // Dispatch transparency: whatever body `conv_direct_rows` picks on
+        // this host must agree with the portable loop bit-for-bit
+        // (trivially true on non-AVX hosts, a real check with AVX).
+        for (c, m, hh, ww, k) in [(4usize, 4usize, 8usize, 8usize, 3usize), (3, 5, 2, 16, 5)] {
+            let mut conv = Conv2d::new_seeded(c, m, k, 31);
+            conv.bias_mut()
+                .data_mut()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, b)| *b = 0.7 - i as f32 * 0.2);
+            let x = init::uniform(&[1, c, hh, ww], -1.0, 1.0, 37);
+            let mut xpad = vec![0.0f32; padded_plane_len(c, k, hh, ww)];
+            pad_sample(&x, 0, k / 2, &mut xpad);
+            let wd = conv.weight().data();
+            let bd = conv.bias().data();
+            let mut portable = vec![0.0f32; m * hh * ww];
+            conv_direct_rows_portable(&xpad, wd, bd, 0..m, &mut portable, hh, ww, c, k);
+            let mut dispatched = vec![1.0f32; m * hh * ww];
+            conv_direct_rows(&xpad, wd, bd, 0..m, &mut dispatched, hh, ww, c, k);
+            assert_eq!(portable, dispatched, "w={ww} k={k}");
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_composition_bitwise() {
+        use crate::norm::GroupNorm;
+        let conv = Conv2d::new_seeded(3, 4, 3, 9);
+        let gn = GroupNorm::new(4, 2);
+        let x = init::uniform(&[5, 3, 6, 6], -1.0, 1.0, 19);
+        for act in [None, Some(Activation::Relu), Some(Activation::Tanh)] {
+            let fused = conv.forward_fused(&x, Some(&gn), act);
+            let (normed, _) = gn.forward(&conv.forward(&x));
+            let unfused = match act {
+                Some(a) => a.forward(&normed),
+                None => normed,
+            };
+            assert_eq!(fused.data(), unfused.data(), "act={act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_forward_without_norm_applies_activation_bitwise() {
+        let conv = Conv2d::new_seeded(2, 3, 3, 23);
+        let x = init::uniform(&[3, 2, 4, 4], -1.0, 1.0, 29);
+        let fused = conv.forward_fused(&x, None, Some(Activation::Relu));
+        let unfused = Activation::Relu.forward(&conv.forward(&x));
+        assert_eq!(fused.data(), unfused.data());
+        let plain = conv.forward_fused(&x, None, None);
+        assert_eq!(plain.data(), conv.forward(&x).data());
     }
 
     #[test]

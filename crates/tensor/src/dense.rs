@@ -5,6 +5,7 @@
 //! feature maps.
 
 use crate::init;
+use crate::matmul;
 use crate::parallel;
 use crate::sanitize;
 use crate::tensor::Tensor;
@@ -116,22 +117,22 @@ impl Dense {
         let bdata = self.bias.data();
         let xdata = x.data();
         let mut y = Tensor::zeros(&[n, o]);
-        // Batch rows are independent; each row performs the serial
-        // arithmetic in the serial order, so any split is bit-identical.
-        let grain = parallel::grain_for(d * o);
-        parallel::parallel_for_disjoint(y.data_mut(), n, grain, |range, rows| {
-            for (local, ni) in range.enumerate() {
-                let xrow = &xdata[ni * d..(ni + 1) * d];
-                let yrow = &mut rows[local * o..(local + 1) * o];
-                for (oi, yv) in yrow.iter_mut().enumerate() {
-                    let mut acc = bdata[oi];
-                    let wrow = &wdata[oi * d..(oi + 1) * d];
-                    for (&wv, &xv) in wrow.iter().zip(xrow) {
-                        acc += wv * xv;
-                    }
-                    *yv = acc;
-                }
-            }
+        // Batch rows are independent; the packed microkernel accumulates
+        // each output element along k in the serial order, so any row
+        // split is bit-identical (and equal to the naive loop). `Wᵀ` is
+        // packed once per call and shared read-only by every lane; tiny
+        // batches fall below the work-size floor and run serial.
+        let grain = parallel::grain_for_sized(n, d * o);
+        parallel::with_scratch_f32(matmul::packed_b_len(d, o), |wpack| {
+            matmul::pack_b_t(wpack, wdata, d, o);
+            let wpack: &[f32] = wpack;
+            parallel::parallel_for_disjoint(y.data_mut(), n, grain, |range, rows| {
+                let chunk = range.len();
+                parallel::with_scratch_f32(matmul::packed_a_len(chunk, d), |xpack| {
+                    matmul::pack_a(xpack, &xdata[range.start * d..range.end * d], chunk, d);
+                    matmul::gemm_bias_cols_packed(rows, xpack, bdata, wpack, chunk, d);
+                });
+            });
         });
         y
     }
@@ -211,16 +212,18 @@ fn batch_dims(x: &Tensor) -> (usize, usize) {
 // Affine access summaries (one per `parallel_for_disjoint*` call above)
 // ---------------------------------------------------------------------------
 
-use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, StridedAccess};
+use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, StridedAccess};
 
 /// Access summary of the batch split in [`Dense::forward`]: item `ni`
 /// writes `y[ni, :]` and reads `x[ni, :]`; weights and bias are resident
-/// broadcast reads.
+/// broadcast reads. `wpack` (the shared packed `Wᵀ` panel) and `xpack`
+/// (the per-lane packed row panel, declared at its full-batch upper
+/// bound) live in the thread-local arena.
 pub fn forward_access(n: usize, d: usize, o: usize) -> KernelAccessSummary {
     KernelAccessSummary {
         kernel: "dense.forward",
         items: n,
-        grain: parallel::grain_for(d * o),
+        grain: parallel::grain_for_sized(n, d * o),
         flops_per_item: d * o,
         regions: vec![
             RegionDecl::output("y", n * o),
@@ -234,7 +237,10 @@ pub fn forward_access(n: usize, d: usize, o: usize) -> KernelAccessSummary {
             StridedAccess::broadcast_read("w", o * d),
             StridedAccess::broadcast_read("bias", o),
         ],
-        scratch: vec![],
+        scratch: vec![
+            ScratchDecl::arena("wpack", matmul::packed_b_len(d, o)),
+            ScratchDecl::arena("xpack", matmul::packed_a_len(n, d)),
+        ],
     }
 }
 
@@ -316,6 +322,32 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]);
         let y = layer.forward(&x);
         assert_eq!(y.data(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn forward_matches_naive_loop_bitwise() {
+        // The packed microkernel keeps the k-serial accumulation chain of
+        // the naive loop, so the outputs must be bit-identical — not just
+        // close — including at sizes that exercise partial MR/NR tiles.
+        for &(n, d, o) in &[(1usize, 3usize, 2usize), (7, 13, 21), (64, 64, 64)] {
+            let layer = Dense::new_seeded(d, o, 11);
+            let x = init::uniform(&[n, d], -1.0, 1.0, 12);
+            let y = layer.forward(&x);
+            let wdata = layer.weight().data();
+            let bdata = layer.bias().data();
+            let xdata = x.data();
+            let mut expect = vec![0.0f32; n * o];
+            for ni in 0..n {
+                for oi in 0..o {
+                    let mut acc = bdata[oi];
+                    for k in 0..d {
+                        acc += wdata[oi * d + k] * xdata[ni * d + k];
+                    }
+                    expect[ni * o + oi] = acc;
+                }
+            }
+            assert_eq!(y.data(), &expect[..], "n={n} d={d} o={o}");
+        }
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //!   respect to both the input state and the parameters.
 //! * Optimizers ([`optim`]) and initializers ([`init`]).
 //! * A scoped worker-pool parallel execution layer ([`parallel`]) with a
-//!   bit-identical determinism contract, and the cache-blocked matmul
-//!   kernel ([`matmul`]) behind the im2col convolution fast path.
+//!   bit-identical determinism contract, a thread-local bump arena for
+//!   kernel scratch ([`arena`]), and the packed-panel register-tiled
+//!   matmul microkernel ([`matmul`]) behind the im2col convolution fast
+//!   path.
 //! * Affine access summaries ([`access`]) registered beside every
 //!   parallel kernel, giving the static prover in `enode-analysis` a
 //!   symbolic description of each split's per-lane read/write sets.
@@ -47,6 +49,7 @@
 
 pub mod access;
 pub mod activation;
+pub mod arena;
 pub mod conv;
 pub mod dense;
 pub mod f16;
@@ -61,6 +64,7 @@ pub mod pool;
 pub mod rng;
 pub mod sanitize;
 pub mod shape;
+pub(crate) mod simd;
 pub mod tensor;
 
 pub use f16::F16;

@@ -12,12 +12,28 @@ use crate::tensor::Tensor;
 
 /// Per-group normalization statistics cached by the forward pass and
 /// consumed by the backward pass.
+///
+/// The forward pass does **not** materialize the normalized values x̂
+/// (which would cost an extra `[N, C, H, W]` allocation plus a full write
+/// sweep on the inference-critical path); it caches the two `f64` moments
+/// per `(sample, group)` instead, and [`GroupNorm::backward`] recomputes
+/// `x̂ = ((x − mean) · inv_std) as f32` on the fly — the identical
+/// arithmetic chain the forward pass used, so the recomputed x̂ is
+/// bit-for-bit the value the forward pass normalized with.
 #[derive(Clone, Debug)]
 pub struct GroupNormCache {
-    /// Normalized values x̂ (same shape as the input).
-    pub xhat: Tensor,
-    /// Reciprocal standard deviation per `(sample, group)`.
-    pub inv_std: Vec<f32>,
+    /// Mean per `(sample, group)`, in the `f64` the moments pass computed.
+    pub mean: Vec<f64>,
+    /// Reciprocal standard deviation per `(sample, group)`, in `f64`.
+    pub inv_std: Vec<f64>,
+}
+
+impl GroupNormCache {
+    /// `(mean, inv_std)` for the flat `(sample, group)` index.
+    #[inline]
+    pub fn stats(&self, i: usize) -> (f64, f64) {
+        (self.mean[i], self.inv_std[i])
+    }
 }
 
 /// Group normalization over `[N, C, H, W]` tensors.
@@ -137,65 +153,117 @@ impl GroupNorm {
         let xdata = x.data();
         let gdata = self.gamma.data();
         let bdata = self.beta.data();
-        let mut xhat = Tensor::zeros_like(x);
-        let mut inv_std = vec![0.0f32; n * groups];
+        let mut mean = vec![0.0f64; n * groups];
+        let mut inv_std = vec![0.0f64; n * groups];
         let mut y = Tensor::zeros_like(x);
         // Samples are independent (GroupNorm statistics never cross the
         // batch), so split the batch; per-sample arithmetic is the serial
-        // loop verbatim — bit-identical for any thread count.
-        let grain = parallel::grain_for(4 * c * hw);
+        // loop verbatim — bit-identical for any thread count. Tiny inputs
+        // run serial automatically via the work-size floor (this kernel
+        // measured 0.61× under 4 threads at the bench shape before the
+        // floor existed).
+        let grain = parallel::grain_for_sized(n, 4 * c * hw);
         parallel::parallel_for_disjoint3(
-            xhat.data_mut(),
             y.data_mut(),
+            &mut mean,
             &mut inv_std,
             n,
             grain,
-            |range, xh_slab, y_slab, istd_slab| {
+            |range, y_slab, mean_slab, istd_slab| {
                 for (local, ni) in range.enumerate() {
                     let xs = &xdata[ni * c * hw..(ni + 1) * c * hw];
-                    let xh = &mut xh_slab[local * c * hw..(local + 1) * c * hw];
+                    let ys = &mut y_slab[local * c * hw..(local + 1) * c * hw];
                     for g in 0..groups {
                         let slab = &xs[g * group_len..(g + 1) * group_len];
-                        let mut sum = 0.0f64;
-                        let mut sumsq = 0.0f64;
-                        for &v in slab {
-                            let v = v as f64;
-                            sum += v;
-                            sumsq += v * v;
-                        }
-                        let mean = sum / group_len as f64;
-                        let var = (sumsq / group_len as f64 - mean * mean).max(0.0);
-                        let istd = 1.0 / (var + self.eps as f64).sqrt();
-                        istd_slab[local * groups + g] = istd as f32;
-                        for (xhv, &v) in xh[g * group_len..(g + 1) * group_len].iter_mut().zip(slab)
-                        {
-                            *xhv = ((v as f64 - mean) * istd) as f32;
-                        }
-                    }
-                    let ys = &mut y_slab[local * c * hw..(local + 1) * c * hw];
-                    for ci in 0..c {
-                        let gm = gdata[ci];
-                        let bt = bdata[ci];
-                        for (yv, &xhv) in ys[ci * hw..(ci + 1) * hw]
-                            .iter_mut()
-                            .zip(&xh[ci * hw..(ci + 1) * hw])
-                        {
-                            *yv = gm * xhv + bt;
+                        let (m, istd) = group_moments(slab, self.eps);
+                        mean_slab[local * groups + g] = m;
+                        istd_slab[local * groups + g] = istd;
+                        // Fused normalize + affine epilogue: one pass over x
+                        // writes y directly; x̂ is never materialized (the
+                        // backward pass recomputes it from x and the cached
+                        // moments with the identical arithmetic chain).
+                        for ci in g * cg..(g + 1) * cg {
+                            normalize_row(
+                                &xs[ci * hw..(ci + 1) * hw],
+                                &mut ys[ci * hw..(ci + 1) * hw],
+                                gdata[ci],
+                                bdata[ci],
+                                m,
+                                istd,
+                            );
                         }
                     }
                 }
             },
         );
-        (y, GroupNormCache { xhat, inv_std })
+        (y, GroupNormCache { mean, inv_std })
+    }
+
+    /// Normalizes one sample's `[C, H·W]` slab from `src` into `dst`,
+    /// applying the affine parameters and an optional fused activation —
+    /// the epilogue of [`crate::conv::Conv2d::forward_fused`]. Shares
+    /// [`group_moments`] and the normalize arithmetic with
+    /// [`GroupNorm::forward`], so for identical input slabs the two paths
+    /// produce bit-identical values (before the activation).
+    pub(crate) fn normalize_into(
+        &self,
+        src: &[f32],
+        dst: &mut [f32],
+        hw: usize,
+        act: Option<crate::activation::Activation>,
+    ) {
+        let c = self.channels;
+        debug_assert_eq!(src.len(), c * hw, "src must be [C, H·W]");
+        debug_assert_eq!(dst.len(), c * hw, "dst must be [C, H·W]");
+        let cg = c / self.groups;
+        let group_len = cg * hw;
+        let gdata = self.gamma.data();
+        let bdata = self.beta.data();
+        for g in 0..self.groups {
+            let slab = &src[g * group_len..(g + 1) * group_len];
+            let (mean, istd) = group_moments(slab, self.eps);
+            for ci in g * cg..(g + 1) * cg {
+                normalize_row(
+                    &src[ci * hw..(ci + 1) * hw],
+                    &mut dst[ci * hw..(ci + 1) * hw],
+                    gdata[ci],
+                    bdata[ci],
+                    mean,
+                    istd,
+                );
+            }
+        }
+        // The activation epilogue runs as a second sweep over the finished
+        // slab. Each element's value chain is unchanged versus evaluating
+        // inline (`act.eval` and `apply_slice` share one scalar kernel), and
+        // the slice form picks up the vectorized tanh path.
+        if let Some(a) = act {
+            a.apply_slice(dst);
+        }
     }
 
     /// Backward pass: returns `(dx, dgamma, dbeta)`.
+    ///
+    /// Takes the forward input `x` alongside the cache: the forward pass
+    /// caches only the per-group `f64` moments, and this pass recomputes
+    /// `x̂ = ((x − mean) · inv_std) as f32` where needed — the identical
+    /// chain the forward normalization used, so every x̂ consumed here is
+    /// bit-for-bit the forward value.
     ///
     /// Parallel across samples. `dx` is disjoint per sample; the
     /// `dgamma`/`dbeta` batch reductions combine per-sample partials in
     /// sample order (a fixed tree), so the result is bit-identical to the
     /// serial pass for any thread count.
-    pub fn backward(&self, cache: &GroupNormCache, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `dy` have different shapes.
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        cache: &GroupNormCache,
+        dy: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
         let _kernel = sanitize::kernel_scope("groupnorm.backward");
         debug_assert!(
             self.preflight_groups().is_ok(),
@@ -203,13 +271,14 @@ impl GroupNorm {
             self.preflight_groups().unwrap_err()
         );
         let (n, c, h, w) = dy.shape_obj().nchw();
+        assert_eq!(x.shape(), dy.shape(), "x/dy shape mismatch");
         assert_eq!(c, self.channels, "channel mismatch");
         let cg = c / self.groups;
         let hw = h * w;
         let group_len = (cg * hw) as f32;
         let groups = self.groups;
         let dydata = dy.data();
-        let xhdata = cache.xhat.data();
+        let xdata = x.data();
         let gdata = self.gamma.data();
         let mut dgamma = Tensor::zeros(&[c]);
         let mut dbeta = Tensor::zeros(&[c]);
@@ -225,16 +294,18 @@ impl GroupNorm {
                 |range, dx_slab, part_slab| {
                     for (local, ni) in range.enumerate() {
                         let dys = &dydata[ni * c * hw..(ni + 1) * c * hw];
-                        let xhs = &xhdata[ni * c * hw..(ni + 1) * c * hw];
+                        let xs = &xdata[ni * c * hw..(ni + 1) * c * hw];
                         let part = &mut part_slab[local * 2 * c..(local + 1) * 2 * c];
                         let (dgp, dbp) = part.split_at_mut(c);
                         for ci in 0..c {
+                            let (mean, istd64) = cache.stats(ni * groups + ci / cg);
                             let mut dg = 0.0f32;
                             let mut db = 0.0f32;
-                            for (&g, &xh) in dys[ci * hw..(ci + 1) * hw]
+                            for (&g, &v) in dys[ci * hw..(ci + 1) * hw]
                                 .iter()
-                                .zip(&xhs[ci * hw..(ci + 1) * hw])
+                                .zip(&xs[ci * hw..(ci + 1) * hw])
                             {
+                                let xh = ((v as f64 - mean) * istd64) as f32;
                                 dg += g * xh;
                                 db += g;
                             }
@@ -243,17 +314,19 @@ impl GroupNorm {
                         }
                         let dxs = &mut dx_slab[local * c * hw..(local + 1) * c * hw];
                         for g in 0..groups {
-                            let istd = cache.inv_std[ni * groups + g];
+                            let (mean, istd64) = cache.stats(ni * groups + g);
+                            let istd = istd64 as f32;
                             // dxhat = dy * gamma; then the standard normalization
                             // backward: dx = istd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
                             let mut mean_dxhat = 0.0f64;
                             let mut mean_dxhat_xhat = 0.0f64;
                             for ci in g * cg..(g + 1) * cg {
                                 let gm = gdata[ci] as f64;
-                                for (&gy, &xh) in dys[ci * hw..(ci + 1) * hw]
+                                for (&gy, &v) in dys[ci * hw..(ci + 1) * hw]
                                     .iter()
-                                    .zip(&xhs[ci * hw..(ci + 1) * hw])
+                                    .zip(&xs[ci * hw..(ci + 1) * hw])
                                 {
+                                    let xh = ((v as f64 - mean) * istd64) as f32;
                                     let dxh = gy as f64 * gm;
                                     mean_dxhat += dxh;
                                     mean_dxhat_xhat += dxh * xh as f64;
@@ -263,11 +336,12 @@ impl GroupNorm {
                             mean_dxhat_xhat /= group_len as f64;
                             for ci in g * cg..(g + 1) * cg {
                                 let gm = gdata[ci] as f64;
-                                for ((dxv, &gy), &xh) in dxs[ci * hw..(ci + 1) * hw]
+                                for ((dxv, &gy), &v) in dxs[ci * hw..(ci + 1) * hw]
                                     .iter_mut()
                                     .zip(&dys[ci * hw..(ci + 1) * hw])
-                                    .zip(&xhs[ci * hw..(ci + 1) * hw])
+                                    .zip(&xs[ci * hw..(ci + 1) * hw])
                                 {
+                                    let xh = ((v as f64 - mean) * istd64) as f32;
                                     let dxh = gy as f64 * gm;
                                     *dxv = (istd as f64
                                         * (dxh - mean_dxhat - xh as f64 * mean_dxhat_xhat))
@@ -292,6 +366,162 @@ impl GroupNorm {
     }
 }
 
+/// Per-(sample, group) moments: 16-lane f64 sums with a fixed fold order
+/// plus a serial tail. Sixteen lanes give the AVX body four *independent*
+/// 4-wide `vaddpd` chains — a single vector accumulator is bound by the
+/// 4-cycle add latency, exactly the way the old serial-chain scalar
+/// version was — while the result stays a pure function of the slab
+/// contents: thread-count and caller invariant, which is what makes the
+/// fused conv epilogue bit-identical to the standalone forward pass.
+///
+/// The fold runs lanes `[0..4)+[4..8)` and `[8..12)+[12..16)` per-lane
+/// first (the vector adds), then the scalar fold `(t₀+t₁)+(t₂+t₃)`; the
+/// portable body spells out the identical order, so the two bodies agree
+/// bitwise. Returns `(mean, inv_std)` for the given `eps`.
+fn group_moments(slab: &[f32], eps: f32) -> (f64, f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx() {
+        // SAFETY: AVX support verified at runtime by the dispatcher.
+        return unsafe { group_moments_avx(slab, eps) };
+    }
+    group_moments_portable(slab, eps)
+}
+
+fn group_moments_portable(slab: &[f32], eps: f32) -> (f64, f64) {
+    let mut s = [0.0f64; 16];
+    let mut ss = [0.0f64; 16];
+    let mut it = slab.chunks_exact(16);
+    for ch in it.by_ref() {
+        for lane in 0..16 {
+            let v = ch[lane] as f64;
+            s[lane] += v;
+            ss[lane] += v * v;
+        }
+    }
+    let fold = |a: &[f64; 16]| {
+        let t = |l: usize| (a[l] + a[4 + l]) + (a[8 + l] + a[12 + l]);
+        (t(0) + t(1)) + (t(2) + t(3))
+    };
+    let mut sum = fold(&s);
+    let mut sumsq = fold(&ss);
+    for &v in it.remainder() {
+        let v = v as f64;
+        sum += v;
+        sumsq += v * v;
+    }
+    moments_from_sums(sum, sumsq, slab.len(), eps)
+}
+
+/// Vector transcription of [`group_moments_portable`]: four `__m256d`
+/// sum / sum-of-squares accumulator pairs covering lanes `[0..16)`,
+/// per-lane adds (no FMA — `mul` then `add`, matching the portable
+/// `v * v` then `+=`), then the identical fold and scalar tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn group_moments_avx(slab: &[f32], eps: f32) -> (f64, f64) {
+    use core::arch::x86_64::*;
+    let mut s0 = _mm256_setzero_pd();
+    let mut s1 = _mm256_setzero_pd();
+    let mut s2 = _mm256_setzero_pd();
+    let mut s3 = _mm256_setzero_pd();
+    let mut ss0 = _mm256_setzero_pd();
+    let mut ss1 = _mm256_setzero_pd();
+    let mut ss2 = _mm256_setzero_pd();
+    let mut ss3 = _mm256_setzero_pd();
+    let chunks = slab.len() / 16;
+    let p = slab.as_ptr();
+    for i in 0..chunks {
+        let v0 = _mm256_cvtps_pd(_mm_loadu_ps(p.add(i * 16)));
+        let v1 = _mm256_cvtps_pd(_mm_loadu_ps(p.add(i * 16 + 4)));
+        let v2 = _mm256_cvtps_pd(_mm_loadu_ps(p.add(i * 16 + 8)));
+        let v3 = _mm256_cvtps_pd(_mm_loadu_ps(p.add(i * 16 + 12)));
+        s0 = _mm256_add_pd(s0, v0);
+        s1 = _mm256_add_pd(s1, v1);
+        s2 = _mm256_add_pd(s2, v2);
+        s3 = _mm256_add_pd(s3, v3);
+        ss0 = _mm256_add_pd(ss0, _mm256_mul_pd(v0, v0));
+        ss1 = _mm256_add_pd(ss1, _mm256_mul_pd(v1, v1));
+        ss2 = _mm256_add_pd(ss2, _mm256_mul_pd(v2, v2));
+        ss3 = _mm256_add_pd(ss3, _mm256_mul_pd(v3, v3));
+    }
+    // Per-lane fold [0..4)+[4..8) and [8..12)+[12..16), then scalar.
+    let mut t = [0.0f64; 4];
+    let mut tt = [0.0f64; 4];
+    _mm256_storeu_pd(
+        t.as_mut_ptr(),
+        _mm256_add_pd(_mm256_add_pd(s0, s1), _mm256_add_pd(s2, s3)),
+    );
+    _mm256_storeu_pd(
+        tt.as_mut_ptr(),
+        _mm256_add_pd(_mm256_add_pd(ss0, ss1), _mm256_add_pd(ss2, ss3)),
+    );
+    let mut sum = (t[0] + t[1]) + (t[2] + t[3]);
+    let mut sumsq = (tt[0] + tt[1]) + (tt[2] + tt[3]);
+    for &v in &slab[chunks * 16..] {
+        let v = v as f64;
+        sum += v;
+        sumsq += v * v;
+    }
+    moments_from_sums(sum, sumsq, slab.len(), eps)
+}
+
+#[inline]
+fn moments_from_sums(sum: f64, sumsq: f64, len: usize, eps: f32) -> (f64, f64) {
+    let len = len as f64;
+    let mean = sum / len;
+    let var = (sumsq / len - mean * mean).max(0.0);
+    (mean, 1.0 / (var + eps as f64).sqrt())
+}
+
+/// Normalize + affine over one channel row: per element
+/// `x̂ = ((x − mean) · istd)` in `f64` rounded to `f32`, then
+/// `y = γ·x̂ + β` in `f32`. The AVX body is a lane-for-lane transcription
+/// (widen, subtract, multiply, round back, multiply, add — `vcvtpd2ps`
+/// rounds to nearest-even exactly like `as f32`), so both bodies agree
+/// bitwise.
+fn normalize_row(xs: &[f32], ys: &mut [f32], gm: f32, bt: f32, mean: f64, istd: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx() {
+        // SAFETY: AVX support verified at runtime by the dispatcher.
+        unsafe { normalize_row_avx(xs, ys, gm, bt, mean, istd) };
+        return;
+    }
+    normalize_row_portable(xs, ys, gm, bt, mean, istd);
+}
+
+fn normalize_row_portable(xs: &[f32], ys: &mut [f32], gm: f32, bt: f32, mean: f64, istd: f64) {
+    for (yv, &v) in ys.iter_mut().zip(xs) {
+        let xhval = ((v as f64 - mean) * istd) as f32;
+        *yv = gm * xhval + bt;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn normalize_row_avx(xs: &[f32], ys: &mut [f32], gm: f32, bt: f32, mean: f64, istd: f64) {
+    use core::arch::x86_64::*;
+    let len = xs.len();
+    debug_assert_eq!(ys.len(), len);
+    let meanv = _mm256_set1_pd(mean);
+    let istdv = _mm256_set1_pd(istd);
+    let gmv = _mm256_set1_ps(gm);
+    let btv = _mm256_set1_ps(bt);
+    let px = xs.as_ptr();
+    let py = ys.as_mut_ptr();
+    let mut j = 0usize;
+    while j + 8 <= len {
+        let x8 = _mm256_loadu_ps(px.add(j));
+        let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(x8));
+        let hi = _mm256_cvtps_pd(_mm256_extractf128_ps(x8, 1));
+        let nlo = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_sub_pd(lo, meanv), istdv));
+        let nhi = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_sub_pd(hi, meanv), istdv));
+        let xh8 = _mm256_insertf128_ps(_mm256_castps128_ps256(nlo), nhi, 1);
+        _mm256_storeu_ps(py.add(j), _mm256_add_ps(_mm256_mul_ps(gmv, xh8), btv));
+        j += 8;
+    }
+    normalize_row_portable(&xs[j..], &mut ys[j..], gm, bt, mean, istd);
+}
+
 // ---------------------------------------------------------------------------
 // Affine access summaries (one per `parallel_for_disjoint*` call above)
 // ---------------------------------------------------------------------------
@@ -299,26 +529,26 @@ impl GroupNorm {
 use crate::access::{AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, StridedAccess};
 
 /// Access summary of the batch split in [`GroupNorm::forward`]: item
-/// `ni` writes its own stride of `xhat`, `y`, and `inv_std` (a
-/// `parallel_for_disjoint3`) and reads `x[ni, :, :, :]`; the affine
-/// parameters are resident broadcast reads.
+/// `ni` writes its own stride of `y`, `mean`, and `inv_std` (a
+/// `parallel_for_disjoint3`; x̂ is never materialized) and reads
+/// `x[ni, :, :, :]`; the affine parameters are resident broadcast reads.
 pub fn forward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAccessSummary {
     KernelAccessSummary {
         kernel: "groupnorm.forward",
         items: n,
-        grain: parallel::grain_for(4 * c * hw),
+        grain: parallel::grain_for_sized(n, 4 * c * hw),
         flops_per_item: 4 * c * hw,
         regions: vec![
-            RegionDecl::output("xhat", n * c * hw),
             RegionDecl::output("y", n * c * hw),
+            RegionDecl::output("mean", n * groups),
             RegionDecl::output("inv_std", n * groups),
             RegionDecl::input("x", n * c * hw),
             RegionDecl::input("gamma", c),
             RegionDecl::input("beta", c),
         ],
         accesses: vec![
-            StridedAccess::contiguous("xhat", AccessKind::Write, c * hw),
             StridedAccess::contiguous("y", AccessKind::Write, c * hw),
+            StridedAccess::contiguous("mean", AccessKind::Write, groups),
             StridedAccess::contiguous("inv_std", AccessKind::Write, groups),
             StridedAccess::contiguous("x", AccessKind::Read, c * hw),
             StridedAccess::broadcast_read("gamma", c),
@@ -331,7 +561,9 @@ pub fn forward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAcc
 /// Access summary of the batch split in [`GroupNorm::backward`]: item
 /// `ni` writes its stride of `dx` and its `(dgamma, dbeta)` partial row
 /// (a `parallel_for_disjoint2` whose second buffer is the scratch
-/// partials arena, folded serially in sample order after the join).
+/// partials arena, folded serially in sample order after the join). x̂ is
+/// recomputed from `x` and the cached per-group moments rather than read
+/// from a materialized buffer.
 pub fn backward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAccessSummary {
     KernelAccessSummary {
         kernel: "groupnorm.backward",
@@ -342,7 +574,8 @@ pub fn backward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAc
             RegionDecl::output("dx", n * c * hw),
             RegionDecl::partials("partials", n * 2 * c),
             RegionDecl::input("dy", n * c * hw),
-            RegionDecl::input("xhat", n * c * hw),
+            RegionDecl::input("x", n * c * hw),
+            RegionDecl::input("mean", n * groups),
             RegionDecl::input("inv_std", n * groups),
             RegionDecl::input("gamma", c),
         ],
@@ -350,7 +583,8 @@ pub fn backward_access(n: usize, c: usize, groups: usize, hw: usize) -> KernelAc
             StridedAccess::contiguous("dx", AccessKind::Write, c * hw),
             StridedAccess::contiguous("partials", AccessKind::Write, 2 * c),
             StridedAccess::contiguous("dy", AccessKind::Read, c * hw),
-            StridedAccess::contiguous("xhat", AccessKind::Read, c * hw),
+            StridedAccess::contiguous("x", AccessKind::Read, c * hw),
+            StridedAccess::contiguous("mean", AccessKind::Read, groups),
             StridedAccess::contiguous("inv_std", AccessKind::Read, groups),
             StridedAccess::broadcast_read("gamma", c),
         ],
@@ -421,10 +655,15 @@ mod tests {
         gn.beta_mut().data_mut()[1] = 3.0;
         let x = init::uniform(&[1, 2, 2, 2], -1.0, 1.0, 7);
         let (y, cache) = gn.forward(&x);
+        // x̂ is not materialized; recompute it from the cached moments the
+        // way the backward pass does.
+        let (mean, istd) = cache.stats(0);
+        let xhat =
+            |ci: usize, hi: usize, wi: usize| ((x.at4(0, ci, hi, wi) as f64 - mean) * istd) as f32;
         for hi in 0..2 {
             for wi in 0..2 {
-                assert!((y.at4(0, 0, hi, wi) - 2.0 * cache.xhat.at4(0, 0, hi, wi)).abs() < 1e-6);
-                assert!((y.at4(0, 1, hi, wi) - (cache.xhat.at4(0, 1, hi, wi) + 3.0)).abs() < 1e-6);
+                assert!((y.at4(0, 0, hi, wi) - 2.0 * xhat(0, hi, wi)).abs() < 1e-6);
+                assert!((y.at4(0, 1, hi, wi) - (xhat(1, hi, wi) + 3.0)).abs() < 1e-6);
             }
         }
     }
@@ -436,7 +675,7 @@ mod tests {
         // Loss: weighted sum with fixed weights so the gradient is nontrivial.
         let wts = init::uniform(&[1, 4, 2, 2], -1.0, 1.0, 4);
         let (_, cache) = gn.forward(&x);
-        let (dx, _, _) = gn.backward(&cache, &wts);
+        let (dx, _, _) = gn.backward(&x, &cache, &wts);
         let eps = 1e-3;
         for idx in [0usize, 5, 9, 15] {
             let orig = x.data()[idx];
@@ -460,7 +699,7 @@ mod tests {
         let x = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 5);
         let wts = init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 6);
         let (_, cache) = gn.forward(&x);
-        let (_, dgamma, dbeta) = gn.backward(&cache, &wts);
+        let (_, dgamma, dbeta) = gn.backward(&x, &cache, &wts);
         let eps = 1e-3;
         for ci in 0..2 {
             let orig = gn.gamma().data()[ci];
@@ -487,5 +726,27 @@ mod tests {
     #[should_panic(expected = "divide")]
     fn bad_group_count_rejected() {
         let _ = GroupNorm::new(6, 4);
+    }
+
+    // The dispatched (AVX where available) moment and normalize kernels
+    // must agree bitwise with their portable bodies — odd lengths exercise
+    // the scalar tails.
+    #[test]
+    fn moments_and_normalize_dispatch_match_portable_bitwise() {
+        for len in [1usize, 4, 7, 8, 16, 23, 64, 513] {
+            let x = init::uniform(&[len], -3.0, 3.0, 41 + len as u64);
+            let xs = x.data();
+            let (m_d, i_d) = group_moments(xs, 1e-5);
+            let (m_p, i_p) = group_moments_portable(xs, 1e-5);
+            assert_eq!(m_d.to_bits(), m_p.to_bits(), "mean differs at len {len}");
+            assert_eq!(i_d.to_bits(), i_p.to_bits(), "istd differs at len {len}");
+            let mut y_d = vec![0.0f32; len];
+            let mut y_p = vec![0.0f32; len];
+            normalize_row(xs, &mut y_d, 1.25, -0.5, m_d, i_d);
+            normalize_row_portable(xs, &mut y_p, 1.25, -0.5, m_p, i_p);
+            for k in 0..len {
+                assert_eq!(y_d[k].to_bits(), y_p[k].to_bits(), "y[{k}] len {len}");
+            }
+        }
     }
 }

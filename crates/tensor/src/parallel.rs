@@ -102,7 +102,6 @@ thread_local! {
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
     static OVERRIDE: std::cell::RefCell<Option<Arc<ThreadPool>>> =
         const { std::cell::RefCell::new(None) };
-    static SCRATCH: std::cell::RefCell<Vec<Vec<f32>>> = const { std::cell::RefCell::new(Vec::new()) };
     static SCHEDULE: std::cell::Cell<Option<Schedule>> = const { std::cell::Cell::new(None) };
     static GRAIN: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
@@ -497,6 +496,35 @@ pub fn grain_for(flops_per_item: usize) -> usize {
     MIN_CHUNK_FLOPS.div_ceil(flops_per_item.max(1))
 }
 
+/// Minimum *total* scalar work that justifies fanning a kernel out at all.
+///
+/// Derived from the `analysis::cost` roofline constants (mirrored there by
+/// a cross-crate equality test, since `enode_tensor` cannot depend on
+/// `enode-analysis`): one dispatch costs 5 µs and a lane retires 2 Gflop/s,
+/// so a broadcast burns ~10k flops of latency per dispatch before any lane
+/// does useful work. Requiring 32 dispatch-equivalents of total work keeps
+/// the worst-case overhead share near 3% — below that, the measured
+/// baselines on this host (GroupNorm 0.61×, dense 0.86× under 4 threads)
+/// show fan-out losing outright, so the planner runs serial instead.
+pub const SERIAL_FLOOR_FLOPS: usize = 32 * 5 * 2_000;
+
+/// Work-size-aware variant of [`grain_for`]: when the kernel's *total*
+/// work (`items × flops_per_item`) is below [`SERIAL_FLOOR_FLOPS`], the
+/// returned grain is `usize::MAX`, which `plan_chunks` resolves to a
+/// single serial chunk — the automatic serial fallback for tiny kernels.
+/// Above the floor it is exactly `grain_for(flops_per_item)`.
+///
+/// The static side of this policy is `analysis::parallelcheck`'s
+/// W044 lint, which reports registered splits whose shipped shapes engage
+/// the floor (so the serial path is documented, not silent).
+pub fn grain_for_sized(items: usize, flops_per_item: usize) -> usize {
+    if items.saturating_mul(flops_per_item) < SERIAL_FLOOR_FLOPS {
+        usize::MAX
+    } else {
+        grain_for(flops_per_item)
+    }
+}
+
 /// A raw pointer that asserts cross-thread shareability for disjoint
 /// writes.
 struct SendPtr<T>(*mut T);
@@ -717,22 +745,15 @@ pub fn join<RA: Send, RB: Send>(
 }
 
 /// Borrows a reusable per-thread `f32` scratch buffer of exactly `len`
-/// elements. Buffers come from a thread-local arena, so repeated kernel
-/// calls (e.g. im2col inside a solver loop) stop churning the allocator;
-/// nested checkouts on one thread get distinct buffers.
+/// elements. Buffers come from the thread-local bump arena
+/// ([`crate::arena`]), so repeated kernel calls (e.g. im2col inside a
+/// solver loop) stop churning the allocator; nested checkouts on one
+/// thread get distinct buffers.
 ///
 /// The buffer's contents are unspecified on entry — callers must fully
 /// overwrite what they read.
 pub fn with_scratch_f32<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
-    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
-    buf.resize(len, 0.0);
-    let r = {
-        let slice = &mut buf[..len];
-        let _guard = sanitize::scratch_guard(slice.as_ptr() as usize, len * 4);
-        f(slice)
-    };
-    SCRATCH.with(|s| s.borrow_mut().push(buf));
-    r
+    crate::arena::with_arena_f32(len, f)
 }
 
 #[cfg(test)]
@@ -951,6 +972,19 @@ mod tests {
                 assert_eq!(regions.load(Ordering::Relaxed), 4);
             });
         });
+    }
+
+    #[test]
+    fn sized_grain_floors_tiny_kernels_to_serial() {
+        // Below the floor: one serial chunk regardless of pool width.
+        assert_eq!(grain_for_sized(10, 100), usize::MAX);
+        with_threads(4, || {
+            assert_eq!(plan_chunks(10, grain_for_sized(10, 100)), 1);
+        });
+        // At/above the floor: identical to the plain grain policy.
+        let per_item = SERIAL_FLOOR_FLOPS / 8;
+        assert_eq!(grain_for_sized(8, per_item), grain_for(per_item));
+        assert_eq!(grain_for_sized(usize::MAX, 2), grain_for(2));
     }
 
     #[test]

@@ -117,9 +117,19 @@ fn groupnorm_is_bit_identical_across_thread_counts() {
         let dy = init::uniform(&[n, 4, 5, 3], -1.0, 1.0, 62);
         assert_same_bits(&format!("groupnorm case {i}"), || {
             let (y, cache) = gn.forward(&x);
-            let (dx, dgamma, dbeta) = gn.backward(&cache, &dy);
-            let istd = Tensor::from_vec(cache.inv_std.clone(), &[cache.inv_std.len()]);
-            vec![y, cache.xhat.clone(), istd, dx, dgamma, dbeta]
+            let (dx, dgamma, dbeta) = gn.backward(&x, &cache, &dy);
+            // Expose the f64 moments bit-exactly as four integer-valued
+            // f32s each (16-bit chunks — exact in an f32 mantissa and
+            // never NaN, unlike a raw bit reinterpretation).
+            let mut chunks = Vec::with_capacity(cache.mean.len() * 8);
+            for v in cache.mean.iter().chain(&cache.inv_std) {
+                let bits = v.to_bits();
+                for shift in [48, 32, 16, 0] {
+                    chunks.push(((bits >> shift) as u16) as f32);
+                }
+            }
+            let stats = Tensor::from_vec(chunks.clone(), &[chunks.len()]);
+            vec![y, stats, dx, dgamma, dbeta]
         });
     }
 }

@@ -202,7 +202,7 @@ fn shipped_kernels_run_clean_under_the_sanitizer() {
             let gx = init::uniform(&[5, 4, 5, 3], -2.0, 2.0, 61);
             let gdy = init::uniform(&[5, 4, 5, 3], -1.0, 1.0, 62);
             let (_, cache) = gn.forward(&gx);
-            let _ = gn.backward(&cache, &gdy);
+            let _ = gn.backward(&gx, &cache, &gdy);
         });
         assert_eq!(sanitize::active_regions(), 0);
         assert_eq!(sanitize::active_scratch(), 0);

@@ -68,11 +68,50 @@ fn groupnorm_both_passes_survive_schedule_audit() {
     let dy = init::uniform(&[5, 4, 5, 3], -1.0, 1.0, 62);
     audit::assert_deterministic("groupnorm.forward+backward", || {
         let (y, cache) = gn.forward(&x);
-        let (dx, dgamma, dbeta) = gn.backward(&cache, &dy);
-        let mut out = bufs(&[&y, &cache.xhat, &dx, &dgamma, &dbeta]);
-        out.push(cache.inv_std.clone());
+        let (dx, dgamma, dbeta) = gn.backward(&x, &cache, &dy);
+        let mut out = bufs(&[&y, &dx, &dgamma, &dbeta]);
+        // The f64 per-group moments, exposed bit-exactly as 16-bit chunks
+        // (integer-valued f32s) so a last-ulp f64 divergence cannot hide
+        // in a rounded cast.
+        for stats in [&cache.mean, &cache.inv_std] {
+            let mut chunks = Vec::with_capacity(stats.len() * 4);
+            for v in stats {
+                let bits = v.to_bits();
+                for shift in [48, 32, 16, 0] {
+                    chunks.push(((bits >> shift) as u16) as f32);
+                }
+            }
+            out.push(chunks);
+        }
         out
     });
+}
+
+#[test]
+fn fused_conv_gn_act_epilogue_survives_schedule_audit() {
+    // The fused conv→GroupNorm→activation kernel: batch 8 keeps the batch
+    // split live, batch 2 forces the row split; width 16 additionally
+    // exercises the 8-wide AVX conv blocks, width 3 the portable body.
+    use enode_tensor::activation::Activation;
+    for (i, (n, w)) in [(8usize, 3usize), (2, 3), (4, 16)].into_iter().enumerate() {
+        let conv = Conv2d::new_seeded(3, 4, 3, 11);
+        let gn = GroupNorm::new(4, 2);
+        let x = init::uniform(&[n, 3, 5, w], -1.0, 1.0, 12);
+        audit::assert_deterministic(&format!("conv2d.fused_forward case {i}"), || {
+            bufs(&[&conv.forward_fused(&x, Some(&gn), Some(Activation::Tanh))])
+        });
+        // Cross-path identity: the fused epilogue shares the conv rows,
+        // moment, normalize, and activation kernels with the op-by-op
+        // pass, so the outputs must agree bit for bit.
+        let fused = conv.forward_fused(&x, Some(&gn), Some(Activation::Tanh));
+        let (y, _) = gn.forward(&conv.forward(&x));
+        let unfused = Activation::Tanh.forward(&y);
+        assert_eq!(
+            fused.data(),
+            unfused.data(),
+            "fused/unfused mismatch case {i}"
+        );
+    }
 }
 
 #[test]
