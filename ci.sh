@@ -37,6 +37,9 @@ cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mkt
 echo "==> serve_bench smoke run (--smoke: JSON validated, p99 fields present)"
 cargo run -q --release -p enode-bench --bin serve_bench -- --smoke >/dev/null
 
+echo "==> cost_table_json --check (COST_TABLE.json byte identity with the simulator)"
+cargo run -q --release -p enode-bench --bin cost_table_json -- --check
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-Dwarnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
@@ -57,6 +60,11 @@ fi
 if echo "$lint_json" | grep -q '"code":"E08'; then
   echo "affine access proofs failed (E08x) on registered kernel summaries:"
   echo "$lint_json" | grep '"code":"E08'
+  exit 1
+fi
+if echo "$lint_json" | grep -q '"code":"E09'; then
+  echo "schedulability / energy-budget proofs failed (E09x) on shipped policies:"
+  echo "$lint_json" | grep '"code":"E09'
   exit 1
 fi
 

@@ -13,7 +13,7 @@
 
 use enode_analysis::{
     affine, consistency, cost, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck,
-    precision, registry, servecheck, shape, tableau,
+    precision, registry, schedcheck, servecheck, shape, tableau,
 };
 
 fn main() {
@@ -110,6 +110,9 @@ fn main() {
 
     println!("\n-- serving policies --");
     print!("{}", servecheck::lint_shipped_policies().render());
+
+    println!("\n-- schedulability & energy budgets (COST_TABLE.json) --");
+    print!("{}", schedcheck::lint_shipped_policies().render());
 
     println!(
         "\n-- affine access proofs ({} summaries) --",

@@ -148,96 +148,11 @@ pub fn predicted_speedup(
     t_serial / t_parallel
 }
 
-/// One measured kernel row from `BENCH_kernels.json`.
-#[derive(Clone, Debug, PartialEq)]
-pub struct MeasuredKernel {
-    /// Bench row name, e.g. `"conv2d_forward_b8"`.
-    pub name: String,
-    /// Measured `secs_low / secs_high` speedup.
-    pub speedup: f64,
-    /// Measured single-thread speedup over the pinned pre-microkernel
-    /// serial referent (`secs_referent / secs_low`, schema v2 rows only).
-    pub speedup_vs_referent: Option<f64>,
-}
-
-/// The fields of the committed baseline the cost pass consumes.
-#[derive(Clone, Debug, PartialEq)]
-pub struct BenchBaseline {
-    /// Physical cores of the machine that produced the baseline.
-    pub host_cpus: usize,
-    /// Thread count of the `secs_high` measurements.
-    pub threads_high: usize,
-    /// Measured kernel rows, in file order.
-    pub kernels: Vec<MeasuredKernel>,
-}
-
-fn field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\"");
-    let at = line.find(&needle)?;
-    let rest = &line[at + needle.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    Some(rest)
-}
-
-fn field_usize(line: &str, key: &str) -> Option<usize> {
-    let rest = field_after(line, key)?;
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn field_f64(line: &str, key: &str) -> Option<f64> {
-    let rest = field_after(line, key)?;
-    let end = rest
-        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let rest = field_after(line, key)?.strip_prefix('"')?;
-    let end = rest.find('"')?;
-    Some(&rest[..end])
-}
-
-/// Parses the subset of `enode-bench-kernels/v1`/`v2` the cost pass
-/// needs (v2 adds the optional per-row serial-referent columns).
-/// Hand-rolled line scanner (the schema is flat and machine-written by
-/// `bench_kernels_json`); returns `None` on a schema mismatch or if a
-/// required field is missing.
-pub fn parse_baseline(json: &str) -> Option<BenchBaseline> {
-    let mut schema_ok = false;
-    let mut host_cpus = None;
-    let mut threads_high = None;
-    let mut kernels = Vec::new();
-    for line in json.lines() {
-        if let Some(s) = field_str(line, "schema") {
-            schema_ok = s.starts_with("enode-bench-kernels/");
-        }
-        if let Some(v) = field_usize(line, "host_cpus") {
-            host_cpus = Some(v);
-        }
-        if let Some(v) = field_usize(line, "threads_high") {
-            threads_high = Some(v);
-        }
-        if let (Some(name), Some(speedup)) = (field_str(line, "name"), field_f64(line, "speedup")) {
-            kernels.push(MeasuredKernel {
-                name: name.to_string(),
-                speedup,
-                speedup_vs_referent: field_f64(line, "speedup_vs_referent"),
-            });
-        }
-    }
-    if !schema_ok || kernels.is_empty() {
-        return None;
-    }
-    Some(BenchBaseline {
-        host_cpus: host_cpus?,
-        threads_high: threads_high?,
-        kernels,
-    })
-}
+// The baseline types and the line scanner behind them live in the shared
+// [`crate::benchjson`] module (the same scanner reads `COST_TABLE.json`
+// for `crate::schedcheck`); re-exported here so the cost pass's public
+// API is unchanged.
+pub use crate::benchjson::{parse_baseline, BenchBaseline, MeasuredKernel};
 
 /// Affine summaries at the *bench* shapes (which differ from the
 /// representative lint shapes in [`crate::affine::registered_summaries`]),

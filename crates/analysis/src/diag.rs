@@ -20,6 +20,7 @@
 //! | `E060–E069` / `W060–W069` | Cross-artifact consistency lints ([`crate::consistency`]) |
 //! | `E070–E079` / `W070–W079` | Serving-policy lints ([`crate::servecheck`]) |
 //! | `E080–E089` / `W080–W089` | Affine access & roofline cost lints ([`crate::affine`], [`crate::cost`]) |
+//! | `E090–E099` / `W090–W099` | Schedulability & energy-budget lints ([`crate::schedcheck`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text and `as_str()` mapping,
@@ -218,6 +219,48 @@ pub enum Code {
     /// the bench host (lanes exceed host cpus or the kernel is
     /// memory-bound), and the tracked bench already measures < 1x.
     W085CostFutileSplit,
+
+    // --- schedulability & energy-budget lints (E090-E099 / W090-W099) ---
+    /// Worst-case response time exceeds the tightest admitted deadline
+    /// at *every* tier of the degradation ladder: the deadline is
+    /// infeasible even at the cheapest configuration.
+    E090SchedDeadlineInfeasible,
+    /// A tier admits requests it cannot finish: the simulated worst-case
+    /// service time at that tier exceeds the tier's own `min_slack_us`
+    /// admission threshold, so degradation cannot recover the slack it
+    /// was routed on.
+    E091SchedLadderNoRecovery,
+    /// The simulated per-request energy at full quality exceeds the
+    /// policy's declared per-request energy budget.
+    E092SchedEnergyBudget,
+    /// The cost table's version or the policy's ladder fingerprint does
+    /// not match what this analysis expects: the table was generated by
+    /// a different generator or from a different ladder.
+    E093SchedTableVersion,
+    /// The cost table has no rows for a shipped policy/tier, so no
+    /// schedulability verdict can be derived for it.
+    E094SchedTableMissing,
+    /// A tier's table rows are not monotone in batch size (latency or
+    /// energy decreases as the batch grows) — a corrupted or hand-edited
+    /// table.
+    E095SchedTableNonMonotone,
+    /// Sustained power (`design_rate_rps × energy/request`) exceeds the
+    /// policy's declared device power budget.
+    E096SchedPowerBudget,
+    /// The deadline is met only at the last (cheapest) tier: feasible,
+    /// but every worst-case request is served maximally degraded.
+    W090SchedLastTierOnly,
+    /// Per-request energy does not decrease monotonically down the
+    /// degradation ladder: a cheaper tier burns more energy per request
+    /// than its predecessor.
+    W091SchedLadderEnergyNonMonotone,
+    /// A design point the analysis needs (the policy's `max_batch`) has
+    /// no simulated row and was linearly extrapolated from the largest
+    /// simulated batch.
+    W092SchedTableExtrapolated,
+    /// The worst-case response time at tier 0 leaves less than 10% of
+    /// the tightest deadline as slack — feasible, but with thin margin.
+    W093SchedThinMargin,
 }
 
 impl Code {
@@ -282,12 +325,23 @@ impl Code {
             Code::W080AffineCoverageSlack => "W080",
             Code::W084CostModelDeviation => "W084",
             Code::W085CostFutileSplit => "W085",
+            Code::E090SchedDeadlineInfeasible => "E090",
+            Code::E091SchedLadderNoRecovery => "E091",
+            Code::E092SchedEnergyBudget => "E092",
+            Code::E093SchedTableVersion => "E093",
+            Code::E094SchedTableMissing => "E094",
+            Code::E095SchedTableNonMonotone => "E095",
+            Code::E096SchedPowerBudget => "E096",
+            Code::W090SchedLastTierOnly => "W090",
+            Code::W091SchedLadderEnergyNonMonotone => "W091",
+            Code::W092SchedTableExtrapolated => "W092",
+            Code::W093SchedThinMargin => "W093",
         }
     }
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 58] = [
+    pub const ALL: [Code; 69] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -346,6 +400,17 @@ impl Code {
         Code::W080AffineCoverageSlack,
         Code::W084CostModelDeviation,
         Code::W085CostFutileSplit,
+        Code::E090SchedDeadlineInfeasible,
+        Code::E091SchedLadderNoRecovery,
+        Code::E092SchedEnergyBudget,
+        Code::E093SchedTableVersion,
+        Code::E094SchedTableMissing,
+        Code::E095SchedTableNonMonotone,
+        Code::E096SchedPowerBudget,
+        Code::W090SchedLastTierOnly,
+        Code::W091SchedLadderEnergyNonMonotone,
+        Code::W092SchedTableExtrapolated,
+        Code::W093SchedThinMargin,
     ];
 
     /// The severity implied by the code's letter.
@@ -420,6 +485,17 @@ impl Code {
             Code::W080AffineCoverageSlack => "coverage gap matches the declared slack",
             Code::W084CostModelDeviation => "measured speedup deviates from the roofline",
             Code::W085CostFutileSplit => "roofline predicts no parallel benefit on this host",
+            Code::E090SchedDeadlineInfeasible => "deadline infeasible even at the cheapest tier",
+            Code::E091SchedLadderNoRecovery => "tier admits slack it cannot serve within",
+            Code::E092SchedEnergyBudget => "per-request energy exceeds the declared budget",
+            Code::E093SchedTableVersion => "cost table version/fingerprint mismatch",
+            Code::E094SchedTableMissing => "cost table lacks rows for a shipped policy",
+            Code::E095SchedTableNonMonotone => "cost table rows not monotone in batch",
+            Code::E096SchedPowerBudget => "sustained power exceeds the declared budget",
+            Code::W090SchedLastTierOnly => "deadline met only at the last tier",
+            Code::W091SchedLadderEnergyNonMonotone => "energy does not fall down the ladder",
+            Code::W092SchedTableExtrapolated => "design point extrapolated, not simulated",
+            Code::W093SchedThinMargin => "tier-0 deadline margin below 10%",
         }
     }
 }

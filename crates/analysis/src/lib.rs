@@ -36,6 +36,15 @@
 //! * [`cost`] — static roofline cost model (`W084`–`W085`): predicted
 //!   serial-vs-parallel benefit from the proven access footprints,
 //!   cross-checked against the committed `BENCH_kernels.json`.
+//! * [`schedcheck`] — schedulability & energy-budget analysis
+//!   (`E090`–`E096`, `W090`–`W093`): the serving pipeline lowered into
+//!   the fixpoint IR, a backward demand pass computing worst-case
+//!   response time per tolerance class under the simulator-calibrated
+//!   `COST_TABLE.json`, plus per-request energy and sustained-power
+//!   budgets and table-provenance checks.
+//!
+//! [`benchjson`] holds the shared line scanner both committed-artifact
+//! ingests ([`cost`], [`schedcheck`]) parse with.
 //!
 //! [`registry`] carries a rustc-style long explanation for every code
 //! (`enode-lint --explain CODE`, `docs/LINTS.md`).
@@ -45,6 +54,7 @@
 //! any error-severity diagnostic fires.
 
 pub mod affine;
+pub mod benchjson;
 pub mod consistency;
 pub mod cost;
 pub mod ddg;
@@ -55,6 +65,7 @@ pub mod ir;
 pub mod parallelcheck;
 pub mod precision;
 pub mod registry;
+pub mod schedcheck;
 pub mod servecheck;
 pub mod shape;
 pub mod tableau;
@@ -150,6 +161,7 @@ pub fn lint_everything() -> Diagnostics {
     ds.extend(hwcheck::lint_paper_configs());
     ds.extend(parallelcheck::lint_registered_splits(NOMINAL_POOL));
     ds.extend(servecheck::lint_shipped_policies());
+    ds.extend(schedcheck::lint_shipped_policies());
     ds.extend(affine::lint_registered_summaries());
     ds.extend(cost::lint_shipped_baseline());
     ds.sort_and_dedup();

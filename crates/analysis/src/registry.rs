@@ -362,6 +362,97 @@ pub fn explanation(code: Code) -> &'static str {
              is a property of the 1-core container, not a kernel defect. Re-measure on a \
              multi-core host before drawing scheduling conclusions."
         }
+        Code::E090SchedDeadlineInfeasible => {
+            "The backward demand pass over the serving pipeline (admission queue → batch \
+             window → worker lanes) computes, per tolerance class, a worst-case response time \
+             of full-queue drain + batch window + the simulator-calibrated service time from \
+             COST_TABLE.json — and it exceeds the tightest admitted deadline at *every* tier \
+             of the degradation ladder. No runtime policy can save such a deployment: even a \
+             request served maximally degraded misses by construction. Raise the deadline \
+             floor, shrink the queue/window, or make the cheapest tier cheaper."
+        }
+        Code::E091SchedLadderNoRecovery => {
+            "Tier selection routes a request to tier t when its remaining slack is at least \
+             the tier's min_slack_us — the tier's contract is that min_slack_us of headroom \
+             suffices to finish there. This lint checks the contract against the simulated \
+             table: the worst-case (Strict-class, full-batch) service time at the tier \
+             exceeds its own admission threshold, so a request routed at the threshold is \
+             guaranteed to miss even though degradation 'worked'. Raise the threshold or \
+             cheapen the tier."
+        }
+        Code::E092SchedEnergyBudget => {
+            "The policy declares a per-request energy budget (µJ at full quality), and the \
+             cycle-level simulator says the tier-0 dispatch at max_batch costs more than that \
+             per request (batch energy / batch size, DRAM stalls included). The deployment \
+             would drain its battery envelope on every full-quality request — the exact \
+             failure eNODE's energy story exists to prevent. Cheapen tier 0 (fewer trials, \
+             lower-order tableau), batch wider, or raise the declared budget."
+        }
+        Code::E093SchedTableVersion => {
+            "COST_TABLE.json carries the generator's schema version and, per policy, an \
+             FNV-1a fingerprint of the ladder fields the sweep depends on (tolerance scales, \
+             trial budgets, tableau stages, slack thresholds). This lint fires when either \
+             disagrees with the analysis's own constants: the committed table was generated \
+             by a different generator, or the ladder changed after the sweep. Every verdict \
+             derived from a stale table is unsound, so the analysis stops at this error. \
+             Regenerate with `cargo run --release -p enode-bench --bin cost_table_json`."
+        }
+        Code::E094SchedTableMissing => {
+            "A shipped policy (or one of its ladder tiers) has no rows in the committed cost \
+             table, so the schedulability and energy analysis has nothing to reason from — \
+             which usually means a policy was added or a ladder deepened without re-running \
+             the sweep. The deployment is not proven infeasible; it is unproven, which the \
+             repo treats the same way. Regenerate COST_TABLE.json."
+        }
+        Code::E095SchedTableNonMonotone => {
+            "Within one (policy, tier), the simulated batch rows must be monotone: a larger \
+             batch does strictly more work, so its per-dispatch latency and energy cannot \
+             decrease. A violation cannot come out of the simulator sweep (it is a pure \
+             function of batch size) — the committed table is corrupted or hand-edited, and \
+             every interpolation or worst-case bound drawn from it would be wrong. \
+             Regenerate the table; never edit it by hand."
+        }
+        Code::E096SchedPowerBudget => {
+            "Sustained device power is offered load times energy per request: \
+             design_rate_rps × the simulated tier-0 per-request energy. This lint fires when \
+             that product exceeds the policy's declared power budget (mW) — the deployment \
+             cannot hold its design throughput at full quality within its thermal/battery \
+             envelope, and the runtime would be forced into permanent degradation instead of \
+             using the ladder for transients. Lower the design rate, cheapen tier 0, or \
+             provision more power."
+        }
+        Code::W090SchedLastTierOnly => {
+            "The worst-case response time fits the tightest deadline only at the final \
+             (cheapest) tier of the ladder for some tolerance class. The policy is feasible, \
+             but with zero quality headroom: any worst-case request admitted at the deadline \
+             floor is served maximally degraded, and the intermediate tiers exist only for \
+             requests with slack to spare. Usually a sign the window or queue is oversized \
+             for the deadline."
+        }
+        Code::W091SchedLadderEnergyNonMonotone => {
+            "Degrading is supposed to buy latency *and* energy, yet the simulated per-request \
+             energy at some tier is not lower than its predecessor's: the ladder trades \
+             accuracy away without getting the energy back. This happens when a tier lowers \
+             the tableau order (fewer f-evals per trial) but its tolerance/trial settings \
+             make the controller spend more accepted points. The battery-ladder story (paper \
+             Figs 14–17) depends on monotone energy; re-tune the offending tier."
+        }
+        Code::W092SchedTableExtrapolated => {
+            "The analysis needs the policy's max_batch design point, but the committed table \
+             has no simulated row at that batch (the sweep grid stops earlier), so the \
+             verdict was derived from a linear extrapolation of the largest simulated batch. \
+             Linear-in-batch is exactly what the simulator shows on this compute-bound \
+             profile, but an extrapolated bound is a model, not a measurement — widen \
+             BATCH_GRID or shrink max_batch to make the verdict simulator-backed."
+        }
+        Code::W093SchedThinMargin => {
+            "The policy is feasible at full quality, but barely: the tier-0 worst-case \
+             response time leaves less than 10% of the tightest admitted deadline as slack \
+             for some tolerance class. Any drift the static model does not see — clock \
+             scaling, DRAM contention beyond the simulator's stall model, a deeper queue — \
+             eats straight into deadline misses. Treat it as a capacity-planning alarm, not \
+             an error."
+        }
     }
 }
 

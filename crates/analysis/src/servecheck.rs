@@ -308,6 +308,8 @@ mod tests {
             design_rate_rps: 50.0,
             est_service_us: 5_000,
             min_deadline_us: 20_000,
+            energy_budget_uj: 2_500,
+            power_budget_mw: 1_200,
         };
         let ds = lint_config(&p);
         assert!(ds.is_empty(), "{ds}");

@@ -13,10 +13,11 @@
 use enode_analysis::consistency::lint_consistency;
 use enode_analysis::precision::lint_precision;
 use enode_analysis::shape::lint_network;
-use enode_analysis::{affine, cost, lint_everything, PipelineArtifact};
+use enode_analysis::{affine, cost, lint_everything, schedcheck, PipelineArtifact};
 use enode_hw::config::HwConfig;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
+use enode_serve::ServeConfig;
 use enode_tensor::access::{
     AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, ScratchSource, StridedAccess,
 };
@@ -215,6 +216,24 @@ fn corpus() -> String {
         cost::lint_shipped_baseline().render_json(),
     );
 
+    // E090: a 1ms deadline floor no tier of the committed cost table can
+    // meet — one infeasibility proof per tolerance class. E092: a 100µJ
+    // per-request budget the full-quality tier-0 dispatch (1187.5µJ)
+    // blows through, while sustained power stays inside its own budget.
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let mut tight = ServeConfig::edge_default();
+    tight.min_deadline_us = 1_000;
+    section(
+        "E090 infeasible deadline floor",
+        schedcheck::lint_config(&tight, &table).render_json(),
+    );
+    let mut hot = ServeConfig::edge_default();
+    hot.energy_budget_uj = 100;
+    section(
+        "E092 energy budget exceeded",
+        schedcheck::lint_config(&hot, &table).render_json(),
+    );
+
     out
 }
 
@@ -333,6 +352,47 @@ fn e08x_messages_are_byte_stable() {
          prediction 3.638x by 11.0x (tolerance 4.0x)\""
         ),
         "{}",
+        ds.render_json()
+    );
+}
+
+/// Same contract for the schedulability family: the E090 infeasibility
+/// wording (with the backward demand pass's worst-case microseconds) and
+/// the E092 energy wording (with the fixed-point half-µJ) are pinned
+/// byte-for-byte against the committed `COST_TABLE.json`.
+#[test]
+fn e09x_messages_are_byte_stable() {
+    let table = schedcheck::shipped_table().expect("committed table parses");
+
+    let mut tight = ServeConfig::edge_default();
+    tight.min_deadline_us = 1_000;
+    let ds = schedcheck::lint_config(&tight, &table);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E090\",\"severity\":\"error\",\"artifact\":\"serve policy edge_default\",\
+         \"message\":\"worst-case response 15411\u{b5}s at the cheapest viable tier (2) \
+         exceeds the tightest admitted deadline 1000\u{b5}s for strict-class requests: \
+         infeasible at every tier\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+
+    let mut hot = ServeConfig::edge_default();
+    hot.energy_budget_uj = 100;
+    let ds = schedcheck::lint_config(&hot, &table);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E092\",\"severity\":\"error\",\"artifact\":\"serve policy edge_default\",\
+         \"message\":\"simulated full-quality energy 1187.5\u{b5}J/request (tier 0, batch 8) \
+         exceeds the declared per-request budget 100\u{b5}J\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+    assert!(
+        !ds.render_json().contains("\"code\":\"E096\""),
+        "sustained power (237.5mW) stays inside the 1200mW budget:\n{}",
         ds.render_json()
     );
 }

@@ -8,7 +8,7 @@
 use enode_analysis::consistency::lint_consistency;
 use enode_analysis::diag::{Code, Severity};
 use enode_analysis::precision::lint_precision;
-use enode_analysis::{affine, cost, lint_everything, servecheck, PipelineArtifact};
+use enode_analysis::{affine, cost, lint_everything, schedcheck, servecheck, PipelineArtifact};
 use enode_hw::config::HwConfig;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
@@ -372,6 +372,92 @@ fn inverted_degradation_ladder_fires_e072() {
     assert!(
         !ds.has_code(Code::E071ServeQueueStarvation),
         "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn shrunken_deadline_fires_e090_per_class() {
+    // Mutation: tighten the admitted deadline floor to 1ms. Even the
+    // cheapest tier's backward-demand worst case (backlog + window +
+    // service) exceeds it for every tolerance class, so the WCRT pass
+    // must prove infeasibility three times — and nothing else: the
+    // deadline is envelope metadata, so the ladder fingerprint still
+    // matches and no table-provenance code may fire.
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let mut p = ServeConfig::edge_default();
+    p.min_deadline_us = 1_000;
+    let ds = schedcheck::lint_config(&p, &table);
+    assert!(
+        ds.has_code(Code::E090SchedDeadlineInfeasible),
+        "{}",
+        ds.render()
+    );
+    assert_eq!(
+        ds.items()
+            .iter()
+            .filter(|d| d.code == Code::E090SchedDeadlineInfeasible)
+            .count(),
+        3,
+        "one infeasibility proof per tolerance class:\n{}",
+        ds.render()
+    );
+    assert!(!ds.has_code(Code::E093SchedTableVersion), "{}", ds.render());
+    assert!(
+        !ds.has_code(Code::E091SchedLadderNoRecovery),
+        "{}",
+        ds.render()
+    );
+    assert!(!ds.has_code(Code::E092SchedEnergyBudget), "{}", ds.render());
+}
+
+#[test]
+fn inverted_ladder_energy_fires_w091() {
+    // Mutation: inflate every tier-1 sweep row's energy tenfold in the
+    // *parsed table* (not the policy — a ladder edit would change the
+    // fingerprint and short-circuit into E093). Degrading to tier 1 now
+    // costs more energy than serving at full quality: the per-request
+    // monotonicity check must flag it as a warning, while the within-tier
+    // batch monotonicity (E095) is preserved by the uniform scaling.
+    let mut table = schedcheck::shipped_table().expect("committed table parses");
+    for row in &mut table.rows {
+        if row.policy == "edge_default" && row.tier == 1 {
+            row.energy_uj *= 10;
+        }
+    }
+    let ds = schedcheck::lint_config(&ServeConfig::edge_default(), &table);
+    assert!(
+        ds.has_code(Code::W091SchedLadderEnergyNonMonotone),
+        "{}",
+        ds.render()
+    );
+    assert!(
+        !ds.has_code(Code::E095SchedTableNonMonotone),
+        "{}",
+        ds.render()
+    );
+    assert_eq!(
+        ds.error_count(),
+        0,
+        "W091 must not fail the run:\n{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn stale_table_version_fires_e093_and_short_circuits() {
+    // Mutation: a table generated by a different table-format generation.
+    // Every schedulability verdict derived from it would be unsound, so
+    // E093 must fire alone — no WCRT, energy or monotonicity code may
+    // piggyback on stale data.
+    let mut table = schedcheck::shipped_table().expect("committed table parses");
+    table.version = "enode-cost-table/v2".to_string();
+    let ds = schedcheck::lint_config(&ServeConfig::edge_default(), &table);
+    assert!(ds.has_code(Code::E093SchedTableVersion), "{}", ds.render());
+    assert_eq!(
+        ds.len(),
+        1,
+        "a stale table must short-circuit all downstream verdicts:\n{}",
         ds.render()
     );
 }

@@ -1,0 +1,60 @@
+//! Emits the simulator-derived serving cost table.
+//!
+//! ```sh
+//! cargo run --release -p enode-bench --bin cost_table_json              # -> COST_TABLE.json
+//! cargo run --release -p enode-bench --bin cost_table_json -- --check   # diff against the committed table
+//! cargo run --release -p enode-bench --bin cost_table_json -- /tmp/t.json
+//! ```
+//!
+//! The table is **byte-deterministic**: it is a pure function of the
+//! shipped [`enode_serve::ServeConfig`]s and the cycle-level simulator
+//! (no clocks, no host queries, no libm transcendentals), so `--check`
+//! demanding byte identity with the committed file is a sound CI gate —
+//! any drift means the ladder or the simulator changed and the table
+//! (plus the `analysis::schedcheck` verdicts) must be regenerated
+//! together.
+
+use enode_serve::shipped_cost_table;
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("COST_TABLE.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let table = shipped_cost_table();
+    let json = table.render_json();
+
+    if check {
+        let committed = std::fs::read_to_string(&out_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {out_path}: {e}");
+            std::process::exit(1);
+        });
+        if committed != json {
+            eprintln!(
+                "{out_path} is stale: regeneration differs from the committed bytes; \
+                 rerun `cargo run --release -p enode-bench --bin cost_table_json`"
+            );
+            std::process::exit(1);
+        }
+        println!("{out_path}: up to date ({} rows)", table.rows.len());
+        return;
+    }
+
+    println!(
+        "{:<20} {:>4} {:>5} {:>6} {:>7} {:>11} {:>10}",
+        "policy", "tier", "batch", "points", "f_evals", "latency_us", "energy_uj"
+    );
+    for r in &table.rows {
+        println!(
+            "{:<20} {:>4} {:>5} {:>6} {:>7} {:>11} {:>10}",
+            r.policy, r.tier, r.batch, r.points, r.f_evals, r.latency_us, r.energy_uj
+        );
+    }
+    std::fs::write(&out_path, &json).expect("write cost table");
+    eprintln!("wrote {out_path} ({} rows)", table.rows.len());
+}

@@ -12,7 +12,7 @@
 //! metadata. See [`enode_bench::serve_json`] for the format.
 
 use enode_bench::report;
-use enode_bench::serve_json::{render_json, sweep_shipped, validate};
+use enode_bench::serve_json::{hw_sweep, pareto_frontier, render_json, sweep_shipped, validate};
 
 fn main() {
     let mut quick = false;
@@ -66,7 +66,50 @@ fn main() {
         }
     }
 
-    let json = render_json(&sweeps, quick);
+    eprintln!("\nsimulator-calibrated ladder walk (CostModel::from_table) ...");
+    let hw = hw_sweep(quick);
+    report::header(&[
+        "policy",
+        "deadline_us",
+        "completed",
+        "degraded",
+        "tier_counts",
+        "p99_us",
+        "energy_uJ/req",
+    ]);
+    for row in &hw {
+        let m = &row.result.metrics;
+        let tiers = row
+            .result
+            .tier_counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        report::row(&[
+            &row.policy,
+            &row.deadline_us.to_string(),
+            &m.completed.to_string(),
+            &m.degraded.to_string(),
+            &tiers,
+            &m.latency_p99_us.to_string(),
+            &format!("{:.1}", row.energy_uj_per_req),
+        ]);
+    }
+    eprintln!("\nstatic latency x energy Pareto frontier (COST_TABLE.json) ...");
+    report::header(&["policy", "tier", "batch", "points", "us/req", "uJ/req"]);
+    for p in pareto_frontier() {
+        report::row(&[
+            &p.policy,
+            &p.tier.to_string(),
+            &p.batch.to_string(),
+            &p.points.to_string(),
+            &format!("{:.1}", p.latency_us_per_req),
+            &format!("{:.1}", p.energy_uj_per_req),
+        ]);
+    }
+
+    let json = render_json(&sweeps, &hw, quick);
     if let Err(e) = validate(&json) {
         eprintln!("serve_bench: emitted document failed validation: {e}");
         std::process::exit(1);

@@ -45,12 +45,30 @@
 //! Latency percentiles are *simulated virtual-clock* latencies under the
 //! cost model, not wall time: they characterise the queueing and batching
 //! policy, not the emitting host's CPU.
+//!
+//! # Simulator-backed Pareto section
+//!
+//! Two further sections tie the sweep to the cycle-level hardware
+//! simulator through `COST_TABLE.json` (the paper's Figs 14–17 story):
+//!
+//! * `"pareto"` — the static latency×energy frontier: one point per
+//!   `(policy, tier)` at the policy's `max_batch`, straight from the
+//!   simulated table (µs and µJ *per request*). Deeper tiers must be
+//!   strictly cheaper on both axes.
+//! * `"hw_sweep"` — the measured ladder walk: the same discrete-event
+//!   loadgen, but with service time charged by
+//!   [`CostModel::from_table`] (simulator-calibrated, not the guessed
+//!   constant above), run per policy at a descending deadline grid.
+//!   As deadlines tighten, tier selection walks down the ladder and the
+//!   tier-count-weighted `energy_uj_per_req` falls with it.
+//!
+//! `"cost_table_version"` records which table generation produced both.
 
 use crate::report::{host_cpus, json_escape};
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
-use enode_serve::loadgen::sweep;
-use enode_serve::{CostModel, LoadSpec, RunResult, ServeConfig};
+use enode_serve::loadgen::{simulate, sweep};
+use enode_serve::{shipped_cost_table, CostModel, LoadSpec, RunResult, ServeConfig};
 use enode_tensor::parallel;
 
 /// Lane count the cost model charges batches against. Fixed (rather than
@@ -131,8 +149,121 @@ pub fn sweep_shipped(quick: bool) -> Vec<PolicySweep> {
     out
 }
 
+/// One point of the simulator-backed latency×energy Pareto frontier:
+/// a `(policy, tier)` dispatch at the policy's `max_batch`, normalised
+/// per request.
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// Policy name.
+    pub policy: String,
+    /// Degradation-ladder index (0 = full quality).
+    pub tier: usize,
+    /// Batch size of the underlying simulated dispatch.
+    pub batch: usize,
+    /// Accepted evaluation points per sample (accuracy proxy).
+    pub points: usize,
+    /// Simulated latency per request, µs.
+    pub latency_us_per_req: f64,
+    /// Simulated energy per request, µJ.
+    pub energy_uj_per_req: f64,
+}
+
+/// The static frontier from the committed cost table: per shipped policy,
+/// one point per tier at the policy's `max_batch`. The eNODE efficiency
+/// claim (paper Figs 14–17) is that walking down the ladder buys *both*
+/// latency and energy — `analysis::schedcheck` lints it (E095/W091), and
+/// a test below asserts it on the emitted points.
+pub fn pareto_frontier() -> Vec<ParetoPoint> {
+    let table = shipped_cost_table();
+    let mut out = Vec::new();
+    for policy in ServeConfig::shipped() {
+        for tier in 0..policy.tiers.len() {
+            let row = table
+                .lookup(policy.name, tier, policy.max_batch)
+                .expect("shipped sweep grid covers every max_batch");
+            out.push(ParetoPoint {
+                policy: policy.name.to_string(),
+                tier,
+                batch: row.batch,
+                points: row.points,
+                latency_us_per_req: row.latency_us as f64 / row.batch as f64,
+                energy_uj_per_req: row.energy_uj as f64 / row.batch as f64,
+            });
+        }
+    }
+    out
+}
+
+/// One measured row of the hardware-calibrated ladder walk: a loadgen
+/// run under [`CostModel::from_table`] at one deadline.
+#[derive(Clone, Debug)]
+pub struct HwSweepRow {
+    /// Policy name.
+    pub policy: String,
+    /// Relative deadline stamped on every request (µs).
+    pub deadline_us: u64,
+    /// The discrete-event run (tier counts, latency percentiles, …).
+    pub result: RunResult,
+    /// Tier-count-weighted simulated energy per completed request, µJ
+    /// (each completion charged its serving tier's frontier cost).
+    pub energy_uj_per_req: f64,
+}
+
+/// Runs the ladder walk: per shipped policy, the loadgen at the policy's
+/// own window and design rate under the simulator-calibrated cost model,
+/// across a descending deadline grid (the design floor down to a fifth
+/// of it — clients violating the envelope, which drives tier selection
+/// down the ladder).
+pub fn hw_sweep(quick: bool) -> Vec<HwSweepRow> {
+    let model = bench_model();
+    let opts = NodeSolveOptions::new(1e-4);
+    let table = shipped_cost_table();
+    let frontier = pareto_frontier();
+    let requests = if quick { 40 } else { 400 };
+    let mut out = Vec::new();
+    for policy in ServeConfig::shipped() {
+        let cost = CostModel::from_table(policy.name, &table, LANES)
+            .expect("shipped table has tier-0 calibration rows");
+        let floor = policy.min_deadline_us;
+        let deadlines = if quick {
+            vec![floor, floor / 5]
+        } else {
+            vec![floor, floor * 3 / 5, floor * 2 / 5, floor / 5]
+        };
+        for deadline_us in deadlines {
+            let mut spec = LoadSpec::open_loop(requests, policy.design_rate_rps, deadline_us);
+            spec.seed = SEED;
+            let result = simulate(&model, &opts, &policy, &spec, &cost);
+            let energy_uj: f64 = result
+                .tier_counts
+                .iter()
+                .enumerate()
+                .map(|(tier, &n)| {
+                    let per_req = frontier
+                        .iter()
+                        .find(|p| p.policy == policy.name && p.tier == tier)
+                        .map_or(0.0, |p| p.energy_uj_per_req);
+                    n as f64 * per_req
+                })
+                .sum();
+            let completed = result.metrics.completed;
+            out.push(HwSweepRow {
+                policy: policy.name.to_string(),
+                deadline_us,
+                result,
+                energy_uj_per_req: if completed > 0 {
+                    energy_uj / completed as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    out
+}
+
 /// Renders the sweeps as the committed `BENCH_serve.json` document.
-pub fn render_json(sweeps: &[PolicySweep], quick: bool) -> String {
+pub fn render_json(sweeps: &[PolicySweep], hw: &[HwSweepRow], quick: bool) -> String {
     let cost = cost_model();
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"enode-bench-serve/v1\",\n");
@@ -176,6 +307,53 @@ pub fn render_json(sweeps: &[PolicySweep], quick: bool) -> String {
             ));
         }
     }
+    s.push_str("  ],\n");
+    let table = shipped_cost_table();
+    s.push_str(&format!(
+        "  \"cost_table_version\": \"{}\",\n",
+        json_escape(&table.version)
+    ));
+    s.push_str("  \"pareto\": [\n");
+    let frontier = pareto_frontier();
+    for (i, p) in frontier.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"policy\": \"{}\", \"tier\": {}, \"batch\": {}, \"points\": {}, \
+             \"latency_us_per_req\": {:.3}, \"energy_uj_per_req\": {:.3} }}{}\n",
+            json_escape(&p.policy),
+            p.tier,
+            p.batch,
+            p.points,
+            p.latency_us_per_req,
+            p.energy_uj_per_req,
+            if i + 1 < frontier.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"hw_sweep\": [\n");
+    for (i, row) in hw.iter().enumerate() {
+        let r = &row.result;
+        let tiers = r
+            .tier_counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        s.push_str(&format!(
+            "    {{ \"policy\": \"{}\", \"deadline_us\": {}, \"offered_rps\": {:.1}, \
+             \"batch_window_us\": {}, \"offered\": {}, \"makespan_us\": {}, \
+             \"tier_counts\": [{}], \"energy_uj_per_req\": {:.3}, \"metrics\": {} }}{}\n",
+            json_escape(&row.policy),
+            row.deadline_us,
+            r.offered_rps,
+            r.batch_window_us,
+            r.offered,
+            r.makespan_us,
+            tiers,
+            row.energy_uj_per_req,
+            r.metrics.to_json(),
+            if i + 1 < hw.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -196,6 +374,10 @@ pub fn validate(json: &str) -> Result<(), String> {
         "\"completed\"",
         "\"tier_counts\"",
         "\"host_cpus\"",
+        "\"cost_table_version\"",
+        "\"pareto\"",
+        "\"hw_sweep\"",
+        "\"energy_uj_per_req\"",
     ] {
         if !json.contains(field) {
             return Err(format!("missing required field {field}"));
@@ -371,11 +553,13 @@ mod tests {
             .iter()
             .flat_map(|p| &p.rows)
             .all(|r| r.metrics.reconciles()));
-        let json = render_json(&sweeps, true);
+        let hw = hw_sweep(true);
+        let json = render_json(&sweeps, &hw, true);
         validate(&json).expect("emitted document must validate");
         assert!(json.contains("\"policy\": \"edge_default\""));
         assert!(json.contains("\"policy\": \"streaming_keyword\""));
         assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"cost_table_version\": \"enode-cost-table/v1\""));
     }
 
     #[test]
@@ -395,5 +579,118 @@ mod tests {
     fn validate_flags_missing_fields() {
         let err = validate("{\"schema\": \"enode-bench-serve/v1\"}").unwrap_err();
         assert!(err.contains("missing required field"));
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone_down_the_ladder() {
+        // The paper's Figs 14–17 efficiency claim: every step down the
+        // degradation ladder is strictly cheaper on BOTH axes (latency
+        // and energy per request) while accepting fewer solution points.
+        let frontier = pareto_frontier();
+        for policy in enode_serve::ServeConfig::shipped() {
+            let points: Vec<&ParetoPoint> = frontier
+                .iter()
+                .filter(|p| p.policy == policy.name)
+                .collect();
+            assert_eq!(points.len(), policy.tiers.len(), "{}", policy.name);
+            for pair in points.windows(2) {
+                assert!(
+                    pair[1].latency_us_per_req < pair[0].latency_us_per_req,
+                    "{} tier {} must be faster than tier {}",
+                    policy.name,
+                    pair[1].tier,
+                    pair[0].tier
+                );
+                assert!(
+                    pair[1].energy_uj_per_req < pair[0].energy_uj_per_req,
+                    "{} tier {} must be cheaper than tier {}",
+                    policy.name,
+                    pair[1].tier,
+                    pair[0].tier
+                );
+                assert!(
+                    pair[1].points < pair[0].points,
+                    "{} tier {} must accept fewer points than tier {}",
+                    policy.name,
+                    pair[1].tier,
+                    pair[0].tier
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hw_sweep_tightening_deadlines_walks_down_the_ladder() {
+        // Under the simulator-calibrated cost model, shrinking the client
+        // deadline shrinks dispatch-time slack, which pushes tier
+        // selection down the ladder — and the tier-weighted energy per
+        // request falls with it.
+        let hw = hw_sweep(true);
+        for policy in enode_serve::ServeConfig::shipped() {
+            let rows: Vec<&HwSweepRow> = hw.iter().filter(|r| r.policy == policy.name).collect();
+            assert_eq!(
+                rows.len(),
+                2,
+                "{}: quick grid is [floor, floor/5]",
+                policy.name
+            );
+            let (floor, tight) = (rows[0], rows[1]);
+            assert!(floor.deadline_us > tight.deadline_us);
+            assert_eq!(
+                floor.result.tier_counts[0], floor.result.metrics.completed,
+                "{}: at the design floor every completion is full quality",
+                policy.name
+            );
+            assert!(
+                tight.result.metrics.degraded > 0,
+                "{}: at a fifth of the floor the ladder must engage",
+                policy.name
+            );
+            assert!(
+                tight.energy_uj_per_req < floor.energy_uj_per_req,
+                "{}: degradation must cut energy per request ({} vs {})",
+                policy.name,
+                tight.energy_uj_per_req,
+                floor.energy_uj_per_req
+            );
+        }
+    }
+
+    #[test]
+    fn static_feasibility_matches_loadgen() {
+        // The schedcheck verdict is an over-approximation of the loadgen:
+        // if the backward demand pass proves every class feasible under
+        // COST_TABLE.json (no E09x on the shipped policies), the
+        // discrete-event run at the design floor must meet every
+        // deadline — nothing shed, nothing failed, p99 under the floor.
+        let ds = enode_analysis::schedcheck::lint_shipped_policies();
+        assert!(
+            ds.is_empty(),
+            "shipped policies must be statically schedulable:\n{}",
+            ds.render()
+        );
+        let hw = hw_sweep(true);
+        for policy in enode_serve::ServeConfig::shipped() {
+            let floor = hw
+                .iter()
+                .find(|r| r.policy == policy.name && r.deadline_us == policy.min_deadline_us)
+                .expect("hw sweep covers the design floor");
+            let m = &floor.result.metrics;
+            assert_eq!(
+                m.shed, 0,
+                "{}: feasible policy must shed nothing",
+                policy.name
+            );
+            assert_eq!(m.failed, 0, "{}", policy.name);
+            assert_eq!(m.completed, m.submitted, "{}", policy.name);
+            assert!(
+                m.latency_p99_us <= policy.min_deadline_us,
+                "{}: measured p99 {}µs must sit under the statically proven \
+                 deadline {}µs",
+                policy.name,
+                m.latency_p99_us,
+                policy.min_deadline_us
+            );
+        }
     }
 }

@@ -38,6 +38,7 @@ pub mod pe;
 pub mod perf;
 pub mod ring;
 pub mod system;
+pub mod table;
 
 pub use config::{HwConfig, LayerDims, WorkloadRun};
 pub use perf::{simulate_baseline, simulate_enode, SimReport};

@@ -21,6 +21,7 @@
 //! | [`server`] | The queue/batcher/worker runtime |
 //! | [`metrics`] | Atomic counters + latency/batch histograms |
 //! | [`loadgen`] | Deterministic open/closed-loop load simulation |
+//! | [`hwcost`] | Simulator-calibrated cost tables ([`CostModel::from_table`]) |
 //!
 //! # Determinism
 //!
@@ -34,6 +35,7 @@
 //! `BENCH_serve.json` both lean on this.
 
 pub mod clock;
+pub mod hwcost;
 pub mod loadgen;
 pub mod metrics;
 pub mod policies;
@@ -41,6 +43,7 @@ pub mod request;
 pub mod server;
 
 pub use clock::Clock;
+pub use hwcost::{fingerprint, shipped_cost_table, table_spec};
 pub use loadgen::{Arrivals, CostModel, LoadSpec, RunResult};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policies::{ServeConfig, TierSpec};

@@ -68,6 +68,13 @@ pub struct ServeConfig {
     pub est_service_us: u64,
     /// Design envelope: the tightest relative deadline admitted (µs).
     pub min_deadline_us: u64,
+    /// Design envelope: the per-request energy budget at full quality
+    /// (µJ) — lint E092 proves the simulated tier-0 cost fits it.
+    pub energy_budget_uj: u64,
+    /// Design envelope: the sustained device power budget (mW) at the
+    /// declared offered load — lint E096 proves
+    /// `design_rate_rps × energy/request` fits it.
+    pub power_budget_mw: u64,
 }
 
 impl ServeConfig {
@@ -106,6 +113,10 @@ impl ServeConfig {
             design_rate_rps: 200.0,
             est_service_us: 15_000,
             min_deadline_us: 50_000,
+            // Simulated tier-0 cost is ~1.19 mJ/request at batch 8
+            // (COST_TABLE.json); the budget leaves ~2x headroom.
+            energy_budget_uj: 2_500,
+            power_budget_mw: 1_200,
         }
     }
 
@@ -136,6 +147,9 @@ impl ServeConfig {
             design_rate_rps: 100.0,
             est_service_us: 4_000,
             min_deadline_us: 12_000,
+            // Always-on budget: ~0.3 mJ/request simulated at batch 4.
+            energy_budget_uj: 800,
+            power_budget_mw: 200,
         }
     }
 
