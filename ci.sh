@@ -13,6 +13,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo clippy --all-targets --features sanitize (enode-tensor) -- -D warnings"
 cargo clippy -p enode-tensor --all-targets --features sanitize -- -D warnings
 
+echo "==> cargo clippy --all-targets --features synctrace (enode-serve) -- -D warnings"
+cargo clippy -p enode-serve --all-targets --features synctrace -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -28,8 +31,17 @@ ENODE_THREADS=4 cargo test -q -p enode-tensor --features sanitize
 echo "==> analysis mutation suite (planted defects must fire their exact codes)"
 cargo test -q -p enode-analysis --test mutations
 
+echo "==> concurrency mutation seeds (E100/E101/E102 discrimination)"
+cargo test -q -p enode-analysis --test mutations -- \
+  flipped_lock_order_fires_exactly_e100 \
+  dropped_notify_fires_exactly_e101 \
+  skipped_join_fires_exactly_e102
+
 echo "==> serving runtime suite under a 4-lane pool (batcher determinism audit)"
 ENODE_THREADS=4 cargo test -q -p enode-serve
+
+echo "==> serve suite + sync-parity under the synctrace recorder (ENODE_THREADS=4)"
+ENODE_THREADS=4 cargo test -q -p enode-serve --features synctrace
 
 echo "==> bench_kernels_json smoke run (--quick)"
 cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mktemp)"
@@ -65,6 +77,11 @@ fi
 if echo "$lint_json" | grep -q '"code":"E09'; then
   echo "schedulability / energy-budget proofs failed (E09x) on shipped policies:"
   echo "$lint_json" | grep '"code":"E09'
+  exit 1
+fi
+if echo "$lint_json" | grep -q '"code":"E10'; then
+  echo "concurrency proofs failed (E10x) on the registered sync skeletons:"
+  echo "$lint_json" | grep '"code":"E10'
   exit 1
 fi
 

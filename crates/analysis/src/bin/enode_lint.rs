@@ -13,7 +13,7 @@
 
 use enode_analysis::{
     affine, consistency, cost, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck,
-    precision, registry, schedcheck, servecheck, shape, tableau,
+    precision, registry, schedcheck, servecheck, shape, synccheck, tableau,
 };
 
 fn main() {
@@ -122,6 +122,12 @@ fn main() {
 
     println!("\n-- static roofline cost model --");
     print!("{}", cost::lint_shipped_baseline().render());
+
+    println!(
+        "\n-- concurrency skeletons ({} registered) --",
+        enode_serve::skeleton::registered_skeletons().len()
+    );
+    print!("{}", synccheck::lint_registered().render());
 
     // The authoritative verdict covers every pipeline, not just the
     // samples printed above.

@@ -21,6 +21,7 @@
 //! | `E070–E079` / `W070–W079` | Serving-policy lints ([`crate::servecheck`]) |
 //! | `E080–E089` / `W080–W089` | Affine access & roofline cost lints ([`crate::affine`], [`crate::cost`]) |
 //! | `E090–E099` / `W090–W099` | Schedulability & energy-budget lints ([`crate::schedcheck`]) |
+//! | `E100–E109` / `W100–W109` | Concurrency skeleton lints ([`crate::synccheck`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text and `as_str()` mapping,
@@ -261,6 +262,49 @@ pub enum Code {
     /// The worst-case response time at tier 0 leaves less than 10% of
     /// the tightest deadline as slack — feasible, but with thin margin.
     W093SchedThinMargin,
+
+    // --- concurrency skeleton lints (E100-E109 / W100-W109) ---
+    /// The union of declared acquisition orders admits a cycle: two paths
+    /// can acquire the same locks in opposite nesting orders (or a path
+    /// re-acquires a lock it already holds), so a deadlock interleaving
+    /// exists.
+    E100SyncLockOrderCycle,
+    /// A condvar wait can miss its wakeup: a wait site lacks a predicate
+    /// re-check loop, a predicate-falsifying write has no notify of that
+    /// condvar reachable after it, or the condvar is waited but no path
+    /// ever notifies it — and no timeout bounds the sleep.
+    E101SyncLostWakeup,
+    /// A shutdown path leaves the runtime non-quiescent: a declared
+    /// worker thread is never joined, a declared queue is never swept,
+    /// or a thread is joined while holding a lock the joined thread's
+    /// own paths need (a self-deadlocking join).
+    E102SyncShutdownLeak,
+    /// An atomic declared as a published value (read concurrently while
+    /// written) writes with an ordering below `Release`, so readers can
+    /// observe the protocol out of order.
+    E103SyncAtomicOrdering,
+    /// The runtime trace drifted from the declared skeleton: an observed
+    /// lock, condvar, or acquisition-order edge is not admitted by any
+    /// declaration — the model no longer describes the code.
+    E104SyncTraceDrift,
+    /// A skeleton is malformed: a path references an undeclared
+    /// lock/condvar/thread/queue, releases a lock it does not hold,
+    /// waits without holding the condvar's guard, or ends a path with
+    /// locks still held.
+    E105SyncSkeletonMalformed,
+    /// A wait holds a foreign lock that *every* reachable notifier of
+    /// that condvar must acquire: the waiters starve their own wakers.
+    E106SyncWaitHoldsNotifierLock,
+    /// Relaxed-ordering counters whose exact values are only read at
+    /// quiescence — sound, recorded as a deliberate decision.
+    W100SyncRelaxedCounter,
+    /// A condvar is declared but no path ever waits on it.
+    W101SyncDeadCondvar,
+    /// A wait's liveness is bounded by a timeout rather than a notifier:
+    /// a missed notify costs latency (one timeout period), not progress.
+    W102SyncTimeoutWakeup,
+    /// A lock is declared but no path ever acquires it.
+    W103SyncDeadLock,
 }
 
 impl Code {
@@ -336,12 +380,23 @@ impl Code {
             Code::W091SchedLadderEnergyNonMonotone => "W091",
             Code::W092SchedTableExtrapolated => "W092",
             Code::W093SchedThinMargin => "W093",
+            Code::E100SyncLockOrderCycle => "E100",
+            Code::E101SyncLostWakeup => "E101",
+            Code::E102SyncShutdownLeak => "E102",
+            Code::E103SyncAtomicOrdering => "E103",
+            Code::E104SyncTraceDrift => "E104",
+            Code::E105SyncSkeletonMalformed => "E105",
+            Code::E106SyncWaitHoldsNotifierLock => "E106",
+            Code::W100SyncRelaxedCounter => "W100",
+            Code::W101SyncDeadCondvar => "W101",
+            Code::W102SyncTimeoutWakeup => "W102",
+            Code::W103SyncDeadLock => "W103",
         }
     }
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 69] = [
+    pub const ALL: [Code; 80] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -411,6 +466,17 @@ impl Code {
         Code::W091SchedLadderEnergyNonMonotone,
         Code::W092SchedTableExtrapolated,
         Code::W093SchedThinMargin,
+        Code::E100SyncLockOrderCycle,
+        Code::E101SyncLostWakeup,
+        Code::E102SyncShutdownLeak,
+        Code::E103SyncAtomicOrdering,
+        Code::E104SyncTraceDrift,
+        Code::E105SyncSkeletonMalformed,
+        Code::E106SyncWaitHoldsNotifierLock,
+        Code::W100SyncRelaxedCounter,
+        Code::W101SyncDeadCondvar,
+        Code::W102SyncTimeoutWakeup,
+        Code::W103SyncDeadLock,
     ];
 
     /// The severity implied by the code's letter.
@@ -496,6 +562,17 @@ impl Code {
             Code::W091SchedLadderEnergyNonMonotone => "energy does not fall down the ladder",
             Code::W092SchedTableExtrapolated => "design point extrapolated, not simulated",
             Code::W093SchedThinMargin => "tier-0 deadline margin below 10%",
+            Code::E100SyncLockOrderCycle => "lock acquisition order admits a cycle",
+            Code::E101SyncLostWakeup => "a condvar wait can miss its wakeup",
+            Code::E102SyncShutdownLeak => "shutdown leaves a worker or queue behind",
+            Code::E103SyncAtomicOrdering => "published atomic writes below Release",
+            Code::E104SyncTraceDrift => "runtime trace drifted from the declared skeleton",
+            Code::E105SyncSkeletonMalformed => "sync skeleton is structurally malformed",
+            Code::E106SyncWaitHoldsNotifierLock => "wait holds a lock its notifiers need",
+            Code::W100SyncRelaxedCounter => "relaxed counters exact only at quiescence",
+            Code::W101SyncDeadCondvar => "condvar declared but never waited on",
+            Code::W102SyncTimeoutWakeup => "wakeup bounded by a timeout, not a notifier",
+            Code::W103SyncDeadLock => "lock declared but never acquired",
         }
     }
 }

@@ -42,6 +42,11 @@
 //!   response time per tolerance class under the simulator-calibrated
 //!   `COST_TABLE.json`, plus per-request energy and sustained-power
 //!   budgets and table-provenance checks.
+//! * [`synccheck`] — concurrency skeleton proofs (`E100`–`E106`,
+//!   `W100`–`W103`): the declared lock/condvar/atomic protocols of the
+//!   serving runtime and the worker pool checked for lock-order
+//!   acyclicity, lost wakeups, shutdown quiescence and atomic-ordering
+//!   discipline, cross-checked at runtime by the `synctrace` tracer.
 //!
 //! [`benchjson`] holds the shared line scanner both committed-artifact
 //! ingests ([`cost`], [`schedcheck`]) parse with.
@@ -68,6 +73,7 @@ pub mod registry;
 pub mod schedcheck;
 pub mod servecheck;
 pub mod shape;
+pub mod synccheck;
 pub mod tableau;
 
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
@@ -164,6 +170,7 @@ pub fn lint_everything() -> Diagnostics {
     ds.extend(schedcheck::lint_shipped_policies());
     ds.extend(affine::lint_registered_summaries());
     ds.extend(cost::lint_shipped_baseline());
+    ds.extend(synccheck::lint_registered());
     ds.sort_and_dedup();
     ds
 }
@@ -177,9 +184,11 @@ mod tests {
         // Zero errors, and the only warnings are the ones raised *by
         // design* on the committed artifacts: the W085 host-caveat
         // advisories from the 1-core bench baseline (see
-        // `cost::lint_shipped_baseline`) and the W044 serial-floor
+        // `cost::lint_shipped_baseline`), the W044 serial-floor
         // records for the kernels the split planner deliberately keeps
-        // serial at the registered shapes.
+        // serial at the registered shapes, and the two concurrency
+        // decision records — W100 (metrics' relaxed admission counters)
+        // and W102 (the batch window's timeout-bounded wait).
         let ds = lint_everything();
         assert_eq!(
             ds.error_count(),
@@ -191,8 +200,10 @@ mod tests {
             ds.items()
                 .iter()
                 .all(|d| d.code == Code::W085CostFutileSplit
-                    || d.code == Code::W044ParSerialFloorEngaged),
-            "only the by-design W085/W044 advisories may fire on shipped artifacts:\n{}",
+                    || d.code == Code::W044ParSerialFloorEngaged
+                    || d.code == Code::W100SyncRelaxedCounter
+                    || d.code == Code::W102SyncTimeoutWakeup),
+            "only the by-design W085/W044/W100/W102 advisories may fire on shipped artifacts:\n{}",
             ds.render()
         );
         let floor: Vec<&str> = ds
@@ -207,7 +218,7 @@ mod tests {
             "{}",
             ds.render()
         );
-        assert_eq!(ds.warning_count(), 6, "{}", ds.render());
+        assert_eq!(ds.warning_count(), 8, "{}", ds.render());
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! | [`metrics`] | Atomic counters + latency/batch histograms |
 //! | [`loadgen`] | Deterministic open/closed-loop load simulation |
 //! | [`hwcost`] | Simulator-calibrated cost tables ([`CostModel::from_table`]) |
+//! | [`skeleton`] | Declared sync skeletons (locks/condvars/atomics) for the E10x prover |
+//! | [`synctrace`] | Feature-gated runtime sync tracer (parity vs the skeletons) |
 //!
 //! # Determinism
 //!
@@ -41,6 +43,8 @@ pub mod metrics;
 pub mod policies;
 pub mod request;
 pub mod server;
+pub mod skeleton;
+pub mod synctrace;
 
 pub use clock::Clock;
 pub use hwcost::{fingerprint, shipped_cost_table, table_spec};

@@ -20,6 +20,34 @@
 //! ```
 //!
 //! The deadline-semantics test asserts this identity exactly.
+//!
+//! # Memory-ordering audit
+//!
+//! Every `Ordering::` in this module (and the counter increments in
+//! `server.rs`) is chosen against that identity:
+//!
+//! * **Resolution counters** (`completed`, `degraded`, `shed`, `failed`,
+//!   `cancelled`) are incremented with `Release` and loaded by
+//!   [`Metrics::snapshot`] with `Acquire`, in a fixed order (`degraded`
+//!   before `completed` before the rest before `submitted`). A request's
+//!   `submitted` increment happens-before its resolution increment (the
+//!   state mutex orders admission before dispatch), so any resolution a
+//!   snapshot observes implies its admission is also observed: every
+//!   snapshot — even under load — satisfies
+//!   `submitted >= completed + shed + failed + cancelled` and
+//!   `degraded <= completed` ([`MetricsSnapshot::consistent`]). Exact
+//!   equality ([`MetricsSnapshot::reconciles`]) additionally needs
+//!   quiescence (post-`drain`/`shutdown`), because admitted requests may
+//!   legitimately still be in flight.
+//! * **Admission-side counters** (`submitted`, `rejected_full`,
+//!   `batches`) are incremented with `Relaxed`: each is written under the
+//!   state mutex (which already orders it against dispatch) and no
+//!   invariant relates them to a *later* load on another thread, so a
+//!   stronger ordering would buy nothing. This is the W100 class the
+//!   concurrency linter records as a deliberate decision.
+//! * **Histogram buckets and sums** are `Relaxed` monotone accumulators:
+//!   percentile estimates are already bucket-quantized, and the
+//!   count/sum pair is only read for exact means at quiescence.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,6 +102,10 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
+        // Relaxed: monotone accumulators with no cross-counter invariant;
+        // a concurrent reader may see the bucket count without the sum
+        // (or vice versa), which only perturbs an in-flight mean — exact
+        // means are read at quiescence.
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
@@ -171,18 +203,41 @@ impl Metrics {
         }
     }
 
-    /// A consistent-enough plain-data copy (individual loads are relaxed;
-    /// take snapshots when the server is drained for exact identities).
+    /// A plain-data copy that is *directionally consistent* at any time
+    /// and exact at quiescence.
+    ///
+    /// Load order is part of the contract (see the module-level audit):
+    /// `degraded` is read before `completed` (writers increment
+    /// `completed` first, so `degraded <= completed` holds in every
+    /// snapshot), and all resolution counters are read with `Acquire`
+    /// before `submitted` (each resolution's `Release` increment
+    /// publishes its request's earlier admission, so
+    /// `submitted >= completed + shed + failed + cancelled` holds in
+    /// every snapshot). [`MetricsSnapshot::consistent`] asserts exactly
+    /// these two under-load invariants; [`MetricsSnapshot::reconciles`]
+    /// is the quiescent equality.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let c = &self.counters;
+        // Resolution counters first (Acquire), degraded before completed.
+        let degraded = c.degraded.load(Ordering::Acquire);
+        let completed = c.completed.load(Ordering::Acquire);
+        let shed = c.shed.load(Ordering::Acquire);
+        let failed = c.failed.load(Ordering::Acquire);
+        let cancelled = c.cancelled.load(Ordering::Acquire);
+        // Admission side last: Acquire keeps the load ordered after the
+        // resolution loads above (a Relaxed load could hoist past them
+        // and under-count admissions for already-observed resolutions).
+        let submitted = c.submitted.load(Ordering::Acquire);
         MetricsSnapshot {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            degraded: c.degraded.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
+            submitted,
+            completed,
+            degraded,
+            shed,
+            // Door-rejects and batch counts participate in no
+            // cross-counter invariant: Relaxed.
             rejected_full: c.rejected_full.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
+            failed,
+            cancelled,
             batches: c.batches.load(Ordering::Relaxed),
             latency_p50_us: self.latency_us.quantile(0.50),
             latency_p95_us: self.latency_us.quantile(0.95),
@@ -235,6 +290,16 @@ impl MetricsSnapshot {
     /// admitted request resolved exactly once.
     pub fn reconciles(&self) -> bool {
         self.submitted == self.completed + self.shed + self.failed + self.cancelled
+    }
+
+    /// The under-load direction of the identity: admissions are observed
+    /// for every observed resolution, and every degraded response has its
+    /// completion counted. Holds for **every** snapshot, including ones
+    /// taken mid-flight from other threads (the stress test hammers
+    /// this); [`Self::reconciles`] is the stronger quiescent equality.
+    pub fn consistent(&self) -> bool {
+        self.submitted >= self.completed + self.shed + self.failed + self.cancelled
+            && self.degraded <= self.completed
     }
 
     /// The snapshot as one stable JSON object (no trailing newline).
@@ -329,5 +394,26 @@ mod tests {
         let m2 = Metrics::new();
         m2.counters.submitted.fetch_add(1, Ordering::Relaxed);
         assert!(!m2.snapshot().reconciles());
+    }
+
+    #[test]
+    fn consistent_is_the_under_load_direction() {
+        let m = Metrics::new();
+        m.counters.submitted.fetch_add(4, Ordering::Relaxed);
+        m.counters.completed.fetch_add(2, Ordering::Release);
+        m.counters.degraded.fetch_add(1, Ordering::Release);
+        let s = m.snapshot();
+        // Two requests still in flight: not reconciled, but consistent.
+        assert!(!s.reconciles());
+        assert!(s.consistent());
+        // A resolution without an observed admission is inconsistent.
+        let bad = MetricsSnapshot {
+            completed: 5,
+            ..s.clone()
+        };
+        assert!(!bad.consistent());
+        // Degraded beyond completed is inconsistent.
+        let bad2 = MetricsSnapshot { degraded: 3, ..s };
+        assert!(!bad2.consistent());
     }
 }

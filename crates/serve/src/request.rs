@@ -2,6 +2,7 @@
 //! explicit ways the runtime refuses work.
 
 use enode_node::inference::NodeError;
+use enode_tensor::syncmodel::trace;
 use enode_tensor::Tensor;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -156,8 +157,10 @@ impl TicketInner {
             .slot
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _t = trace::lock_acquired("ticket.slot");
         if slot.is_none() {
             *slot = Some(result);
+            trace::notify_event("ticket.ready");
             self.ready.notify_all();
         }
     }
@@ -178,10 +181,12 @@ impl Ticket {
             .slot
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _t = trace::lock_acquired("ticket.slot");
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
+            trace::wait_event("ticket.ready");
             slot = self
                 .inner
                 .ready
@@ -192,11 +197,13 @@ impl Ticket {
 
     /// Takes the outcome if it is already delivered (non-blocking).
     pub fn try_take(&self) -> Option<ServeResult> {
-        self.inner
+        let mut slot = self
+            .inner
             .slot
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _t = trace::lock_acquired("ticket.slot");
+        slot.take()
     }
 }
 

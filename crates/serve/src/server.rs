@@ -41,6 +41,7 @@ use crate::request::{Priority, Rejected, Request, Response, Ticket, TicketInner,
 use enode_node::eval::forward_model_batched_with;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
+use enode_tensor::syncmodel::trace;
 use enode_tensor::Tensor;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -79,6 +80,10 @@ struct Core {
     work_cv: Condvar,
     /// Wakes `drain()`: queue emptied or a batch delivered.
     idle_cv: Condvar,
+    /// Test failpoint: the next `deliver` panics after taking ownership
+    /// of the batch, exercising the panic-safe delivery guard.
+    #[cfg(test)]
+    deliver_panic_once: std::sync::atomic::AtomicBool,
 }
 
 /// A batch the batcher formed but has not yet solved. In pump mode the
@@ -181,6 +186,8 @@ impl Server {
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            #[cfg(test)]
+            deliver_panic_once: std::sync::atomic::AtomicBool::new(false),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -216,7 +223,9 @@ impl Server {
 
     /// Requests currently queued (not yet batched).
     pub fn queue_len(&self) -> usize {
-        lock_state(&self.core.state).queue.len()
+        let st = lock_state(&self.core.state);
+        let _t = trace::lock_acquired("server.state");
+        st.queue.len()
     }
 
     /// Submits a request.
@@ -228,10 +237,13 @@ impl Server {
     pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
         let core = &self.core;
         let mut st = lock_state(&core.state);
+        let _t = trace::lock_acquired("server.state");
         if st.closed {
             return Err(Rejected::ShuttingDown);
         }
         if st.queue.len() >= core.config.queue_capacity {
+            // Relaxed: a door-reject participates in no cross-counter
+            // invariant (it is excluded from `submitted`).
             core.metrics
                 .counters
                 .rejected_full
@@ -249,10 +261,14 @@ impl Server {
             submitted_us: core.clock.now_us(),
             ticket: Arc::clone(&inner),
         });
+        // Relaxed: the state mutex already orders this increment before
+        // any dispatch of the same request, which is what the snapshot
+        // inequality needs (the resolution side carries the Release).
         core.metrics
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        trace::notify_event("server.work_cv");
         core.work_cv.notify_one();
         Ok(Ticket { inner })
     }
@@ -266,15 +282,25 @@ impl Server {
     /// Panics in pump mode (`workers == 0`) — there is nobody to wait
     /// for; pump with [`Server::form_batch`] instead.
     pub fn drain(&self) {
+        let core = &self.core;
+        let mut st = lock_state(&core.state);
+        let _t = trace::lock_acquired("server.state");
+        if st.closed {
+            // After shutdown the queue is already swept, in-flight work
+            // was delivered before the join loop returned, and the
+            // workers (the only idle_cv notifiers) are gone — waiting
+            // here would hang forever.
+            return;
+        }
         assert!(
             !self.workers.is_empty(),
             "drain() needs worker threads; in pump mode call form_batch in a loop"
         );
-        let core = &self.core;
-        let mut st = lock_state(&core.state);
         st.draining = true;
+        trace::notify_event("server.work_cv");
         core.work_cv.notify_all();
         while !(st.queue.is_empty() && st.in_flight == 0) {
+            trace::wait_event("server.idle_cv");
             st = core
                 .idle_cv
                 .wait(st)
@@ -290,20 +316,29 @@ impl Server {
         let core = &self.core;
         {
             let mut st = lock_state(&core.state);
+            let _t = trace::lock_acquired("server.state");
             if !st.closed {
                 st.closed = true;
                 let swept: Vec<Pending> = st.queue.drain(..).collect();
+                // Release: a swept request's resolution must publish its
+                // earlier admission to the snapshot inequality.
                 core.metrics
                     .counters
                     .cancelled
-                    .fetch_add(swept.len() as u64, Ordering::Relaxed);
+                    .fetch_add(swept.len() as u64, Ordering::Release);
                 for p in swept {
                     p.ticket.fill(Err(Rejected::ShuttingDown));
                 }
             }
+            trace::notify_event("server.work_cv");
             core.work_cv.notify_all();
+            trace::notify_event("server.idle_cv");
             core.idle_cv.notify_all();
         }
+        // Join outside the state lock: a worker finishing its in-flight
+        // batch must be able to take the lock to deliver, and `let _ =`
+        // absorbs a panicked worker's Err so one poisoned thread cannot
+        // wedge the remaining joins.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -316,6 +351,7 @@ impl Server {
     /// when nothing is dispatchable yet.
     pub fn form_batch(&self, force: bool) -> Option<PreparedBatch> {
         let mut st = lock_state(&self.core.state);
+        let _t = trace::lock_acquired("server.state");
         self.core.try_form(&mut st, force)
     }
 
@@ -336,6 +372,7 @@ impl Server {
     /// `None` when the queue is empty.
     pub fn next_window_expiry_us(&self) -> Option<u64> {
         let st = lock_state(&self.core.state);
+        let _t = trace::lock_acquired("server.state");
         st.queue
             .iter()
             .map(|p| p.submitted_us + self.core.config.batch_window_us)
@@ -364,7 +401,9 @@ impl Core {
         let mut kept = VecDeque::with_capacity(st.queue.len());
         for p in st.queue.drain(..) {
             if now >= p.deadline_us {
-                self.metrics.counters.shed.fetch_add(1, Ordering::Relaxed);
+                // Release: a shed resolution must publish the request's
+                // earlier admission to the snapshot inequality.
+                self.metrics.counters.shed.fetch_add(1, Ordering::Release);
                 p.ticket.fill(Err(Rejected::DeadlineExpired {
                     deadline_us: p.deadline_us,
                     now_us: now,
@@ -375,6 +414,7 @@ impl Core {
         }
         st.queue = kept;
         if st.queue.is_empty() {
+            trace::notify_event("server.idle_cv");
             self.idle_cv.notify_all();
         }
     }
@@ -452,6 +492,8 @@ impl Core {
             tier,
         } = batch;
         let n = entries.len();
+        // Relaxed: the batch count participates in no cross-counter
+        // invariant; it is only read for mean batch size at quiescence.
         self.metrics
             .counters
             .batches
@@ -485,6 +527,12 @@ impl Core {
 
     /// Resolves every ticket of a solved batch at the current clock time
     /// and records the outcome metrics.
+    ///
+    /// Panic-safe: ticket fills, the `in_flight` decrement, and the
+    /// condvar notifies are owned by a drop guard, so a panic anywhere in
+    /// delivery (or the test failpoint) resolves every still-pending
+    /// ticket to [`Rejected::WorkerPanic`] instead of stranding
+    /// [`Server::drain`] and the shutdown join loop.
     fn deliver(&self, solved: SolvedBatch) {
         let SolvedBatch {
             entries,
@@ -493,27 +541,46 @@ impl Core {
         } = solved;
         let now = self.clock.now_us();
         let n = entries.len();
+        let mut guard = DeliverGuard {
+            core: self,
+            remaining: entries.into(),
+        };
+        #[cfg(test)]
+        if self.deliver_panic_once.swap(false, Ordering::SeqCst) {
+            panic!("injected deliver panic (test failpoint)");
+        }
         match outcome {
             Ok((outputs, _nfe)) => {
                 let sample_len = outputs.len() / n;
                 let mut sample_shape = outputs.shape().to_vec();
                 sample_shape[0] = 1;
-                for (i, p) in entries.into_iter().enumerate() {
-                    let row = Tensor::from_vec(
-                        outputs.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
-                        &sample_shape,
-                    );
+                for i in 0..n {
+                    // Defensively re-slice before popping the entry: a
+                    // malformed solver output resolves the tail of the
+                    // batch as failed (via the guard) instead of
+                    // panicking with tickets in limbo.
+                    let Some(row_data) = outputs.data().get(i * sample_len..(i + 1) * sample_len)
+                    else {
+                        break;
+                    };
+                    let Some(p) = guard.remaining.pop_front() else {
+                        break;
+                    };
+                    let row = Tensor::from_vec(row_data.to_vec(), &sample_shape);
                     let latency = now.saturating_sub(p.submitted_us);
                     self.metrics.latency_us.record(latency);
+                    // Release, completed before degraded: the snapshot
+                    // reads degraded first, so `degraded <= completed`
+                    // holds in every snapshot (see metrics.rs).
                     self.metrics
                         .counters
                         .completed
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Release);
                     if tier > 0 {
                         self.metrics
                             .counters
                             .degraded
-                            .fetch_add(1, Ordering::Relaxed);
+                            .fetch_add(1, Ordering::Release);
                     }
                     p.ticket.fill(Ok(Response {
                         output: row,
@@ -525,19 +592,48 @@ impl Core {
                 }
             }
             Err(reason) => {
+                // Release: failure resolutions publish their admissions.
                 self.metrics
                     .counters
                     .failed
-                    .fetch_add(n as u64, Ordering::Relaxed);
-                for p in entries {
+                    .fetch_add(n as u64, Ordering::Release);
+                while let Some(p) = guard.remaining.pop_front() {
                     p.ticket.fill(Err(reason.clone()));
                 }
             }
         }
-        let mut st = lock_state(&self.state);
+        // Guard drops here: fails any leftover entries, decrements
+        // `in_flight`, and notifies both condvars exactly once.
+    }
+}
+
+/// Drop guard that finishes a delivery no matter how it exits.
+struct DeliverGuard<'a> {
+    core: &'a Core,
+    remaining: VecDeque<Pending>,
+}
+
+impl Drop for DeliverGuard<'_> {
+    fn drop(&mut self) {
+        let leftover = self.remaining.len() as u64;
+        if leftover > 0 {
+            // Release: these resolutions publish their admissions.
+            self.core
+                .metrics
+                .counters
+                .failed
+                .fetch_add(leftover, Ordering::Release);
+            for p in self.remaining.drain(..) {
+                p.ticket.fill(Err(Rejected::WorkerPanic));
+            }
+        }
+        let mut st = lock_state(&self.core.state);
+        let _t = trace::lock_acquired("server.state");
         st.in_flight -= 1;
-        self.idle_cv.notify_all();
-        self.work_cv.notify_all();
+        trace::notify_event("server.idle_cv");
+        self.core.idle_cv.notify_all();
+        trace::notify_event("server.work_cv");
+        self.core.work_cv.notify_all();
     }
 }
 
@@ -547,6 +643,7 @@ fn worker_loop(core: &Core) {
     loop {
         let batch = {
             let mut st = lock_state(&core.state);
+            let _t = trace::lock_acquired("server.state");
             loop {
                 if let Some(b) = core.try_form(&mut st, false) {
                     break Some(b);
@@ -558,6 +655,7 @@ fn worker_loop(core: &Core) {
                     // Virtual time only moves when the owner moves it, and
                     // the owner notifies via submit/drain/shutdown — a
                     // timeout would spin without making progress.
+                    trace::wait_event("server.work_cv");
                     st = core
                         .work_cv
                         .wait(st)
@@ -575,6 +673,7 @@ fn worker_loop(core: &Core) {
                         .min()
                         .unwrap_or(now);
                     let wait_us = window_end.saturating_sub(now).max(100);
+                    trace::wait_event("server.work_cv");
                     let (guard, _) = core
                         .work_cv
                         .wait_timeout(st, Duration::from_micros(wait_us))
@@ -585,8 +684,14 @@ fn worker_loop(core: &Core) {
         };
         match batch {
             Some(b) => {
-                let solved = core.solve(b);
-                core.deliver(solved);
+                // A panic anywhere in solve/deliver must not kill the
+                // worker: the delivery guard has already resolved the
+                // batch's tickets and `in_flight`, so the loop can keep
+                // serving subsequent requests.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let solved = core.solve(b);
+                    core.deliver(solved);
+                }));
             }
             None => return,
         }
@@ -722,6 +827,72 @@ mod tests {
             Err(Rejected::ShuttingDown)
         ));
         assert!(server.snapshot().reconciles());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let clock = Clock::virtual_at(0);
+        let mut server = test_server(2, clock);
+        let t = server.submit(req(0, 1_000_000)).unwrap();
+        server.shutdown();
+        server.shutdown(); // second call must not hang on the join loop
+        assert_eq!(t.wait(), Err(Rejected::ShuttingDown));
+        assert!(server.snapshot().reconciles());
+        drop(server); // Drop runs shutdown() a third time
+    }
+
+    #[test]
+    fn drain_after_shutdown_returns_immediately() {
+        let clock = Clock::virtual_at(0);
+        let mut server = test_server(2, clock);
+        server.shutdown();
+        // The workers (the only idle_cv notifiers) are joined; drain must
+        // notice `closed` and return instead of parking forever.
+        server.drain();
+        assert!(server.snapshot().reconciles());
+    }
+
+    #[test]
+    fn worker_panic_mid_delivery_resolves_tickets_and_keeps_serving() {
+        let clock = Clock::virtual_at(0);
+        let mut server = test_server(1, clock);
+        server.core.deliver_panic_once.store(true, Ordering::SeqCst);
+        let t = server.submit(req(0, 1_000_000)).unwrap();
+        // Must not deadlock: the delivery guard decrements in_flight and
+        // wakes drain() even though the delivery panicked.
+        server.drain();
+        assert_eq!(t.wait(), Err(Rejected::WorkerPanic));
+        let s = server.snapshot();
+        assert_eq!(s.failed, 1);
+        assert!(s.reconciles());
+        // The worker survived the panic and still serves.
+        let t2 = server.submit(req(1, 1_000_000)).unwrap();
+        server.drain();
+        assert!(t2.wait().is_ok());
+        assert!(server.snapshot().reconciles());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pump_mode_delivery_panic_still_resolves_tickets() {
+        let clock = Clock::virtual_at(0);
+        let server = test_server(0, clock);
+        server.core.deliver_panic_once.store(true, Ordering::SeqCst);
+        let t = server.submit(req(0, 1_000_000)).unwrap();
+        let solved = server.solve_batch(server.form_batch(true).unwrap());
+        // Pump mode has no worker catch_unwind around delivery, so the
+        // injected panic reaches the caller; the guard must still have
+        // resolved the ticket and released in_flight on the way out.
+        let unwound = catch_unwind(AssertUnwindSafe(|| server.deliver_batch(solved)));
+        assert!(unwound.is_err(), "failpoint panic propagates in pump mode");
+        assert_eq!(t.wait(), Err(Rejected::WorkerPanic));
+        let s = server.snapshot();
+        assert_eq!(s.failed, 1);
+        assert!(s.reconciles());
+        // in_flight was released: a fresh request pumps normally.
+        let t2 = server.submit(req(1, 1_000_000)).unwrap();
+        server.deliver_batch(server.solve_batch(server.form_batch(true).unwrap()));
+        assert!(t2.wait().is_ok());
     }
 
     #[test]

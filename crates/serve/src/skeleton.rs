@@ -1,0 +1,271 @@
+//! Declared sync skeletons of the serving runtime.
+//!
+//! Each component that owns a `Mutex`/`Condvar`/atomic protocol declares
+//! it here as a [`SyncSkeleton`] — the static concurrency prover in
+//! `enode-analysis` (`synccheck`, E100–E106/W100–W103) lowers these
+//! declarations into its fixpoint IR, and the feature-gated tracer
+//! ([`crate::synctrace`]) cross-checks them against what the runtime
+//! actually does. The declarations are *claims about the code* in
+//! [`server`](crate::server), [`request`](crate::request),
+//! [`clock`](crate::clock) and [`metrics`](crate::metrics); the parity
+//! test (E104) is what keeps them honest.
+
+use enode_tensor::syncmodel::{
+    pool_skeleton, AtomicDecl, AtomicRole, CondvarDecl, LockDecl, Memord, PathDecl, PathRole, Step,
+    SyncSkeleton,
+};
+
+/// The batching server's skeleton: one state mutex, two condvars, the
+/// worker threads, and the bounded ingress queue with its shutdown sweep.
+pub fn server_skeleton() -> SyncSkeleton {
+    use PathRole::*;
+    use Step::*;
+    SyncSkeleton {
+        name: "serve.server",
+        locks: vec![LockDecl {
+            id: "server.state",
+            protects: "ingress queue, in_flight count, draining/closed flags",
+        }],
+        condvars: vec![
+            CondvarDecl {
+                id: "server.work_cv",
+                lock: "server.state",
+                predicate: "a batch is formable, or draining/closed changed",
+                recheck_loop: true,
+                // Wall-clock workers bound the wait by the batch window /
+                // next deadline, so a missed notify costs one window, not
+                // liveness (recorded as W102, a deliberate decision).
+                timeout_fallback: true,
+            },
+            CondvarDecl {
+                id: "server.idle_cv",
+                lock: "server.state",
+                predicate: "queue.is_empty() && in_flight == 0",
+                recheck_loop: true,
+                timeout_fallback: false,
+            },
+        ],
+        atomics: vec![],
+        threads: vec!["server.worker"],
+        queues: vec!["server.ingress"],
+        paths: vec![
+            PathDecl {
+                id: "server.submit",
+                role: Normal,
+                runs_on: None,
+                steps: vec![
+                    Acquire("server.state"),
+                    Write("server.work_cv"),
+                    Notify("server.work_cv"),
+                    Release("server.state"),
+                ],
+            },
+            // Worker body: wait for work, form a batch (shedding expired
+            // requests resolves their tickets under the state lock — the
+            // state → ticket.slot order edge), solve outside the lock,
+            // then deliver (fills outside the lock, re-locks to release
+            // in_flight and wake drain()/peers).
+            PathDecl {
+                id: "server.worker_loop",
+                role: Normal,
+                runs_on: Some("server.worker"),
+                steps: vec![
+                    Acquire("server.state"),
+                    Wait("server.work_cv"),
+                    Acquire("ticket.slot"),
+                    Write("ticket.ready"),
+                    Notify("ticket.ready"),
+                    Release("ticket.slot"),
+                    Write("server.idle_cv"),
+                    Notify("server.idle_cv"),
+                    Release("server.state"),
+                    Acquire("ticket.slot"),
+                    Write("ticket.ready"),
+                    Notify("ticket.ready"),
+                    Release("ticket.slot"),
+                    Acquire("server.state"),
+                    Write("server.idle_cv"),
+                    Notify("server.idle_cv"),
+                    Write("server.work_cv"),
+                    Notify("server.work_cv"),
+                    Release("server.state"),
+                ],
+            },
+            PathDecl {
+                id: "server.drain",
+                role: Normal,
+                runs_on: None,
+                steps: vec![
+                    Acquire("server.state"),
+                    Write("server.work_cv"),
+                    Notify("server.work_cv"),
+                    Wait("server.idle_cv"),
+                    Release("server.state"),
+                ],
+            },
+            PathDecl {
+                id: "server.shutdown",
+                role: Shutdown,
+                runs_on: None,
+                steps: vec![
+                    Acquire("server.state"),
+                    Write("server.work_cv"),
+                    Write("server.idle_cv"),
+                    SweepQueue("server.ingress"),
+                    Acquire("ticket.slot"),
+                    Write("ticket.ready"),
+                    Notify("ticket.ready"),
+                    Release("ticket.slot"),
+                    Notify("server.work_cv"),
+                    Notify("server.idle_cv"),
+                    Release("server.state"),
+                    Join("server.worker"),
+                ],
+            },
+        ],
+    }
+}
+
+/// The one-shot ticket's skeleton: a slot mutex and a ready condvar.
+pub fn ticket_skeleton() -> SyncSkeleton {
+    use PathRole::*;
+    use Step::*;
+    SyncSkeleton {
+        name: "serve.ticket",
+        locks: vec![LockDecl {
+            id: "ticket.slot",
+            protects: "the one-shot ServeResult slot (first write wins)",
+        }],
+        condvars: vec![CondvarDecl {
+            id: "ticket.ready",
+            lock: "ticket.slot",
+            predicate: "slot.is_some()",
+            recheck_loop: true,
+            timeout_fallback: false,
+        }],
+        atomics: vec![],
+        threads: vec![],
+        queues: vec![],
+        paths: vec![
+            PathDecl {
+                id: "ticket.fill",
+                role: Normal,
+                runs_on: None,
+                steps: vec![
+                    Acquire("ticket.slot"),
+                    Write("ticket.ready"),
+                    Notify("ticket.ready"),
+                    Release("ticket.slot"),
+                ],
+            },
+            PathDecl {
+                id: "ticket.wait",
+                role: Normal,
+                runs_on: None,
+                steps: vec![
+                    Acquire("ticket.slot"),
+                    Wait("ticket.ready"),
+                    Release("ticket.slot"),
+                ],
+            },
+        ],
+    }
+}
+
+/// The clock's skeleton: a single published atomic, no locks.
+pub fn clock_skeleton() -> SyncSkeleton {
+    SyncSkeleton {
+        name: "serve.clock",
+        locks: vec![],
+        condvars: vec![],
+        atomics: vec![AtomicDecl {
+            id: "clock.virtual_now",
+            // SeqCst swap/fetch_add: the monotonicity assert in set_us
+            // compares against the previous value, so writers need a
+            // total order, not just release.
+            write_order: Memord::SeqCst,
+            role: AtomicRole::PublishedValue,
+        }],
+        threads: vec![],
+        queues: vec![],
+        paths: vec![],
+    }
+}
+
+/// The metrics skeleton: the accounting identity's counter protocol.
+pub fn metrics_skeleton() -> SyncSkeleton {
+    use AtomicRole::*;
+    use Memord::*;
+    let counter = |id, write_order, role| AtomicDecl {
+        id,
+        write_order,
+        role,
+    };
+    SyncSkeleton {
+        name: "serve.metrics",
+        locks: vec![],
+        condvars: vec![],
+        atomics: vec![
+            // Resolution counters publish their request's earlier
+            // admission to the snapshot inequality (see metrics.rs).
+            counter("metrics.completed", Release, PublishedValue),
+            counter("metrics.degraded", Release, PublishedValue),
+            counter("metrics.shed", Release, PublishedValue),
+            counter("metrics.failed", Release, PublishedValue),
+            counter("metrics.cancelled", Release, PublishedValue),
+            // Admission-side counters are ordered by the state mutex and
+            // exact only at quiescence: deliberately Relaxed (W100).
+            counter("metrics.submitted", Relaxed, QuiescentCounter),
+            counter("metrics.rejected_full", Relaxed, QuiescentCounter),
+            counter("metrics.batches", Relaxed, QuiescentCounter),
+            counter("metrics.histogram_cells", Relaxed, QuiescentCounter),
+        ],
+        threads: vec![],
+        queues: vec![],
+        paths: vec![],
+    }
+}
+
+/// Every declared skeleton in the workspace, in stable order: the serve
+/// runtime's four components plus the tensor crate's worker pool. This is
+/// the registry `enode-lint` proves and the parity test traces against.
+pub fn registered_skeletons() -> Vec<SyncSkeleton> {
+    vec![
+        server_skeleton(),
+        ticket_skeleton(),
+        clock_skeleton(),
+        metrics_skeleton(),
+        pool_skeleton(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<&str> = registered_skeletons().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "serve.server",
+                "serve.ticket",
+                "serve.clock",
+                "serve.metrics",
+                "tensor.pool"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_condvar_guard_is_declared_somewhere() {
+        let all = registered_skeletons();
+        let has_lock = |id: &str| all.iter().any(|s| s.locks.iter().any(|l| l.id == id));
+        for sk in &all {
+            for cv in &sk.condvars {
+                assert!(has_lock(cv.lock), "{}: guard {} undeclared", cv.id, cv.lock);
+            }
+        }
+    }
+}

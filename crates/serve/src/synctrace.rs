@@ -1,0 +1,41 @@
+//! Runtime sync tracing for the serving runtime (feature `synctrace`).
+//!
+//! A thin façade over [`enode_tensor::syncmodel::trace`] — the recorder
+//! lives in the tensor crate so the worker pool can self-trace, but serve
+//! is where suites run, so this module is the entry point tests use:
+//!
+//! ```
+//! use enode_serve::{skeleton, synctrace};
+//!
+//! synctrace::reset();
+//! // ... drive the server / pool under `--features synctrace` ...
+//! let report = synctrace::capture();
+//! let drift = report.undeclared(&skeleton::registered_skeletons());
+//! assert!(drift.is_empty(), "E104 model drift: {drift:?}");
+//! ```
+//!
+//! Without the feature every hook is a no-op and [`capture`] returns an
+//! empty report, so the parity assertion is vacuously true — the CI gate
+//! runs the serve suite with `--features synctrace` to make it real.
+
+pub use enode_tensor::syncmodel::trace::{capture, reset, TraceReport};
+
+/// `true` when the crate was built with the `synctrace` feature, i.e.
+/// [`capture`] returns real observations rather than an empty report.
+pub fn enabled() -> bool {
+    cfg!(feature = "synctrace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_empty_without_the_feature() {
+        if !enabled() {
+            reset();
+            let r = capture();
+            assert!(r.edges.is_empty() && r.locks.is_empty());
+        }
+    }
+}

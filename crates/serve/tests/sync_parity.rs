@@ -1,0 +1,96 @@
+//! E104 parity: drives the real runtime under the `synctrace` feature
+//! and proves the observed synchronization behaviour — every lock
+//! acquisition edge, every condvar waited or notified — stays inside the
+//! declared skeletons' transitive closure. Runs at 1, 2 and 4 workers so
+//! the interleavings the recorder sees cover single-worker, handoff and
+//! contended schedules.
+//!
+//! Without the feature the recorder is a no-op and this whole file is
+//! compiled out; CI runs it explicitly with `--features synctrace`.
+
+#![cfg(feature = "synctrace")]
+
+use enode_node::inference::NodeSolveOptions;
+use enode_node::model::NodeModel;
+use enode_serve::{
+    skeleton, synctrace, Clock, Priority, Rejected, Request, ServeConfig, Server, ToleranceClass,
+};
+use enode_tensor::init;
+use enode_tensor::parallel::ThreadPool;
+
+fn req(seed: u64, deadline_us: u64) -> Request {
+    Request {
+        input: init::uniform(&[1, 2], -1.0, 1.0, seed),
+        deadline_us,
+        tolerance_class: ToleranceClass::Standard,
+        priority: Priority::Normal,
+    }
+}
+
+/// Exercises every declared server path: admission, batching, delivery,
+/// deadline shedding, drain, a post-shutdown rejection, and shutdown's
+/// queue sweep.
+fn drive_server(workers: usize) {
+    let mut cfg = ServeConfig::edge_default();
+    cfg.workers = workers;
+    let clock = Clock::virtual_at(0);
+    let mut s = Server::new(
+        NodeModel::dynamic_system(2, 8, 1, 42),
+        NodeSolveOptions::new(1e-4),
+        cfg,
+        clock.clone(),
+    );
+    let mut tickets = Vec::new();
+    for i in 0..6 {
+        tickets.push(s.submit(req(i, 1_000_000)).unwrap());
+    }
+    tickets.push(s.submit(req(90, 2_000)).unwrap()); // will expire
+    clock.set_us(5_000);
+    s.drain();
+    let swept = s.submit(req(91, 1_000_000)).unwrap();
+    s.shutdown();
+    assert_eq!(
+        s.submit(req(92, 1_000_000)).unwrap_err(),
+        Rejected::ShuttingDown
+    );
+    for t in tickets {
+        let _ = t.wait();
+    }
+    assert_eq!(swept.wait(), Err(Rejected::ShuttingDown));
+}
+
+#[test]
+fn observed_sync_behaviour_stays_inside_the_declared_skeletons() {
+    assert!(synctrace::enabled());
+    synctrace::reset();
+
+    for workers in [1, 2, 4] {
+        drive_server(workers);
+    }
+
+    // The worker pool's broadcast/wait/drop protocol, at the same widths.
+    for threads in [2, 4] {
+        let pool = ThreadPool::new(threads);
+        for _round in 0..3 {
+            let lanes_run = std::sync::atomic::AtomicUsize::new(0);
+            pool.broadcast(&|lane, lanes| {
+                assert!(lane < lanes);
+                lanes_run.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            assert_eq!(lanes_run.into_inner(), threads);
+        }
+        drop(pool);
+    }
+
+    let report = synctrace::capture();
+    assert!(
+        !report.edges.is_empty() || !report.locks.is_empty(),
+        "the recorder must have observed the runtime"
+    );
+    let drift = report.undeclared(&skeleton::registered_skeletons());
+    assert!(
+        drift.is_empty(),
+        "E104 model drift — observed behaviour outside the declarations:\n{}",
+        drift.join("\n")
+    );
+}

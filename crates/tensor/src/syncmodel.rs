@@ -1,0 +1,572 @@
+//! Declared synchronization skeletons and the runtime sync tracer.
+//!
+//! Mirrors the [`access`](crate::access)/`sanitize` split one layer up: each
+//! runtime component that owns a `Mutex`/`Condvar`/atomic protocol *declares*
+//! its structure as a [`SyncSkeleton`] — the locks it owns, which lock guards
+//! each condvar and what predicate the wait re-checks, the memory-ordering
+//! role of each atomic, and the acquire/notify/join step sequence of every
+//! code path that touches them. The static prover in `enode-analysis`
+//! (`synccheck`, E100–E106/W100–W103) consumes the declarations; the
+//! feature-gated [`trace`] recorder captures what the runtime *actually* did
+//! (acquisition orders, wait/notify pairings) so a parity test can prove the
+//! observed graph is a subgraph of the declared one (E104 model drift).
+//!
+//! The declaration types live here, in the tensor crate, because the worker
+//! pool in [`parallel`](crate::parallel) must be able to declare (and, under
+//! `--features synctrace`, trace) its own protocol, and the dependency
+//! direction is `tensor ← serve ← analysis`.
+
+/// Memory ordering declared for an atomic's writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Memord {
+    /// `Ordering::Relaxed`.
+    Relaxed,
+    /// `Ordering::Release`.
+    Release,
+    /// `Ordering::Acquire`.
+    Acquire,
+    /// `Ordering::AcqRel`.
+    AcqRel,
+    /// `Ordering::SeqCst`.
+    SeqCst,
+}
+
+impl Memord {
+    /// Stable lower-case name used in diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Memord::Relaxed => "relaxed",
+            Memord::Release => "release",
+            Memord::Acquire => "acquire",
+            Memord::AcqRel => "acqrel",
+            Memord::SeqCst => "seqcst",
+        }
+    }
+}
+
+/// What correctness contract an atomic participates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// A monotone event counter whose exact value is only read at
+    /// quiescence (after joins/drains). `Relaxed` is sound and is recorded
+    /// as a deliberate decision (W100), not an error.
+    QuiescentCounter,
+    /// A value read concurrently by other threads while it is being
+    /// written; its writes must publish (`Release` or stronger) so
+    /// cross-thread reads observe a coherent protocol (E103 otherwise).
+    PublishedValue,
+    /// Only ever read/written under a declared lock; ordering is carried by
+    /// the lock, any declared `Ordering` is acceptable.
+    LockProtected,
+}
+
+/// A declared mutex.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Stable ID, e.g. `"server.state"`; referenced by paths and condvars.
+    pub id: &'static str,
+    /// Human description of the protected state.
+    pub protects: &'static str,
+}
+
+/// A declared condvar and its guarding protocol.
+#[derive(Debug, Clone)]
+pub struct CondvarDecl {
+    /// Stable ID, e.g. `"server.work_cv"`.
+    pub id: &'static str,
+    /// The lock whose guard the wait releases/reacquires.
+    pub lock: &'static str,
+    /// Human statement of the predicate the waiter blocks on.
+    pub predicate: &'static str,
+    /// True iff every wait site re-checks the predicate in a loop
+    /// (spurious-wakeup safe). `false` is an immediate E101.
+    pub recheck_loop: bool,
+    /// True iff the wait is additionally bounded by a timeout, so a missed
+    /// notify degrades latency instead of hanging (downgrades a missing
+    /// notifier from E101 to W102).
+    pub timeout_fallback: bool,
+}
+
+/// A declared atomic.
+#[derive(Debug, Clone)]
+pub struct AtomicDecl {
+    /// Stable ID, e.g. `"clock.virtual_now"`.
+    pub id: &'static str,
+    /// The strongest ordering its writers use.
+    pub write_order: Memord,
+    /// The contract the atomic participates in.
+    pub role: AtomicRole,
+}
+
+/// Whether a path is part of normal operation or the shutdown protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathRole {
+    /// Normal-operation path.
+    Normal,
+    /// Runs during `ShuttingDown`; carries join/sweep obligations (E102).
+    Shutdown,
+}
+
+/// One step of a declared path, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Acquire the named lock (edges from every currently-held lock).
+    Acquire(&'static str),
+    /// Release the named lock (must be held).
+    Release(&'static str),
+    /// A write that can falsify the named condvar's predicate; every such
+    /// write must have a reachable `Notify` of the same condvar downstream
+    /// (E101 lost-wakeup otherwise).
+    Write(&'static str),
+    /// Notify the named condvar.
+    Notify(&'static str),
+    /// Block on the named condvar (its declared lock must be held).
+    Wait(&'static str),
+    /// Join the named worker thread.
+    Join(&'static str),
+    /// Drain/sweep the named queue, resolving every entry.
+    SweepQueue(&'static str),
+}
+
+/// A declared code path through a component's sync protocol.
+#[derive(Debug, Clone)]
+pub struct PathDecl {
+    /// Stable ID, e.g. `"server.shutdown"`.
+    pub id: &'static str,
+    /// Normal vs shutdown role.
+    pub role: PathRole,
+    /// The declared worker thread this path runs on, if it is a worker
+    /// body (joining a thread from one of its own paths is a deadlock).
+    pub runs_on: Option<&'static str>,
+    /// Steps in program order.
+    pub steps: Vec<Step>,
+}
+
+/// A component's full declared synchronization skeleton.
+#[derive(Debug, Clone)]
+pub struct SyncSkeleton {
+    /// Stable component name, e.g. `"serve.server"` / `"tensor.pool"`.
+    pub name: &'static str,
+    /// Declared mutexes.
+    pub locks: Vec<LockDecl>,
+    /// Declared condvars.
+    pub condvars: Vec<CondvarDecl>,
+    /// Declared atomics.
+    pub atomics: Vec<AtomicDecl>,
+    /// Declared worker threads (must all be `Join`ed on a shutdown path).
+    pub threads: Vec<&'static str>,
+    /// Declared queues (must all be `SweepQueue`d on a shutdown path).
+    pub queues: Vec<&'static str>,
+    /// Declared paths.
+    pub paths: Vec<PathDecl>,
+}
+
+impl SyncSkeleton {
+    /// True iff `id` names a declared lock.
+    pub fn has_lock(&self, id: &str) -> bool {
+        self.locks.iter().any(|l| l.id == id)
+    }
+
+    /// Looks up a declared condvar.
+    pub fn condvar(&self, id: &str) -> Option<&CondvarDecl> {
+        self.condvars.iter().find(|c| c.id == id)
+    }
+}
+
+/// The declared skeleton of the scoped worker pool in
+/// [`parallel`](crate::parallel).
+///
+/// Protocol summary: `broadcast` serializes submitters on `pool.submit`,
+/// publishes the job under `pool.slot`, wakes workers via `pool.work`, and
+/// waits for completion on `pool.done` (workers never touch `pool.submit`,
+/// so holding it across the wait cannot starve the notifiers). `Drop` sets
+/// the shutdown flag under `pool.slot`, wakes everyone, and joins each
+/// worker under `pool.handles`.
+pub fn pool_skeleton() -> SyncSkeleton {
+    use PathRole::*;
+    use Step::*;
+    SyncSkeleton {
+        name: "tensor.pool",
+        locks: vec![
+            LockDecl {
+                id: "pool.submit",
+                protects: "submitter serialization (one broadcast at a time)",
+            },
+            LockDecl {
+                id: "pool.slot",
+                protects: "job slot: epoch, job ptr, pending count, panic/shutdown flags",
+            },
+            LockDecl {
+                id: "pool.handles",
+                protects: "worker JoinHandles",
+            },
+        ],
+        condvars: vec![
+            CondvarDecl {
+                id: "pool.work",
+                lock: "pool.slot",
+                predicate: "shutdown || epoch != seen_epoch",
+                recheck_loop: true,
+                timeout_fallback: false,
+            },
+            CondvarDecl {
+                id: "pool.done",
+                lock: "pool.slot",
+                predicate: "pending == 0",
+                recheck_loop: true,
+                timeout_fallback: false,
+            },
+        ],
+        atomics: vec![],
+        threads: vec!["pool.worker"],
+        queues: vec![],
+        paths: vec![
+            PathDecl {
+                id: "pool.broadcast",
+                role: Normal,
+                runs_on: None,
+                steps: vec![
+                    Acquire("pool.submit"),
+                    Acquire("pool.slot"),
+                    Write("pool.work"),
+                    Notify("pool.work"),
+                    Release("pool.slot"),
+                    Acquire("pool.slot"),
+                    Wait("pool.done"),
+                    Release("pool.slot"),
+                    Release("pool.submit"),
+                ],
+            },
+            PathDecl {
+                id: "pool.worker_loop",
+                role: Normal,
+                runs_on: Some("pool.worker"),
+                steps: vec![
+                    Acquire("pool.slot"),
+                    Wait("pool.work"),
+                    Release("pool.slot"),
+                    Acquire("pool.slot"),
+                    Write("pool.done"),
+                    Notify("pool.done"),
+                    Release("pool.slot"),
+                ],
+            },
+            PathDecl {
+                id: "pool.drop",
+                role: Shutdown,
+                runs_on: None,
+                steps: vec![
+                    Acquire("pool.slot"),
+                    Write("pool.work"),
+                    Notify("pool.work"),
+                    Release("pool.slot"),
+                    Acquire("pool.handles"),
+                    Join("pool.worker"),
+                    Release("pool.handles"),
+                ],
+            },
+        ],
+    }
+}
+
+pub mod trace {
+    //! Runtime sync tracer (feature `synctrace`).
+    //!
+    //! Call sites in the runtime record lock acquisitions (via the RAII
+    //! [`HeldToken`]), condvar waits and notifies. The recorder keeps a
+    //! thread-local held-lock stack — every acquisition appends one
+    //! `held → acquired` edge per currently-held lock to a global store —
+    //! plus flat wait/notify event sets. With the feature off every hook
+    //! compiles to a no-op but the *types* stay available, so analysis
+    //! tests can build synthetic [`TraceReport`]s without the feature.
+
+    use super::SyncSkeleton;
+    use std::collections::BTreeSet;
+
+    /// An observed `held → acquired` lock-order edge.
+    pub type Edge = (String, String);
+
+    /// Everything the tracer observed since the last [`reset`].
+    #[derive(Debug, Clone, Default)]
+    pub struct TraceReport {
+        /// Observed lock-order edges (held at the moment of acquisition).
+        pub edges: BTreeSet<Edge>,
+        /// Every lock observed acquired.
+        pub locks: BTreeSet<String>,
+        /// Every condvar observed waited on.
+        pub waits: BTreeSet<String>,
+        /// Every condvar observed notified.
+        pub notifies: BTreeSet<String>,
+    }
+
+    impl TraceReport {
+        /// Returns human-readable descriptions of everything observed that
+        /// the declared skeletons do not admit: unknown locks/condvars, and
+        /// lock-order edges outside the transitive closure of the declared
+        /// acquisition graph. Empty means observed ⊆ declared.
+        pub fn undeclared(&self, skeletons: &[SyncSkeleton]) -> Vec<String> {
+            let mut declared_locks = BTreeSet::new();
+            let mut declared_cvs = BTreeSet::new();
+            let mut declared_edges = BTreeSet::new();
+            for sk in skeletons {
+                for l in &sk.locks {
+                    declared_locks.insert(l.id.to_string());
+                }
+                for c in &sk.condvars {
+                    declared_cvs.insert(c.id.to_string());
+                }
+                for p in &sk.paths {
+                    let mut held: Vec<&str> = Vec::new();
+                    for st in &p.steps {
+                        match st {
+                            super::Step::Acquire(l) => {
+                                for h in &held {
+                                    declared_edges.insert((h.to_string(), l.to_string()));
+                                }
+                                held.push(l);
+                            }
+                            super::Step::Release(l) => {
+                                held.retain(|h| h != l);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            // Transitive closure of the declared graph: an observed edge
+            // a→c is admitted if the declaration admits a path a→…→c
+            // (nesting through an intermediate lock is still the declared
+            // order, just with an inner guard elided at the call site).
+            let nodes: Vec<String> = declared_locks.iter().cloned().collect();
+            let idx = |s: &str| nodes.iter().position(|n| n == s);
+            let n = nodes.len();
+            let mut reach = vec![false; n * n];
+            for (a, b) in &declared_edges {
+                if let (Some(i), Some(j)) = (idx(a), idx(b)) {
+                    reach[i * n + j] = true;
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    if reach[i * n + k] {
+                        for j in 0..n {
+                            if reach[k * n + j] {
+                                reach[i * n + j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            for l in &self.locks {
+                if !declared_locks.contains(l) {
+                    out.push(format!("undeclared lock acquired: {l}"));
+                }
+            }
+            for c in self.waits.union(&self.notifies) {
+                if !declared_cvs.contains(c) {
+                    out.push(format!("undeclared condvar used: {c}"));
+                }
+            }
+            for (a, b) in &self.edges {
+                let admitted = match (idx(a), idx(b)) {
+                    (Some(i), Some(j)) => reach[i * n + j],
+                    _ => false,
+                };
+                if !admitted {
+                    out.push(format!("undeclared lock-order edge: {a} -> {b}"));
+                }
+            }
+            out
+        }
+    }
+
+    #[cfg(feature = "synctrace")]
+    mod imp {
+        use super::TraceReport;
+        use std::cell::RefCell;
+        use std::sync::{Mutex, OnceLock};
+
+        thread_local! {
+            static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+
+        fn store() -> &'static Mutex<TraceReport> {
+            static STORE: OnceLock<Mutex<TraceReport>> = OnceLock::new();
+            STORE.get_or_init(|| Mutex::new(TraceReport::default()))
+        }
+
+        fn with_store(f: impl FnOnce(&mut TraceReport)) {
+            let mut g = store().lock().unwrap_or_else(|p| p.into_inner());
+            f(&mut g);
+        }
+
+        pub fn record_acquire(id: &'static str) {
+            HELD.with(|h| {
+                let held = h.borrow();
+                with_store(|r| {
+                    r.locks.insert(id.to_string());
+                    for held_id in held.iter() {
+                        r.edges.insert((held_id.to_string(), id.to_string()));
+                    }
+                });
+            });
+            HELD.with(|h| h.borrow_mut().push(id));
+        }
+
+        pub fn record_release(id: &'static str) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|x| *x == id) {
+                    held.remove(pos);
+                }
+            });
+        }
+
+        pub fn record_wait(id: &'static str) {
+            with_store(|r| {
+                r.waits.insert(id.to_string());
+            });
+        }
+
+        pub fn record_notify(id: &'static str) {
+            with_store(|r| {
+                r.notifies.insert(id.to_string());
+            });
+        }
+
+        pub fn reset() {
+            with_store(|r| *r = TraceReport::default());
+        }
+
+        pub fn capture() -> TraceReport {
+            let g = store().lock().unwrap_or_else(|p| p.into_inner());
+            g.clone()
+        }
+    }
+
+    /// RAII record of a traced lock acquisition; dropping it marks the
+    /// lock released in the thread-local held stack. Construct one
+    /// immediately after taking the corresponding `MutexGuard` and bind it
+    /// for the guard's full scope.
+    #[must_use = "binds the traced hold; dropping immediately records a zero-length hold"]
+    pub struct HeldToken {
+        #[cfg(feature = "synctrace")]
+        id: &'static str,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            #[cfg(feature = "synctrace")]
+            imp::record_release(self.id);
+        }
+    }
+
+    /// Records an acquisition of `id`, with edges from every lock the
+    /// current thread already holds. No-op without `synctrace`.
+    pub fn lock_acquired(id: &'static str) -> HeldToken {
+        #[cfg(feature = "synctrace")]
+        {
+            imp::record_acquire(id);
+            HeldToken { id }
+        }
+        #[cfg(not(feature = "synctrace"))]
+        {
+            let _ = id;
+            HeldToken {}
+        }
+    }
+
+    /// Records a wait on condvar `id`. No-op without `synctrace`.
+    pub fn wait_event(id: &'static str) {
+        #[cfg(feature = "synctrace")]
+        imp::record_wait(id);
+        #[cfg(not(feature = "synctrace"))]
+        let _ = id;
+    }
+
+    /// Records a notify of condvar `id`. No-op without `synctrace`.
+    pub fn notify_event(id: &'static str) {
+        #[cfg(feature = "synctrace")]
+        imp::record_notify(id);
+        #[cfg(not(feature = "synctrace"))]
+        let _ = id;
+    }
+
+    /// Clears the global trace store. No-op without `synctrace`.
+    pub fn reset() {
+        #[cfg(feature = "synctrace")]
+        imp::reset();
+    }
+
+    /// Snapshots the global trace store. Always empty without `synctrace`.
+    pub fn capture() -> TraceReport {
+        #[cfg(feature = "synctrace")]
+        {
+            imp::capture()
+        }
+        #[cfg(not(feature = "synctrace"))]
+        {
+            TraceReport::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_skeleton_is_well_formed() {
+        let sk = pool_skeleton();
+        assert_eq!(sk.name, "tensor.pool");
+        for cv in &sk.condvars {
+            assert!(
+                sk.has_lock(cv.lock),
+                "condvar {} guards unknown lock",
+                cv.id
+            );
+        }
+        for p in &sk.paths {
+            let mut held: Vec<&str> = Vec::new();
+            for st in &p.steps {
+                match st {
+                    Step::Acquire(l) => {
+                        assert!(sk.has_lock(l), "{}: unknown lock {l}", p.id);
+                        held.push(l);
+                    }
+                    Step::Release(l) => {
+                        assert!(held.contains(l), "{}: release of unheld {l}", p.id);
+                        held.retain(|h| h != l);
+                    }
+                    Step::Wait(cv) => {
+                        let c = sk.condvar(cv).expect("declared condvar");
+                        assert!(held.contains(&c.lock), "{}: wait without guard", p.id);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(held.is_empty(), "{}: leaks a guard", p.id);
+        }
+    }
+
+    #[test]
+    fn synthetic_trace_subset_check_works() {
+        let sk = pool_skeleton();
+        let mut report = trace::TraceReport::default();
+        report.locks.insert("pool.submit".into());
+        report.locks.insert("pool.slot".into());
+        report
+            .edges
+            .insert(("pool.submit".into(), "pool.slot".into()));
+        assert!(report.undeclared(std::slice::from_ref(&sk)).is_empty());
+
+        // Inverted edge is not admitted.
+        report
+            .edges
+            .insert(("pool.slot".into(), "pool.submit".into()));
+        let bad = report.undeclared(std::slice::from_ref(&sk));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("pool.slot -> pool.submit"));
+    }
+}
