@@ -37,8 +37,18 @@ cargo test -q -p enode-analysis --test mutations -- \
   dropped_notify_fires_exactly_e101 \
   skipped_join_fires_exactly_e102
 
+echo "==> fleet mutation seeds (E110/E111/E112/E113 discrimination)"
+cargo test -q -p enode-analysis --test mutations -- \
+  oversized_published_model_fires_exactly_e110 \
+  single_replica_fleet_fires_exactly_e111_on_loss \
+  sub_window_sla_fires_exactly_e112 \
+  tampered_registry_fingerprint_fires_exactly_e113
+
 echo "==> serving runtime suite under a 4-lane pool (batcher determinism audit)"
 ENODE_THREADS=4 cargo test -q -p enode-serve
+
+echo "==> fleet determinism suite under a 4-lane pool (ENODE_THREADS=4)"
+ENODE_THREADS=4 cargo test -q -p enode-serve --test fleet
 
 echo "==> serve suite + sync-parity under the synctrace recorder (ENODE_THREADS=4)"
 ENODE_THREADS=4 cargo test -q -p enode-serve --features synctrace
@@ -48,6 +58,9 @@ cargo run -q --release -p enode-bench --bin bench_kernels_json -- --quick "$(mkt
 
 echo "==> serve_bench smoke run (--smoke: JSON validated, p99 fields present)"
 cargo run -q --release -p enode-bench --bin serve_bench -- --smoke >/dev/null
+
+echo "==> fleet_bench smoke run (--smoke: JSON validated, residency fields present)"
+cargo run -q --release -p enode-bench --bin fleet_bench -- --smoke >/dev/null
 
 echo "==> cost_table_json --check (COST_TABLE.json byte identity with the simulator)"
 cargo run -q --release -p enode-bench --bin cost_table_json -- --check
@@ -82,6 +95,11 @@ fi
 if echo "$lint_json" | grep -q '"code":"E10'; then
   echo "concurrency proofs failed (E10x) on the registered sync skeletons:"
   echo "$lint_json" | grep '"code":"E10'
+  exit 1
+fi
+if echo "$lint_json" | grep -q '"code":"E11'; then
+  echo "fleet registry / residency proofs failed (E11x) on the shipped fleet:"
+  echo "$lint_json" | grep '"code":"E11'
   exit 1
 fi
 

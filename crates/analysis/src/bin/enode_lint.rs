@@ -12,8 +12,8 @@
 //! code; `--emit-lints-md` prints the generated `docs/LINTS.md`.
 
 use enode_analysis::{
-    affine, consistency, cost, ddg, hwcheck, lint_everything, paper_pipelines, parallelcheck,
-    precision, registry, schedcheck, servecheck, shape, synccheck, tableau,
+    affine, consistency, cost, ddg, fleetcheck, hwcheck, lint_everything, paper_pipelines,
+    parallelcheck, precision, registry, schedcheck, servecheck, shape, synccheck, tableau,
 };
 
 fn main() {
@@ -128,6 +128,9 @@ fn main() {
         enode_serve::skeleton::registered_skeletons().len()
     );
     print!("{}", synccheck::lint_registered().render());
+
+    println!("\n-- fleet registry & residency --");
+    print!("{}", fleetcheck::lint_shipped_fleet().render());
 
     // The authoritative verdict covers every pipeline, not just the
     // samples printed above.

@@ -22,6 +22,7 @@
 //! | `E080–E089` / `W080–W089` | Affine access & roofline cost lints ([`crate::affine`], [`crate::cost`]) |
 //! | `E090–E099` / `W090–W099` | Schedulability & energy-budget lints ([`crate::schedcheck`]) |
 //! | `E100–E109` / `W100–W109` | Concurrency skeleton lints ([`crate::synccheck`]) |
+//! | `E110–E119` / `W110–W119` | Fleet registry & residency lints ([`crate::fleetcheck`]) |
 //!
 //! Adding a pass: pick the next free code in the family's range, add a
 //! [`Code`] variant with its `summary()` text and `as_str()` mapping,
@@ -305,6 +306,37 @@ pub enum Code {
     W102SyncTimeoutWakeup,
     /// A lock is declared but no path ever acquires it.
     W103SyncDeadLock,
+
+    // --- fleet registry & residency lints (E110-E119 / W110-W119) ---
+    /// The aggregate resident set an instance must hold (every pinned
+    /// live version assigned to it) overflows some core's weight buffer:
+    /// the fleet cannot even warm up.
+    E110FleetResidencyOverflow,
+    /// Losing a single instance leaves some tenant's offered load
+    /// unservable: no surviving instance holds the model, or the
+    /// rebalanced per-survivor load exceeds a policy's design rate.
+    E111FleetRebalanceInfeasible,
+    /// A tenant's SLA deadline is covered by no tier of its policy's
+    /// degradation ladder: every admitted request is guaranteed to be
+    /// shed or to miss its deadline.
+    E112FleetSlaUncovered,
+    /// A published version's recorded fingerprint does not match the
+    /// FNV-1a digest recomputed from its name, version, and ladder — the
+    /// registry entry is stale or was tampered with.
+    E113FleetStaleFingerprint,
+    /// The fleet config is structurally malformed: zero instances, an
+    /// assignment that does not name a model per instance, an assigned
+    /// model with no live published version, or a tenant bound to a
+    /// model no instance serves.
+    E114FleetConfigMalformed,
+    /// An instance's resident set fits, but leaves less than 1/8 of some
+    /// core's weight buffer free: the next publish will evict rollback
+    /// versions immediately.
+    W110FleetResidencyHeadroom,
+    /// The tenant quotas admitted against a model exceed the aggregate
+    /// queue capacity of the instances serving it: admission control can
+    /// overcommit the fleet's buffering.
+    W111FleetQuotaOversubscribed,
 }
 
 impl Code {
@@ -391,12 +423,19 @@ impl Code {
             Code::W101SyncDeadCondvar => "W101",
             Code::W102SyncTimeoutWakeup => "W102",
             Code::W103SyncDeadLock => "W103",
+            Code::E110FleetResidencyOverflow => "E110",
+            Code::E111FleetRebalanceInfeasible => "E111",
+            Code::E112FleetSlaUncovered => "E112",
+            Code::E113FleetStaleFingerprint => "E113",
+            Code::E114FleetConfigMalformed => "E114",
+            Code::W110FleetResidencyHeadroom => "W110",
+            Code::W111FleetQuotaOversubscribed => "W111",
         }
     }
 
     /// Every code the crate can emit, in code order. New codes must be
     /// appended here (a registry test enforces it).
-    pub const ALL: [Code; 80] = [
+    pub const ALL: [Code; 87] = [
         Code::E001TableauRowSum,
         Code::E002TableauNotExplicit,
         Code::E003TableauOrderCondition,
@@ -477,6 +516,13 @@ impl Code {
         Code::W101SyncDeadCondvar,
         Code::W102SyncTimeoutWakeup,
         Code::W103SyncDeadLock,
+        Code::E110FleetResidencyOverflow,
+        Code::E111FleetRebalanceInfeasible,
+        Code::E112FleetSlaUncovered,
+        Code::E113FleetStaleFingerprint,
+        Code::E114FleetConfigMalformed,
+        Code::W110FleetResidencyHeadroom,
+        Code::W111FleetQuotaOversubscribed,
     ];
 
     /// The severity implied by the code's letter.
@@ -573,6 +619,13 @@ impl Code {
             Code::W101SyncDeadCondvar => "condvar declared but never waited on",
             Code::W102SyncTimeoutWakeup => "wakeup bounded by a timeout, not a notifier",
             Code::W103SyncDeadLock => "lock declared but never acquired",
+            Code::E110FleetResidencyOverflow => "resident set overflows a core's weight buffer",
+            Code::E111FleetRebalanceInfeasible => "a node loss leaves load unservable",
+            Code::E112FleetSlaUncovered => "tenant SLA covered by no ladder tier",
+            Code::E113FleetStaleFingerprint => "published fingerprint does not match the ladder",
+            Code::E114FleetConfigMalformed => "fleet config structurally malformed",
+            Code::W110FleetResidencyHeadroom => "resident set leaves under 1/8 buffer headroom",
+            Code::W111FleetQuotaOversubscribed => "quotas exceed the aggregate queue capacity",
         }
     }
 }

@@ -47,6 +47,11 @@
 //!   serving runtime and the worker pool checked for lock-order
 //!   acyclicity, lost wakeups, shutdown quiescence and atomic-ordering
 //!   discipline, cross-checked at runtime by the `synctrace` tracer.
+//! * [`fleetcheck`] — fleet registry & residency proofs (`E110`–`E114`,
+//!   `W110`–`W111`): aggregate weight-SRAM residency per instance,
+//!   rebalance feasibility under every single-node loss (a forward load
+//!   pass on the fixpoint engine), tenant-SLA ladder coverage, and
+//!   published-version fingerprint provenance.
 //!
 //! [`benchjson`] holds the shared line scanner both committed-artifact
 //! ingests ([`cost`], [`schedcheck`]) parse with.
@@ -65,6 +70,7 @@ pub mod cost;
 pub mod ddg;
 pub mod diag;
 pub mod engine;
+pub mod fleetcheck;
 pub mod hwcheck;
 pub mod ir;
 pub mod parallelcheck;
@@ -171,6 +177,7 @@ pub fn lint_everything() -> Diagnostics {
     ds.extend(affine::lint_registered_summaries());
     ds.extend(cost::lint_shipped_baseline());
     ds.extend(synccheck::lint_registered());
+    ds.extend(fleetcheck::lint_shipped_fleet());
     ds.sort_and_dedup();
     ds
 }

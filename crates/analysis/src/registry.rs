@@ -546,6 +546,73 @@ pub fn explanation(code: Code) -> &'static str {
              acquisition pattern would be invisible. Remove the declaration or add the \
              missing paths."
         }
+        Code::E110FleetResidencyOverflow => {
+            "An instance of the fleet must pin its assigned model's live version into the \
+             per-core weight SRAM, but some core's round-robin share of the version's weight \
+             bytes alone exceeds the configured weight-buffer capacity. The residency manager \
+             would reject the warm-up outright (nothing can be evicted to make a single \
+             too-large version fit), so the fleet cannot even start: every request for that \
+             model would be refused NotResident. Shrink the deployed profile (channels or \
+             conv depth), deepen the per-core buffer, or assign the model to a configuration \
+             with more cores so the round-robin shares fall under the envelope."
+        }
+        Code::E111FleetRebalanceInfeasible => {
+            "Some single-instance loss (or the nominal deployment itself) leaves tenant load \
+             unservable: either no surviving instance serves a model that still has bound \
+             tenants, or the consistent-hash rebalance concentrates more offered req/s onto \
+             a survivor than its policy's declared design_rate_rps. The verdict comes from \
+             the fixpoint load pass: tenant nodes originate their bound rates, instance \
+             nodes accumulate per-survivor shares, and every loss scenario is re-converged. \
+             A fleet that only works while all instances are up has no failure story — add \
+             a replica of the starved model or lower the tenant rates until one loss is \
+             absorbable."
+        }
+        Code::E112FleetSlaUncovered => {
+            "A tenant's SLA deadline is covered by no tier of its model's degradation \
+             ladder: at every tier, either the tier's min_slack_us admission threshold \
+             exceeds the SLA (the router can never route to it) or the batch window plus \
+             one in-flight batch plus the tier's own class-scaled service time — read from \
+             the simulator-calibrated cost table — overruns the SLA. Every request the \
+             tenant submits is then shed or completed late by construction. Relax the SLA, \
+             bind the tenant to a cheaper tolerance class, or extend the ladder with a \
+             tier cheap enough to fit."
+        }
+        Code::E113FleetStaleFingerprint => {
+            "A published model version's recorded fingerprint does not match the FNV-1a \
+             digest recomputed from its name, version number, and degradation ladder. \
+             Publish computes and stores this digest atomically, so a mismatch means the \
+             registry entry was edited outside the publish path, survived a ladder change \
+             it should not have, or was corrupted in transit — and every other fleet \
+             verdict would be reasoning about a policy that is not the one actually \
+             deployed. The check short-circuits the rest of the fleet analysis. Republish \
+             the model through the registry instead of patching its snapshot."
+        }
+        Code::E114FleetConfigMalformed => {
+            "The fleet config fails structural invariants that every other fleet check \
+             assumes: it declares zero instances, its assignment does not name exactly one \
+             model per instance, an assigned model has no live published version in the \
+             registry, or a tenant is bound to a model no instance serves. The runtime \
+             constructor panics on the same conditions; this lint reports them statically \
+             and short-circuits the rest of the family, since residency, rebalance, and \
+             SLA verdicts are meaningless over a fleet that cannot be built."
+        }
+        Code::W110FleetResidencyHeadroom => {
+            "An instance's pinned live set fits its weight SRAM, but leaves less than 1/8 \
+             of some core's buffer free. The publish protocol keeps the predecessor \
+             version warm (unpinned) for instant rollback; with this little headroom the \
+             next publish must evict it immediately, so rollback degrades from an SRAM \
+             pointer-flip to a full re-warm from DRAM. Deploy a smaller profile or a \
+             larger weight buffer if warm rollback matters for the model."
+        }
+        Code::W111FleetQuotaOversubscribed => {
+            "The per-tenant admission quotas bound against one model sum to more \
+             outstanding requests than the ingress queues of the instances serving that \
+             model can buffer. Quotas are the fleet's door-level backpressure; when they \
+             overcommit the queues, tenants within quota can still be refused QueueFull by \
+             the instance, making admission behavior depend on arrival interleaving \
+             rather than on the declared contract. Lower the quotas or add replicas until \
+             the aggregate queue capacity covers them."
+        }
     }
 }
 

@@ -13,10 +13,15 @@
 use enode_analysis::consistency::lint_consistency;
 use enode_analysis::precision::lint_precision;
 use enode_analysis::shape::lint_network;
-use enode_analysis::{affine, cost, lint_everything, schedcheck, synccheck, PipelineArtifact};
+use enode_analysis::{
+    affine, cost, fleetcheck, lint_everything, schedcheck, synccheck, PipelineArtifact,
+};
 use enode_hw::config::HwConfig;
+use enode_hw::config::LayerDims;
 use enode_node::inference::NodeSolveOptions;
 use enode_node::model::NodeModel;
+use enode_serve::registry::Registry;
+use enode_serve::FleetConfig;
 use enode_serve::ServeConfig;
 use enode_tensor::access::{
     AccessKind, KernelAccessSummary, RegionDecl, ScratchDecl, ScratchSource, StridedAccess,
@@ -246,7 +251,43 @@ fn corpus() -> String {
         synccheck::lint_skeletons(std::slice::from_ref(&silent_pool())).render_json(),
     );
 
+    // E110 / E113: the fleet prover over the shipped registry with one
+    // publish or one fingerprint doctored (same seeds as
+    // tests/mutations.rs).
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    section(
+        "E110 oversized publish",
+        fleetcheck::lint_fleet(&oversized_fleet(), &table).render_json(),
+    );
+    section(
+        "E113 tampered fingerprint",
+        fleetcheck::lint_fleet(&tampered_fleet(), &table).render_json(),
+    );
+
     out
+}
+
+/// The shipped fleet with the edge model republished at 8 convs of 512
+/// channels — ~9.4MB/core against the 2.25MB envelope; the E110 seed.
+fn oversized_fleet() -> FleetConfig {
+    let mut cfg = FleetConfig::shipped();
+    let reg = Registry::from_snapshot(cfg.registry.clone());
+    reg.publish_with_profile(
+        "edge_default",
+        ServeConfig::edge_default(),
+        LayerDims::new(64, 64, 512),
+        8,
+    );
+    cfg.registry = (*reg.snapshot()).clone();
+    cfg
+}
+
+/// The shipped fleet with one published fingerprint hand-edited — the
+/// E113 provenance seed.
+fn tampered_fleet() -> FleetConfig {
+    let mut cfg = FleetConfig::shipped();
+    cfg.registry.models[0].fingerprint = "deadbeefdeadbeef".to_string();
+    cfg
 }
 
 /// The shipped pool skeleton plus one path nesting the locks in the
@@ -474,6 +515,44 @@ fn e10x_messages_are_byte_stable() {
          \"message\":\"path pool.worker_loop falsifies the predicate of pool.done \
          with no notify reachable afterwards (a parked waiter never observes the \
          write)\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+}
+
+/// Same contract for the fleet family: the E110 overflow wording (with
+/// the exact per-core byte arithmetic) and the E112 coverage wording
+/// (with the tenant, SLA and tolerance class) are pinned byte-for-byte
+/// against the shipped registry and `COST_TABLE.json`.
+#[test]
+fn e11x_messages_are_byte_stable() {
+    let table = schedcheck::shipped_table().expect("committed table parses");
+
+    let ds = fleetcheck::lint_fleet(&oversized_fleet(), &table);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E110\",\"severity\":\"error\",\"artifact\":\"fleet edge_fleet\",\
+         \"message\":\"instance 0 must pin edge_default v2 but core 3's share \
+         9437184B overflows the 2359296B weight buffer: the fleet cannot warm up\""
+        ),
+        "{}",
+        ds.render_json()
+    );
+
+    let mut skewed = FleetConfig::shipped();
+    for b in &mut skewed.registry.tenants {
+        if b.tenant == "vision_a" {
+            b.sla_deadline_us = 100;
+        }
+    }
+    let ds = fleetcheck::lint_fleet(&skewed, &table);
+    assert!(
+        ds.render_json().contains(
+            "\"code\":\"E112\",\"severity\":\"error\",\"artifact\":\"fleet edge_fleet\",\
+         \"message\":\"tenant vision_a's 100\u{b5}s SLA on edge_default is covered by \
+         no tier of the ladder at the standard class: every admitted request is shed \
+         or served past its deadline\""
         ),
         "{}",
         ds.render_json()

@@ -601,3 +601,107 @@ fn wait_starving_all_notifiers_fires_exactly_e106() {
         ds.render()
     );
 }
+
+// ---- E11x fleet registry & residency mutation seeds -------------------
+//
+// Each seed doctors the shipped fleet config or registry snapshot — a
+// deployment someone *could* write — and asserts exactly the pinned
+// fleet code fires through the public `lint_fleet` entry point. `ci.sh`
+// runs these four by name as the E11x discrimination gate.
+
+use enode_analysis::fleetcheck;
+use enode_hw::config::LayerDims;
+use enode_serve::registry::Registry;
+use enode_serve::FleetConfig;
+
+/// Error-severity E11x codes present in a run, as stable strings.
+fn e11x_errors(ds: &enode_analysis::Diagnostics) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = ds
+        .items()
+        .iter()
+        .filter(|d| d.severity() == Severity::Error && d.code.as_str().starts_with("E11"))
+        .map(|d| d.code.as_str())
+        .collect();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn oversized_published_model_fires_exactly_e110() {
+    // Mutation: republish the edge model with 8 convs of 512 channels —
+    // ~9.4MB per core against the 2.25MB weight-SRAM envelope. Both edge
+    // instances fail to warm; nothing else may fire.
+    let mut cfg = FleetConfig::shipped();
+    let reg = Registry::from_snapshot(cfg.registry.clone());
+    reg.publish_with_profile(
+        "edge_default",
+        ServeConfig::edge_default(),
+        LayerDims::new(64, 64, 512),
+        8,
+    );
+    cfg.registry = (*reg.snapshot()).clone();
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let ds = fleetcheck::lint_fleet(&cfg, &table);
+    assert_eq!(e11x_errors(&ds), ["E110"], "{}", ds.render());
+    assert_eq!(
+        ds.items()
+            .iter()
+            .filter(|d| d.code == Code::E110FleetResidencyOverflow)
+            .count(),
+        2,
+        "one overflow proof per edge instance:\n{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn single_replica_fleet_fires_exactly_e111_on_loss() {
+    // Mutation: shrink the fleet to one instance per model. Losing
+    // either leaves its tenants' load with nowhere to rebalance.
+    let mut cfg = FleetConfig::shipped();
+    cfg.instances = 2;
+    cfg.assignment = vec!["edge_default".into(), "streaming_keyword".into()];
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let ds = fleetcheck::lint_fleet(&cfg, &table);
+    assert_eq!(e11x_errors(&ds), ["E111"], "{}", ds.render());
+    // Every loss verdict names the unservable model; the halved fleet
+    // also (correctly) oversubscribes the shipped quotas, so W111 rides
+    // along as a warning but no other *error* may.
+    assert!(
+        ds.items()
+            .iter()
+            .filter(|d| d.code == Code::E111FleetRebalanceInfeasible)
+            .all(|d| d.message.contains("nowhere to rebalance")),
+        "{}",
+        ds.render()
+    );
+}
+
+#[test]
+fn sub_window_sla_fires_exactly_e112() {
+    // Mutation: a 100µs SLA on the edge model, whose batch window alone
+    // is 2000µs — no degradation tier can cover it.
+    let mut cfg = FleetConfig::shipped();
+    for b in &mut cfg.registry.tenants {
+        if b.tenant == "vision_a" {
+            b.sla_deadline_us = 100;
+        }
+    }
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let ds = fleetcheck::lint_fleet(&cfg, &table);
+    assert_eq!(e11x_errors(&ds), ["E112"], "{}", ds.render());
+}
+
+#[test]
+fn tampered_registry_fingerprint_fires_exactly_e113() {
+    // Mutation: hand-edit a published fingerprint. Every downstream
+    // verdict would read a policy that is not the one published, so
+    // provenance must fire alone and short-circuit — the also-planted
+    // SLA skew stays unreported until the registry is trustworthy.
+    let mut cfg = FleetConfig::shipped();
+    cfg.registry.models[0].fingerprint = "deadbeefdeadbeef".to_string();
+    cfg.registry.tenants[0].sla_deadline_us = 100;
+    let table = schedcheck::shipped_table().expect("committed table parses");
+    let ds = fleetcheck::lint_fleet(&cfg, &table);
+    assert_eq!(e11x_errors(&ds), ["E113"], "{}", ds.render());
+}

@@ -8,6 +8,7 @@
 
 pub mod driver;
 pub mod figures;
+pub mod fleet_json;
 pub mod kernels_json;
 pub mod micro;
 pub mod referent;

@@ -1,0 +1,123 @@
+//! Shared FNV-1a 64-bit content fingerprints.
+//!
+//! The cost-table sweep ([`crate::table`]), the serving-policy bridge
+//! (`enode_serve::hwcost`) and the model registry
+//! (`enode_serve::registry`) all stamp artifacts with a content hash so
+//! static lints (`E093`, `E113`) can prove a committed table or a
+//! published model version was derived from the ladder it is being
+//! applied to. They must agree on the hash — this module is the single
+//! definition: plain FNV-1a over little-endian field bytes, rendered as
+//! 16 lowercase hex digits. No host state, no allocation while hashing,
+//! byte-stable forever (the pinned-digest test below is the contract).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// Fields are fed in a fixed order with fixed-width little-endian
+/// encodings; the resulting digest is stable across hosts and releases
+/// unless the hashed content actually changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64 { h: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` as the little-endian bytes of its exact bit
+    /// pattern (no rounding, `-0.0 != 0.0`).
+    pub fn write_f64_bits(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+
+    /// The current digest as 16 lowercase hex digits — the textual form
+    /// every committed artifact records.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+}
+
+/// One-shot convenience: the hex FNV-1a digest of `bytes`.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The published FNV-1a 64 reference vectors. If this test ever
+    /// fails, every committed fingerprint (COST_TABLE.json policies,
+    /// registry versions) silently invalidates — the digests are pinned
+    /// precisely so that cannot happen unnoticed.
+    #[test]
+    fn digests_are_pinned_to_the_reference_vectors() {
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "af63dc4c8601ec8c");
+        assert_eq!(fnv1a_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.hex(), fnv1a_hex(b"foobar"));
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_encodings_are_little_endian_bit_patterns() {
+        let mut a = Fnv64::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv64::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a, b);
+
+        let mut c = Fnv64::new();
+        c.write_f64_bits(1.5);
+        let mut d = Fnv64::new();
+        d.write(&1.5f64.to_bits().to_le_bytes());
+        assert_eq!(c, d);
+        // Bit patterns, not values: the two IEEE zeros hash differently.
+        let mut e = Fnv64::new();
+        e.write_f64_bits(0.0);
+        let mut f = Fnv64::new();
+        f.write_f64_bits(-0.0);
+        assert_ne!(e.finish(), f.finish());
+    }
+}

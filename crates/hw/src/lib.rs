@@ -24,6 +24,9 @@
 //! * [`perf`] — end-to-end performance/energy simulation of eNODE and the
 //!   weight-stationary SIMD baseline on NODE workloads (Figs 16–18).
 //! * [`gpu`] — an A100-class GPU cost model for the §VIII-D comparison.
+//! * [`fingerprint`] — the shared FNV-1a content hash stamped on every
+//!   committed artifact (cost tables, registry model versions) so the
+//!   staleness lints (`E093`, `E113`) can prove provenance.
 
 pub mod area;
 pub mod config;
@@ -31,6 +34,7 @@ pub mod core;
 pub mod depthfirst;
 pub mod dram;
 pub mod energy;
+pub mod fingerprint;
 pub mod gpu;
 pub mod mapping;
 pub mod packet;

@@ -19,6 +19,7 @@
 use crate::loadgen::CostModel;
 use crate::policies::ServeConfig;
 use enode_hw::config::LayerDims;
+use enode_hw::fingerprint::Fnv64;
 use enode_hw::table::{build_table, tableau_cost, CostTable, TableSpec, TierSim};
 
 /// The serving-scale model profile a policy deploys: feature-map
@@ -38,21 +39,15 @@ pub fn serve_profile(cfg: &ServeConfig) -> (LayerDims, usize) {
 /// Envelope fields (rates, deadlines, budgets) and batching knobs are
 /// deliberately excluded — they do not change the simulated rows.
 pub fn fingerprint(cfg: &ServeConfig) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(cfg.name.as_bytes());
+    let mut h = Fnv64::new();
+    h.write(cfg.name.as_bytes());
     for t in &cfg.tiers {
-        eat(&t.tolerance_scale.to_bits().to_le_bytes());
-        eat(&(t.max_trials as u64).to_le_bytes());
-        eat(&(tableau_cost(t.tableau).0 as u64).to_le_bytes());
-        eat(&t.min_slack_us.to_le_bytes());
+        h.write_f64_bits(t.tolerance_scale);
+        h.write_u64(t.max_trials as u64);
+        h.write_u64(tableau_cost(t.tableau).0 as u64);
+        h.write_u64(t.min_slack_us);
     }
-    format!("{h:016x}")
+    h.hex()
 }
 
 /// The sweep spec for one policy.
@@ -136,6 +131,18 @@ mod tests {
         let mut ladder = base;
         ladder.tiers[2].min_slack_us += 1;
         assert_ne!(fingerprint(&ladder), fp);
+    }
+
+    /// The shipped ladders' digests, pinned to the values recorded in
+    /// the committed `COST_TABLE.json`. A failure here means the shared
+    /// FNV-1a helper (`enode_hw::fingerprint`) or the hashed field order
+    /// drifted — which would silently invalidate every committed table
+    /// and published registry version.
+    #[test]
+    fn shipped_fingerprints_are_pinned() {
+        let shipped = ServeConfig::shipped();
+        assert_eq!(fingerprint(&shipped[0]), "85ed0d4c8528085a");
+        assert_eq!(fingerprint(&shipped[1]), "d5df13b27c1d51cd");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! | [`metrics`] | Atomic counters + latency/batch histograms |
 //! | [`loadgen`] | Deterministic open/closed-loop load simulation |
 //! | [`hwcost`] | Simulator-calibrated cost tables ([`CostModel::from_table`]) |
+//! | [`registry`] | Versioned model registry: publish/rollback + tenant bindings |
+//! | [`residency`] | Per-instance weight-SRAM residency accounting |
+//! | [`fleet`] | N-instance fleet router: consistent hashing + [`simulate_fleet`] |
 //! | [`skeleton`] | Declared sync skeletons (locks/condvars/atomics) for the E10x prover |
 //! | [`synctrace`] | Feature-gated runtime sync tracer (parity vs the skeletons) |
 //!
@@ -37,19 +40,25 @@
 //! `BENCH_serve.json` both lean on this.
 
 pub mod clock;
+pub mod fleet;
 pub mod hwcost;
 pub mod loadgen;
 pub mod metrics;
 pub mod policies;
+pub mod registry;
 pub mod request;
+pub mod residency;
 pub mod server;
 pub mod skeleton;
 pub mod synctrace;
 
 pub use clock::Clock;
+pub use fleet::{simulate_fleet, Fleet, FleetConfig, FleetLoad, FleetRunResult};
 pub use hwcost::{fingerprint, shipped_cost_table, table_spec};
 pub use loadgen::{Arrivals, CostModel, LoadSpec, RunResult};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policies::{ServeConfig, TierSpec};
+pub use registry::{shipped_registry, ModelHandle, Registry, RegistrySnapshot, TenantBinding};
 pub use request::{Priority, Rejected, Request, Response, ServeResult, Ticket, ToleranceClass};
+pub use residency::{ResidencyManager, ResidentModel};
 pub use server::{PreparedBatch, Server, SolvedBatch};

@@ -89,6 +89,15 @@ pub enum Rejected {
     SolveFailed(NodeError),
     /// The server is shutting down and no longer accepts or serves work.
     ShuttingDown,
+    /// Fleet admission control: no reachable instance holds the published
+    /// model version in its weight SRAM (rolling publish or
+    /// post-rebalance warm-up gap). The caller retries after warm-up.
+    NotResident {
+        /// The model the tenant is bound to.
+        model: String,
+        /// The published version no instance has warmed.
+        version: u32,
+    },
 }
 
 impl fmt::Display for Rejected {
@@ -104,6 +113,9 @@ impl fmt::Display for Rejected {
             Rejected::WorkerPanic => write!(f, "batch worker panicked"),
             Rejected::SolveFailed(e) => write!(f, "solver failed: {e}"),
             Rejected::ShuttingDown => write!(f, "server shutting down"),
+            Rejected::NotResident { model, version } => {
+                write!(f, "model {model} v{version} not resident on any instance")
+            }
         }
     }
 }
@@ -251,5 +263,10 @@ mod tests {
             now_us: 20,
         };
         assert!(r.to_string().contains("expired"));
+        let r = Rejected::NotResident {
+            model: "edge_default".to_string(),
+            version: 3,
+        };
+        assert!(r.to_string().contains("edge_default v3 not resident"));
     }
 }

@@ -1,0 +1,316 @@
+//! Per-instance weight residency: which model versions live in a serve
+//! instance's on-chip weight SRAM.
+//!
+//! The paper's Table-I mapping keeps every conv layer's weights resident
+//! in a per-core weight buffer; lint `E060` proves that for the training
+//! pipelines, and this module enforces the same envelope at serving
+//! admission time. Each resident version charges its layers to cores via
+//! [`enode_hw::mapping::per_core_weight_bytes`] (the real round-robin
+//! placement), and a version is resident only while **every** core's
+//! accumulated share fits `HwConfig::weight_buffer_bytes`.
+//!
+//! Eviction is deterministic: least-recently-warmed first, ties broken by
+//! `(version, name)` — no clocks, no hashing order. Live (pinned)
+//! versions never evict; publish unpins the previous version so rollback
+//! stays warm until space is actually needed.
+
+use crate::registry::ModelHandle;
+use enode_hw::config::HwConfig;
+use enode_hw::mapping::per_core_weight_bytes;
+
+/// Why a warm-up was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResidencyError {
+    /// The version alone overflows the SRAM envelope on some core: it can
+    /// never be served from this instance (lint `E110` catches this
+    /// statically).
+    TooLarge {
+        /// The overflowing core index.
+        core: usize,
+        /// That core's share of the version's weight bytes.
+        need_bytes: u64,
+        /// The per-core weight-buffer capacity.
+        capacity_bytes: u64,
+    },
+    /// Every co-resident version is pinned; nothing can evict.
+    AllPinned,
+}
+
+/// One resident model version and its per-core footprint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResidentModel {
+    /// Model name.
+    pub name: String,
+    /// Version number.
+    pub version: u32,
+    /// Weight bytes charged per core (round-robin layer placement).
+    pub per_core_bytes: Vec<u64>,
+    /// Warm-up/use sequence number (LRU key).
+    pub last_used: u64,
+    /// Pinned versions (the live one) never evict.
+    pub pinned: bool,
+}
+
+/// The residency manager of one serve instance.
+#[derive(Clone, Debug)]
+pub struct ResidencyManager {
+    capacity_per_core: u64,
+    cores: usize,
+    resident: Vec<ResidentModel>,
+    seq: u64,
+    evictions: u64,
+}
+
+impl ResidencyManager {
+    /// A manager over `cfg`'s SRAM envelope (`weight_buffer_bytes` per
+    /// core, `cores` cores).
+    pub fn new(cfg: &HwConfig) -> Self {
+        ResidencyManager {
+            capacity_per_core: cfg.weight_buffer_bytes,
+            cores: cfg.cores,
+            resident: Vec::new(),
+            seq: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Per-core weight-buffer capacity (bytes).
+    pub fn capacity_per_core(&self) -> u64 {
+        self.capacity_per_core
+    }
+
+    /// The resident versions, in warm-up order.
+    pub fn resident(&self) -> &[ResidentModel] {
+        &self.resident
+    }
+
+    /// Deterministic eviction count so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Summed weight bytes across all resident versions and cores.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.resident
+            .iter()
+            .map(|r| r.per_core_bytes.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Per-core occupancy: slot `c` is the sum over resident versions of
+    /// their core-`c` share.
+    pub fn resident_bytes_per_core(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.cores];
+        for r in &self.resident {
+            for (c, b) in r.per_core_bytes.iter().enumerate() {
+                out[c] += b;
+            }
+        }
+        out
+    }
+
+    /// Whether `(name, version)` is currently resident.
+    pub fn is_resident(&self, name: &str, version: u32) -> bool {
+        self.resident
+            .iter()
+            .any(|r| r.name == name && r.version == version)
+    }
+
+    /// Marks a resident version as used (admission touches it so LRU
+    /// order tracks traffic, not just warm-ups). Returns `false` if the
+    /// version is not resident.
+    pub fn touch(&mut self, name: &str, version: u32) -> bool {
+        self.seq += 1;
+        let seq = self.seq;
+        match self
+            .resident
+            .iter_mut()
+            .find(|r| r.name == name && r.version == version)
+        {
+            Some(r) => {
+                r.last_used = seq;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pins or unpins a resident version (publish pins the new live
+    /// version and unpins the predecessor).
+    pub fn set_pinned(&mut self, name: &str, version: u32, pinned: bool) -> bool {
+        match self
+            .resident
+            .iter_mut()
+            .find(|r| r.name == name && r.version == version)
+        {
+            Some(r) => {
+                r.pinned = pinned;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts `(name, version)` outright. Returns `false` if absent.
+    pub fn evict(&mut self, name: &str, version: u32) -> bool {
+        let before = self.resident.len();
+        self.resident
+            .retain(|r| !(r.name == name && r.version == version));
+        let evicted = self.resident.len() < before;
+        self.evictions += u64::from(evicted);
+        evicted
+    }
+
+    /// Warms `handle` into SRAM, evicting least-recently-used unpinned
+    /// versions until the per-core occupancy fits. Idempotent: a version
+    /// already resident is touched (and re-pinned if `pin`).
+    ///
+    /// # Errors
+    ///
+    /// [`ResidencyError::TooLarge`] if the version alone overflows a
+    /// core's buffer; [`ResidencyError::AllPinned`] if co-residents are
+    /// all pinned and the version cannot fit beside them.
+    pub fn warm(&mut self, handle: &ModelHandle, pin: bool) -> Result<(), ResidencyError> {
+        if self.is_resident(&handle.name, handle.version) {
+            self.touch(&handle.name, handle.version);
+            if pin {
+                self.set_pinned(&handle.name, handle.version, true);
+            }
+            return Ok(());
+        }
+        let per_core = per_core_weight_bytes(&handle.layer_weight_bytes(), self.cores);
+        if let Some((core, &need)) = per_core
+            .iter()
+            .enumerate()
+            .find(|(_, &b)| b > self.capacity_per_core)
+        {
+            return Err(ResidencyError::TooLarge {
+                core,
+                need_bytes: need,
+                capacity_bytes: self.capacity_per_core,
+            });
+        }
+        loop {
+            let occupancy = self.resident_bytes_per_core();
+            let fits = per_core
+                .iter()
+                .zip(&occupancy)
+                .all(|(&add, &used)| used + add <= self.capacity_per_core);
+            if fits {
+                break;
+            }
+            // Deterministic LRU victim: oldest warm-up/use, ties by
+            // (version, name) so two never-touched versions still order.
+            let victim = self
+                .resident
+                .iter()
+                .filter(|r| !r.pinned)
+                .min_by_key(|r| (r.last_used, r.version, r.name.clone()))
+                .map(|r| (r.name.clone(), r.version));
+            let Some((name, version)) = victim else {
+                return Err(ResidencyError::AllPinned);
+            };
+            self.evict(&name, version);
+        }
+        self.seq += 1;
+        self.resident.push(ResidentModel {
+            name: handle.name.clone(),
+            version: handle.version,
+            per_core_bytes: per_core,
+            last_used: self.seq,
+            pinned: pin,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::ServeConfig;
+    use crate::registry::ModelHandle;
+    use enode_hw::config::LayerDims;
+
+    fn handle(version: u32, channels: usize) -> ModelHandle {
+        ModelHandle::with_profile(
+            "m",
+            version,
+            ServeConfig::edge_default(),
+            LayerDims::new(16, 16, channels),
+            2,
+        )
+    }
+
+    /// An envelope that fits exactly two copies of the 8-channel handle:
+    /// each conv layer is 8·8·9·2 = 1152 bytes on its own core.
+    fn tiny_manager() -> ResidencyManager {
+        let mut cfg = HwConfig::config_a();
+        cfg.cores = 2;
+        cfg.weight_buffer_bytes = 2 * 1152;
+        ResidencyManager::new(&cfg)
+    }
+
+    #[test]
+    fn warm_accounts_per_core_bytes() {
+        let mut rm = tiny_manager();
+        rm.warm(&handle(1, 8), true).unwrap();
+        assert!(rm.is_resident("m", 1));
+        assert_eq!(rm.resident_bytes_per_core(), vec![1152, 1152]);
+        assert_eq!(rm.total_resident_bytes(), 2304);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let mut rm = tiny_manager();
+        rm.warm(&handle(1, 8), false).unwrap();
+        rm.warm(&handle(2, 8), false).unwrap();
+        // v1 is older; touching it makes v2 the LRU victim.
+        assert!(rm.touch("m", 1));
+        rm.warm(&handle(3, 8), true).unwrap();
+        assert!(rm.is_resident("m", 1) && rm.is_resident("m", 3));
+        assert!(!rm.is_resident("m", 2));
+        assert_eq!(rm.evictions(), 1);
+    }
+
+    #[test]
+    fn pinned_versions_never_evict() {
+        let mut rm = tiny_manager();
+        rm.warm(&handle(1, 8), true).unwrap();
+        rm.warm(&handle(2, 8), true).unwrap();
+        assert_eq!(
+            rm.warm(&handle(3, 8), false),
+            Err(ResidencyError::AllPinned)
+        );
+        // Unpinning the older one frees the slot.
+        rm.set_pinned("m", 1, false);
+        rm.warm(&handle(3, 8), false).unwrap();
+        assert!(!rm.is_resident("m", 1));
+    }
+
+    #[test]
+    fn an_oversized_version_is_rejected_outright() {
+        let mut rm = tiny_manager();
+        // 64 channels: 64·64·9·2 = 73728 bytes per layer >> 2304.
+        let err = rm.warm(&handle(1, 64), false).unwrap_err();
+        match err {
+            ResidencyError::TooLarge {
+                need_bytes,
+                capacity_bytes,
+                ..
+            } => {
+                assert!(need_bytes > capacity_bytes);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(rm.total_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn warm_is_idempotent() {
+        let mut rm = tiny_manager();
+        rm.warm(&handle(1, 8), false).unwrap();
+        rm.warm(&handle(1, 8), true).unwrap();
+        assert_eq!(rm.resident().len(), 1);
+        assert!(rm.resident()[0].pinned);
+    }
+}

@@ -226,8 +226,53 @@ pub fn metrics_skeleton() -> SyncSkeleton {
     }
 }
 
+/// The fleet router's cross-instance skeleton: the registry's single
+/// copy-on-write `RwLock`. Readers ([`crate::registry::Registry::snapshot`])
+/// clone an `Arc` and drop the guard before touching any per-instance
+/// lock, and writers swap the `Arc` under the write guard — so no path
+/// ever nests `fleet.registry` with `server.state` or `ticket.slot`, and
+/// the per-instance queues remain the `server_skeleton` queues unchanged.
+pub fn fleet_skeleton() -> SyncSkeleton {
+    use PathRole::*;
+    use Step::*;
+    SyncSkeleton {
+        name: "serve.fleet",
+        locks: vec![LockDecl {
+            id: "fleet.registry",
+            protects: "the Arc<RegistrySnapshot> live pointer (copy-on-write)",
+        }],
+        condvars: vec![],
+        atomics: vec![],
+        threads: vec![],
+        queues: vec![],
+        paths: vec![
+            // Routing reads the snapshot and releases before submitting
+            // into an instance (no cross-lock hold).
+            PathDecl {
+                id: "fleet.route",
+                role: Normal,
+                runs_on: None,
+                steps: vec![Acquire("fleet.registry"), Release("fleet.registry")],
+            },
+            // Publish/rollback clone-and-swap under the write guard.
+            PathDecl {
+                id: "fleet.publish",
+                role: Normal,
+                runs_on: None,
+                steps: vec![Acquire("fleet.registry"), Release("fleet.registry")],
+            },
+            PathDecl {
+                id: "fleet.rollback",
+                role: Normal,
+                runs_on: None,
+                steps: vec![Acquire("fleet.registry"), Release("fleet.registry")],
+            },
+        ],
+    }
+}
+
 /// Every declared skeleton in the workspace, in stable order: the serve
-/// runtime's four components plus the tensor crate's worker pool. This is
+/// runtime's five components plus the tensor crate's worker pool. This is
 /// the registry `enode-lint` proves and the parity test traces against.
 pub fn registered_skeletons() -> Vec<SyncSkeleton> {
     vec![
@@ -235,6 +280,7 @@ pub fn registered_skeletons() -> Vec<SyncSkeleton> {
         ticket_skeleton(),
         clock_skeleton(),
         metrics_skeleton(),
+        fleet_skeleton(),
         pool_skeleton(),
     ]
 }
@@ -253,6 +299,7 @@ mod tests {
                 "serve.ticket",
                 "serve.clock",
                 "serve.metrics",
+                "serve.fleet",
                 "tensor.pool"
             ]
         );
